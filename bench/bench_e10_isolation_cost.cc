@@ -1,0 +1,87 @@
+// E10 — Capacity cost of isolation-centric policies (§4.1).
+//
+// Guard-row (ZebRAM-like) partitioning wastes b rows per tenant boundary
+// in every bank — and the waste grows with both the blast radius and the
+// tenant count. Bank-aware partitioning wastes no frames but caps tenant
+// count at the bank count and forfeits interleaving. Subarray-aware
+// allocation wastes nothing and keeps interleaving; its limit is the
+// number of subarray groups.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "os/allocator.h"
+
+namespace ht {
+namespace {
+
+void GuardRowTable() {
+  Table table("E10a. Guard-row (ZebRAM-like) capacity waste vs. blast radius and tenant count");
+  table.SetHeader({"tenants", "b=1", "b=2", "b=4", "b=8"});
+  const DramOrg org = DramConfig::SimDefault().org;
+  AddressMapper mapper(org, InterleaveScheme::kCacheLine);
+  for (uint32_t tenants : {2u, 4u, 8u, 16u, 64u}) {
+    std::vector<std::string> row = {Table::Num(uint64_t{tenants})};
+    for (uint32_t blast : {1u, 2u, 4u, 8u}) {
+      GuardRowAllocator alloc(mapper, tenants, blast);
+      if (!alloc.isolation_feasible()) {
+        row.push_back("infeasible");
+        continue;
+      }
+      const double waste = static_cast<double>(alloc.wasted_frames()) /
+                           static_cast<double>(alloc.total_frames());
+      row.push_back(Table::Percent(waste));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+}
+
+void PolicyComparison() {
+  Table table("E10b. Isolation policy comparison (8 tenants, blast b=2)");
+  table.SetHeader({"policy", "needs BIOS change", "interleaving kept", "capacity waste",
+                   "isolated tenant limit", "feasible here"});
+  const DramOrg org = DramConfig::SimDefault().org;
+
+  {
+    AddressMapper mapper(org, InterleaveScheme::kCacheLine);
+    GuardRowAllocator guard(mapper, 8, 2);
+    table.AddRow({"guard-rows (ZebRAM-like)", "no", "yes",
+                  Table::Percent(static_cast<double>(guard.wasted_frames()) /
+                                 static_cast<double>(guard.total_frames())),
+                  "rows/(slot+b) per bank", Table::YesNo(guard.isolation_feasible())});
+  }
+  {
+    AddressMapper mapper(org, InterleaveScheme::kBankSequential);
+    BankAwareAllocator bank(mapper);
+    table.AddRow({"bank-aware (PALLOC-like)", "yes (interleave off)", "no", "0.0%",
+                  std::to_string(org.total_banks()) + " (banks)",
+                  Table::YesNo(bank.isolation_feasible())});
+  }
+  {
+    AddressMapper mapper(org, InterleaveScheme::kCacheLine);
+    BankAwareAllocator bank(mapper);
+    table.AddRow({"bank-aware under interleaving", "-", "yes", "-", "-",
+                  Table::YesNo(bank.isolation_feasible())});
+  }
+  {
+    AddressMapper mapper(org, InterleaveScheme::kSubarrayIsolated);
+    SubarrayAwareAllocator subarray(mapper);
+    table.AddRow({"subarray-aware (proposed)", "yes (subarray-isolated interleave)", "yes",
+                  "0.0%", std::to_string(org.subarrays_per_bank) + " groups",
+                  Table::YesNo(subarray.isolation_feasible())});
+  }
+  table.Print();
+  std::puts("\nReading: guard rows trade capacity for isolation and the trade worsens\n"
+            "with density (larger b); the paper's subarray-isolated interleaving\n"
+            "achieves isolation with zero capacity waste and full parallelism.");
+}
+
+}  // namespace
+}  // namespace ht
+
+int main() {
+  ht::GuardRowTable();
+  ht::PolicyComparison();
+  return 0;
+}

@@ -1,0 +1,123 @@
+// E13 — google-benchmark microbenchmarks of the simulator's hot paths.
+// These guard against regressions that would make the experiment suite
+// impractically slow; they do not correspond to a paper figure.
+#include <benchmark/benchmark.h>
+
+#include "cpu/cache.h"
+#include "dram/device.h"
+#include "mc/addrmap.h"
+#include "mc/controller.h"
+#include "mc/mitigations.h"
+
+namespace ht {
+namespace {
+
+void BM_AddressMap(benchmark::State& state) {
+  const auto scheme = static_cast<InterleaveScheme>(state.range(0));
+  AddressMapper mapper(DramConfig::SimDefault().org, scheme);
+  uint64_t line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.MapLine(line));
+    line = (line + 97) % mapper.total_lines();
+  }
+}
+BENCHMARK(BM_AddressMap)->DenseRange(0, 3)->Name("AddressMapper/MapLine");
+
+void BM_DisturbanceOnActivate(benchmark::State& state) {
+  const DramConfig config = DramConfig::SimDefault();
+  DisturbanceParams params = config.disturbance;
+  params.blast_radius = static_cast<uint32_t>(state.range(0));
+  BankDisturbance bank(config.org, params);
+  std::vector<DisturbanceVictim> victims;
+  uint32_t row = 1;
+  for (auto _ : state) {
+    bank.OnActivate(row, victims);
+    victims.clear();
+    row = (row + 3) % config.org.rows_per_bank();
+  }
+}
+BENCHMARK(BM_DisturbanceOnActivate)->Arg(1)->Arg(2)->Arg(4)->Name("Disturbance/OnActivate");
+
+void BM_TimingCheckAndRecord(benchmark::State& state) {
+  const DramConfig config = DramConfig::SimDefault();
+  TimingChecker checker(config.org, config.timing, true);
+  Cycle now = 0;
+  uint32_t bank = 0;
+  uint32_t row = 0;
+  for (auto _ : state) {
+    const DdrCommand act = DdrCommand::Act(0, bank, row);
+    now = std::max(now + 1, checker.EarliestCycle(act));
+    checker.Record(act, now);
+    const DdrCommand pre = DdrCommand::Pre(0, bank);
+    now = std::max(now + 1, checker.EarliestCycle(pre));
+    checker.Record(pre, now);
+    bank = (bank + 1) % config.org.banks;
+    row = (row + 7) % config.org.rows_per_bank();
+  }
+}
+BENCHMARK(BM_TimingCheckAndRecord)->Name("Timing/ActPrePair");
+
+void BM_CacheLookup(benchmark::State& state) {
+  Cache cache(CacheConfig{});
+  for (PhysAddr addr = 0; addr < 4096 * kLineBytes; addr += kLineBytes) {
+    cache.Fill(addr, addr, false);
+  }
+  PhysAddr addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Lookup(addr));
+    addr = (addr + 193 * kLineBytes) % (8192 * kLineBytes);
+  }
+}
+BENCHMARK(BM_CacheLookup)->Name("Cache/Lookup");
+
+void BM_GrapheneOnActivate(benchmark::State& state) {
+  const DramConfig config = DramConfig::SimDefault();
+  GrapheneConfig graphene_config;
+  graphene_config.table_entries = static_cast<uint32_t>(state.range(0));
+  GrapheneMitigation graphene(config.org, config.disturbance, graphene_config);
+  std::vector<NeighborRefreshRequest> out;
+  uint32_t row = 0;
+  Cycle now = 0;
+  for (auto _ : state) {
+    graphene.OnActivate(0, 0, row, ++now, out);
+    out.clear();
+    row = (row + 11) % 997;
+  }
+}
+BENCHMARK(BM_GrapheneOnActivate)->Arg(64)->Arg(256)->Name("Graphene/OnActivate");
+
+void BM_BlockHammerGate(benchmark::State& state) {
+  const DramConfig config = DramConfig::SimDefault();
+  BlockHammerMitigation blockhammer(config.org, config.retention, config.disturbance,
+                                    BlockHammerConfig{});
+  uint32_t row = 0;
+  Cycle now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blockhammer.ActAllowedAt(0, 0, row, ++now));
+    row = (row + 5) % 1024;
+  }
+}
+BENCHMARK(BM_BlockHammerGate)->Name("BlockHammer/ActAllowedAt");
+
+void BM_ControllerTick(benchmark::State& state) {
+  MemoryController mc(DramConfig::SimDefault(), McConfig{});
+  Rng rng(1);
+  Cycle now = 0;
+  uint64_t id = 0;
+  for (auto _ : state) {
+    if (mc.QueuedRequests() < 16) {
+      MemRequest request;
+      request.id = ++id;
+      request.op = MemOp::kRead;
+      request.addr = rng.NextBelow(1u << 20) * kLineBytes;
+      mc.Enqueue(request, now);
+    }
+    mc.Tick(now++);
+  }
+}
+BENCHMARK(BM_ControllerTick)->Name("Controller/TickUnderLoad");
+
+}  // namespace
+}  // namespace ht
+
+BENCHMARK_MAIN();

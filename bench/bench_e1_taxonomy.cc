@@ -1,0 +1,114 @@
+// E1 — Table 1 as a measured coverage matrix.
+//
+// The paper's Table 1 lists one MC primitive and software defense per
+// mitigation class. This bench runs every defense configuration (all
+// three classes, the hardware baselines, and no defense) against every
+// attack class and reports whether cross-domain corruption was prevented
+// — the empirical version of the taxonomy.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace ht {
+namespace {
+
+struct DefenseRow {
+  std::string label;
+  std::string mitigation_class;
+  DefenseKind defense = DefenseKind::kNone;
+  HwMitigationKind hw = HwMitigationKind::kNone;
+  bool subarray_isolated = false;
+  bool guard_rows = false;
+  bool trr = false;
+};
+
+void Main() {
+  const std::vector<DefenseRow> defenses = {
+      {"none", "-", DefenseKind::kNone, HwMitigationKind::kNone, false, false, false},
+      {"trr-only (in-DRAM, n=4)", "refresh", DefenseKind::kNone, HwMitigationKind::kNone, false,
+       false, true},
+      {"subarray-isolation", "isolation", DefenseKind::kNone, HwMitigationKind::kNone, true,
+       false, false},
+      {"guard-rows (ZebRAM-like)", "isolation", DefenseKind::kNone, HwMitigationKind::kNone,
+       false, true, false},
+      {"act-remap (wear-level)", "frequency", DefenseKind::kActRemap, HwMitigationKind::kNone,
+       false, false, false},
+      {"cache-lock", "frequency", DefenseKind::kCacheLock, HwMitigationKind::kNone, false, false,
+       false},
+      {"blockhammer (HW)", "frequency", DefenseKind::kNone, HwMitigationKind::kBlockHammer,
+       false, false, false},
+      {"sw-refresh (refresh instr)", "refresh", DefenseKind::kSwRefresh, HwMitigationKind::kNone,
+       false, false, false},
+      {"sw-refresh + REF_NEIGHBORS", "refresh", DefenseKind::kSwRefreshRefn,
+       HwMitigationKind::kNone, false, false, false},
+      {"para (HW)", "refresh", DefenseKind::kNone, HwMitigationKind::kPara, false, false, false},
+      {"graphene (HW)", "refresh", DefenseKind::kNone, HwMitigationKind::kGraphene, false, false,
+       false},
+      {"anvil (SW-only PMU)", "refresh", DefenseKind::kAnvil, HwMitigationKind::kNone, false,
+       false, false},
+  };
+  const std::vector<AttackKind> attacks = {AttackKind::kDoubleSided, AttackKind::kManySided,
+                                           AttackKind::kDma, AttackKind::kAdaptive,
+                                           AttackKind::kHalfDouble};
+
+  Table table(
+      "E1. Taxonomy coverage matrix (Table 1, measured): cross-domain flip events per attack");
+  table.SetHeader({"defense", "class", "double-sided", "many-sided(16)", "dma", "adaptive",
+                   "half-double", "protected"});
+
+  for (const DefenseRow& row : defenses) {
+    std::vector<std::string> cells = {row.label, row.mitigation_class};
+    bool all_safe = true;
+    for (AttackKind attack : attacks) {
+      ScenarioSpec spec;
+      spec.defense = row.defense;
+      spec.hw = row.hw;
+      spec.attack = attack;
+      spec.sides = 16;
+      spec.run_cycles = attack == AttackKind::kManySided || attack == AttackKind::kHalfDouble
+                            ? 3000000
+                            : 1200000;
+      if (row.subarray_isolated) {
+        spec.system.mc.scheme = InterleaveScheme::kSubarrayIsolated;
+        spec.system.alloc = AllocPolicy::kSubarrayAware;
+        spec.system.mc.enforce_domain_groups = true;
+      }
+      if (row.guard_rows) {
+        spec.system.alloc = AllocPolicy::kGuardRows;
+        spec.system.guard_domains = 2;
+        spec.system.guard_blast = spec.system.dram.disturbance.blast_radius;
+      }
+      if (row.trr) {
+        spec.system.dram.trr.enabled = true;
+        spec.system.dram.trr.table_entries = 4;
+      }
+      const ScenarioResult result = RunScenario(spec);
+      const uint64_t flips = result.security.cross_domain_flips;
+      all_safe = all_safe && flips == 0;
+      std::string cell = Table::Num(flips);
+      if (!result.attack_planned) {
+        cell += " (no adjacency)";
+      }
+      cells.push_back(cell);
+    }
+    cells.push_back(Table::YesNo(all_safe));
+    table.AddRow(cells);
+  }
+  table.Print();
+  std::puts(
+      "\nReading: isolation denies the attacker cross-domain adjacency entirely;\n"
+      "frequency defenses bound ACT rates; refresh defenses repair victims in time.\n"
+      "TRR falls to many-sided (TRRespass) and ANVIL to DMA, as the paper argues.\n"
+      "Note the CPU-side frequency defenses (remap, lock) leak under DMA: moving\n"
+      "or pinning a page does not stop a device hammering fixed physical\n"
+      "addresses — production deployments additionally need IOMMU re-mapping.");
+}
+
+}  // namespace
+}  // namespace ht
+
+int main() {
+  ht::Main();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E5 — Precise ACT interrupts (§4.2): threshold tuning and the
+// randomized-reset anti-evasion knob.
+//
+// Part A sweeps the overflow threshold: lower thresholds detect
+// aggressors sooner but fire more interrupts under benign load.
+// Part B pits the counter-synchronized adaptive attacker against
+// deterministic vs. randomized resets.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace ht {
+namespace {
+
+void ThresholdSweep() {
+  Table table("E5a. Interrupt threshold sweep (sw-refresh defense, double-sided attack + benign "
+              "4-core load)");
+  table.SetHeader({"threshold", "interrupts (attack)", "victim flips", "interrupts (benign only)",
+                   "benign ops/kcycle"});
+
+  for (uint64_t threshold : {128ull, 256ull, 512ull, 1024ull, 2048ull}) {
+    // Attack run.
+    ScenarioSpec attack_spec;
+    attack_spec.defense = DefenseKind::kSwRefresh;
+    attack_spec.attack = AttackKind::kDoubleSided;
+    attack_spec.act_threshold = threshold;
+    attack_spec.run_cycles = 1200000;
+    attack_spec.benign_corunner = true;
+    attack_spec.system.cores = 2;
+    const ScenarioResult attack = RunScenario(attack_spec);
+
+    // Benign-only run: interrupt load with no attacker.
+    SystemConfig benign_config;
+    benign_config.cores = 4;
+    ApplyDefensePreset(benign_config, DefenseKind::kSwRefresh, threshold);
+    System benign(benign_config);
+    auto tenants = SetupTenants(benign, 4, 256);
+    benign.InstallDefense(MakeDefense(DefenseKind::kSwRefresh, benign_config.dram));
+    for (uint32_t i = 0; i < 4; ++i) {
+      benign.AssignCore(i, tenants[i],
+                        MakeWorkload("random", tenants[i], AddressSpace::BaseFor(tenants[i]),
+                                     256 * kPageBytes, ~0ull >> 1, 7 + i));
+    }
+    benign.RunFor(600000);
+    const uint64_t benign_interrupts = benign.defense()->stats().Get("defense.interrupts");
+    const PerfSummary benign_perf = Summarize(benign, 600000);
+
+    table.AddRow({Table::Num(threshold), Table::Num(attack.defense_interrupts),
+                  Table::Num(attack.security.flip_events), Table::Num(benign_interrupts),
+                  Table::Fixed(benign_perf.ops_per_kcycle, 1)});
+  }
+  table.Print();
+}
+
+void ResetModes() {
+  Table table("E5b. Adaptive (counter-synchronized) attacker vs. counter reset policy "
+              "(sw-refresh+REF_NEIGHBORS, threshold 512, 2M cycles)");
+  table.SetHeader({"reset policy", "cross-domain flips", "interrupts", "evasion works?"});
+  for (const bool randomize : {false, true}) {
+    ScenarioSpec spec;
+    spec.defense = DefenseKind::kSwRefreshRefn;
+    spec.attack = AttackKind::kAdaptive;
+    spec.act_threshold = 512;
+    spec.run_cycles = 2000000;
+    spec.randomize_reset = randomize;
+    const ScenarioResult result = RunScenario(spec);
+    table.AddRow({randomize ? "randomized (proposed)" : "deterministic (reset to 0)",
+                  Table::Num(result.security.cross_domain_flips),
+                  Table::Num(result.defense_interrupts),
+                  result.security.cross_domain_flips > 0 ? "yes" : "no"});
+  }
+  table.Print();
+  std::puts("\nReading: with deterministic resets the attacker phase-locks and steers\n"
+            "every overflow onto decoy rows; randomized resets (the paper's proposal)\n"
+            "make the overflow point unpredictable and the evasion collapses.");
+}
+
+}  // namespace
+}  // namespace ht
+
+int main() {
+  ht::ThresholdSweep();
+  ht::ResetModes();
+  return 0;
+}

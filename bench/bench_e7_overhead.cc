@@ -1,0 +1,177 @@
+// E7 — Benign performance overhead of every defense ("efficient software
+// defenses", §4). Four workload types, no attacker; slowdown is measured
+// against the undefended baseline of the same workload.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "dram/energy.h"
+
+namespace ht {
+namespace {
+
+struct DefenseCase {
+  std::string label;
+  DefenseKind defense = DefenseKind::kNone;
+  HwMitigationKind hw = HwMitigationKind::kNone;
+  bool trr = false;
+  bool subarray = false;
+};
+
+struct BenignOutcome {
+  PerfSummary perf;
+  double dram_energy_uj = 0.0;
+};
+
+BenignOutcome RunBenign(const DefenseCase& c, const std::string& workload) {
+  SystemConfig config;
+  config.cores = 4;
+  ApplyDefensePreset(config, c.defense, 512);
+  if (c.trr) {
+    config.dram.trr.enabled = true;
+  }
+  if (c.subarray) {
+    config.mc.scheme = InterleaveScheme::kSubarrayIsolated;
+    config.alloc = AllocPolicy::kSubarrayAware;
+  }
+  System system(config);
+  auto tenants = SetupTenants(system, 4, 256);
+  system.InstallDefense(MakeDefense(c.defense, config.dram));
+  InstallHwMitigation(system, c.hw);
+  for (uint32_t i = 0; i < 4; ++i) {
+    system.AssignCore(i, tenants[i],
+                      MakeWorkload(workload, tenants[i], AddressSpace::BaseFor(tenants[i]),
+                                   256 * kPageBytes, ~0ull >> 1, 131 + i));
+  }
+  const Cycle kRun = 500000;
+  system.RunFor(kRun);
+  BenignOutcome outcome;
+  outcome.perf = Summarize(system, kRun);
+  for (uint32_t channel = 0; channel < system.mc().channels(); ++channel) {
+    outcome.dram_energy_uj += ComputeEnergy(system.mc().device(channel).stats(),
+                                            config.dram.disturbance.blast_radius)
+                                  .total_nj() /
+                              1000.0;
+  }
+  return outcome;
+}
+
+// Fairness under attack: how much throughput a benign co-runner keeps
+// while the attacker hammers, per defense.
+double VictimThroughputUnderAttack(const DefenseCase& c) {
+  SystemConfig config;
+  config.cores = 2;
+  ApplyDefensePreset(config, c.defense, 512);
+  if (c.trr) {
+    config.dram.trr.enabled = true;
+  }
+  if (c.subarray) {
+    config.mc.scheme = InterleaveScheme::kSubarrayIsolated;
+    config.alloc = AllocPolicy::kSubarrayAware;
+  }
+  System system(config);
+  auto tenants = SetupTenants(system, 2, 512);
+  system.InstallDefense(MakeDefense(c.defense, config.dram));
+  InstallHwMitigation(system, c.hw);
+  auto plan = PlanDoubleSidedCross(system.kernel(), tenants[0], tenants[1]);
+  if (!plan.has_value()) {
+    plan = PlanManySided(system.kernel(), tenants[0], 2);
+  }
+  if (plan.has_value()) {
+    HammerConfig hammer;
+    hammer.aggressors = plan->aggressor_vas;
+    system.AssignCore(0, tenants[0], std::make_unique<HammerStream>(hammer));
+  }
+  system.AssignCore(1, tenants[1],
+                    MakeWorkload("random", tenants[1], AddressSpace::BaseFor(tenants[1]),
+                                 512 * kPageBytes, ~0ull >> 1, 5));
+  system.RunFor(500000);
+  return static_cast<double>(system.core(1).ops_completed()) / 500.0;
+}
+
+void Main() {
+  const std::vector<DefenseCase> cases = {
+      {"none"},
+      {"trr n=4 (in-DRAM)", DefenseKind::kNone, HwMitigationKind::kNone, true, false},
+      {"para (HW)", DefenseKind::kNone, HwMitigationKind::kPara},
+      {"graphene (HW)", DefenseKind::kNone, HwMitigationKind::kGraphene},
+      {"blockhammer (HW)", DefenseKind::kNone, HwMitigationKind::kBlockHammer},
+      {"sw-refresh", DefenseKind::kSwRefresh},
+      {"act-remap", DefenseKind::kActRemap},
+      {"cache-lock", DefenseKind::kCacheLock},
+      {"anvil (SW-only)", DefenseKind::kAnvil},
+      {"subarray-isolation", DefenseKind::kNone, HwMitigationKind::kNone, false, true},
+  };
+  const std::vector<std::string> workloads = {"stream", "random", "hotspot", "chase"};
+
+  Table table("E7. Benign overhead: ops/kcycle per defense (4 tenants, no attacker; slowdown vs "
+              "'none' in parentheses)");
+  std::vector<std::string> header = {"defense"};
+  for (const auto& w : workloads) {
+    header.push_back(w);
+  }
+  header.push_back("extra ACTs (random)");
+  header.push_back("DRAM energy uJ (random)");
+  table.SetHeader(header);
+
+  Table fairness("E7b. Performance isolation under attack: benign co-runner kops while the "
+                 "other tenant hammers (500k cycles)");
+  fairness.SetHeader({"defense", "victim kops under attack", "vs undefended"});
+
+  std::map<std::string, double> baseline;
+  double fairness_baseline = 0.0;
+  for (const DefenseCase& c : cases) {
+    std::vector<std::string> row = {c.label};
+    uint64_t extra_acts_random = 0;
+    double energy_random = 0.0;
+    for (const auto& workload : workloads) {
+      const BenignOutcome outcome = RunBenign(c, workload);
+      const PerfSummary& perf = outcome.perf;
+      if (c.label == "none") {
+        baseline[workload] = perf.ops_per_kcycle;
+        row.push_back(Table::Fixed(perf.ops_per_kcycle, 1));
+      } else {
+        const double slowdown = 1.0 - perf.ops_per_kcycle / baseline[workload];
+        row.push_back(Table::Fixed(perf.ops_per_kcycle, 1) + " (" +
+                      (slowdown >= 0 ? "-" : "+") + Table::Percent(std::abs(slowdown)) + ")");
+      }
+      if (workload == "random") {
+        extra_acts_random = perf.extra_acts;
+        energy_random = outcome.dram_energy_uj;
+      }
+    }
+    row.push_back(Table::Num(extra_acts_random));
+    row.push_back(Table::Fixed(energy_random, 1));
+    table.AddRow(row);
+
+    const double victim_kops = VictimThroughputUnderAttack(c);
+    if (c.label == "none") {
+      fairness_baseline = victim_kops;
+    }
+    const double delta = fairness_baseline > 0 ? victim_kops / fairness_baseline - 1.0 : 0.0;
+    fairness.AddRow({c.label, Table::Fixed(victim_kops, 1),
+                     c.label == "none"
+                         ? "baseline"
+                         : (delta >= 0 ? "+" : "-") + Table::Percent(std::abs(delta))});
+  }
+  table.Print();
+  fairness.Print();
+  std::puts("\nReading: with no aggressor present the interrupt-driven defenses stay\n"
+            "nearly idle (their cost is reactive), PARA pays a fixed probabilistic\n"
+            "tax, BlockHammer only charges blacklisted rows, and subarray isolation\n"
+            "keeps the full interleaving throughput (the §4.1 argument).\n"
+            "E7b caveat: BlockHammer's throttled requests sit in the shared queue\n"
+            "and backpressure the victim (head-of-line blocking, -20%); the real\n"
+            "design pairs the blacklist with per-source QoS the paper's software\n"
+            "alternatives do not need. cache-lock *improves* the co-runner (+5%):\n"
+            "pinned hammer lines stop reaching DRAM at all.");
+}
+
+}  // namespace
+}  // namespace ht
+
+int main() {
+  ht::Main();
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Shared scenario plumbing for the experiment benches (bench_e1..e12).
+// Each bench configures a system + attack + defense combination through
+// RunScenario and renders its paper-style table via ht::Table.
+#ifndef HAMMERTIME_BENCH_BENCH_UTIL_H_
+#define HAMMERTIME_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "attack/hammer.h"
+#include "attack/planner.h"
+#include "common/table.h"
+#include "sim/scenario.h"
+#include "sim/system.h"
+#include "sim/workloads.h"
+
+namespace ht {
+
+enum class AttackKind : uint8_t {
+  kNone,         // Benign only.
+  kDoubleSided,  // Classic sandwich around a victim row.
+  kManySided,    // TRRespass-style n aggressors (set `sides`).
+  kDma,          // Double-sided pattern driven by a DMA engine.
+  kAdaptive,     // Counter-synchronized evasion attacker (§4.2).
+  kHalfDouble,   // Distance-2 aggressors (blast-radius attack).
+};
+
+inline const char* ToString(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kNone:
+      return "benign";
+    case AttackKind::kDoubleSided:
+      return "double-sided";
+    case AttackKind::kManySided:
+      return "many-sided";
+    case AttackKind::kDma:
+      return "dma";
+    case AttackKind::kAdaptive:
+      return "adaptive";
+    case AttackKind::kHalfDouble:
+      return "half-double";
+  }
+  return "?";
+}
+
+struct ScenarioSpec {
+  SystemConfig system;
+  DefenseKind defense = DefenseKind::kNone;
+  HwMitigationKind hw = HwMitigationKind::kNone;
+  AttackKind attack = AttackKind::kDoubleSided;
+  uint32_t sides = 16;             // For kManySided.
+  uint64_t act_threshold = 256;    // Interrupt threshold for SW defenses.
+  std::optional<bool> randomize_reset;  // Override the preset's choice.
+  Cycle run_cycles = 800000;
+  uint32_t tenants = 2;
+  uint64_t pages_per_tenant = 512;
+  bool benign_corunner = false;    // Victim tenant runs a random workload.
+};
+
+struct ScenarioResult {
+  SecurityOutcome security;
+  PerfSummary perf;
+  uint64_t defense_interrupts = 0;
+  uint64_t page_moves = 0;
+  uint64_t throttle_stalls = 0;
+  uint64_t mitigation_refreshes = 0;
+  bool attack_planned = true;  // False if isolation denied the attacker a plan.
+};
+
+// Builds the standard two-tenant (attacker + victim) scenario, runs it,
+// and collects outcome metrics. Isolation-centric defenses are expressed
+// through `spec.system` (scheme + alloc policy) by the caller.
+inline ScenarioResult RunScenario(ScenarioSpec spec) {
+  ApplyDefensePreset(spec.system, spec.defense, spec.act_threshold);
+  if (spec.randomize_reset.has_value()) {
+    spec.system.mc.act_counter.randomize_reset = *spec.randomize_reset;
+  }
+  System system(spec.system);
+  // Half-double needs tenants owning pairs of adjacent rows so a victim
+  // sits at distance two from attacker rows.
+  const uint64_t chunk = spec.attack == AttackKind::kHalfDouble
+                             ? 2 * PagesPerRowGroup(system.mc().mapper())
+                             : 0;
+  auto tenants = SetupTenants(system, spec.tenants, spec.pages_per_tenant, chunk);
+  const DomainId attacker = tenants[0];
+  const DomainId victim = tenants.size() > 1 ? tenants[1] : tenants[0];
+  system.InstallDefense(MakeDefense(spec.defense, spec.system.dram));
+  InstallHwMitigation(system, spec.hw);
+
+  ScenarioResult result;
+
+  // Attack plan: prefer the cross-domain sandwich; fall back to hammering
+  // the attacker's own rows when isolation denies adjacency.
+  std::optional<HammerPlan> plan;
+  if (spec.attack != AttackKind::kNone) {
+    if (spec.attack == AttackKind::kManySided) {
+      plan = PlanManySided(system.kernel(), attacker, spec.sides);
+    } else if (spec.attack == AttackKind::kHalfDouble) {
+      plan = PlanHalfDoubleCross(system.kernel(), attacker, victim);
+      if (!plan.has_value()) {
+        result.attack_planned = false;
+        plan = PlanManySided(system.kernel(), attacker, 2, 4);
+      }
+    } else {
+      plan = PlanDoubleSidedCross(system.kernel(), attacker, victim);
+      if (!plan.has_value()) {
+        result.attack_planned = false;
+        plan = PlanManySided(system.kernel(), attacker, 2);
+      }
+    }
+  }
+
+  if (plan.has_value()) {
+    switch (spec.attack) {
+      case AttackKind::kNone:
+        break;
+      case AttackKind::kDoubleSided:
+      case AttackKind::kManySided:
+      case AttackKind::kHalfDouble: {
+        HammerConfig hammer;
+        hammer.aggressors = plan->aggressor_vas;
+        system.AssignCore(0, attacker, std::make_unique<HammerStream>(hammer));
+        break;
+      }
+      case AttackKind::kDma: {
+        DmaConfig dma;
+        dma.pattern = plan->aggressor_addrs;
+        dma.period = 8;
+        system.AddDma(attacker, dma);
+        break;
+      }
+      case AttackKind::kAdaptive: {
+        auto decoys = PlanManySided(system.kernel(), attacker, 2, 2,
+                                    BankTriple{plan->channel, plan->rank, plan->bank});
+        AdaptiveHammerConfig adaptive;
+        adaptive.aggressors = plan->aggressor_vas;
+        adaptive.decoys = decoys.has_value() ? decoys->aggressor_vas : plan->aggressor_vas;
+        adaptive.counter_threshold = spec.act_threshold;
+        adaptive.safety_margin = spec.act_threshold / 10;
+        system.AssignCore(0, attacker, std::make_unique<AdaptiveHammerStream>(adaptive));
+        break;
+      }
+    }
+  }
+
+  if (spec.benign_corunner && system.core_count() > 1) {
+    system.AssignCore(1, victim,
+                      MakeWorkload("random", victim, AddressSpace::BaseFor(victim),
+                                   spec.pages_per_tenant * kPageBytes,
+                                   ~0ull >> 1, 99));
+  }
+
+  system.RunFor(spec.run_cycles);
+
+  result.security = Assess(system);
+  result.perf = Summarize(system, spec.run_cycles);
+  if (system.defense() != nullptr) {
+    result.defense_interrupts = system.defense()->stats().Get("defense.interrupts") +
+                                system.defense()->stats().Get("defense.detections");
+  }
+  result.page_moves = system.kernel().page_moves();
+  result.throttle_stalls = system.mc().stats().Get("mc.throttle_stalls");
+  result.mitigation_refreshes = system.mc().stats().Get("mc.mitigation_refreshes");
+  return result;
+}
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_BENCH_BENCH_UTIL_H_

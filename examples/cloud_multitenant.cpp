@@ -1,0 +1,112 @@
+// Cloud provider scenario: four tenant VMs on one host, one of them
+// malicious. The paper's motivating setting (§1: "one tenant may corrupt
+// the data of another").
+//
+// Runs the same co-located workload three ways:
+//   1. today's host: full interleaving, no defense  -> cross-VM flips;
+//   2. the paper's isolation primitive: subarray-isolated interleaving +
+//      subarray-aware allocation                    -> no adjacency at all;
+//   3. the paper's refresh primitive: precise ACT interrupts + the
+//      refresh instruction                          -> victims repaired.
+//
+// ./build/examples/cloud_multitenant
+#include <cstdio>
+
+#include "attack/hammer.h"
+#include "attack/planner.h"
+#include "common/table.h"
+#include "sim/scenario.h"
+#include "sim/system.h"
+#include "sim/workloads.h"
+
+using namespace ht;
+
+namespace {
+
+struct HostResult {
+  uint64_t cross_flips = 0;
+  uint64_t corrupted_lines = 0;
+  double benign_throughput = 0.0;
+  bool adjacency = false;
+};
+
+HostResult RunHost(const std::string& mode) {
+  SystemConfig config;
+  config.cores = 4;
+  if (mode == "subarray-isolated") {
+    config.mc.scheme = InterleaveScheme::kSubarrayIsolated;
+    config.alloc = AllocPolicy::kSubarrayAware;
+    config.mc.enforce_domain_groups = true;
+  } else if (mode == "sw-refresh") {
+    ApplyDefensePreset(config, DefenseKind::kSwRefresh, 256);
+  }
+  System system(config);
+  auto tenants = SetupTenants(system, 4, 512);
+  if (mode == "sw-refresh") {
+    system.InstallDefense(MakeDefense(DefenseKind::kSwRefresh, config.dram));
+  }
+
+  // Tenant 0 is the attacker; tenants 1-2 run normal workloads; tenant 3
+  // is a parked VM (its memory is cold — an actively-used row repairs
+  // itself on every access, so idle data is Rowhammer's softest target).
+  const DomainId attacker = tenants[0];
+  for (uint32_t i = 1; i < 3; ++i) {
+    system.AssignCore(i, tenants[i],
+                      MakeWorkload(i == 2 ? "stream" : "random", tenants[i],
+                                   AddressSpace::BaseFor(tenants[i]), 512 * kPageBytes,
+                                   ~0ull >> 1, 400 + i));
+  }
+  HostResult result;
+  result.adjacency = HasCrossDomainAdjacency(system.kernel(), attacker,
+                                             config.dram.disturbance.blast_radius);
+  // The attacker sandwiches whichever tenant it can reach, else hammers
+  // as many of its own rows as possible (their neighbours belong to the
+  // co-located tenants).
+  std::optional<HammerPlan> plan;
+  for (uint32_t v = 1; v < 4 && !plan.has_value(); ++v) {
+    plan = PlanDoubleSidedCross(system.kernel(), attacker, tenants[v]);
+  }
+  if (!plan.has_value()) {
+    plan = PlanManySided(system.kernel(), attacker, 2);
+  }
+  if (plan.has_value()) {
+    HammerConfig hammer;
+    hammer.aggressors = plan->aggressor_vas;
+    system.AssignCore(0, attacker, std::make_unique<HammerStream>(hammer));
+  }
+
+  system.RunFor(3000000);
+  const SecurityOutcome outcome = Assess(system);
+  result.cross_flips = outcome.cross_domain_flips;
+  // Count only the victim tenants' corruption — the attacker corrupting
+  // its own pages (all isolation can leave it) is not a security event.
+  for (uint32_t v = 1; v < 4; ++v) {
+    result.corrupted_lines +=
+        system.kernel().VerifyRegion(tenants[v], AddressSpace::BaseFor(tenants[v]), 512)
+            .corrupted_lines;
+  }
+  uint64_t benign_ops = 0;
+  for (uint32_t i = 1; i < 4; ++i) {
+    benign_ops += system.core(i).ops_completed();
+  }
+  result.benign_throughput = static_cast<double>(benign_ops) / 1000.0;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  Table table("Cloud host: malicious tenant vs. three host configurations (3M cycles)");
+  table.SetHeader({"host configuration", "attacker has cross-VM adjacency", "cross-VM flips",
+                   "victim-VM corrupted lines", "benign tenant kops"});
+  for (const std::string mode : {"undefended", "subarray-isolated", "sw-refresh"}) {
+    const HostResult result = RunHost(mode);
+    table.AddRow({mode, Table::YesNo(result.adjacency), Table::Num(result.cross_flips),
+                  Table::Num(result.corrupted_lines), Table::Fixed(result.benign_throughput, 1)});
+  }
+  table.Print();
+  std::puts("\nThe undefended host leaks cross-VM flips; subarray isolation removes\n"
+            "the attacker's physical adjacency to other VMs; the interrupt+refresh\n"
+            "pipeline repairs victims on the fly at similar tenant throughput.");
+  return 0;
+}

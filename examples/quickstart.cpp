@@ -1,0 +1,98 @@
+// Quickstart: the Fig. 1 walk-through, directly against the DRAM device.
+//
+// Shows the §2.1 crash course as executable steps: activate a row into
+// the bank's row buffer, read/write columns, precharge, refresh — then
+// hammer an aggressor past the MAC and watch a neighbouring victim row's
+// stored bits flip.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "dram/device.h"
+
+using namespace ht;
+
+namespace {
+
+Cycle Issue(DramDevice& device, const DdrCommand& cmd, Cycle at) {
+  const Cycle t = std::max(at, device.EarliestCycle(cmd));
+  const TimingVerdict verdict = device.Issue(cmd, t);
+  std::printf("  t=%6llu  %-28s %s\n", static_cast<unsigned long long>(t),
+              cmd.ToDebugString().c_str(), ToString(verdict));
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  DramConfig config = DramConfig::Tiny();  // 2 banks x 2 subarrays x 16 rows.
+  DramDevice device(config, /*channel_index=*/0);
+  Cycle t = 0;
+
+  std::puts("== Fig. 1: activate, read/write, precharge ==");
+  t = Issue(device, DdrCommand::Act(0, 0, 5), t);      // Open row 5 of bank 0.
+  device.WriteLine(0, 0, 5, 2, 0xC0FFEE);              // Data plane: store a word.
+  t = Issue(device, DdrCommand::Wr(0, 0, 2), t);       // WR hits the open row.
+  t = Issue(device, DdrCommand::Rd(0, 0, 2), t);       // RD of the same column.
+  std::printf("  row 5, column 2 holds 0x%llx\n",
+              static_cast<unsigned long long>(device.ReadLine(0, 0, 5, 2)));
+  t = Issue(device, DdrCommand::Pre(0, 0), t);         // Close the bank.
+
+  std::puts("\n== An illegal command is rejected, not silently executed ==");
+  Issue(device, DdrCommand::Rd(0, 0, 0), t);           // Bank closed: refused.
+
+  std::puts("\n== Rowhammer: activate row 5 beyond the MAC ==");
+  // Put recognizable data in the victim rows 4 and 6.
+  for (uint32_t c = 0; c < config.org.columns; ++c) {
+    device.WriteLine(0, 0, 4, c, 0x4444444444444444ull);
+    device.WriteLine(0, 0, 6, c, 0x6666666666666666ull);
+  }
+  std::printf("  hammering row 5 %u times (MAC = %u)...\n", config.disturbance.mac + 2,
+              config.disturbance.mac);
+  for (uint32_t i = 0; i < config.disturbance.mac + 2; ++i) {
+    const DdrCommand act = DdrCommand::Act(0, 0, 5);
+    t = std::max(t + 1, device.EarliestCycle(act));
+    device.Issue(act, t);
+    const DdrCommand pre = DdrCommand::Pre(0, 0);
+    t = std::max(t + 1, device.EarliestCycle(pre));
+    device.Issue(pre, t);
+  }
+  std::printf("  flip events recorded: %llu\n",
+              static_cast<unsigned long long>(device.total_flip_events()));
+  for (const FlipRecord& flip : device.flip_records()) {
+    std::printf("    victim row %u (aggressor %u, subarray %u): %u stored bits corrupted\n",
+                flip.victim_row, flip.aggressor_row, flip.subarray, flip.bits_flipped);
+  }
+  for (uint32_t row : {4u, 6u}) {
+    uint64_t expect = row == 4 ? 0x4444444444444444ull : 0x6666666666666666ull;
+    uint32_t corrupted = 0;
+    for (uint32_t c = 0; c < config.org.columns; ++c) {
+      if (device.ReadLine(0, 0, row, c) != expect) {
+        ++corrupted;
+      }
+    }
+    std::printf("  victim row %u: %u/%u lines corrupted\n", row, corrupted, config.org.columns);
+  }
+
+  std::puts("\n== The fix: refresh victims before they cross the MAC ==");
+  DramDevice defended(config, 0);
+  Cycle td = 0;
+  for (uint32_t i = 0; i < config.disturbance.mac + 2; ++i) {
+    const DdrCommand act = DdrCommand::Act(0, 0, 5);
+    td = std::max(td + 1, defended.EarliestCycle(act));
+    defended.Issue(act, td);
+    const DdrCommand pre = DdrCommand::Pre(0, 0);
+    td = std::max(td + 1, defended.EarliestCycle(pre));
+    defended.Issue(pre, td);
+    if (i % (config.disturbance.mac / 2) == config.disturbance.mac / 2 - 1) {
+      // REF_NEIGHBORS(aggressor, blast): the §4.3 DRAM assist.
+      const DdrCommand refn = DdrCommand::RefNeighbors(0, 0, 5, config.disturbance.blast_radius);
+      td = std::max(td + 1, defended.EarliestCycle(refn));
+      defended.Issue(refn, td);
+    }
+  }
+  std::printf("  with periodic victim refresh: %llu flip events\n",
+              static_cast<unsigned long long>(defended.total_flip_events()));
+  return 0;
+}

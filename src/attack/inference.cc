@@ -1,0 +1,70 @@
+#include "attack/inference.h"
+
+#include <algorithm>
+#include <set>
+
+#include "dram/device.h"
+
+namespace ht {
+
+SubarrayInference InferSubarrayBoundaries(const DramConfig& config, uint32_t bank,
+                                          double overdrive) {
+  // A private device: the attacker's model of "a quiet machine". TRR off —
+  // the prober hammers one row at a time, which even real TRR would
+  // service; disabling it keeps the probe readout clean.
+  DramConfig probe_config = config;
+  probe_config.trr.enabled = false;
+  DramDevice device(probe_config, /*channel_index=*/0);
+
+  SubarrayInference result;
+  const uint32_t rows = config.org.rows_per_bank();
+  const uint64_t acts_per_row =
+      static_cast<uint64_t>(static_cast<double>(config.disturbance.mac) * overdrive) + 2;
+
+  Cycle now = 0;
+  size_t flip_cursor = 0;
+  // adjacency[r] = true when hammering some row disturbed across the
+  // (r-1, r) logical edge.
+  std::vector<bool> coupled(rows, false);
+
+  for (uint32_t aggressor = 0; aggressor < rows; ++aggressor) {
+    for (uint64_t i = 0; i < acts_per_row; ++i) {
+      const DdrCommand act = DdrCommand::Act(0, bank, aggressor);
+      now = std::max(now + 1, device.EarliestCycle(act));
+      device.Issue(act, now);
+      const DdrCommand pre = DdrCommand::Pre(0, bank);
+      now = std::max(now + 1, device.EarliestCycle(pre));
+      device.Issue(pre, now);
+      result.total_acts += 1;
+    }
+    // Read out new flips: which logical victims coupled to this aggressor?
+    const auto& flips = device.flip_records();
+    for (; flip_cursor < flips.size(); ++flip_cursor) {
+      const FlipRecord& flip = flips[flip_cursor];
+      ++result.flips_observed;
+      const uint32_t lo = std::min(flip.victim_row, flip.aggressor_row);
+      const uint32_t hi = std::max(flip.victim_row, flip.aggressor_row);
+      // Only direct logical adjacency marks an edge: a flip whose logical
+      // span is wider is evidence of remapping, not of coupling across
+      // every intermediate edge.
+      if (hi == lo + 1 && hi < rows) {
+        coupled[hi] = true;
+      }
+    }
+  }
+
+  // Boundaries: uncoupled logical edges. With remapping, a remapped row
+  // shows uncoupled edges at non-uniform positions — report separately.
+  for (uint32_t r = 1; r < rows; ++r) {
+    if (!coupled[r]) {
+      if (r % config.org.rows_per_subarray == 0) {
+        result.boundaries.push_back(r);
+      } else {
+        result.anomalies.push_back(r);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ht

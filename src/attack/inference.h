@@ -1,0 +1,37 @@
+// Attack-based topology inference (§2.1, §4.1): using the success or
+// failure of Rowhammer itself to discover DRAM-internal structure —
+// subarray boundaries and row remappings — without vendor cooperation.
+//
+// The prober drives a scratch DramDevice directly with legal ACT/PRE
+// streams (as an attacker with a quiet machine effectively does) and
+// reads back which victims flipped.
+#ifndef HAMMERTIME_SRC_ATTACK_INFERENCE_H_
+#define HAMMERTIME_SRC_ATTACK_INFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/config.h"
+
+namespace ht {
+
+struct SubarrayInference {
+  // Row indices r such that rows r-1 and r showed no disturbance coupling
+  // (candidate subarray boundaries).
+  std::vector<uint32_t> boundaries;
+  // Pairs of logically-adjacent rows with no coupling that are *not* at
+  // uniform boundary positions — evidence of vendor remapping.
+  std::vector<uint32_t> anomalies;
+  uint64_t total_acts = 0;
+  uint64_t flips_observed = 0;
+};
+
+// Hammers every row of `bank` on a scratch device built from `config` and
+// reports inferred subarray boundaries. `overdrive` scales how far past
+// the (unknown-to-the-attacker) MAC the prober hammers.
+SubarrayInference InferSubarrayBoundaries(const DramConfig& config, uint32_t bank,
+                                          double overdrive = 1.5);
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_ATTACK_INFERENCE_H_

@@ -1,0 +1,71 @@
+// Attack planning: how an attacker with address-mapping knowledge (§2.1,
+// [11]) turns its own allocated pages into aggressor row sets.
+//
+// The attacker only controls its own domain's memory; the planner scans
+// the attacker's page mappings, groups lines by (channel, rank, bank),
+// and selects aggressor rows — optionally sandwiching a specific victim
+// domain's row for double-sided hammering.
+#ifndef HAMMERTIME_SRC_ATTACK_PLANNER_H_
+#define HAMMERTIME_SRC_ATTACK_PLANNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "os/kernel.h"
+
+namespace ht {
+
+struct HammerPlan {
+  std::vector<VirtAddr> aggressor_vas;    // One line VA per aggressor row.
+  std::vector<PhysAddr> aggressor_addrs;  // Matching physical line addrs.
+  std::vector<uint32_t> aggressor_rows;   // Logical row indices.
+  uint32_t channel = 0;
+  uint32_t rank = 0;
+  uint32_t bank = 0;
+};
+
+// Picks `sides` aggressor rows owned by `attacker` in one bank, spaced
+// `spacing` rows apart where possible (spacing 2 leaves a victim row
+// between each pair). Returns nullopt if the attacker cannot muster
+// `sides` distinct rows in any bank. `avoid` excludes a (channel, rank,
+// bank) triple — used e.g. to pick decoy rows away from the real attack
+// bank (§4.2 evasion experiments).
+struct BankTriple {
+  uint32_t channel = 0;
+  uint32_t rank = 0;
+  uint32_t bank = 0;
+};
+std::optional<HammerPlan> PlanManySided(HostKernel& kernel, DomainId attacker, uint32_t sides,
+                                        uint32_t spacing = 2,
+                                        std::optional<BankTriple> avoid = std::nullopt);
+
+// Finds a victim row owned by `victim` whose logical neighbours (row-1,
+// row+1) are both owned by `attacker`, for classic double-sided
+// hammering. Returns nullopt when no such sandwich exists — which is
+// itself the success signal for isolation-centric defenses.
+std::optional<HammerPlan> PlanDoubleSidedCross(HostKernel& kernel, DomainId attacker,
+                                               DomainId victim);
+
+// Half-Double-style plan: aggressors at *distance two* from the victim
+// (rows r-2 and r+2 around a victim-owned row r). With blast radius >= 2
+// the victim still accumulates disturbance at half weight, and defenses
+// that only refresh distance-1 neighbours miss it entirely — the attack
+// class that motivates the paper's blast-radius argument for
+// REF_NEIGHBORS (§4.3).
+std::optional<HammerPlan> PlanHalfDoubleCross(HostKernel& kernel, DomainId attacker,
+                                              DomainId victim);
+
+// Rows within `blast` of any aggressor in the plan (the potential victims).
+std::vector<uint32_t> VictimRowsOf(const HammerPlan& plan, uint32_t blast, uint32_t rows_per_bank);
+
+// Whether any row owned by `attacker` lies within `blast` rows (same bank
+// and, when the mapping isolates them, same subarray is NOT considered —
+// this is pure logical adjacency) of a row holding another domain's data.
+// The ground-truth exposure metric for isolation policies.
+bool HasCrossDomainAdjacency(HostKernel& kernel, DomainId attacker, uint32_t blast);
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_ATTACK_PLANNER_H_

@@ -1,0 +1,42 @@
+// Minimal leveled logging. Off by default so simulations stay quiet and
+// fast; tests and examples can raise the level for tracing.
+#ifndef HAMMERTIME_SRC_COMMON_LOG_H_
+#define HAMMERTIME_SRC_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace ht {
+
+enum class LogLevel : int {
+  kOff = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
+
+// Process-wide log threshold.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Writes one formatted line to stderr if `level` passes the threshold.
+void LogLine(LogLevel level, const std::string& message);
+
+}  // namespace ht
+
+#define HT_LOG(level, expr)                                     \
+  do {                                                          \
+    if (static_cast<int>(level) <= static_cast<int>(::ht::GetLogLevel())) { \
+      std::ostringstream ht_log_stream;                         \
+      ht_log_stream << expr;                                    \
+      ::ht::LogLine(level, ht_log_stream.str());                \
+    }                                                           \
+  } while (0)
+
+#define HT_LOG_DEBUG(expr) HT_LOG(::ht::LogLevel::kDebug, expr)
+#define HT_LOG_INFO(expr) HT_LOG(::ht::LogLevel::kInfo, expr)
+#define HT_LOG_WARN(expr) HT_LOG(::ht::LogLevel::kWarn, expr)
+#define HT_LOG_ERROR(expr) HT_LOG(::ht::LogLevel::kError, expr)
+
+#endif  // HAMMERTIME_SRC_COMMON_LOG_H_

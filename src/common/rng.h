@@ -1,0 +1,46 @@
+// Deterministic pseudo-random number generation for reproducible
+// simulations. Every stochastic component (PARA coin flips, disturbance
+// bit-flip positions, randomized counter resets, workload generators)
+// takes its own seeded Rng so experiments are replayable and components
+// stay independent of each other's draw order.
+#ifndef HAMMERTIME_SRC_COMMON_RNG_H_
+#define HAMMERTIME_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace ht {
+
+// xoshiro256** by Blackman & Vigna: fast, high-quality, tiny state.
+// Seeded via SplitMix64 so any 64-bit seed (including 0) is usable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  // Uniform over all 64-bit values.
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be nonzero.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  // Uniform real in [0, 1).
+  double NextDouble();
+
+  // Bernoulli draw with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Splits off an independently seeded child generator. Useful for giving
+  // each subcomponent its own stream derived from one experiment seed.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_COMMON_RNG_H_

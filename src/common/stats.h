@@ -1,0 +1,73 @@
+// Lightweight metric primitives: named counters, gauges, and fixed-bucket
+// histograms, grouped in a StatSet that components expose for reporting.
+#ifndef HAMMERTIME_SRC_COMMON_STATS_H_
+#define HAMMERTIME_SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ht {
+
+// A streaming histogram with power-of-two bucket boundaries; cheap enough
+// to update on every memory request. Tracks count/sum/min/max exactly and
+// approximates quantiles from the buckets.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  // Approximate quantile (q in [0,1]) from bucket boundaries; exact for
+  // min/max endpoints.
+  uint64_t Quantile(double q) const;
+
+ private:
+  static constexpr int kBuckets = 64;  // bucket i holds values with bit-width i.
+  uint64_t buckets_[kBuckets];
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+};
+
+// A named bundle of metrics. Components own a StatSet and register deltas
+// into it; the experiment harness snapshots and prints them.
+class StatSet {
+ public:
+  void Add(const std::string& name, uint64_t delta = 1) { counters_[name] += delta; }
+  void Set(const std::string& name, double value) { gauges_[name] = value; }
+  void RecordLatency(const std::string& name, uint64_t value) { histograms_[name].Record(value); }
+
+  uint64_t Get(const std::string& name) const;
+  double GetGauge(const std::string& name) const;
+  const Histogram* GetHistogram(const std::string& name) const;
+
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  void MergeFrom(const StatSet& other);
+  void Reset();
+
+  // Human-readable dump, one metric per line, sorted by name.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_COMMON_STATS_H_

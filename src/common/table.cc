@@ -1,0 +1,107 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace ht {
+
+void Table::SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+
+void Table::AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+std::string Table::Num(uint64_t v) { return std::to_string(v); }
+std::string Table::Num(int64_t v) { return std::to_string(v); }
+
+std::string Table::Fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::Percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::YesNo(bool v) { return v ? "yes" : "no"; }
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) {
+      widths.resize(row.size(), 0);
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& row : rows_) {
+    grow(row);
+  }
+
+  auto render_row = [&widths](std::ostringstream& out, const std::vector<std::string>& row) {
+    out << "|";
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out << " " << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+
+  size_t total = 1;
+  for (size_t w : widths) {
+    total += w + 3;
+  }
+
+  std::ostringstream out;
+  out << "\n" << title_ << "\n" << std::string(std::max(total, title_.size()), '=') << "\n";
+  if (!header_.empty()) {
+    render_row(out, header_);
+    out << std::string(total, '-') << "\n";
+  }
+  for (const auto& row : rows_) {
+    render_row(out, row);
+  }
+  return out.str();
+}
+
+std::string Table::ToCsv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      return cell;
+    }
+    std::string quoted = "\"";
+    for (char c : cell) {
+      if (c == '"') {
+        quoted += '"';
+      }
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::ostringstream out;
+  auto render = [&out, &escape](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) {
+        out << ",";
+      }
+      out << escape(row[i]);
+    }
+    out << "\n";
+  };
+  if (!header_.empty()) {
+    render(header_);
+  }
+  for (const auto& row : rows_) {
+    render(row);
+  }
+  return out.str();
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace ht

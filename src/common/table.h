@@ -1,0 +1,44 @@
+// ASCII table / CSV rendering for experiment output. Every bench binary
+// prints its paper-style table through this so the formatting is uniform.
+#ifndef HAMMERTIME_SRC_COMMON_TABLE_H_
+#define HAMMERTIME_SRC_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ht {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience cell formatters.
+  static std::string Num(uint64_t v);
+  static std::string Num(int64_t v);
+  static std::string Fixed(double v, int precision = 2);
+  static std::string Percent(double fraction, int precision = 1);
+  static std::string YesNo(bool v);
+
+  // Renders with column alignment, a title rule, and a header rule.
+  std::string ToString() const;
+  // Renders as CSV (header + rows, comma-separated, quotes where needed).
+  std::string ToCsv() const;
+  // Prints ToString() to stdout.
+  void Print() const;
+
+  const std::string& title() const { return title_; }
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_COMMON_TABLE_H_

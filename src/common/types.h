@@ -1,0 +1,59 @@
+// Core scalar types and constants shared by every hammertime library.
+//
+// The simulator measures time in DRAM-device clock cycles (one cycle per
+// DDR command-bus slot). All higher layers (CPU, OS, defenses) run off the
+// same clock; CPU-side latencies are expressed as equivalent DRAM cycles.
+#ifndef HAMMERTIME_SRC_COMMON_TYPES_H_
+#define HAMMERTIME_SRC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace ht {
+
+// Simulated time, in DRAM clock cycles.
+using Cycle = uint64_t;
+
+// CPU physical address (byte granularity).
+using PhysAddr = uint64_t;
+
+// CPU virtual address (byte granularity).
+using VirtAddr = uint64_t;
+
+// Identifier of a trust domain (process, VM, or enclave). The host OS
+// assigns these; the memory controller uses them for subarray-isolated
+// interleaving (paper §4.1: "an address space ID (ASID) tag per domain").
+using DomainId = uint32_t;
+
+// Identifier of a requestor (a CPU core or a DMA engine).
+using RequestorId = uint32_t;
+
+inline constexpr DomainId kInvalidDomain = std::numeric_limits<DomainId>::max();
+inline constexpr PhysAddr kInvalidPhysAddr = std::numeric_limits<PhysAddr>::max();
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+// Cache line size. DDR bursts map one line per column access (§2.1:
+// "RD or WR commands to cache line-sized column offsets").
+inline constexpr uint64_t kLineBytes = 64;
+
+// Page size used by the model OS allocator.
+inline constexpr uint64_t kPageBytes = 4096;
+
+inline constexpr uint64_t kLinesPerPage = kPageBytes / kLineBytes;
+
+// A DDR logical coordinate: where a physical line lands inside the DRAM
+// system after the memory controller's address mapping (§2.1: "commands
+// targeting DDR logical addresses (e.g., bank, row, column)").
+struct DdrCoord {
+  uint32_t channel = 0;
+  uint32_t rank = 0;
+  uint32_t bank = 0;     // Bank index within the rank.
+  uint32_t row = 0;      // Row index within the bank.
+  uint32_t column = 0;   // Column (line-sized) index within the row.
+
+  friend bool operator==(const DdrCoord&, const DdrCoord&) = default;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_COMMON_TYPES_H_

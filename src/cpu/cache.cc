@@ -1,0 +1,176 @@
+#include "cpu/cache.h"
+
+#include <functional>
+
+namespace ht {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  lines_.resize(static_cast<size_t>(config_.sets) * config_.ways);
+}
+
+Cache::Line* Cache::FindLine(PhysAddr addr) {
+  const uint64_t set = SetOf(addr);
+  const uint64_t tag = TagOf(addr);
+  Line* base = &lines_[set * config_.ways];
+  for (uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      return &base[w];
+    }
+  }
+  return nullptr;
+}
+
+std::optional<uint64_t> Cache::Lookup(PhysAddr addr) {
+  Line* line = FindLine(addr);
+  if (line == nullptr) {
+    stats_.Add("cache.read_misses");
+    return std::nullopt;
+  }
+  line->lru = ++lru_clock_;
+  stats_.Add("cache.read_hits");
+  return line->value;
+}
+
+bool Cache::StoreHit(PhysAddr addr, uint64_t value) {
+  Line* line = FindLine(addr);
+  if (line == nullptr) {
+    stats_.Add("cache.write_misses");
+    return false;
+  }
+  line->value = value;
+  line->dirty = true;
+  line->lru = ++lru_clock_;
+  stats_.Add("cache.write_hits");
+  return true;
+}
+
+CacheAccessResult Cache::Fill(PhysAddr addr, uint64_t value, bool dirty) {
+  CacheAccessResult result;
+  Line* existing = FindLine(addr);
+  if (existing != nullptr) {
+    // Refill of a resident line (e.g. racing fills): just update.
+    existing->value = value;
+    existing->dirty = existing->dirty || dirty;
+    existing->lru = ++lru_clock_;
+    return result;
+  }
+  const uint64_t set = SetOf(addr);
+  Line* base = &lines_[set * config_.ways];
+  Line* victim = nullptr;
+  for (uint32_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.locked) {
+      continue;
+    }
+    if (victim == nullptr || line.lru < victim->lru) {
+      victim = &line;
+    }
+  }
+  if (victim == nullptr) {
+    // Every way locked (possible only if max_locked_ways == ways):
+    // bypass the cache entirely.
+    stats_.Add("cache.fill_bypassed");
+    return result;
+  }
+  if (victim->valid && victim->dirty) {
+    result.writeback = true;
+    result.writeback_addr = (victim->tag * config_.sets + set) * kLineBytes;
+    result.writeback_value = victim->value;
+    stats_.Add("cache.writebacks");
+  }
+  if (victim->valid) {
+    stats_.Add("cache.evictions");
+  }
+  *victim = Line{true, dirty, false, TagOf(addr), value, ++lru_clock_};
+  stats_.Add("cache.fills");
+  return result;
+}
+
+CacheAccessResult Cache::Flush(PhysAddr addr, bool privileged) {
+  CacheAccessResult result;
+  Line* line = FindLine(addr);
+  if (line == nullptr) {
+    return result;
+  }
+  if (line->dirty) {
+    result.writeback = true;
+    result.writeback_addr = addr / kLineBytes * kLineBytes;
+    result.writeback_value = line->value;
+    stats_.Add("cache.writebacks");
+    line->dirty = false;
+  }
+  if (line->locked && !privileged) {
+    // Guest flush of a pinned line: coherent (written back above) but the
+    // line stays resident, so it cannot be used to force ACTs.
+    stats_.Add("cache.flush_denied");
+    return result;
+  }
+  if (line->locked) {
+    line->locked = false;
+    --locked_lines_;
+  }
+  line->valid = false;
+  stats_.Add("cache.flushes");
+  return result;
+}
+
+bool Cache::Lock(PhysAddr addr) {
+  Line* line = FindLine(addr);
+  if (line == nullptr || line->locked) {
+    return line != nullptr && line->locked;
+  }
+  const uint64_t set = SetOf(addr);
+  Line* base = &lines_[set * config_.ways];
+  uint32_t locked_in_set = 0;
+  for (uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].locked) {
+      ++locked_in_set;
+    }
+  }
+  if (locked_in_set >= config_.max_locked_ways) {
+    stats_.Add("cache.lock_rejected");
+    return false;
+  }
+  line->locked = true;
+  ++locked_lines_;
+  stats_.Add("cache.locks");
+  return true;
+}
+
+bool Cache::Unlock(PhysAddr addr) {
+  Line* line = FindLine(addr);
+  if (line == nullptr || !line->locked) {
+    return false;
+  }
+  line->locked = false;
+  --locked_lines_;
+  return true;
+}
+
+void Cache::UnlockAll() {
+  for (Line& line : lines_) {
+    if (line.valid && line.locked) {
+      line.locked = false;
+    }
+  }
+  locked_lines_ = 0;
+}
+
+void Cache::WritebackAll(const std::function<void(PhysAddr, uint64_t)>& sink) {
+  for (uint64_t set = 0; set < config_.sets; ++set) {
+    Line* base = &lines_[set * config_.ways];
+    for (uint32_t w = 0; w < config_.ways; ++w) {
+      Line& line = base[w];
+      if (line.valid && line.dirty) {
+        sink((line.tag * config_.sets + set) * kLineBytes, line.value);
+        line.dirty = false;
+      }
+    }
+  }
+}
+
+}  // namespace ht

@@ -1,0 +1,102 @@
+// Shared last-level cache model: set-associative, write-back,
+// write-allocate, LRU, with two features the paper's defenses rely on:
+//
+//  * clflush-style invalidation (attackers use it to force the cache
+//    misses that turn loads into DRAM ACTs — §4.3);
+//  * way-locking (§4.2: "cache line locking ... temporarily pin a line to
+//    the processor cache, already available on many ARM processors"),
+//    capped at a configurable number of ways per set so locked lines
+//    cannot starve the set.
+//
+// The cache stores each line's representative data word so that a victim
+// line cached before a Rowhammer flip correctly shields its reader until
+// eviction — matching real coherence behaviour.
+#ifndef HAMMERTIME_SRC_CPU_CACHE_H_
+#define HAMMERTIME_SRC_CPU_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace ht {
+
+struct CacheConfig {
+  uint32_t sets = 1024;
+  uint32_t ways = 8;
+  uint32_t max_locked_ways = 2;  // Per-set cap on locked lines.
+  uint32_t hit_latency = 8;      // Cycles (DRAM-clock equivalents).
+};
+
+// Result of a lookup/fill style operation.
+struct CacheAccessResult {
+  bool hit = false;
+  // Dirty victim that must be written back, if an eviction occurred.
+  bool writeback = false;
+  PhysAddr writeback_addr = 0;
+  uint64_t writeback_value = 0;
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  // Read probe: hits return the cached value. Misses change nothing —
+  // the caller fetches from memory and calls Fill().
+  std::optional<uint64_t> Lookup(PhysAddr addr);
+
+  // Write probe: on hit, updates the line in place (dirty) and returns
+  // true. On miss returns false (caller fetches, then Fill + StoreHit).
+  bool StoreHit(PhysAddr addr, uint64_t value);
+
+  // Inserts a line after a fetch; may evict (LRU among unlocked ways).
+  CacheAccessResult Fill(PhysAddr addr, uint64_t value, bool dirty);
+
+  // clflush: invalidates the line; reports a writeback if it was dirty.
+  // A *locked* line resists guest flushes (the §4.2 locking primitive
+  // exists precisely to stop attacker-forced evictions): the data is
+  // written back for coherence but the line stays resident and locked.
+  // Host flushes (`privileged`) always invalidate.
+  CacheAccessResult Flush(PhysAddr addr, bool privileged = false);
+
+  // Locks the (present) line; fails if absent or the set's locked-way
+  // budget is exhausted. Locked lines never get evicted and never ACT.
+  bool Lock(PhysAddr addr);
+  bool Unlock(PhysAddr addr);
+  void UnlockAll();
+  uint32_t locked_lines() const { return locked_lines_; }
+
+  // Drains every dirty line (end-of-run accounting), invoking `sink` for
+  // each. Lines stay resident and become clean.
+  void WritebackAll(const std::function<void(PhysAddr, uint64_t)>& sink);
+
+  StatSet& stats() { return stats_; }
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  struct Line {
+    bool valid = false;
+    bool dirty = false;
+    bool locked = false;
+    uint64_t tag = 0;
+    uint64_t value = 0;
+    uint64_t lru = 0;  // Larger = more recently used.
+  };
+
+  uint64_t SetOf(PhysAddr addr) const { return (addr / kLineBytes) % config_.sets; }
+  uint64_t TagOf(PhysAddr addr) const { return (addr / kLineBytes) / config_.sets; }
+  Line* FindLine(PhysAddr addr);
+
+  CacheConfig config_;
+  std::vector<Line> lines_;  // sets * ways.
+  uint64_t lru_clock_ = 0;
+  uint32_t locked_lines_ = 0;
+  StatSet stats_;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_CPU_CACHE_H_

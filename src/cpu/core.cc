@@ -1,0 +1,222 @@
+#include "cpu/core.h"
+
+#include "common/log.h"
+
+namespace ht {
+
+Core::Core(RequestorId id, DomainId domain, const CoreConfig& config, Cache* cache,
+           MemoryController* mc)
+    : id_(id), domain_(domain), config_(config), cache_(cache), mc_(mc),
+      window_(config.window) {}
+
+void Core::set_stream(std::unique_ptr<InstructionStream> stream) {
+  stream_ = std::move(stream);
+  if (stream_ != nullptr) {
+    window_ = std::min(config_.window, std::max(1u, stream_->IlpHint()));
+    halted_ = false;
+  }
+}
+
+void Core::Tick(Cycle now) {
+  // Retry writebacks the MC rejected earlier (queue backpressure).
+  while (!stalled_writebacks_.empty()) {
+    if (!mc_->Enqueue(stalled_writebacks_.front(), now)) {
+      break;
+    }
+    stalled_writebacks_.pop_front();
+  }
+
+  if (halted_ || stream_ == nullptr || now < next_issue_ || refresh_pending_) {
+    return;
+  }
+  if (fence_pending_) {
+    if (outstanding_ != 0) {
+      stats_.Add("core.fence_stalls");
+      return;
+    }
+    fence_pending_ = false;
+  }
+  if (!current_op_.has_value()) {
+    current_op_ = stream_->Next();
+  }
+  Execute(*current_op_, now);
+}
+
+void Core::Execute(const CoreOp& op, Cycle now) {
+  switch (op.kind) {
+    case CoreOpKind::kHalt:
+      halted_ = true;
+      current_op_.reset();
+      return;
+    case CoreOpKind::kIdle:
+      next_issue_ = now + op.idle_cycles;
+      ++ops_completed_;
+      current_op_.reset();
+      return;
+    case CoreOpKind::kFence:
+      fence_pending_ = true;
+      ++ops_completed_;
+      current_op_.reset();
+      return;
+    case CoreOpKind::kLoad:
+    case CoreOpKind::kStore: {
+      if (outstanding_ >= window_) {
+        stats_.Add("core.window_stalls");
+        return;
+      }
+      const auto pa = translate_ ? translate_(op.va) : std::optional<PhysAddr>(op.va);
+      if (!pa.has_value()) {
+        stats_.Add("core.translation_faults");
+        ++ops_completed_;
+        current_op_.reset();
+        return;
+      }
+      if (IssueAccess(op, *pa, now)) {
+        ++ops_completed_;
+        current_op_.reset();
+      }
+      return;
+    }
+    case CoreOpKind::kFlush: {
+      const auto pa = translate_ ? translate_(op.va) : std::optional<PhysAddr>(op.va);
+      if (pa.has_value()) {
+        const CacheAccessResult result = cache_->Flush(*pa, config_.is_host);
+        if (result.writeback) {
+          EnqueueWriteback(result.writeback_addr, result.writeback_value, now);
+        }
+      }
+      stats_.Add("core.flushes");
+      next_issue_ = now + config_.flush_latency;
+      ++ops_completed_;
+      current_op_.reset();
+      return;
+    }
+    case CoreOpKind::kRefreshRow: {
+      if (!config_.is_host) {
+        // §4.3: "refresh should be a host-privileged instruction".
+        stats_.Add("core.refresh_priv_faults");
+        ++ops_completed_;
+        current_op_.reset();
+        return;
+      }
+      const auto pa = translate_ ? translate_(op.va) : std::optional<PhysAddr>(op.va);
+      if (!pa.has_value()) {
+        stats_.Add("core.translation_faults");
+        ++ops_completed_;
+        current_op_.reset();
+        return;
+      }
+      const bool accepted = mc_->RefreshRow(*pa, op.auto_precharge, now,
+                                            [this](const RefreshDone&) {
+                                              refresh_pending_ = false;
+                                            });
+      if (!accepted) {
+        stats_.Add("core.refresh_retries");
+        return;  // MC internal queue full; retry next cycle.
+      }
+      refresh_pending_ = true;
+      stats_.Add("core.refresh_instrs");
+      ++ops_completed_;
+      current_op_.reset();
+      return;
+    }
+    case CoreOpKind::kLockLine:
+    case CoreOpKind::kUnlockLine: {
+      const auto pa = translate_ ? translate_(op.va) : std::optional<PhysAddr>(op.va);
+      if (pa.has_value()) {
+        if (op.kind == CoreOpKind::kLockLine) {
+          if (!cache_->Lock(*pa)) {
+            stats_.Add("core.lock_failures");
+          }
+        } else {
+          cache_->Unlock(*pa);
+        }
+      }
+      next_issue_ = now + 2;
+      ++ops_completed_;
+      current_op_.reset();
+      return;
+    }
+  }
+}
+
+bool Core::IssueAccess(const CoreOp& op, PhysAddr pa, Cycle now) {
+  if (op.kind == CoreOpKind::kLoad) {
+    const auto hit = cache_->Lookup(pa);
+    if (hit.has_value()) {
+      next_issue_ = now + cache_->config().hit_latency;
+      stats_.Add("core.load_hits");
+      return true;
+    }
+  } else {
+    if (cache_->StoreHit(pa, op.value)) {
+      next_issue_ = now + cache_->config().hit_latency;
+      stats_.Add("core.store_hits");
+      return true;
+    }
+  }
+
+  // Miss: fetch the line. Stores write-allocate — the fill completes the
+  // store with the new value.
+  MemRequest request;
+  request.id = NextRequestId();
+  request.op = MemOp::kRead;
+  request.addr = pa / kLineBytes * kLineBytes;
+  request.requestor = id_;
+  request.domain = domain_;
+  if (!mc_->Enqueue(request, now)) {
+    stats_.Add("core.mc_backpressure");
+    return false;  // Retry next cycle.
+  }
+  if (op.kind == CoreOpKind::kStore) {
+    pending_stores_[request.id] = {op.value};
+    stats_.Add("core.store_misses");
+  } else {
+    stats_.Add("core.load_misses");
+  }
+  ++outstanding_;
+  next_issue_ = now + 1;
+  if (miss_observer_) {
+    miss_observer_({id_, domain_,
+                    request.addr,
+                    op.kind == CoreOpKind::kStore ? MemOp::kWrite : MemOp::kRead, now});
+  }
+  return true;
+}
+
+void Core::EnqueueWriteback(PhysAddr addr, uint64_t value, Cycle now) {
+  MemRequest writeback;
+  writeback.id = NextRequestId();
+  writeback.op = MemOp::kWrite;
+  writeback.addr = addr;
+  writeback.write_value = value;
+  writeback.requestor = id_;
+  writeback.domain = domain_;
+  if (!mc_->Enqueue(writeback, now)) {
+    stalled_writebacks_.push_back(writeback);
+  }
+}
+
+void Core::OnResponse(const MemResponse& response, Cycle now) {
+  if (response.op == MemOp::kWrite) {
+    return;  // Posted writebacks need no action.
+  }
+  uint64_t fill_value = response.read_value;
+  bool dirty = false;
+  auto store = pending_stores_.find(response.id);
+  if (store != pending_stores_.end()) {
+    fill_value = store->second.value;
+    dirty = true;
+    pending_stores_.erase(store);
+  }
+  const CacheAccessResult fill = cache_->Fill(response.addr, fill_value, dirty);
+  if (fill.writeback) {
+    EnqueueWriteback(fill.writeback_addr, fill.writeback_value, now);
+  }
+  if (outstanding_ > 0) {
+    --outstanding_;
+  }
+  stats_.RecordLatency("core.miss_latency", response.Latency());
+}
+
+}  // namespace ht

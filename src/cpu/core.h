@@ -1,0 +1,108 @@
+// An in-order core with a configurable memory-level-parallelism window.
+//
+// Cores pull CoreOps from an InstructionStream, translate virtual
+// addresses through the host OS page tables, and access memory through
+// the shared LLC. Loads/stores that miss become MemRequests to the
+// memory controller; up to `window` independent accesses may be
+// outstanding (pointer-chase streams hint window 1).
+//
+// The core also executes the paper's proposed host-privileged refresh
+// instruction (§4.3): guest cores attempting it take a privilege fault.
+#ifndef HAMMERTIME_SRC_CPU_CORE_H_
+#define HAMMERTIME_SRC_CPU_CORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "cpu/cache.h"
+#include "cpu/core_ops.h"
+#include "mc/controller.h"
+#include "mc/request.h"
+
+namespace ht {
+
+// Observed LLC miss — what CPU performance counters can see. Note DMA
+// traffic never produces these events (ANVIL's blind spot, §1).
+struct MissEvent {
+  RequestorId core = 0;
+  DomainId domain = kInvalidDomain;
+  PhysAddr addr = 0;
+  MemOp op = MemOp::kRead;
+  Cycle cycle = 0;
+};
+using MissObserver = std::function<void(const MissEvent&)>;
+
+struct CoreConfig {
+  uint32_t window = 8;        // Max outstanding independent accesses.
+  uint32_t flush_latency = 4; // Cycles consumed by clflush issue.
+  bool is_host = false;       // May execute the refresh instruction.
+};
+
+using TranslateFn = std::function<std::optional<PhysAddr>(VirtAddr)>;
+
+class Core {
+ public:
+  Core(RequestorId id, DomainId domain, const CoreConfig& config, Cache* cache,
+       MemoryController* mc);
+
+  void set_stream(std::unique_ptr<InstructionStream> stream);
+  void set_translate(TranslateFn translate) { translate_ = std::move(translate); }
+  void set_miss_observer(MissObserver observer) { miss_observer_ = std::move(observer); }
+
+  // Advances the core one cycle: retries stalled writebacks, then issues
+  // at most one new operation.
+  void Tick(Cycle now);
+
+  // Delivers a completed memory request (routed by the System).
+  void OnResponse(const MemResponse& response, Cycle now);
+
+  bool halted() const { return halted_; }
+  uint64_t ops_completed() const { return ops_completed_; }
+  uint32_t outstanding() const { return outstanding_; }
+  RequestorId id() const { return id_; }
+  DomainId domain() const { return domain_; }
+
+  StatSet& stats() { return stats_; }
+
+ private:
+  struct PendingStore {
+    uint64_t value = 0;
+  };
+
+  void Execute(const CoreOp& op, Cycle now);
+  bool IssueAccess(const CoreOp& op, PhysAddr pa, Cycle now);
+  void EnqueueWriteback(PhysAddr addr, uint64_t value, Cycle now);
+  uint64_t NextRequestId() { return (static_cast<uint64_t>(id_) << 40) | next_seq_++; }
+
+  RequestorId id_;
+  DomainId domain_;
+  CoreConfig config_;
+  Cache* cache_;
+  MemoryController* mc_;
+  std::unique_ptr<InstructionStream> stream_;
+  TranslateFn translate_;
+  MissObserver miss_observer_;
+
+  bool halted_ = false;
+  bool fence_pending_ = false;
+  bool refresh_pending_ = false;
+  std::optional<CoreOp> current_op_;
+  Cycle next_issue_ = 0;
+  uint32_t window_ = 8;
+  uint32_t outstanding_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t ops_completed_ = 0;
+  std::unordered_map<uint64_t, PendingStore> pending_stores_;
+  std::deque<MemRequest> stalled_writebacks_;
+  StatSet stats_;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_CPU_CORE_H_

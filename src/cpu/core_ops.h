@@ -1,0 +1,63 @@
+// The micro-ISA executed by model cores, including the paper's proposed
+// host-privileged `refresh` instruction (§4.3) and cache-line lock/unlock
+// operations (§4.2).
+#ifndef HAMMERTIME_SRC_CPU_CORE_OPS_H_
+#define HAMMERTIME_SRC_CPU_CORE_OPS_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace ht {
+
+enum class CoreOpKind : uint8_t {
+  kLoad,        // Read one line at `va`.
+  kStore,       // Write `value` to the line at `va`.
+  kFlush,       // clflush the line at `va`.
+  kFence,       // Wait for all outstanding accesses to complete.
+  kRefreshRow,  // Proposed refresh instruction: refresh the row of `va`.
+                // `auto_precharge` is the paper's `ap` bit. Host-only.
+  kLockLine,    // Pin the line at `va` into the LLC.
+  kUnlockLine,  // Release a pinned line.
+  kIdle,        // Stall for `idle_cycles` (models compute).
+  kHalt,        // Stream exhausted; core stops.
+};
+
+struct CoreOp {
+  CoreOpKind kind = CoreOpKind::kHalt;
+  VirtAddr va = 0;
+  uint64_t value = 0;
+  uint32_t idle_cycles = 0;
+  bool auto_precharge = true;
+
+  static CoreOp Load(VirtAddr va) { return {CoreOpKind::kLoad, va, 0, 0, true}; }
+  static CoreOp Store(VirtAddr va, uint64_t value) {
+    return {CoreOpKind::kStore, va, value, 0, true};
+  }
+  static CoreOp Flush(VirtAddr va) { return {CoreOpKind::kFlush, va, 0, 0, true}; }
+  static CoreOp Fence() { return {CoreOpKind::kFence, 0, 0, 0, true}; }
+  static CoreOp RefreshRow(VirtAddr va, bool ap = true) {
+    return {CoreOpKind::kRefreshRow, va, 0, 0, ap};
+  }
+  static CoreOp LockLine(VirtAddr va) { return {CoreOpKind::kLockLine, va, 0, 0, true}; }
+  static CoreOp UnlockLine(VirtAddr va) { return {CoreOpKind::kUnlockLine, va, 0, 0, true}; }
+  static CoreOp Idle(uint32_t cycles) { return {CoreOpKind::kIdle, 0, 0, cycles, true}; }
+  static CoreOp Halt() { return {CoreOpKind::kHalt, 0, 0, 0, true}; }
+};
+
+// A stream of core operations (workload or attack pattern). Streams are
+// pull-based: the core asks for the next op when it can issue one.
+class InstructionStream {
+ public:
+  virtual ~InstructionStream() = default;
+
+  virtual CoreOp Next() = 0;
+
+  // Max useful overlapping accesses (1 = fully dependent, e.g. pointer
+  // chase). The core issues min(this, its own window) ops concurrently.
+  virtual uint32_t IlpHint() const { return 8; }
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_CPU_CORE_OPS_H_

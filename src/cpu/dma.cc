@@ -1,0 +1,26 @@
+#include "cpu/dma.h"
+
+namespace ht {
+
+void DmaEngine::Tick(Cycle now) {
+  if (done() || config_.pattern.empty() || now < next_issue_) {
+    return;
+  }
+  MemRequest request;
+  request.id = (static_cast<uint64_t>(id_) << 40) | next_seq_++;
+  request.op = MemOp::kRead;
+  request.addr = config_.pattern[cursor_];
+  request.requestor = id_;
+  request.domain = domain_;
+  request.is_dma = true;
+  if (!mc_->Enqueue(request, now)) {
+    stats_.Add("dma.backpressure");
+    return;  // Retry next cycle without advancing.
+  }
+  cursor_ = (cursor_ + 1) % config_.pattern.size();
+  ++issued_;
+  stats_.Add("dma.requests");
+  next_issue_ = now + config_.period;
+}
+
+}  // namespace ht

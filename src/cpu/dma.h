@@ -1,0 +1,55 @@
+// A DMA engine: issues reads straight to the memory controller, bypassing
+// the CPU caches and — critically — CPU performance counters. GuardION /
+// Throwhammer-style DMA Rowhammer attacks use exactly this path, which is
+// why the paper insists the ACT-management primitive must live in the MC
+// rather than in core PMUs (§1: ANVIL "relies on information from
+// performance counters that do not account for direct memory accesses").
+#ifndef HAMMERTIME_SRC_CPU_DMA_H_
+#define HAMMERTIME_SRC_CPU_DMA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "mc/controller.h"
+#include "mc/request.h"
+
+namespace ht {
+
+struct DmaConfig {
+  std::vector<PhysAddr> pattern;  // Addresses visited round-robin.
+  Cycle period = 16;              // Cycles between issued requests.
+  uint64_t total_requests = 0;    // 0 = unlimited.
+};
+
+class DmaEngine {
+ public:
+  DmaEngine(RequestorId id, DomainId domain, const DmaConfig& config, MemoryController* mc)
+      : id_(id), domain_(domain), config_(config), mc_(mc) {}
+
+  void Tick(Cycle now);
+
+  bool done() const {
+    return config_.total_requests != 0 && issued_ >= config_.total_requests;
+  }
+  uint64_t issued() const { return issued_; }
+  RequestorId id() const { return id_; }
+
+  StatSet& stats() { return stats_; }
+
+ private:
+  RequestorId id_;
+  DomainId domain_;
+  DmaConfig config_;
+  MemoryController* mc_;
+  Cycle next_issue_ = 0;
+  uint64_t issued_ = 0;
+  size_t cursor_ = 0;
+  uint64_t next_seq_ = 0;
+  StatSet stats_;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_CPU_DMA_H_

@@ -1,0 +1,44 @@
+#include "defense/anvil_defense.h"
+
+namespace ht {
+
+void AnvilDefense::OnMiss(const MissEvent& event, Cycle now) {
+  const DdrCoord coord = kernel_->mc().mapper().Map(event.addr);
+  uint64_t key = coord.channel;
+  key = (key << 8) | coord.rank;
+  key = (key << 8) | coord.bank;
+  key = (key << 32) | coord.row;
+  if (++row_misses_[key] < config_.miss_threshold) {
+    return;
+  }
+  row_misses_.erase(key);
+  stats_.Add("defense.detections");
+
+  // "Refresh" the potential victims with ordinary reads: reach DRAM and
+  // hope the access ACTs the row. Issued as host reads straight to the MC
+  // (modeling an uncached read loop in the handler).
+  MemoryController& mc = kernel_->mc();
+  for (PhysAddr victim : kernel_->NeighborRowAddrs(event.addr, config_.blast_radius)) {
+    MemRequest request;
+    request.id = (0xA11ULL << 40) | next_req_id_++;
+    request.op = MemOp::kRead;
+    request.addr = victim;
+    request.requestor = 0xA11;  // Host handler pseudo-requestor.
+    request.domain = kInvalidDomain;
+    if (mc.Enqueue(request, now)) {
+      stats_.Add("defense.refresh_reads");
+    } else {
+      stats_.Add("defense.refresh_dropped");
+    }
+  }
+}
+
+void AnvilDefense::Tick(Cycle now) {
+  if (now < next_reset_) {
+    return;
+  }
+  next_reset_ = now + config_.sample_window;
+  row_misses_.clear();
+}
+
+}  // namespace ht

@@ -1,0 +1,45 @@
+// ANVIL-style software-only baseline [4]: samples CPU performance-counter
+// events (LLC misses), detects rows with suspiciously high miss rates,
+// and refreshes their neighbours by issuing plain memory reads (software
+// cannot ACT directly — §4.3's "Problem").
+//
+// Two modeled limitations, both from the paper:
+//  * DMA traffic produces no PMU events, so DMA-based Rowhammer sails
+//    through (§1, experiment E8);
+//  * the "refresh" is just a read: if the victim row's bank happens to
+//    have that row open, no ACT occurs and nothing is repaired — and the
+//    read itself costs normal bandwidth.
+#ifndef HAMMERTIME_SRC_DEFENSE_ANVIL_DEFENSE_H_
+#define HAMMERTIME_SRC_DEFENSE_ANVIL_DEFENSE_H_
+
+#include <unordered_map>
+
+#include "defense/defense.h"
+
+namespace ht {
+
+struct AnvilConfig {
+  uint32_t miss_threshold = 256;   // Misses to one row within a window.
+  Cycle sample_window = 1u << 18;  // Counter reset period.
+  uint32_t blast_radius = 2;
+};
+
+class AnvilDefense : public Defense {
+ public:
+  explicit AnvilDefense(const AnvilConfig& config) : config_(config) {}
+
+  std::string name() const override { return "anvil"; }
+
+  void OnMiss(const MissEvent& event, Cycle now) override;
+  void Tick(Cycle now) override;
+
+ private:
+  AnvilConfig config_;
+  std::unordered_map<uint64_t, uint32_t> row_misses_;
+  Cycle next_reset_ = 0;
+  uint64_t next_req_id_ = 0;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_DEFENSE_ANVIL_DEFENSE_H_

@@ -1,0 +1,93 @@
+#include "defense/frequency_defense.h"
+
+#include <algorithm>
+
+namespace ht {
+
+void ActRemapDefense::Attach(HostKernel* kernel, Cache* cache) {
+  Defense::Attach(kernel, cache);
+  quarantine_.Init(*kernel_, config_.quarantine_pages);
+  stats_.Add("defense.quarantine_frames", quarantine_.remaining());
+}
+
+uint64_t ActRemapDefense::RowKeyOf(PhysAddr addr) const {
+  const DdrCoord coord = kernel_->mc().mapper().Map(addr);
+  uint64_t key = coord.channel;
+  key = (key << 8) | coord.rank;
+  key = (key << 8) | coord.bank;
+  key = (key << 32) | coord.row;
+  return key;
+}
+
+void ActRemapDefense::OnActInterrupt(const ActInterrupt& irq, Cycle now) {
+  (void)now;
+  if (irq.trigger_addr == kInvalidPhysAddr) {
+    stats_.Add("defense.unactionable_interrupts");
+    return;
+  }
+  stats_.Add("defense.interrupts");
+  const uint64_t key = RowKeyOf(irq.trigger_addr);
+  if (++row_hits_[key] < config_.interrupts_per_row) {
+    return;
+  }
+  row_hits_.erase(key);
+  if (quarantine_.Migrate(*kernel_, irq.trigger_addr)) {
+    stats_.Add("defense.pages_migrated");
+  } else {
+    stats_.Add("defense.migration_failures");
+  }
+}
+
+void ActRemapDefense::Tick(Cycle now) {
+  if (now < next_forget_) {
+    return;
+  }
+  next_forget_ = now + config_.history_window;
+  row_hits_.clear();
+}
+
+void CacheLockDefense::Attach(HostKernel* kernel, Cache* cache) {
+  Defense::Attach(kernel, cache);
+  quarantine_.Init(*kernel_, config_.quarantine_pages);
+}
+
+void CacheLockDefense::OnActInterrupt(const ActInterrupt& irq, Cycle now) {
+  if (irq.trigger_addr == kInvalidPhysAddr) {
+    stats_.Add("defense.unactionable_interrupts");
+    return;
+  }
+  stats_.Add("defense.interrupts");
+  if (!cache_->Lock(irq.trigger_addr)) {
+    // The hot line usually isn't resident at interrupt time (the ACT that
+    // overflowed the counter is its fill in flight). Fetch-and-lock: the
+    // host reads the line and pins it.
+    const DdrCoord coord = kernel_->mc().mapper().Map(irq.trigger_addr);
+    const uint64_t value = kernel_->mc()
+                               .device(coord.channel)
+                               .ReadLine(coord.rank, coord.bank, coord.row, coord.column);
+    cache_->Fill(irq.trigger_addr, value, /*dirty=*/false);
+    if (!cache_->Lock(irq.trigger_addr)) {
+      // Locked-way budget exhausted: fall back to migration (§4.2),
+      // preferring a quarantine frame so the moved page cannot abut
+      // victim data again.
+      if (quarantine_.Migrate(*kernel_, irq.trigger_addr)) {
+        stats_.Add("defense.fallback_migrations");
+      } else {
+        stats_.Add("defense.migration_failures");
+      }
+      return;
+    }
+  }
+  stats_.Add("defense.lines_locked");
+  held_.push_back({irq.trigger_addr, now + config_.lock_duration});
+}
+
+void CacheLockDefense::Tick(Cycle now) {
+  while (!held_.empty() && held_.front().release_at <= now) {
+    cache_->Unlock(held_.front().addr);
+    held_.pop_front();
+    stats_.Add("defense.locks_released");
+  }
+}
+
+}  // namespace ht

@@ -1,0 +1,85 @@
+// Frequency-centric software defenses (§4.2), both built on the precise
+// ACT interrupt:
+//
+//  * ActRemapDefense — "ACT wear-leveling": rows repeatedly reported by
+//    the interrupt get their hot page migrated to a fresh physical
+//    location, breaking the aggressor/victim adjacency.
+//  * CacheLockDefense — first-line variant: pin the reported hot line in
+//    the LLC for the rest of the refresh window so it stops generating
+//    ACTs; fall back to page migration when the set's locked-way budget
+//    is exhausted (§4.2: "data remapping and movement would then only be
+//    used as a fallback if the way(s) become full").
+#ifndef HAMMERTIME_SRC_DEFENSE_FREQUENCY_DEFENSE_H_
+#define HAMMERTIME_SRC_DEFENSE_FREQUENCY_DEFENSE_H_
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "defense/defense.h"
+#include "defense/quarantine.h"
+
+namespace ht {
+
+struct ActRemapConfig {
+  // Interrupts naming the same row before migration triggers.
+  uint32_t interrupts_per_row = 2;
+  // Forget per-row interrupt counts after this many cycles (one refresh
+  // window by default — pass the device value in).
+  Cycle history_window = 4u << 20;
+  // Frames reserved as a quarantine destination pool. Migrating a hot
+  // page into an arbitrary free frame can land it adjacent to victim
+  // data again; quarantine frames neighbour only other quarantined hot
+  // pages, so sustained hammering there is self-inflicted.
+  uint32_t quarantine_pages = 128;
+};
+
+class ActRemapDefense : public Defense {
+ public:
+  explicit ActRemapDefense(const ActRemapConfig& config) : config_(config) {}
+
+  std::string name() const override { return "act-remap"; }
+
+  void Attach(HostKernel* kernel, Cache* cache) override;
+  void OnActInterrupt(const ActInterrupt& irq, Cycle now) override;
+  void Tick(Cycle now) override;
+
+ private:
+  // Key identifying a row: channel | rank | bank | row packed.
+  uint64_t RowKeyOf(PhysAddr addr) const;
+
+  ActRemapConfig config_;
+  std::unordered_map<uint64_t, uint32_t> row_hits_;
+  QuarantinePool quarantine_;
+  Cycle next_forget_ = 0;
+};
+
+struct CacheLockConfig {
+  Cycle lock_duration = 4u << 20;  // Hold locks one refresh window.
+  uint32_t quarantine_pages = 128;  // Fallback-migration destination pool.
+};
+
+class CacheLockDefense : public Defense {
+ public:
+  explicit CacheLockDefense(const CacheLockConfig& config) : config_(config) {}
+
+  std::string name() const override { return "cache-lock"; }
+
+  void Attach(HostKernel* kernel, Cache* cache) override;
+  void OnActInterrupt(const ActInterrupt& irq, Cycle now) override;
+  void Tick(Cycle now) override;
+
+ private:
+  struct HeldLock {
+    PhysAddr addr = 0;
+    Cycle release_at = 0;
+  };
+
+  CacheLockConfig config_;
+  std::deque<HeldLock> held_;
+  QuarantinePool quarantine_;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_DEFENSE_FREQUENCY_DEFENSE_H_

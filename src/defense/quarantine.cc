@@ -1,0 +1,47 @@
+#include "defense/quarantine.h"
+
+#include <algorithm>
+
+namespace ht {
+
+void QuarantinePool::Init(HostKernel& kernel, uint32_t pages) {
+  if (pages == 0) {
+    return;
+  }
+  const DomainId qdom = kernel.CreateDomain({.name = "quarantine"});
+  const DramOrg& org = kernel.mc().mapper().org();
+  const uint64_t pages_per_group = std::max<uint64_t>(
+      1, static_cast<uint64_t>(org.channels) * org.ranks * org.banks * org.columns /
+             kLinesPerPage);
+  std::vector<uint64_t> reserved;
+  for (uint32_t i = 0; i < pages; ++i) {
+    auto frame = kernel.allocator().AllocFrame(qdom);
+    if (!frame.has_value()) {
+      break;
+    }
+    reserved.push_back(*frame);
+  }
+  const size_t guard = static_cast<size_t>(pages_per_group);
+  if (reserved.size() > 2 * guard) {
+    frames_.assign(reserved.begin() + static_cast<ptrdiff_t>(guard),
+                   reserved.end() - static_cast<ptrdiff_t>(guard));
+  }
+}
+
+bool QuarantinePool::Migrate(HostKernel& kernel, PhysAddr addr) {
+  if (!frames_.empty()) {
+    const uint64_t frame = frames_.back();
+    if (kernel.MovePageByPhysToFrame(addr, frame)) {
+      frames_.pop_back();
+      ++quarantine_migrations_;
+      return true;
+    }
+  }
+  if (kernel.MovePageByPhys(addr)) {
+    ++overflow_migrations_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ht

@@ -1,0 +1,43 @@
+// A reserved pool of destination frames for defensive page migration.
+//
+// Migrating a hot page into an arbitrary free frame can place it adjacent
+// to victim rows again (the allocator neither knows nor cares); frames in
+// the quarantine pool neighbour only other quarantined hot pages, so an
+// attacker hammering a migrated page only disturbs its own kind. A
+// row-group of guard frames is trimmed from each end of the pool so its
+// boundary rows stay out of blast range of regular allocations.
+#ifndef HAMMERTIME_SRC_DEFENSE_QUARANTINE_H_
+#define HAMMERTIME_SRC_DEFENSE_QUARANTINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "os/kernel.h"
+
+namespace ht {
+
+class QuarantinePool {
+ public:
+  // Reserves `pages` frames from the kernel's allocator under a dedicated
+  // host domain. Safe to call once at defense attach time.
+  void Init(HostKernel& kernel, uint32_t pages);
+
+  // Migrates the page containing `addr` into a quarantine frame, falling
+  // back to a regular MovePage when the pool is exhausted. Returns false
+  // only if migration failed outright.
+  bool Migrate(HostKernel& kernel, PhysAddr addr);
+
+  size_t remaining() const { return frames_.size(); }
+  uint64_t quarantine_migrations() const { return quarantine_migrations_; }
+  uint64_t overflow_migrations() const { return overflow_migrations_; }
+
+ private:
+  std::vector<uint64_t> frames_;
+  uint64_t quarantine_migrations_ = 0;
+  uint64_t overflow_migrations_ = 0;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_DEFENSE_QUARANTINE_H_

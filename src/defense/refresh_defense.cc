@@ -1,0 +1,31 @@
+#include "defense/refresh_defense.h"
+
+namespace ht {
+
+void SoftRefreshDefense::OnActInterrupt(const ActInterrupt& irq, Cycle now) {
+  if (irq.trigger_addr == kInvalidPhysAddr) {
+    // Imprecise legacy interrupt: no address, nothing actionable (§4.2's
+    // "system software is powerless" problem).
+    stats_.Add("defense.unactionable_interrupts");
+    return;
+  }
+  stats_.Add("defense.interrupts");
+  MemoryController& mc = kernel_->mc();
+  if (config_.method == VictimRefreshMethod::kRefNeighbors) {
+    if (mc.RefreshNeighbors(irq.trigger_addr, config_.blast_radius, now)) {
+      stats_.Add("defense.ref_neighbors");
+    } else {
+      stats_.Add("defense.refresh_dropped");
+    }
+    return;
+  }
+  for (PhysAddr victim : kernel_->NeighborRowAddrs(irq.trigger_addr, config_.blast_radius)) {
+    if (mc.RefreshRow(victim, /*auto_precharge=*/true, now)) {
+      stats_.Add("defense.victim_refreshes");
+    } else {
+      stats_.Add("defense.refresh_dropped");
+    }
+  }
+}
+
+}  // namespace ht

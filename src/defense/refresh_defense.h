@@ -1,0 +1,42 @@
+// Refresh-centric software defense (§4.3): on every precise ACT
+// interrupt, compute the potential victim rows of the triggering row from
+// the MC's address mapping and refresh them — with the proposed refresh
+// instruction (reliable PRE+ACT), or with REF_NEIGHBORS when the DRAM
+// assist is available, or (for the ANVIL-style comparison) with the
+// "convoluted" flush+load sequence real software is limited to today.
+#ifndef HAMMERTIME_SRC_DEFENSE_REFRESH_DEFENSE_H_
+#define HAMMERTIME_SRC_DEFENSE_REFRESH_DEFENSE_H_
+
+#include "defense/defense.h"
+
+namespace ht {
+
+enum class VictimRefreshMethod : uint8_t {
+  kRefreshInstruction,  // §4.3 primitive: PRE + ACT (+ PRE).
+  kRefNeighbors,        // DRAM-assisted REF_NEIGHBORS command.
+};
+
+struct SoftRefreshConfig {
+  VictimRefreshMethod method = VictimRefreshMethod::kRefreshInstruction;
+  // Blast radius the defense assumes (how far out to refresh).
+  uint32_t blast_radius = 2;
+};
+
+class SoftRefreshDefense : public Defense {
+ public:
+  explicit SoftRefreshDefense(const SoftRefreshConfig& config) : config_(config) {}
+
+  std::string name() const override {
+    return config_.method == VictimRefreshMethod::kRefreshInstruction ? "sw-refresh"
+                                                                      : "sw-refresh+refn";
+  }
+
+  void OnActInterrupt(const ActInterrupt& irq, Cycle now) override;
+
+ private:
+  SoftRefreshConfig config_;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_DEFENSE_REFRESH_DEFENSE_H_

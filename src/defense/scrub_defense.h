@@ -1,0 +1,49 @@
+// ECC patrol scrubber: walks allocated memory at a paced rate, rewriting
+// each word through SECDED. A single flipped bit per word is corrected
+// and *persisted* (the rewrite clears it); scrubbing therefore bounds how
+// much corruption can accumulate in one word between visits. Without it,
+// ECC only corrects on the fly and Rowhammer keeps stacking bits until
+// SECDED is overwhelmed (Cojocar et al. [12]).
+//
+// Requires EccParams.enabled on the device; on a non-ECC device the
+// rewrite would persist corrupted data verbatim, so the defense refuses
+// to run.
+#ifndef HAMMERTIME_SRC_DEFENSE_SCRUB_DEFENSE_H_
+#define HAMMERTIME_SRC_DEFENSE_SCRUB_DEFENSE_H_
+
+#include <vector>
+
+#include "defense/defense.h"
+
+namespace ht {
+
+struct ScrubConfig {
+  Cycle interval = 1u << 14;     // Cycles between scrub bursts.
+  uint32_t lines_per_burst = 8;  // Lines scrubbed per burst.
+};
+
+class ScrubDefense : public Defense {
+ public:
+  explicit ScrubDefense(const ScrubConfig& config) : config_(config) {}
+
+  std::string name() const override { return "ecc-scrub"; }
+
+  void Attach(HostKernel* kernel, Cache* cache) override;
+  void Tick(Cycle now) override;
+
+ private:
+  void RefreshFrameList();
+  void ScrubLine(PhysAddr addr, Cycle now);
+
+  ScrubConfig config_;
+  bool ecc_available_ = false;
+  std::vector<uint64_t> frames_;
+  size_t frame_cursor_ = 0;
+  uint32_t line_cursor_ = 0;
+  Cycle next_burst_ = 0;
+  uint64_t next_req_id_ = 0;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_DEFENSE_SCRUB_DEFENSE_H_

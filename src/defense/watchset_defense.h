@@ -1,0 +1,47 @@
+// SoftTRR-style watch-set defense (the paper cites SoftTRR [62]):
+// software-only protection of a small set of *critical* pages (page
+// tables, security state) by periodically refreshing the rows adjacent
+// to them, rather than reacting to attacker behaviour.
+//
+// With the proposed refresh instruction the periodic repair is exact and
+// cheap; the class also demonstrates the coverage limitation the paper
+// attributes to this family — only registered pages are protected.
+#ifndef HAMMERTIME_SRC_DEFENSE_WATCHSET_DEFENSE_H_
+#define HAMMERTIME_SRC_DEFENSE_WATCHSET_DEFENSE_H_
+
+#include <vector>
+
+#include "defense/defense.h"
+
+namespace ht {
+
+struct WatchSetConfig {
+  // Sweep period. A watched row accumulates at most
+  // period / tRC ACT-equivalents of disturbance between sweeps, so any
+  // period below MAC * tRC guarantees protection of the watched rows.
+  Cycle period = 1u << 16;
+};
+
+class WatchSetDefense : public Defense {
+ public:
+  explicit WatchSetDefense(const WatchSetConfig& config) : config_(config) {}
+
+  std::string name() const override { return "watchset"; }
+
+  // Registers a critical region (e.g. a process's page tables).
+  void Watch(DomainId domain, VirtAddr base, uint64_t pages);
+
+  void Tick(Cycle now) override;
+
+  size_t watched_lines() const { return watched_rows_.size(); }
+
+ private:
+  WatchSetConfig config_;
+  // One representative physical line address per watched row.
+  std::vector<PhysAddr> watched_rows_;
+  Cycle next_sweep_ = 0;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_DEFENSE_WATCHSET_DEFENSE_H_

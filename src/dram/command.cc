@@ -1,0 +1,59 @@
+#include "dram/command.h"
+
+#include <sstream>
+
+namespace ht {
+
+const char* ToString(DdrCommandType type) {
+  switch (type) {
+    case DdrCommandType::kActivate:
+      return "ACT";
+    case DdrCommandType::kPrecharge:
+      return "PRE";
+    case DdrCommandType::kPrechargeAll:
+      return "PREA";
+    case DdrCommandType::kRead:
+      return "RD";
+    case DdrCommandType::kWrite:
+      return "WR";
+    case DdrCommandType::kRefresh:
+      return "REF";
+    case DdrCommandType::kRefreshSb:
+      return "REFSB";
+    case DdrCommandType::kRefreshNeighbors:
+      return "REF_NEIGHBORS";
+  }
+  return "?";
+}
+
+std::string DdrCommand::ToDebugString() const {
+  std::ostringstream out;
+  out << ToString(type) << " rank=" << rank;
+  switch (type) {
+    case DdrCommandType::kActivate:
+      out << " bank=" << bank << " row=" << row;
+      break;
+    case DdrCommandType::kPrecharge:
+      out << " bank=" << bank;
+      break;
+    case DdrCommandType::kRead:
+    case DdrCommandType::kWrite:
+      out << " bank=" << bank << " col=" << column;
+      if (ap) {
+        out << " ap";
+      }
+      break;
+    case DdrCommandType::kRefreshNeighbors:
+      out << " bank=" << bank << " row=" << row << " blast=" << blast;
+      break;
+    case DdrCommandType::kRefreshSb:
+      out << " bank=" << bank;
+      break;
+    case DdrCommandType::kPrechargeAll:
+    case DdrCommandType::kRefresh:
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace ht

@@ -1,0 +1,69 @@
+// The DDR command set the memory controller issues to the device,
+// including the paper's proposed REF_NEIGHBORS extension (§4.3).
+#ifndef HAMMERTIME_SRC_DRAM_COMMAND_H_
+#define HAMMERTIME_SRC_DRAM_COMMAND_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace ht {
+
+enum class DdrCommandType : uint8_t {
+  kActivate,      // ACT: open `row` in `bank`, connect to the row buffer.
+  kPrecharge,     // PRE: close the open row in `bank`.
+  kPrechargeAll,  // PREA: close all banks in the rank.
+  kRead,          // RD: read `column` of the open row in `bank`.
+  kWrite,         // WR: write `column` of the open row in `bank`.
+  kRefresh,       // REF: refresh the next sweep-group of rows in every bank.
+  kRefreshSb,     // REFsb (DDR5-style): refresh the next sweep-group of
+                  // rows in one bank; only that bank is busy (tRFCsb).
+  // Proposed extension (§4.3): refresh the victims within `blast` rows of
+  // aggressor `row` in `bank`. Only legal when the device advertises it.
+  kRefreshNeighbors,
+};
+
+const char* ToString(DdrCommandType type);
+
+struct DdrCommand {
+  DdrCommandType type = DdrCommandType::kActivate;
+  uint32_t rank = 0;
+  uint32_t bank = 0;    // Unused for REF / PREA.
+  uint32_t row = 0;     // ACT / REF_NEIGHBORS only.
+  uint32_t column = 0;  // RD / WR only.
+  uint32_t blast = 0;   // REF_NEIGHBORS only: radius argument b.
+  bool ap = false;      // RD/WR auto-precharge (RDA/WRA): the bank closes
+                        // itself after the access — the closed-page policy.
+
+  static DdrCommand Act(uint32_t rank, uint32_t bank, uint32_t row) {
+    return {DdrCommandType::kActivate, rank, bank, row, 0, 0, false};
+  }
+  static DdrCommand Pre(uint32_t rank, uint32_t bank) {
+    return {DdrCommandType::kPrecharge, rank, bank, 0, 0, 0, false};
+  }
+  static DdrCommand PreAll(uint32_t rank) {
+    return {DdrCommandType::kPrechargeAll, rank, 0, 0, 0, 0, false};
+  }
+  static DdrCommand Rd(uint32_t rank, uint32_t bank, uint32_t column, bool ap = false) {
+    return {DdrCommandType::kRead, rank, bank, 0, column, 0, ap};
+  }
+  static DdrCommand Wr(uint32_t rank, uint32_t bank, uint32_t column, bool ap = false) {
+    return {DdrCommandType::kWrite, rank, bank, 0, column, 0, ap};
+  }
+  static DdrCommand Ref(uint32_t rank) {
+    return {DdrCommandType::kRefresh, rank, 0, 0, 0, 0, false};
+  }
+  static DdrCommand RefSb(uint32_t rank, uint32_t bank) {
+    return {DdrCommandType::kRefreshSb, rank, bank, 0, 0, 0, false};
+  }
+  static DdrCommand RefNeighbors(uint32_t rank, uint32_t bank, uint32_t row, uint32_t blast) {
+    return {DdrCommandType::kRefreshNeighbors, rank, bank, row, 0, blast, false};
+  }
+
+  std::string ToDebugString() const;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_DRAM_COMMAND_H_

@@ -1,0 +1,71 @@
+#include "dram/config.h"
+
+namespace ht {
+
+DramConfig DramConfig::SimDefault() {
+  DramConfig config;
+  config.name = "ddr4-2400-sim";
+  return config;
+}
+
+DramConfig DramConfig::DensityGeneration(int generation) {
+  DramConfig config = SimDefault();
+  // Kim et al. [30] measured first-flip thresholds falling from ~139K
+  // (older DDR3) through ~10K (DDR4) to ~4.8K (LPDDR4-new); the paper
+  // extrapolates the trend continuing. We map generations onto the scaled
+  // MAC axis (real MAC / 55.6) and widen the blast radius for newer nodes.
+  switch (generation) {
+    case 0:  // DDR3-era, sparse density.
+      config.name = "gen0-ddr3";
+      config.disturbance.mac = 2500;
+      config.disturbance.blast_radius = 1;
+      break;
+    case 1:  // Early DDR4.
+      config.name = "gen1-ddr4-early";
+      config.disturbance.mac = 900;
+      config.disturbance.blast_radius = 1;
+      break;
+    case 2:  // Modern DDR4 / LPDDR4.
+      config.name = "gen2-ddr4-new";
+      config.disturbance.mac = 180;
+      config.disturbance.blast_radius = 2;
+      break;
+    case 3:  // LPDDR4-new (~4.8K real MAC).
+      config.name = "gen3-lpddr4-new";
+      config.disturbance.mac = 86;
+      config.disturbance.blast_radius = 2;
+      break;
+    case 4:  // Projected next-generation node.
+      config.name = "gen4-projected";
+      config.disturbance.mac = 32;
+      config.disturbance.blast_radius = 4;
+      break;
+    default:  // Further extrapolation: halve MAC per step beyond gen 4.
+      config.name = "gen" + std::to_string(generation) + "-extrapolated";
+      config.disturbance.mac = 32u >> (generation - 4 < 5 ? generation - 4 : 5);
+      if (config.disturbance.mac == 0) {
+        config.disturbance.mac = 1;
+      }
+      config.disturbance.blast_radius = 4;
+      break;
+  }
+  return config;
+}
+
+DramConfig DramConfig::Tiny() {
+  DramConfig config;
+  config.name = "tiny-test";
+  config.org.channels = 1;
+  config.org.ranks = 1;
+  config.org.banks = 2;
+  config.org.subarrays_per_bank = 2;
+  config.org.rows_per_subarray = 16;
+  config.org.columns = 8;
+  config.retention.refresh_window = 1u << 16;
+  config.retention.ref_commands_per_window = 32;
+  config.disturbance.mac = 64;
+  config.disturbance.blast_radius = 1;
+  return config;
+}
+
+}  // namespace ht

@@ -1,0 +1,170 @@
+// DRAM organization, timing, retention, disturbance, and TRR parameters.
+//
+// All timings are expressed in DRAM clock cycles (nCK). The default
+// profile models a DDR4-2400-like device. Because real refresh windows
+// (64 ms ~ 76.8M cycles) make security experiments needlessly slow, the
+// simulation profiles scale the refresh window and the maximum activation
+// count (MAC) together, preserving the attack-headroom ratio
+// (max achievable ACTs per row per window) / MAC that determines whether
+// an attack can land. DESIGN.md §3 and EXPERIMENTS.md document the scale.
+#ifndef HAMMERTIME_SRC_DRAM_CONFIG_H_
+#define HAMMERTIME_SRC_DRAM_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace ht {
+
+// Geometry of the DRAM system (per §2.1: modules consist of banks; each
+// bank is a set of row-column subarrays sharing one row buffer).
+struct DramOrg {
+  uint32_t channels = 1;
+  uint32_t ranks = 1;
+  uint32_t banks = 8;              // Banks per rank.
+  uint32_t subarrays_per_bank = 8; // Electromagnetically isolated regions.
+  uint32_t rows_per_subarray = 128;
+  uint32_t columns = 128;          // Cache-line-sized columns per row (128 * 64B = 8 KB row).
+
+  uint32_t rows_per_bank() const { return subarrays_per_bank * rows_per_subarray; }
+  uint32_t total_banks() const { return channels * ranks * banks; }
+  uint64_t total_rows() const { return static_cast<uint64_t>(total_banks()) * rows_per_bank(); }
+  uint64_t row_bytes() const { return static_cast<uint64_t>(columns) * kLineBytes; }
+  uint64_t capacity_bytes() const { return total_rows() * row_bytes(); }
+  uint32_t SubarrayOfRow(uint32_t row) const { return row / rows_per_subarray; }
+  uint32_t RowWithinSubarray(uint32_t row) const { return row % rows_per_subarray; }
+};
+
+// Per-command timing constraints, DDR4-2400-like (values in nCK).
+struct DramTiming {
+  uint32_t tRCD = 16;   // ACT -> RD/WR (same bank).
+  uint32_t tRP = 16;    // PRE -> ACT (same bank).
+  uint32_t tRAS = 39;   // ACT -> PRE (same bank).
+  uint32_t tRC = 55;    // ACT -> ACT (same bank).
+  uint32_t tRRD = 6;    // ACT -> ACT (different banks, same rank).
+  uint32_t tFAW = 26;   // Window that may contain at most 4 ACTs per rank.
+  uint32_t tCCD = 6;    // RD->RD / WR->WR (same rank) minimum spacing.
+  uint32_t tCL = 16;    // RD -> first data.
+  uint32_t tCWL = 12;   // WR -> first data.
+  uint32_t tBL = 4;     // Burst length on the data bus.
+  uint32_t tRTP = 9;    // RD -> PRE (same bank).
+  uint32_t tWR = 18;    // End of write burst -> PRE (same bank).
+  uint32_t tWTR = 9;    // End of write burst -> RD (same rank).
+  uint32_t tRFC = 420;  // REF -> any command (rank busy).
+  uint32_t tRFCsb = 140;  // Same-bank refresh (REFsb): only that bank busy.
+  uint32_t tREFI = 8192;  // Average interval between REF commands.
+
+  // RD-to-PRE earliest delta and WR-to-PRE earliest delta, derived.
+  uint32_t ReadToPrecharge() const { return tRTP; }
+  uint32_t WriteToPrecharge() const { return tCWL + tBL + tWR; }
+  uint32_t WriteToRead() const { return tCWL + tBL + tWTR; }
+};
+
+// Retention / refresh behaviour (§2.1: each row must be refreshed within
+// 64 ms of its last refresh; the module cycles through rows during the
+// refresh interval; an ACT also repairs the row as a side effect).
+struct RetentionParams {
+  Cycle refresh_window = 4u << 20;  // tREFW, cycles. Scaled default (~3.5ms @1.2GHz).
+  uint32_t ref_commands_per_window = 512;  // REF sweep granularity.
+  // DDR5-style same-bank refresh: issue REFsb per bank (cheap, only that
+  // bank stalls) instead of all-bank REF (whole rank stalls for tRFC).
+  bool per_bank_refresh = false;
+};
+
+// Electromagnetic disturbance model (§2.1-2.2). Each aggressor ACT adds
+// distance-weighted disturbance to rows within `blast_radius` in the same
+// subarray; a victim whose accumulated disturbance reaches `mac` before
+// its next refresh suffers bit flips.
+struct DisturbanceParams {
+  uint32_t mac = 2500;       // Maximum activation count (scaled units).
+  uint32_t blast_radius = 2; // b: victims up to b rows from an aggressor.
+  // Weight of an ACT at distance d is 1 / 2^(d-1): immediate neighbours
+  // take full disturbance, further rows exponentially less.
+  double DistanceWeight(uint32_t d) const {
+    return d == 0 ? 0.0 : 1.0 / static_cast<double>(1u << (d - 1));
+  }
+  uint32_t min_flip_bits = 1;  // Bits flipped when a victim crosses MAC.
+  uint32_t max_flip_bits = 4;
+};
+
+// In-DRAM Target Row Refresh model (§3: vendors track a small number n of
+// aggressor rows and refresh their neighbours; bypassable with > n
+// aggressors — TRRespass).
+struct TrrParams {
+  bool enabled = false;
+  uint32_t table_entries = 4;     // n: tracked aggressors per bank.
+  uint32_t refreshes_per_ref = 2; // Neighbour refreshes piggybacked per REF.
+  // Minimum estimated count for an entry to be serviced at REF. Vendors
+  // only act on rows their sampler believes are hot; with more uniform
+  // aggressors than table entries, Misra-Gries estimates collapse toward
+  // zero and nothing qualifies — the TRRespass bypass.
+  uint32_t min_count_to_service = 2;
+  // Sampler behaviour: probability an ACT is inspected by the tracker.
+  double sample_probability = 1.0;
+};
+
+// SECDED ECC over each 64-bit word (one word per line in the store).
+// Cojocar et al. [12] showed ECC raises the bar but does not stop
+// Rowhammer: single-bit flips are corrected, double-bit flips are
+// detected (machine-check -> DoS), and triple-bit flips in one word can
+// escape silently. The device tracks a per-word corruption mask so reads
+// reproduce exactly that behaviour.
+struct EccParams {
+  bool enabled = false;
+};
+
+// Vendor-internal logical->physical row remapping (§2.1: DRAM occasionally
+// remaps two logically-adjacent rows to different internal locations).
+struct RemapParams {
+  bool enabled = false;
+  double remap_fraction = 0.02;  // Fraction of rows remapped.
+  uint64_t seed = 0x5eedULL;
+  // If true, a remap may move a row into a *different* subarray — the
+  // adversarial case for subarray isolation that §4.1 discusses.
+  bool cross_subarray = false;
+};
+
+// Full device configuration.
+struct DramConfig {
+  std::string name = "ddr4-sim";
+  DramOrg org;
+  DramTiming timing;
+  RetentionParams retention;
+  DisturbanceParams disturbance;
+  TrrParams trr;
+  RemapParams remap;
+  EccParams ecc;
+  uint64_t flip_seed = 0xF11Au;
+
+  // Cycles between REF commands so the whole window is swept exactly once.
+  Cycle RefPeriod() const {
+    return retention.refresh_window / retention.ref_commands_per_window;
+  }
+  // Rows refreshed by one REF command (per bank).
+  uint32_t RowsPerRef() const {
+    const uint32_t rows = org.rows_per_bank();
+    const uint32_t refs = retention.ref_commands_per_window;
+    return (rows + refs - 1) / refs;
+  }
+
+  // --- Profiles -----------------------------------------------------------
+
+  // Scaled simulation default: ratios (refresh overhead ~5%, attack
+  // headroom ~29x MAC) match a DDR4-2400 64 ms window device.
+  static DramConfig SimDefault();
+
+  // Density generations following Kim et al. [30]'s measured trend: MAC
+  // drops by orders of magnitude and blast radius grows across
+  // generations. MAC values are in the same scaled units as SimDefault()
+  // (divide-by-55.6 scale versus the real 64 ms window; see EXPERIMENTS.md).
+  static DramConfig DensityGeneration(int generation);
+
+  // A deliberately tiny config for unit tests (2 banks, 2 subarrays,
+  // 16 rows each) where adjacency is easy to reason about.
+  static DramConfig Tiny();
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_DRAM_CONFIG_H_

@@ -1,0 +1,47 @@
+#include "dram/data_store.h"
+
+namespace ht {
+
+void RowDataStore::WriteLine(uint64_t row_key, uint32_t column, uint64_t value) {
+  auto [it, inserted] = rows_.try_emplace(row_key);
+  if (inserted) {
+    it->second.assign(columns_, 0);
+  }
+  it->second[column] = value;
+  corruption_.erase(MaskKey(row_key, column));  // Fresh data is clean.
+}
+
+uint64_t RowDataStore::ReadLine(uint64_t row_key, uint32_t column) const {
+  auto it = rows_.find(row_key);
+  if (it == rows_.end()) {
+    return 0;
+  }
+  return it->second[column];
+}
+
+uint32_t RowDataStore::FlipRandomBits(uint64_t row_key, uint32_t bits) {
+  auto it = rows_.find(row_key);
+  if (it == rows_.end()) {
+    // Still consume RNG draws (two per bit: column + bit position) so flip
+    // positions stay deterministic regardless of which rows hold data.
+    for (uint32_t i = 0; i < bits; ++i) {
+      rng_.Next();
+      rng_.Next();
+    }
+    return 0;
+  }
+  for (uint32_t i = 0; i < bits; ++i) {
+    const uint32_t column = static_cast<uint32_t>(rng_.NextBelow(columns_));
+    const uint32_t bit = static_cast<uint32_t>(rng_.NextBelow(64));
+    it->second[column] ^= (1ULL << bit);
+    corruption_[MaskKey(row_key, column)] ^= (1ULL << bit);
+  }
+  return bits;
+}
+
+uint64_t RowDataStore::CorruptionMask(uint64_t row_key, uint32_t column) const {
+  auto it = corruption_.find(MaskKey(row_key, column));
+  return it == corruption_.end() ? 0 : it->second;
+}
+
+}  // namespace ht

@@ -1,0 +1,60 @@
+// Sparse storage for row contents plus bit-flip corruption injection.
+//
+// To keep memory bounded we store one 64-bit word per cache-line-sized
+// column — enough to detect and localize corruption (which line of which
+// row, which bit) without holding 64 bytes per line. Experiments write
+// known patterns and later verify them; a Rowhammer flip XORs a random bit
+// of a random column, so verification fails exactly like it would on real
+// hardware.
+#ifndef HAMMERTIME_SRC_DRAM_DATA_STORE_H_
+#define HAMMERTIME_SRC_DRAM_DATA_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace ht {
+
+class RowDataStore {
+ public:
+  RowDataStore(uint32_t columns, uint64_t flip_seed) : columns_(columns), rng_(flip_seed) {}
+
+  // Writes the representative word for (row_key, column).
+  void WriteLine(uint64_t row_key, uint32_t column, uint64_t value);
+
+  // Reads the representative word; rows never written read as zero.
+  uint64_t ReadLine(uint64_t row_key, uint32_t column) const;
+
+  // Whether any line of the row has ever been written.
+  bool RowPopulated(uint64_t row_key) const { return rows_.contains(row_key); }
+
+  // Flips `bits` random bits across the row. Returns the number of bits
+  // actually flipped in stored data (0 if the row was never written; the
+  // caller still records the flip event).
+  uint32_t FlipRandomBits(uint64_t row_key, uint32_t bits);
+
+  // XOR distance between the stored word and the last written (clean)
+  // word — the accumulated Rowhammer corruption of that word. Writes
+  // clear it. ECC decisions key off its popcount.
+  uint64_t CorruptionMask(uint64_t row_key, uint32_t column) const;
+
+  size_t populated_rows() const { return rows_.size(); }
+
+ private:
+  uint64_t MaskKey(uint64_t row_key, uint32_t column) const {
+    return row_key * columns_ + column;
+  }
+
+  uint32_t columns_;
+  Rng rng_;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> rows_;
+  std::unordered_map<uint64_t, uint64_t> corruption_;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_DRAM_DATA_STORE_H_

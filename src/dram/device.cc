@@ -1,0 +1,247 @@
+#include "dram/device.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/log.h"
+
+namespace ht {
+
+DramDevice::DramDevice(const DramConfig& config, uint32_t channel_index)
+    : config_(config),
+      channel_index_(channel_index),
+      timing_(config.org, config.timing, /*ref_neighbors_supported=*/true),
+      data_(config.org.columns, config.flip_seed ^ (0x9e37ULL * (channel_index + 1))),
+      flip_bits_rng_(config.flip_seed ^ (0xB17f11bULL * (channel_index + 1))) {
+  const uint32_t banks = config_.org.banks;
+  units_.reserve(config_.org.ranks * banks);
+  for (uint32_t r = 0; r < config_.org.ranks; ++r) {
+    for (uint32_t b = 0; b < banks; ++b) {
+      units_.emplace_back(config_.org, config_.disturbance, config_.remap);
+      units_.back().last_repair.assign(config_.org.rows_per_bank(), 0);
+    }
+    trr_.emplace_back(config_.org, config_.trr,
+                      config_.flip_seed ^ (0x7122ULL * (r + 1) * (channel_index + 1)));
+  }
+  ref_sweep_row_.assign(config_.org.ranks, 0);
+  ref_sweep_row_sb_.assign(static_cast<size_t>(config_.org.ranks) * banks, 0);
+}
+
+uint64_t DramDevice::RowKey(uint32_t rank, uint32_t bank, uint32_t logical_row) const {
+  return (static_cast<uint64_t>(rank * config_.org.banks + bank) << 32) | logical_row;
+}
+
+TimingVerdict DramDevice::Issue(const DdrCommand& cmd, Cycle now) {
+  const TimingVerdict verdict = timing_.Check(cmd, now);
+  if (verdict != TimingVerdict::kOk) {
+    stats_.Add("dram.illegal_commands");
+    HT_LOG_DEBUG("rejected " << cmd.ToDebugString() << " at " << now << ": "
+                             << ToString(verdict));
+    return verdict;
+  }
+  timing_.Record(cmd, now);
+  switch (cmd.type) {
+    case DdrCommandType::kActivate:
+      stats_.Add("dram.acts");
+      ApplyActivate(cmd.rank, cmd.bank, cmd.row, now);
+      break;
+    case DdrCommandType::kPrecharge:
+      stats_.Add("dram.pres");
+      break;
+    case DdrCommandType::kPrechargeAll:
+      stats_.Add("dram.preas");
+      break;
+    case DdrCommandType::kRead:
+      stats_.Add("dram.reads");
+      break;
+    case DdrCommandType::kWrite:
+      stats_.Add("dram.writes");
+      break;
+    case DdrCommandType::kRefresh:
+      stats_.Add("dram.refs");
+      ApplyRefresh(cmd.rank, now);
+      break;
+    case DdrCommandType::kRefreshSb:
+      stats_.Add("dram.refs_sb");
+      ApplyRefreshSb(cmd.rank, cmd.bank, now);
+      break;
+    case DdrCommandType::kRefreshNeighbors:
+      stats_.Add("dram.ref_neighbors");
+      ApplyRefreshNeighbors(cmd.rank, cmd.bank, cmd.row, cmd.blast, now);
+      break;
+  }
+  return TimingVerdict::kOk;
+}
+
+void DramDevice::ApplyActivate(uint32_t rank, uint32_t bank, uint32_t logical_row, Cycle now) {
+  BankUnit& u = unit(rank, bank);
+  const uint32_t internal = u.remap_table.ToInternal(logical_row);
+  u.last_repair[internal] = now;
+
+  std::vector<DisturbanceVictim> victims;
+  u.disturbance.OnActivate(internal, victims);
+  if (!victims.empty()) {
+    RecordFlips(rank, bank, victims, now);
+  }
+  trr_[rank].OnActivate(bank, internal);
+}
+
+void DramDevice::RepairInternalRow(uint32_t rank, uint32_t bank, uint32_t internal_row,
+                                   Cycle now) {
+  BankUnit& u = unit(rank, bank);
+  u.disturbance.OnRefreshRow(internal_row);
+  u.last_repair[internal_row] = now;
+}
+
+void DramDevice::ApplyRefresh(uint32_t rank, Cycle now) {
+  // Sweep the next group of internal rows in every bank of the rank.
+  const uint32_t rows_per_ref = config_.RowsPerRef();
+  const uint32_t rows_per_bank = config_.org.rows_per_bank();
+  const uint32_t start = ref_sweep_row_[rank];
+  for (uint32_t bank = 0; bank < config_.org.banks; ++bank) {
+    for (uint32_t i = 0; i < rows_per_ref; ++i) {
+      RepairInternalRow(rank, bank, (start + i) % rows_per_bank, now);
+    }
+  }
+  ref_sweep_row_[rank] = (start + rows_per_ref) % rows_per_bank;
+
+  // TRR piggybacks targeted neighbour refreshes on the REF (§3).
+  for (const TrrRepair& repair : trr_[rank].OnRefresh()) {
+    stats_.Add("dram.trr_repairs");
+    const uint32_t internal = repair.internal_row;
+    const uint32_t subarray = config_.org.SubarrayOfRow(internal);
+    for (uint32_t d = 1; d <= config_.disturbance.blast_radius; ++d) {
+      if (internal >= d && config_.org.SubarrayOfRow(internal - d) == subarray) {
+        RepairInternalRow(rank, repair.bank, internal - d, now);
+      }
+      const uint32_t above = internal + d;
+      if (above < config_.org.rows_per_bank() && config_.org.SubarrayOfRow(above) == subarray) {
+        RepairInternalRow(rank, repair.bank, above, now);
+      }
+    }
+  }
+}
+
+void DramDevice::ApplyRefreshSb(uint32_t rank, uint32_t bank, Cycle now) {
+  const uint32_t rows_per_ref = config_.RowsPerRef();
+  const uint32_t rows_per_bank = config_.org.rows_per_bank();
+  uint32_t& sweep = ref_sweep_row_sb_[static_cast<size_t>(rank) * config_.org.banks + bank];
+  for (uint32_t i = 0; i < rows_per_ref; ++i) {
+    RepairInternalRow(rank, bank, (sweep + i) % rows_per_bank, now);
+  }
+  sweep = (sweep + rows_per_ref) % rows_per_bank;
+
+  // TRR can piggyback on same-bank refreshes too.
+  for (const TrrRepair& repair : trr_[rank].OnRefresh()) {
+    stats_.Add("dram.trr_repairs");
+    const uint32_t internal = repair.internal_row;
+    const uint32_t subarray = config_.org.SubarrayOfRow(internal);
+    for (uint32_t d = 1; d <= config_.disturbance.blast_radius; ++d) {
+      if (internal >= d && config_.org.SubarrayOfRow(internal - d) == subarray) {
+        RepairInternalRow(rank, repair.bank, internal - d, now);
+      }
+      const uint32_t above = internal + d;
+      if (above < config_.org.rows_per_bank() && config_.org.SubarrayOfRow(above) == subarray) {
+        RepairInternalRow(rank, repair.bank, above, now);
+      }
+    }
+  }
+}
+
+void DramDevice::ApplyRefreshNeighbors(uint32_t rank, uint32_t bank, uint32_t logical_row,
+                                       uint32_t blast, Cycle now) {
+  // The device knows its own internal layout, so REF_NEIGHBORS refreshes
+  // *internal* neighbours — robust to remapping, unlike MC-side guesses.
+  BankUnit& u = unit(rank, bank);
+  const uint32_t internal = u.remap_table.ToInternal(logical_row);
+  const uint32_t subarray = config_.org.SubarrayOfRow(internal);
+  for (uint32_t d = 1; d <= blast; ++d) {
+    if (internal >= d && config_.org.SubarrayOfRow(internal - d) == subarray) {
+      RepairInternalRow(rank, bank, internal - d, now);
+    }
+    const uint32_t above = internal + d;
+    if (above < config_.org.rows_per_bank() && config_.org.SubarrayOfRow(above) == subarray) {
+      RepairInternalRow(rank, bank, above, now);
+    }
+  }
+}
+
+void DramDevice::RecordFlips(uint32_t rank, uint32_t bank,
+                             const std::vector<DisturbanceVictim>& victims, Cycle now) {
+  BankUnit& u = unit(rank, bank);
+  for (const DisturbanceVictim& victim : victims) {
+    const uint32_t logical_victim = u.remap_table.ToLogical(victim.row);
+    const uint32_t logical_aggressor = u.remap_table.ToLogical(victim.aggressor_row);
+    const uint32_t bits = static_cast<uint32_t>(flip_bits_rng_.NextInRange(
+        config_.disturbance.min_flip_bits, config_.disturbance.max_flip_bits));
+    const uint32_t applied = data_.FlipRandomBits(RowKey(rank, bank, logical_victim), bits);
+
+    ++total_flip_events_;
+    stats_.Add("dram.flip_events");
+    stats_.Add("dram.flipped_bits", applied);
+    if (flips_.size() < kMaxFlipRecords) {
+      flips_.push_back({now, channel_index_, rank, bank, logical_victim, logical_aggressor,
+                        config_.org.SubarrayOfRow(victim.row), applied});
+    }
+  }
+}
+
+void DramDevice::WriteLine(uint32_t rank, uint32_t bank, uint32_t row, uint32_t column,
+                           uint64_t value) {
+  data_.WriteLine(RowKey(rank, bank, row), column, value);
+}
+
+uint64_t DramDevice::ReadLine(uint32_t rank, uint32_t bank, uint32_t row, uint32_t column) const {
+  const uint64_t key = RowKey(rank, bank, row);
+  const uint64_t raw = data_.ReadLine(key, column);
+  if (!config_.ecc.enabled) {
+    return raw;
+  }
+  const uint64_t mask = data_.CorruptionMask(key, column);
+  if (mask == 0) {
+    return raw;
+  }
+  switch (std::popcount(mask)) {
+    case 1:
+      ecc_stats_.Add("dram.ecc_corrected");
+      return raw ^ mask;  // SECDED corrects the single flipped bit.
+    case 2:
+      ecc_stats_.Add("dram.ecc_detected");  // Machine check on real HW.
+      return raw;
+    default:
+      ecc_stats_.Add("dram.ecc_escaped");  // Silent multi-bit corruption.
+      return raw;
+  }
+}
+
+uint64_t DramDevice::CountRetentionViolations(Cycle now) const {
+  if (now < config_.retention.refresh_window) {
+    return 0;
+  }
+  const Cycle horizon = now - config_.retention.refresh_window;
+  uint64_t violations = 0;
+  for (const BankUnit& u : units_) {
+    for (Cycle last : u.last_repair) {
+      if (last < horizon) {
+        ++violations;
+      }
+    }
+  }
+  return violations;
+}
+
+uint32_t DramDevice::InternalSubarrayOf(uint32_t rank, uint32_t bank,
+                                        uint32_t logical_row) const {
+  return config_.org.SubarrayOfRow(unit(rank, bank).remap_table.ToInternal(logical_row));
+}
+
+uint32_t DramDevice::InternalRowOf(uint32_t rank, uint32_t bank, uint32_t logical_row) const {
+  return unit(rank, bank).remap_table.ToInternal(logical_row);
+}
+
+double DramDevice::DisturbanceLevel(uint32_t rank, uint32_t bank, uint32_t logical_row) const {
+  const BankUnit& u = unit(rank, bank);
+  return u.disturbance.Level(u.remap_table.ToInternal(logical_row));
+}
+
+}  // namespace ht

@@ -1,0 +1,140 @@
+// One DRAM channel: ranks of banks of subarrays of rows, with full DDR
+// timing enforcement, retention bookkeeping, the disturbance model, the
+// optional in-DRAM TRR, optional vendor row remapping, and the proposed
+// REF_NEIGHBORS extension.
+//
+// The device validates every command (tests exercise illegal streams), so
+// a buggy scheduler cannot silently corrupt simulation results.
+#ifndef HAMMERTIME_SRC_DRAM_DEVICE_H_
+#define HAMMERTIME_SRC_DRAM_DEVICE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "dram/command.h"
+#include "dram/config.h"
+#include "dram/data_store.h"
+#include "dram/disturbance.h"
+#include "dram/remap.h"
+#include "dram/timing.h"
+#include "dram/trr.h"
+
+namespace ht {
+
+// One observed Rowhammer bit-flip episode (a victim row crossing the MAC).
+struct FlipRecord {
+  Cycle cycle = 0;
+  uint32_t channel = 0;
+  uint32_t rank = 0;
+  uint32_t bank = 0;
+  uint32_t victim_row = 0;      // Logical row index (what software sees).
+  uint32_t aggressor_row = 0;   // Logical row index of the tipping aggressor.
+  uint32_t subarray = 0;        // Internal subarray of the victim.
+  uint32_t bits_flipped = 0;    // Bits corrupted in stored data (0 if row empty).
+};
+
+class DramDevice {
+ public:
+  DramDevice(const DramConfig& config, uint32_t channel_index);
+
+  // --- Command interface (used by the memory controller) ------------------
+
+  // Earliest cycle `cmd` satisfies all timing constraints.
+  Cycle EarliestCycle(const DdrCommand& cmd) const { return timing_.EarliestCycle(cmd); }
+
+  // Structural + timing legality at `now`.
+  TimingVerdict Check(const DdrCommand& cmd, Cycle now) const { return timing_.Check(cmd, now); }
+
+  // Executes `cmd` at `now`. Returns the verdict; state changes only on
+  // kOk. ACT applies disturbance and may generate flips.
+  TimingVerdict Issue(const DdrCommand& cmd, Cycle now);
+
+  std::optional<uint32_t> OpenRow(uint32_t rank, uint32_t bank) const {
+    return timing_.OpenRow(rank, bank);
+  }
+
+  // --- Data plane ----------------------------------------------------------
+
+  // Reads/writes the representative word of a line. These model the data
+  // carried by RD/WR bursts; the MC calls them when completing requests.
+  // Rows/columns are *logical* coordinates. With ECC enabled, reads apply
+  // SECDED to the word: 1 corrupted bit is corrected, 2 are detected
+  // (returned raw, counted as dram.ecc_detected — a machine check on real
+  // hardware), 3+ escape silently.
+  void WriteLine(uint32_t rank, uint32_t bank, uint32_t row, uint32_t column, uint64_t value);
+  uint64_t ReadLine(uint32_t rank, uint32_t bank, uint32_t row, uint32_t column) const;
+
+  // --- Introspection (tests, defenses with modeled assists) ---------------
+
+  const DramConfig& config() const { return config_; }
+  uint32_t channel_index() const { return channel_index_; }
+
+  // Flip records are capped at kMaxFlipRecords; total_flips() counts all.
+  const std::vector<FlipRecord>& flip_records() const { return flips_; }
+  uint64_t total_flip_events() const { return total_flip_events_; }
+
+  // Rows whose last repair is older than the refresh window at `now`
+  // (nonzero means the refresh manager is broken or disabled).
+  uint64_t CountRetentionViolations(Cycle now) const;
+
+  // Vendor assist (Table 1 "Internal subarray mappings"): internal subarray
+  // of a logical row. Only meaningful to defenses when the experiment
+  // grants the assist; attacks instead infer it (src/attack).
+  uint32_t InternalSubarrayOf(uint32_t rank, uint32_t bank, uint32_t logical_row) const;
+  uint32_t InternalRowOf(uint32_t rank, uint32_t bank, uint32_t logical_row) const;
+
+  // Disturbance accumulated on a *logical* row (test-only oracle).
+  double DisturbanceLevel(uint32_t rank, uint32_t bank, uint32_t logical_row) const;
+
+  StatSet& stats() { return stats_; }
+  const StatSet& stats() const { return stats_; }
+  // ECC read-path counters (corrected / detected / escaped).
+  const StatSet& ecc_stats() const { return ecc_stats_; }
+
+  static constexpr size_t kMaxFlipRecords = 200000;
+
+ private:
+  struct BankUnit {
+    BankUnit(const DramOrg& org, const DisturbanceParams& params, const RemapParams& remap)
+        : disturbance(org, params), remap_table(org, remap) {}
+    BankDisturbance disturbance;
+    RowRemapTable remap_table;
+    std::vector<Cycle> last_repair;  // Per internal row.
+  };
+
+  BankUnit& unit(uint32_t rank, uint32_t bank) { return units_[rank * config_.org.banks + bank]; }
+  const BankUnit& unit(uint32_t rank, uint32_t bank) const {
+    return units_[rank * config_.org.banks + bank];
+  }
+  uint64_t RowKey(uint32_t rank, uint32_t bank, uint32_t logical_row) const;
+
+  void ApplyActivate(uint32_t rank, uint32_t bank, uint32_t logical_row, Cycle now);
+  void RepairInternalRow(uint32_t rank, uint32_t bank, uint32_t internal_row, Cycle now);
+  void ApplyRefresh(uint32_t rank, Cycle now);
+  void ApplyRefreshSb(uint32_t rank, uint32_t bank, Cycle now);
+  void ApplyRefreshNeighbors(uint32_t rank, uint32_t bank, uint32_t logical_row, uint32_t blast,
+                             Cycle now);
+  void RecordFlips(uint32_t rank, uint32_t bank, const std::vector<DisturbanceVictim>& victims,
+                   Cycle now);
+
+  DramConfig config_;
+  uint32_t channel_index_;
+  TimingChecker timing_;
+  std::vector<BankUnit> units_;  // ranks * banks.
+  std::vector<TrrEngine> trr_;   // One per rank.
+  std::vector<uint32_t> ref_sweep_row_;  // Per rank: next internal row group.
+  std::vector<uint32_t> ref_sweep_row_sb_;  // Per rank*bank (REFsb mode).
+  mutable StatSet ecc_stats_;  // Read-path counters (ReadLine is const).
+  RowDataStore data_;
+  Rng flip_bits_rng_;
+  std::vector<FlipRecord> flips_;
+  uint64_t total_flip_events_ = 0;
+  StatSet stats_;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_DRAM_DEVICE_H_

@@ -1,0 +1,53 @@
+#include "dram/disturbance.h"
+
+namespace ht {
+
+BankDisturbance::BankDisturbance(const DramOrg& org, const DisturbanceParams& params)
+    : org_(org), params_(params) {
+  level_.assign(org_.rows_per_bank(), 0.0);
+  acts_.assign(org_.rows_per_bank(), 0);
+}
+
+void BankDisturbance::OnActivate(uint32_t row, std::vector<DisturbanceVictim>& victims) {
+  // The ACT repairs the activated row itself.
+  level_[row] = 0.0;
+  acts_[row] = 0;
+
+  const uint32_t subarray = org_.SubarrayOfRow(row);
+  const uint32_t rows_per_bank = org_.rows_per_bank();
+  const double mac = static_cast<double>(params_.mac);
+  for (uint32_t d = 1; d <= params_.blast_radius; ++d) {
+    const double w = params_.DistanceWeight(d);
+    // Victim below.
+    if (row >= d) {
+      const uint32_t v = row - d;
+      if (org_.SubarrayOfRow(v) == subarray) {
+        level_[v] += w;
+        ++acts_[v];
+        if (level_[v] >= mac) {
+          victims.push_back({v, row});
+          level_[v] = 0.0;
+          acts_[v] = 0;
+        }
+      }
+    }
+    // Victim above.
+    const uint32_t v = row + d;
+    if (v < rows_per_bank && org_.SubarrayOfRow(v) == subarray) {
+      level_[v] += w;
+      ++acts_[v];
+      if (level_[v] >= mac) {
+        victims.push_back({v, row});
+        level_[v] = 0.0;
+        acts_[v] = 0;
+      }
+    }
+  }
+}
+
+void BankDisturbance::OnRefreshRow(uint32_t row) {
+  level_[row] = 0.0;
+  acts_[row] = 0;
+}
+
+}  // namespace ht

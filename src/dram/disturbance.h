@@ -1,0 +1,58 @@
+// Electromagnetic disturbance accounting (§2.1-2.2).
+//
+// Each ACT of an aggressor row adds distance-weighted disturbance to the
+// rows within the configured blast radius *in the same subarray* (subarrays
+// are electromagnetically isolated — the physical fact §4.1's isolation
+// primitive builds on). A victim whose accumulated disturbance reaches the
+// module MAC before its next refresh is reported as flipped; refreshing a
+// row (REF sweep, its own ACT, TRR, REF_NEIGHBORS, or the proposed refresh
+// instruction) zeroes its accumulator.
+#ifndef HAMMERTIME_SRC_DRAM_DISTURBANCE_H_
+#define HAMMERTIME_SRC_DRAM_DISTURBANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "dram/config.h"
+
+namespace ht {
+
+// A victim row that crossed the MAC on some aggressor activation.
+struct DisturbanceVictim {
+  uint32_t row = 0;            // Internal row index within the bank.
+  uint32_t aggressor_row = 0;  // Internal row whose ACT tipped it over.
+};
+
+// Tracks disturbance for every row of one bank.
+class BankDisturbance {
+ public:
+  BankDisturbance(const DramOrg& org, const DisturbanceParams& params);
+
+  // Registers an ACT of `row` (internal index). The activated row itself is
+  // repaired as a side effect (§2.1). Appends any victims that crossed the
+  // MAC to `victims`; their accumulators are reset so sustained hammering
+  // produces periodic further flips.
+  void OnActivate(uint32_t row, std::vector<DisturbanceVictim>& victims);
+
+  // Registers a refresh (repair) of `row` without disturbance side effects.
+  void OnRefreshRow(uint32_t row);
+
+  // Current accumulated disturbance of `row`, in ACT-equivalents.
+  double Level(uint32_t row) const { return level_[row]; }
+
+  // Total ACTs of `row` since its last repair (the paper's per-row
+  // activation-count view; used by tests and by MC-side mitigations that
+  // model perfect knowledge).
+  uint32_t ActsSinceRepair(uint32_t row) const { return acts_[row]; }
+
+ private:
+  DramOrg org_;
+  DisturbanceParams params_;
+  std::vector<double> level_;   // Per internal row.
+  std::vector<uint32_t> acts_;  // Per internal row.
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_DRAM_DISTURBANCE_H_

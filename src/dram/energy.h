@@ -1,0 +1,52 @@
+// First-order DRAM energy accounting from command counts.
+//
+// Per-command energies are DDR4-class ballpark constants (derived from
+// IDD0/IDD4 style datasheet figures); they are deliberately simple — the
+// experiments compare *relative* energy overheads of mitigations, where
+// command mix is what matters. Background/static power is excluded.
+#ifndef HAMMERTIME_SRC_DRAM_ENERGY_H_
+#define HAMMERTIME_SRC_DRAM_ENERGY_H_
+
+#include "common/stats.h"
+
+namespace ht {
+
+struct EnergyParams {
+  // Nanojoules per command.
+  double act_pre_nj = 2.0;          // One ACT + its eventual PRE.
+  double read_nj = 1.2;             // RD burst (I/O + array).
+  double write_nj = 1.3;            // WR burst.
+  double ref_nj = 25.0;             // One REF command (sweeps a row group
+                                    // in every bank).
+  double ref_neighbors_row_nj = 2.0;  // Per victim row walked internally.
+};
+
+struct EnergyBreakdown {
+  double activate_nj = 0.0;
+  double read_nj = 0.0;
+  double write_nj = 0.0;
+  double refresh_nj = 0.0;
+  double ref_neighbors_nj = 0.0;
+
+  double total_nj() const {
+    return activate_nj + read_nj + write_nj + refresh_nj + ref_neighbors_nj;
+  }
+};
+
+// Computes the breakdown from a DramDevice's stats() counters.
+inline EnergyBreakdown ComputeEnergy(const StatSet& device_stats,
+                                     uint32_t blast_radius,
+                                     const EnergyParams& params = EnergyParams()) {
+  EnergyBreakdown breakdown;
+  breakdown.activate_nj = static_cast<double>(device_stats.Get("dram.acts")) * params.act_pre_nj;
+  breakdown.read_nj = static_cast<double>(device_stats.Get("dram.reads")) * params.read_nj;
+  breakdown.write_nj = static_cast<double>(device_stats.Get("dram.writes")) * params.write_nj;
+  breakdown.refresh_nj = static_cast<double>(device_stats.Get("dram.refs")) * params.ref_nj;
+  breakdown.ref_neighbors_nj = static_cast<double>(device_stats.Get("dram.ref_neighbors")) *
+                               2.0 * blast_radius * params.ref_neighbors_row_nj;
+  return breakdown;
+}
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_DRAM_ENERGY_H_

@@ -1,0 +1,42 @@
+#include "dram/remap.h"
+
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace ht {
+
+RowRemapTable::RowRemapTable(const DramOrg& org, const RemapParams& params) {
+  const uint32_t rows = org.rows_per_bank();
+  to_internal_.resize(rows);
+  std::iota(to_internal_.begin(), to_internal_.end(), 0);
+
+  if (params.enabled && params.remap_fraction > 0.0) {
+    Rng rng(params.seed);
+    const uint32_t swaps = static_cast<uint32_t>(rows * params.remap_fraction / 2.0);
+    for (uint32_t i = 0; i < swaps; ++i) {
+      const uint32_t a = static_cast<uint32_t>(rng.NextBelow(rows));
+      uint32_t b;
+      if (params.cross_subarray) {
+        b = static_cast<uint32_t>(rng.NextBelow(rows));
+      } else {
+        // Partner within the same subarray.
+        const uint32_t base = org.SubarrayOfRow(a) * org.rows_per_subarray;
+        b = base + static_cast<uint32_t>(rng.NextBelow(org.rows_per_subarray));
+      }
+      std::swap(to_internal_[a], to_internal_[b]);
+    }
+  }
+
+  to_logical_.resize(rows);
+  for (uint32_t logical = 0; logical < rows; ++logical) {
+    to_logical_[to_internal_[logical]] = logical;
+  }
+  for (uint32_t logical = 0; logical < rows; ++logical) {
+    if (to_internal_[logical] != logical) {
+      ++remapped_rows_;
+    }
+  }
+}
+
+}  // namespace ht

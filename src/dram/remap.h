@@ -1,0 +1,40 @@
+// Vendor-internal logical-to-physical row remapping (§2.1: "DRAM
+// occasionally remaps two logically-adjacent rows to different internal
+// locations"). The memory controller and software address *logical* rows;
+// disturbance physics happen on *internal* rows. Defenses that rely on
+// adjacency must either obtain the map (optional DRAM assist, Table 1) or
+// infer it (§2.1's attack-based inference, implemented in src/attack).
+#ifndef HAMMERTIME_SRC_DRAM_REMAP_H_
+#define HAMMERTIME_SRC_DRAM_REMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/config.h"
+
+namespace ht {
+
+class RowRemapTable {
+ public:
+  // Builds the per-bank permutation. With remapping disabled this is the
+  // identity. With it enabled, `remap_fraction` of rows are pairwise
+  // swapped with a partner row — within the same subarray by default, or
+  // anywhere in the bank when `cross_subarray` is set (the adversarial
+  // case for subarray isolation that §4.1 discusses).
+  RowRemapTable(const DramOrg& org, const RemapParams& params);
+
+  uint32_t ToInternal(uint32_t logical_row) const { return to_internal_[logical_row]; }
+  uint32_t ToLogical(uint32_t internal_row) const { return to_logical_[internal_row]; }
+
+  // Number of rows whose internal position differs from their logical one.
+  uint32_t remapped_rows() const { return remapped_rows_; }
+
+ private:
+  std::vector<uint32_t> to_internal_;
+  std::vector<uint32_t> to_logical_;
+  uint32_t remapped_rows_ = 0;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_DRAM_REMAP_H_

@@ -1,0 +1,227 @@
+#include "dram/timing.h"
+
+#include <algorithm>
+
+namespace ht {
+
+const char* ToString(TimingVerdict verdict) {
+  switch (verdict) {
+    case TimingVerdict::kOk:
+      return "ok";
+    case TimingVerdict::kTooEarly:
+      return "too-early";
+    case TimingVerdict::kBankNotOpen:
+      return "bank-not-open";
+    case TimingVerdict::kBankAlreadyOpen:
+      return "bank-already-open";
+    case TimingVerdict::kBanksNotIdle:
+      return "banks-not-idle";
+    case TimingVerdict::kUnsupported:
+      return "unsupported";
+  }
+  return "?";
+}
+
+TimingChecker::TimingChecker(const DramOrg& org, const DramTiming& timing,
+                             bool ref_neighbors_supported)
+    : org_(org), timing_(timing), ref_neighbors_supported_(ref_neighbors_supported) {
+  ranks_.resize(org_.ranks);
+  for (auto& rank : ranks_) {
+    rank.banks.resize(org_.banks);
+  }
+}
+
+Cycle TimingChecker::EarliestCycle(const DdrCommand& cmd) const {
+  const RankState& rank = ranks_[cmd.rank];
+  Cycle earliest = rank.ref_busy_until;
+  switch (cmd.type) {
+    case DdrCommandType::kActivate: {
+      const BankState& b = rank.banks[cmd.bank];
+      earliest = std::max({earliest, b.next_act, b.busy_until, rank.next_act_rrd});
+      // tFAW: the 4th-most-recent ACT must be at least tFAW old. Entries
+      // store cycle+1 so a legitimate ACT at cycle 0 is distinguishable
+      // from "no ACT recorded yet".
+      const Cycle oldest = rank.faw_acts[rank.faw_head];
+      earliest = std::max(earliest, oldest == 0 ? Cycle{0} : (oldest - 1) + timing_.tFAW);
+      break;
+    }
+    case DdrCommandType::kPrecharge: {
+      const BankState& b = rank.banks[cmd.bank];
+      earliest = std::max({earliest, b.next_pre, b.busy_until});
+      break;
+    }
+    case DdrCommandType::kPrechargeAll: {
+      for (const BankState& b : rank.banks) {
+        if (b.open_row.has_value()) {
+          earliest = std::max({earliest, b.next_pre, b.busy_until});
+        }
+      }
+      break;
+    }
+    case DdrCommandType::kRead: {
+      const BankState& b = rank.banks[cmd.bank];
+      earliest = std::max({earliest, b.next_rdwr, b.busy_until, rank.next_rd});
+      // Data bus availability: burst starts tCL after issue.
+      if (data_bus_free_ > earliest + timing_.tCL) {
+        earliest = data_bus_free_ - timing_.tCL;
+      }
+      break;
+    }
+    case DdrCommandType::kWrite: {
+      const BankState& b = rank.banks[cmd.bank];
+      earliest = std::max({earliest, b.next_rdwr, b.busy_until, rank.next_wr});
+      if (data_bus_free_ > earliest + timing_.tCWL) {
+        earliest = data_bus_free_ - timing_.tCWL;
+      }
+      break;
+    }
+    case DdrCommandType::kRefresh: {
+      // All banks must be idle; REF may issue once each bank's precharge
+      // has completed (next_act tracks tRP completion after a PRE).
+      for (const BankState& b : rank.banks) {
+        earliest = std::max({earliest, b.next_act, b.busy_until});
+      }
+      break;
+    }
+    case DdrCommandType::kRefreshSb: {
+      const BankState& b = rank.banks[cmd.bank];
+      earliest = std::max({earliest, b.next_act, b.busy_until});
+      break;
+    }
+    case DdrCommandType::kRefreshNeighbors: {
+      const BankState& b = rank.banks[cmd.bank];
+      earliest = std::max({earliest, b.next_act, b.busy_until});
+      break;
+    }
+  }
+  return earliest;
+}
+
+TimingVerdict TimingChecker::Check(const DdrCommand& cmd, Cycle now) const {
+  const RankState& rank = ranks_[cmd.rank];
+  switch (cmd.type) {
+    case DdrCommandType::kActivate:
+      if (rank.banks[cmd.bank].open_row.has_value()) {
+        return TimingVerdict::kBankAlreadyOpen;
+      }
+      break;
+    case DdrCommandType::kPrecharge:
+      // PRE to an idle bank is a harmless NOP per DDR; we allow it.
+      break;
+    case DdrCommandType::kRead:
+    case DdrCommandType::kWrite:
+      if (!rank.banks[cmd.bank].open_row.has_value()) {
+        return TimingVerdict::kBankNotOpen;
+      }
+      break;
+    case DdrCommandType::kRefresh:
+      for (const BankState& b : rank.banks) {
+        if (b.open_row.has_value()) {
+          return TimingVerdict::kBanksNotIdle;
+        }
+      }
+      break;
+    case DdrCommandType::kRefreshSb:
+      if (rank.banks[cmd.bank].open_row.has_value()) {
+        return TimingVerdict::kBanksNotIdle;
+      }
+      break;
+    case DdrCommandType::kRefreshNeighbors:
+      if (!ref_neighbors_supported_) {
+        return TimingVerdict::kUnsupported;
+      }
+      if (rank.banks[cmd.bank].open_row.has_value()) {
+        return TimingVerdict::kBankAlreadyOpen;
+      }
+      break;
+    case DdrCommandType::kPrechargeAll:
+      break;
+  }
+  if (now < EarliestCycle(cmd)) {
+    return TimingVerdict::kTooEarly;
+  }
+  return TimingVerdict::kOk;
+}
+
+void TimingChecker::Record(const DdrCommand& cmd, Cycle now) {
+  RankState& rank = ranks_[cmd.rank];
+  switch (cmd.type) {
+    case DdrCommandType::kActivate: {
+      BankState& b = rank.banks[cmd.bank];
+      b.open_row = cmd.row;
+      b.next_act = now + timing_.tRC;
+      b.next_pre = now + timing_.tRAS;
+      b.next_rdwr = now + timing_.tRCD;
+      rank.next_act_rrd = now + timing_.tRRD;
+      rank.faw_acts[rank.faw_head] = now + 1;
+      rank.faw_head = (rank.faw_head + 1) % 4;
+      break;
+    }
+    case DdrCommandType::kPrecharge: {
+      BankState& b = rank.banks[cmd.bank];
+      b.open_row.reset();
+      b.next_act = std::max(b.next_act, now + timing_.tRP);
+      break;
+    }
+    case DdrCommandType::kPrechargeAll: {
+      for (BankState& b : rank.banks) {
+        if (b.open_row.has_value()) {
+          b.open_row.reset();
+          b.next_act = std::max(b.next_act, now + timing_.tRP);
+        }
+      }
+      break;
+    }
+    case DdrCommandType::kRead: {
+      BankState& b = rank.banks[cmd.bank];
+      b.next_pre = std::max(b.next_pre, now + timing_.ReadToPrecharge());
+      rank.next_rd = now + timing_.tCCD;
+      rank.next_wr = std::max(rank.next_wr, now + timing_.tCCD);
+      data_bus_free_ = now + timing_.tCL + timing_.tBL;
+      if (cmd.ap) {
+        // RDA: the bank precharges itself tRTP after the read.
+        b.open_row.reset();
+        b.next_act = std::max(b.next_act, now + timing_.ReadToPrecharge() + timing_.tRP);
+      }
+      break;
+    }
+    case DdrCommandType::kWrite: {
+      BankState& b = rank.banks[cmd.bank];
+      b.next_pre = std::max(b.next_pre, now + timing_.WriteToPrecharge());
+      rank.next_wr = now + timing_.tCCD;
+      rank.next_rd = std::max(rank.next_rd, now + timing_.WriteToRead());
+      data_bus_free_ = now + timing_.tCWL + timing_.tBL;
+      if (cmd.ap) {
+        // WRA: precharge after write recovery.
+        b.open_row.reset();
+        b.next_act = std::max(b.next_act, now + timing_.WriteToPrecharge() + timing_.tRP);
+      }
+      break;
+    }
+    case DdrCommandType::kRefresh: {
+      rank.ref_busy_until = now + timing_.tRFC;
+      break;
+    }
+    case DdrCommandType::kRefreshSb: {
+      BankState& b = rank.banks[cmd.bank];
+      b.busy_until = now + timing_.tRFCsb;
+      b.next_act = std::max(b.next_act, b.busy_until);
+      break;
+    }
+    case DdrCommandType::kRefreshNeighbors: {
+      // Internally the device walks up to 2*blast victim rows, performing
+      // an ACT+PRE pair for each; the bank is occupied for that long.
+      BankState& b = rank.banks[cmd.bank];
+      const Cycle per_row = timing_.tRC;
+      b.busy_until = now + static_cast<Cycle>(2 * cmd.blast) * per_row + timing_.tRP;
+      b.next_act = std::max(b.next_act, b.busy_until);
+      break;
+    }
+  }
+}
+
+std::optional<uint32_t> TimingChecker::OpenRow(uint32_t rank, uint32_t bank_index) const {
+  return ranks_[rank].banks[bank_index].open_row;
+}
+
+}  // namespace ht

@@ -1,0 +1,85 @@
+// DDR timing enforcement for one channel (one command/data bus domain).
+//
+// The checker answers "when is this command first legal?" so the memory
+// controller can schedule, and records issued commands to advance state.
+// Structural legality (reading a closed bank, activating an open one) is
+// reported separately from timing legality so tests can distinguish them.
+#ifndef HAMMERTIME_SRC_DRAM_TIMING_H_
+#define HAMMERTIME_SRC_DRAM_TIMING_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "dram/command.h"
+#include "dram/config.h"
+
+namespace ht {
+
+// Why a command cannot be issued right now.
+enum class TimingVerdict : uint8_t {
+  kOk,                 // Legal at the queried cycle.
+  kTooEarly,           // Legal later; see EarliestCycle().
+  kBankNotOpen,        // RD/WR/PRE-with-no-row structural issues.
+  kBankAlreadyOpen,    // ACT to an open bank.
+  kBanksNotIdle,       // REF requires every bank precharged.
+  kUnsupported,        // REF_NEIGHBORS on a device without the extension.
+};
+
+const char* ToString(TimingVerdict verdict);
+
+class TimingChecker {
+ public:
+  TimingChecker(const DramOrg& org, const DramTiming& timing, bool ref_neighbors_supported);
+
+  // Earliest cycle at which `cmd` satisfies every timing constraint given
+  // the commands recorded so far. Structural problems are reported via
+  // `Check`; this only covers timing.
+  Cycle EarliestCycle(const DdrCommand& cmd) const;
+
+  // Full legality check at cycle `now`.
+  TimingVerdict Check(const DdrCommand& cmd, Cycle now) const;
+
+  // Records `cmd` as issued at `now`. Callers must Check() first; Record
+  // on an illegal command leaves state undefined.
+  void Record(const DdrCommand& cmd, Cycle now);
+
+  // Row currently latched in `bank`'s row buffer, if any.
+  std::optional<uint32_t> OpenRow(uint32_t rank, uint32_t bank) const;
+
+  // Cycle at which the data for a RD issued at `issue` becomes available.
+  Cycle ReadDataReady(Cycle issue) const { return issue + timing_.tCL + timing_.tBL; }
+
+ private:
+  struct BankState {
+    std::optional<uint32_t> open_row;
+    Cycle next_act = 0;     // Earliest ACT (tRC, tRP after PRE).
+    Cycle next_pre = 0;     // Earliest PRE (tRAS, tRTP, tWR).
+    Cycle next_rdwr = 0;    // Earliest RD/WR (tRCD).
+    Cycle busy_until = 0;   // REF_NEIGHBORS internal occupation.
+  };
+  struct RankState {
+    std::vector<BankState> banks;
+    Cycle next_act_rrd = 0;       // tRRD across banks.
+    Cycle faw_acts[4] = {0, 0, 0, 0};  // Ring of last four ACT cycles (tFAW).
+    int faw_head = 0;
+    Cycle next_rd = 0;            // tCCD / tWTR.
+    Cycle next_wr = 0;            // tCCD.
+    Cycle ref_busy_until = 0;     // tRFC after REF.
+  };
+
+  const BankState& bank(uint32_t rank, uint32_t bank_index) const {
+    return ranks_[rank].banks[bank_index];
+  }
+
+  DramOrg org_;
+  DramTiming timing_;
+  bool ref_neighbors_supported_;
+  std::vector<RankState> ranks_;
+  Cycle data_bus_free_ = 0;  // Channel data bus: end of last burst.
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_DRAM_TIMING_H_

@@ -1,0 +1,71 @@
+#include "dram/trr.h"
+
+#include <algorithm>
+
+namespace ht {
+
+TrrEngine::TrrEngine(const DramOrg& org, const TrrParams& params, uint64_t seed)
+    : org_(org), params_(params), rng_(seed) {
+  tables_.resize(org_.banks);
+}
+
+void TrrEngine::OnActivate(uint32_t bank, uint32_t internal_row) {
+  if (!params_.enabled) {
+    return;
+  }
+  if (params_.sample_probability < 1.0 && !rng_.NextBool(params_.sample_probability)) {
+    return;
+  }
+  auto& table = tables_[bank];
+  for (Entry& entry : table) {
+    if (entry.row == internal_row) {
+      ++entry.count;
+      return;
+    }
+  }
+  if (table.size() < params_.table_entries) {
+    table.push_back({internal_row, 1});
+    return;
+  }
+  // Misra-Gries conflict: decrement everyone; replace any entry that hits
+  // zero. With > n uniformly hammered rows this thrashes — the TRRespass
+  // bypass.
+  for (Entry& entry : table) {
+    if (entry.count > 0) {
+      --entry.count;
+    }
+  }
+  for (Entry& entry : table) {
+    if (entry.count == 0) {
+      entry = {internal_row, 1};
+      return;
+    }
+  }
+}
+
+std::vector<TrrRepair> TrrEngine::OnRefresh() {
+  std::vector<TrrRepair> repairs;
+  if (!params_.enabled) {
+    return repairs;
+  }
+  // Scan banks round-robin so every bank gets service over successive REFs.
+  for (uint32_t scanned = 0; scanned < org_.banks && repairs.size() < params_.refreshes_per_ref;
+       ++scanned) {
+    const uint32_t bank = (next_bank_rr_ + scanned) % org_.banks;
+    auto& table = tables_[bank];
+    while (!table.empty() && repairs.size() < params_.refreshes_per_ref) {
+      auto top = std::max_element(
+          table.begin(), table.end(),
+          [](const Entry& a, const Entry& b) { return a.count < b.count; });
+      if (top->count < params_.min_count_to_service) {
+        break;  // Nothing the sampler is confident about (bypass regime).
+      }
+      repairs.push_back({bank, top->row});
+      table.erase(top);
+    }
+  }
+  next_bank_rr_ = (next_bank_rr_ + 1) % org_.banks;
+  return repairs;
+}
+
+}  // namespace ht

@@ -1,0 +1,58 @@
+// In-DRAM Target Row Refresh model (§3).
+//
+// Vendors ship blackbox TRR that tracks a small number n of candidate
+// aggressor rows per bank and opportunistically refreshes their neighbours
+// during regular REF commands. TRRespass [15] showed the tracker's small n
+// is the weakness: hammering more than n rows uniformly evicts entries
+// faster than they can be serviced. We model the tracker as a Misra-Gries
+// style frequency table (insert-on-ACT, decrement-all-on-conflict), which
+// reproduces exactly that bypass behaviour.
+#ifndef HAMMERTIME_SRC_DRAM_TRR_H_
+#define HAMMERTIME_SRC_DRAM_TRR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "dram/config.h"
+
+namespace ht {
+
+// A victim repair the TRR engine wants performed during a REF.
+struct TrrRepair {
+  uint32_t bank = 0;
+  uint32_t internal_row = 0;  // Aggressor row whose neighbours to refresh.
+};
+
+class TrrEngine {
+ public:
+  TrrEngine(const DramOrg& org, const TrrParams& params, uint64_t seed);
+
+  // Observes an ACT (internal row). May sample it into the tracker.
+  void OnActivate(uint32_t bank, uint32_t internal_row);
+
+  // Called when the device executes a REF: selects up to
+  // `refreshes_per_ref` tracked aggressors (highest estimated count first)
+  // whose neighbours should be refreshed, and clears their entries.
+  std::vector<TrrRepair> OnRefresh();
+
+  bool enabled() const { return params_.enabled; }
+  uint32_t table_entries() const { return params_.table_entries; }
+
+ private:
+  struct Entry {
+    uint32_t row = 0;
+    uint32_t count = 0;
+  };
+
+  DramOrg org_;
+  TrrParams params_;
+  Rng rng_;
+  // Per-bank tracker tables.
+  std::vector<std::vector<Entry>> tables_;
+  uint32_t next_bank_rr_ = 0;  // Round-robin over banks when refreshing.
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_DRAM_TRR_H_

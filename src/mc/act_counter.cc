@@ -1,0 +1,27 @@
+#include "mc/act_counter.h"
+
+namespace ht {
+
+void ActCounter::OnActivate(PhysAddr trigger_addr, DomainId domain, bool is_dma, Cycle now) {
+  if (!config_.enabled) {
+    return;
+  }
+  ++count_;
+  if (count_ < config_.threshold) {
+    return;
+  }
+  ++interrupts_;
+  if (handler_) {
+    ActInterrupt interrupt;
+    interrupt.channel = channel_;
+    interrupt.trigger_addr = config_.precise ? trigger_addr : kInvalidPhysAddr;
+    interrupt.trigger_domain = config_.precise ? domain : kInvalidDomain;
+    interrupt.trigger_is_dma = is_dma;
+    interrupt.cycle = now;
+    interrupt.acts_since_reset = count_;
+    handler_(interrupt);
+  }
+  count_ = config_.randomize_reset ? rng_.NextBelow(config_.threshold) : 0;
+}
+
+}  // namespace ht

@@ -1,0 +1,73 @@
+// The paper's frequency-centric primitive (§4.2): a per-channel ACT
+// counter whose overflow interrupt reports the physical (cache line)
+// address of the most recent RD/WR that triggered an ACT — "precise ACT
+// interrupt events". Modern Intel MCs already count ACTs per channel and
+// can interrupt on overflow [22]; the novelty is the latched address.
+//
+// The host OS configures the threshold and, to defeat attackers that
+// synchronize with the counter, may randomize the post-interrupt reset
+// value (§4.2: "including a degree of randomness in counter reset values").
+#ifndef HAMMERTIME_SRC_MC_ACT_COUNTER_H_
+#define HAMMERTIME_SRC_MC_ACT_COUNTER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace ht {
+
+struct ActInterrupt {
+  uint32_t channel = 0;
+  // Physical line address of the RD/WR that caused the latest ACT —
+  // the paper's proposed addition to the existing ACT_COUNT event.
+  PhysAddr trigger_addr = 0;
+  DomainId trigger_domain = kInvalidDomain;
+  bool trigger_is_dma = false;
+  Cycle cycle = 0;
+  uint64_t acts_since_reset = 0;
+};
+
+using ActInterruptHandler = std::function<void(const ActInterrupt&)>;
+
+struct ActCounterConfig {
+  bool enabled = false;
+  uint64_t threshold = 512;       // Interrupt after this many ACTs.
+  bool randomize_reset = false;   // Reset to uniform [0, threshold) if set.
+  uint64_t rng_seed = 0xACC7ULL;
+  // Legacy mode (existing Intel behaviour): raise the interrupt but do
+  // NOT latch the trigger address — lets experiments show why the
+  // imprecise event is useless for defense (§4.2 "Problem").
+  bool precise = true;
+};
+
+class ActCounter {
+ public:
+  ActCounter(uint32_t channel, const ActCounterConfig& config)
+      : channel_(channel), config_(config), rng_(config.rng_seed + channel) {}
+
+  void set_handler(ActInterruptHandler handler) { handler_ = std::move(handler); }
+  const ActCounterConfig& config() const { return config_; }
+  void set_threshold(uint64_t threshold) { config_.threshold = threshold; }
+
+  // Called by the controller for every ACT it issues, with the physical
+  // address / origin of the RD or WR that necessitated the ACT.
+  void OnActivate(PhysAddr trigger_addr, DomainId domain, bool is_dma, Cycle now);
+
+  uint64_t count() const { return count_; }
+  uint64_t interrupts_raised() const { return interrupts_; }
+
+ private:
+  uint32_t channel_;
+  ActCounterConfig config_;
+  Rng rng_;
+  ActInterruptHandler handler_;
+  uint64_t count_ = 0;
+  uint64_t interrupts_ = 0;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_MC_ACT_COUNTER_H_

@@ -1,0 +1,114 @@
+#include "mc/addrmap.h"
+
+namespace ht {
+
+const char* ToString(InterleaveScheme scheme) {
+  switch (scheme) {
+    case InterleaveScheme::kBankSequential:
+      return "bank-sequential";
+    case InterleaveScheme::kCacheLine:
+      return "cache-line";
+    case InterleaveScheme::kPermutation:
+      return "permutation";
+    case InterleaveScheme::kSubarrayIsolated:
+      return "subarray-isolated";
+  }
+  return "?";
+}
+
+AddressMapper::AddressMapper(const DramOrg& org, InterleaveScheme scheme)
+    : org_(org), scheme_(scheme) {
+  total_lines_ = static_cast<uint64_t>(org_.channels) * org_.ranks * org_.banks *
+                 org_.rows_per_bank() * org_.columns;
+}
+
+DdrCoord AddressMapper::MapLine(uint64_t line) const {
+  DdrCoord coord;
+  uint64_t l = line;
+  switch (scheme_) {
+    case InterleaveScheme::kBankSequential: {
+      coord.column = static_cast<uint32_t>(l % org_.columns);
+      l /= org_.columns;
+      coord.row = static_cast<uint32_t>(l % org_.rows_per_bank());
+      l /= org_.rows_per_bank();
+      coord.bank = static_cast<uint32_t>(l % org_.banks);
+      l /= org_.banks;
+      coord.rank = static_cast<uint32_t>(l % org_.ranks);
+      l /= org_.ranks;
+      coord.channel = static_cast<uint32_t>(l);
+      break;
+    }
+    case InterleaveScheme::kCacheLine:
+    case InterleaveScheme::kPermutation: {
+      coord.channel = static_cast<uint32_t>(l % org_.channels);
+      l /= org_.channels;
+      coord.rank = static_cast<uint32_t>(l % org_.ranks);
+      l /= org_.ranks;
+      coord.bank = static_cast<uint32_t>(l % org_.banks);
+      l /= org_.banks;
+      coord.column = static_cast<uint32_t>(l % org_.columns);
+      l /= org_.columns;
+      coord.row = static_cast<uint32_t>(l);
+      if (scheme_ == InterleaveScheme::kPermutation) {
+        coord.bank = (coord.bank + coord.row) % org_.banks;
+      }
+      break;
+    }
+    case InterleaveScheme::kSubarrayIsolated: {
+      coord.channel = static_cast<uint32_t>(l % org_.channels);
+      l /= org_.channels;
+      coord.rank = static_cast<uint32_t>(l % org_.ranks);
+      l /= org_.ranks;
+      coord.bank = static_cast<uint32_t>(l % org_.banks);
+      l /= org_.banks;
+      coord.column = static_cast<uint32_t>(l % org_.columns);
+      l /= org_.columns;
+      const uint32_t row_within = static_cast<uint32_t>(l % org_.rows_per_subarray);
+      l /= org_.rows_per_subarray;
+      const uint32_t subarray = static_cast<uint32_t>(l);
+      coord.row = subarray * org_.rows_per_subarray + row_within;
+      break;
+    }
+  }
+  return coord;
+}
+
+uint64_t AddressMapper::LineOf(const DdrCoord& coord) const {
+  switch (scheme_) {
+    case InterleaveScheme::kBankSequential: {
+      uint64_t l = coord.channel;
+      l = l * org_.ranks + coord.rank;
+      l = l * org_.banks + coord.bank;
+      l = l * org_.rows_per_bank() + coord.row;
+      l = l * org_.columns + coord.column;
+      return l;
+    }
+    case InterleaveScheme::kCacheLine:
+    case InterleaveScheme::kPermutation: {
+      uint32_t bank = coord.bank;
+      if (scheme_ == InterleaveScheme::kPermutation) {
+        bank = (coord.bank + org_.banks - coord.row % org_.banks) % org_.banks;
+      }
+      uint64_t l = coord.row;
+      l = l * org_.columns + coord.column;
+      l = l * org_.banks + bank;
+      l = l * org_.ranks + coord.rank;
+      l = l * org_.channels + coord.channel;
+      return l;
+    }
+    case InterleaveScheme::kSubarrayIsolated: {
+      const uint32_t subarray = org_.SubarrayOfRow(coord.row);
+      const uint32_t row_within = org_.RowWithinSubarray(coord.row);
+      uint64_t l = subarray;
+      l = l * org_.rows_per_subarray + row_within;
+      l = l * org_.columns + coord.column;
+      l = l * org_.banks + coord.bank;
+      l = l * org_.ranks + coord.rank;
+      l = l * org_.channels + coord.channel;
+      return l;
+    }
+  }
+  return 0;
+}
+
+}  // namespace ht

@@ -1,0 +1,191 @@
+// The CPU's integrated memory controller, extended with the paper's three
+// proposed Rowhammer-management primitives:
+//
+//  1. Subarray-isolated interleaving (§4.1): an address-mapping mode plus
+//     a per-domain subarray-group table (ASID-style) the host OS programs;
+//     the MC checks that every request from a domain lands in its group.
+//  2. Precise ACT interrupt events (§4.2): per-channel ACT counters whose
+//     overflow interrupt latches the physical address of the RD/WR that
+//     triggered the most recent ACT (see act_counter.h).
+//  3. A host-privileged refresh instruction (§4.3): RefreshRow(pa, ap)
+//     performs PRE → ACT(row) → optional PRE on the target row, giving
+//     software a direct, reliable row refresh. REF_NEIGHBORS(pa, b) is the
+//     optional DRAM-assisted variant.
+//
+// Baseline scheduling is FR-FCFS over per-channel queues with an
+// open-page row-buffer policy and a rank-level refresh manager. Hardware
+// mitigation baselines (PARA/Graphene/TWiCe/BlockHammer) plug in via the
+// McMitigation interface and are driven on every ACT.
+#ifndef HAMMERTIME_SRC_MC_CONTROLLER_H_
+#define HAMMERTIME_SRC_MC_CONTROLLER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "dram/device.h"
+#include "mc/act_counter.h"
+#include "mc/addrmap.h"
+#include "mc/mitigations.h"
+#include "mc/request.h"
+
+namespace ht {
+
+struct McConfig {
+  InterleaveScheme scheme = InterleaveScheme::kCacheLine;
+  bool open_page = true;           // Leave rows open after RD/WR.
+  uint32_t queue_capacity = 64;    // Per-channel request queue depth.
+  ActCounterConfig act_counter;
+  // Enforce the domain→subarray-group table on every request (§4.1).
+  bool enforce_domain_groups = false;
+  // Mitigation neighbour refreshes / software victim refreshes use the
+  // REF_NEIGHBORS command (DRAM assist) instead of per-row PRE+ACT pairs.
+  bool use_ref_neighbors = false;
+  // Blast radius software/mitigations assume when refreshing neighbours.
+  // 0 = use the device's true radius (perfectly calibrated defense).
+  uint32_t assumed_blast_radius = 0;
+};
+
+// Completion notification for a refresh-instruction invocation.
+struct RefreshDone {
+  PhysAddr addr = 0;
+  Cycle requested = 0;
+  Cycle completed = 0;
+};
+using RefreshDoneCallback = std::function<void(const RefreshDone&)>;
+
+class MemoryController {
+ public:
+  MemoryController(const DramConfig& dram_config, const McConfig& mc_config);
+
+  // --- Request plane --------------------------------------------------------
+
+  // Enqueues a request; returns false when the channel queue is full
+  // (callers retry next cycle — models backpressure).
+  bool Enqueue(const MemRequest& request, Cycle now);
+
+  void set_response_handler(MemResponseCallback handler) { response_handler_ = std::move(handler); }
+
+  // Advances the controller one DRAM clock cycle.
+  void Tick(Cycle now);
+
+  // Outstanding work (queued requests, internal ops, in-flight reads).
+  bool Idle() const;
+  size_t QueuedRequests() const;
+
+  // --- Primitive #1: subarray-isolated interleaving -------------------------
+
+  // Host-OS side of the ASID-style coordination: domain → subarray group.
+  void SetDomainGroup(DomainId domain, uint32_t group) { domain_groups_[domain] = group; }
+  std::optional<uint32_t> DomainGroup(DomainId domain) const;
+
+  // --- Primitive #2: precise ACT interrupts ----------------------------------
+
+  ActCounter& act_counter(uint32_t channel) { return *act_counters_[channel]; }
+  void SetActInterruptHandler(ActInterruptHandler handler);
+
+  // --- Primitive #3: refresh instruction ------------------------------------
+
+  // Software-requested refresh of the row containing `addr` (§4.3).
+  // Modeled as a host-privileged operation; privilege is checked by the
+  // CPU layer before it reaches the MC. Returns false if the internal op
+  // queue is full.
+  bool RefreshRow(PhysAddr addr, bool auto_precharge, Cycle now,
+                  RefreshDoneCallback done = nullptr);
+
+  // DRAM-assisted victim refresh: REF_NEIGHBORS(addr's row, blast).
+  bool RefreshNeighbors(PhysAddr addr, uint32_t blast, Cycle now);
+
+  // --- Plumbing --------------------------------------------------------------
+
+  const AddressMapper& mapper() const { return mapper_; }
+  DramDevice& device(uint32_t channel) { return *devices_[channel]; }
+  const DramDevice& device(uint32_t channel) const { return *devices_[channel]; }
+  uint32_t channels() const { return static_cast<uint32_t>(devices_.size()); }
+
+  void InstallMitigation(std::unique_ptr<McMitigation> mitigation);
+  McMitigation* mitigation() { return mitigation_.get(); }
+
+  StatSet& stats() { return stats_; }
+  const StatSet& stats() const { return stats_; }
+  const McConfig& config() const { return config_; }
+  const DramConfig& dram_config() const { return dram_config_; }
+
+  // Total Rowhammer flip events across all channels.
+  uint64_t TotalFlipEvents() const;
+
+ private:
+  struct PendingRequest {
+    MemRequest request;
+    DdrCoord coord;
+    bool counted = false;  // Row-hit/miss/conflict already classified.
+  };
+
+  enum class InternalOpKind : uint8_t {
+    kRefreshRow,       // PRE (if needed) → ACT → optional PRE.
+    kRefreshNeighbors, // PRE (if needed) → REF_NEIGHBORS.
+  };
+
+  struct InternalOp {
+    InternalOpKind kind = InternalOpKind::kRefreshRow;
+    DdrCoord coord;
+    bool auto_precharge = true;
+    uint32_t blast = 0;
+    bool activated = false;  // ACT already issued (awaiting final PRE).
+    Cycle requested = 0;
+    PhysAddr addr = 0;
+    RefreshDoneCallback done;
+  };
+
+  struct InFlightRead {
+    Cycle ready = 0;
+    MemResponse response;
+    // Min-heap by ready cycle.
+    friend bool operator>(const InFlightRead& a, const InFlightRead& b) {
+      return a.ready > b.ready;
+    }
+  };
+
+  struct ChannelState {
+    std::deque<PendingRequest> queue;
+    std::deque<InternalOp> internal_ops;
+    std::vector<Cycle> ref_due;  // Per rank.
+    std::priority_queue<InFlightRead, std::vector<InFlightRead>, std::greater<>> in_flight;
+  };
+
+  // One scheduling step for a channel; issues at most one command.
+  void TickChannel(uint32_t channel, Cycle now);
+  bool TryRefreshManager(uint32_t channel, Cycle now);
+  bool TryInternalOps(uint32_t channel, Cycle now);
+  bool TryRequests(uint32_t channel, Cycle now);
+  void IssueRequestAccess(uint32_t channel, size_t queue_index, Cycle now);
+  void DrainCompletions(uint32_t channel, Cycle now);
+  void NotifyMitigationActivate(const DdrCoord& coord, Cycle now);
+  // Expands a neighbour-refresh request into internal ops.
+  void EnqueueNeighborRefresh(const NeighborRefreshRequest& refresh, uint32_t channel, Cycle now);
+  uint32_t EffectiveBlast() const;
+
+  DramConfig dram_config_;
+  McConfig config_;
+  AddressMapper mapper_;
+  std::vector<std::unique_ptr<DramDevice>> devices_;
+  std::vector<std::unique_ptr<ActCounter>> act_counters_;
+  std::vector<ChannelState> channels_;
+  std::unique_ptr<McMitigation> mitigation_;
+  std::unordered_map<DomainId, uint32_t> domain_groups_;
+  MemResponseCallback response_handler_;
+  Cycle next_epoch_ = 0;
+  StatSet stats_;
+
+  static constexpr size_t kMaxInternalOps = 256;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_MC_CONTROLLER_H_

@@ -1,0 +1,49 @@
+// Memory requests flowing from cores / DMA engines into the controller.
+#ifndef HAMMERTIME_SRC_MC_REQUEST_H_
+#define HAMMERTIME_SRC_MC_REQUEST_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+
+namespace ht {
+
+enum class MemOp : uint8_t {
+  kRead,
+  kWrite,
+};
+
+struct MemRequest {
+  uint64_t id = 0;
+  MemOp op = MemOp::kRead;
+  PhysAddr addr = 0;            // Line-aligned physical address.
+  uint64_t write_value = 0;     // Representative word for kWrite.
+  RequestorId requestor = 0;
+  DomainId domain = kInvalidDomain;
+  bool is_dma = false;          // True for device DMA (bypasses CPU caches
+                                // and CPU performance counters — §1's
+                                // ANVIL blind spot).
+  Cycle enqueue_cycle = 0;
+};
+
+// Completion delivered to the requestor.
+struct MemResponse {
+  uint64_t id = 0;
+  MemOp op = MemOp::kRead;
+  PhysAddr addr = 0;
+  uint64_t read_value = 0;      // Representative word for kRead.
+  RequestorId requestor = 0;
+  DomainId domain = kInvalidDomain;
+  bool is_dma = false;
+  Cycle enqueue_cycle = 0;
+  Cycle complete_cycle = 0;
+
+  Cycle Latency() const { return complete_cycle - enqueue_cycle; }
+};
+
+using MemResponseCallback = std::function<void(const MemResponse&)>;
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_MC_REQUEST_H_

@@ -1,0 +1,151 @@
+// The model host OS / hypervisor: trust domains, page tables, frame
+// ownership, golden-pattern memory verification, page migration (the
+// §4.2 "ACT wear-leveling" building block), neighbour-row computation
+// from mapping knowledge [11], and the enclave registry (§4.4).
+#ifndef HAMMERTIME_SRC_OS_KERNEL_H_
+#define HAMMERTIME_SRC_OS_KERNEL_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "mc/controller.h"
+#include "os/address_space.h"
+#include "os/allocator.h"
+
+namespace ht {
+
+struct DomainSpec {
+  std::string name;
+  bool enclave = false;
+  bool integrity_checked = false;  // §4.4: checked enclaves turn flips
+                                   // into DoS instead of corruption.
+};
+
+// Result of verifying golden-patterned memory.
+struct VerifyResult {
+  uint64_t lines_checked = 0;
+  uint64_t corrupted_lines = 0;
+  uint64_t dos_lockups = 0;  // Corrupted lines in integrity-checked enclaves.
+};
+
+// Attribution of DRAM flip events to trust domains.
+struct FlipAttribution {
+  uint64_t total_flips = 0;
+  uint64_t cross_domain = 0;  // Victim row holds another domain's data.
+  uint64_t intra_domain = 0;  // Victim row belongs to the aggressor domain.
+  uint64_t unattributed = 0;  // Victim row unallocated.
+  uint64_t enclave_victims = 0;
+};
+
+class HostKernel {
+ public:
+  HostKernel(MemoryController* mc, FrameAllocator* allocator);
+
+  // --- Domains & memory ----------------------------------------------------
+
+  DomainId CreateDomain(const DomainSpec& spec);
+  const DomainSpec& spec(DomainId domain) const { return specs_.at(domain); }
+  AddressSpace& space(DomainId domain) { return spaces_.at(domain); }
+
+  // Allocates `pages` contiguous-VA pages; returns the base VA, or nullopt
+  // when the allocator's pool for this domain is exhausted.
+  std::optional<VirtAddr> AllocRegion(DomainId domain, uint64_t pages);
+
+  std::optional<PhysAddr> Translate(DomainId domain, VirtAddr va) const;
+
+  // A translation closure suitable for Core::set_translate.
+  std::function<std::optional<PhysAddr>(VirtAddr)> TranslatorFor(DomainId domain);
+
+  DomainId OwnerOfFrame(uint64_t frame) const;
+  DomainId OwnerOfPhys(PhysAddr addr) const { return OwnerOfFrame(addr / kPageBytes); }
+  // All currently mapped frames (patrol scrubbers iterate this).
+  const std::unordered_map<uint64_t, DomainId>& frame_owners() const { return frame_owner_; }
+
+  // --- Golden data ----------------------------------------------------------
+
+  // Deterministic pattern word for a domain's line (self-verifying data).
+  static uint64_t PatternValue(DomainId domain, VirtAddr va_line);
+
+  // Writes the golden pattern into every line of the region, directly to
+  // DRAM (setup-time, no timing charged).
+  void FillRegion(DomainId domain, VirtAddr base, uint64_t pages);
+
+  // Re-reads a filled region and counts corrupted lines.
+  VerifyResult VerifyRegion(DomainId domain, VirtAddr base, uint64_t pages) const;
+
+  // Verifies every region ever filled.
+  VerifyResult VerifyAll() const;
+
+  // --- Defense building blocks ----------------------------------------------
+
+  // Physical line addresses of the rows adjacent (logical ±1..blast, same
+  // bank) to the row containing `addr` — computed from the MC's known
+  // physical→DDR mapping, the §2.1/[11] technique.
+  std::vector<PhysAddr> NeighborRowAddrs(PhysAddr addr, uint32_t blast) const;
+
+  // Wear-leveling page migration (§4.2): moves the page at `va_page` to a
+  // freshly allocated frame, copying contents (corruption travels with the
+  // data, as with a real uncore move).
+  bool MovePage(DomainId domain, VirtAddr va_page);
+  uint64_t page_moves() const { return page_moves_; }
+
+  // Reverse lookup: which (domain, va_page) currently maps the frame of
+  // `addr`. Lets an interrupt handler act on a raw physical address.
+  std::optional<std::pair<DomainId, VirtAddr>> LocatePhys(PhysAddr addr) const;
+
+  // MovePage for a physical address (frequency-centric wear-leveling on
+  // the ACT-interrupt trigger address).
+  bool MovePageByPhys(PhysAddr addr);
+
+  // MovePage into a caller-chosen destination frame (e.g. a quarantine
+  // pool whose neighbouring rows hold no victim data). The caller must
+  // own `new_frame` (reserved via the allocator); the old frame returns
+  // to the general pool.
+  bool MovePageToFrame(DomainId domain, VirtAddr va_page, uint64_t new_frame);
+  bool MovePageByPhysToFrame(PhysAddr addr, uint64_t new_frame);
+
+  // --- Flip attribution ------------------------------------------------------
+
+  // Classifies all flip events recorded by the devices so far.
+  FlipAttribution AttributeFlips() const;
+
+  // Domains owning any line of a (channel, rank, bank, logical row).
+  std::vector<DomainId> RowOwners(uint32_t channel, uint32_t rank, uint32_t bank,
+                                  uint32_t row) const;
+
+  MemoryController& mc() { return *mc_; }
+  FrameAllocator& allocator() { return *allocator_; }
+  StatSet& stats() { return stats_; }
+
+ private:
+  struct Region {
+    DomainId domain;
+    VirtAddr base;
+    uint64_t pages;
+  };
+
+  void WriteLineToDram(PhysAddr pa, uint64_t value);
+  uint64_t ReadLineFromDram(PhysAddr pa) const;
+
+  MemoryController* mc_;
+  FrameAllocator* allocator_;
+  std::map<DomainId, DomainSpec> specs_;
+  std::map<DomainId, AddressSpace> spaces_;
+  std::map<DomainId, VirtAddr> next_va_;
+  std::unordered_map<uint64_t, DomainId> frame_owner_;
+  std::unordered_map<uint64_t, std::pair<DomainId, VirtAddr>> frame_va_;
+  std::vector<Region> filled_regions_;
+  DomainId next_domain_ = 1;
+  uint64_t page_moves_ = 0;
+  StatSet stats_;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_OS_KERNEL_H_

@@ -1,0 +1,157 @@
+#include "sim/system.h"
+
+#include "common/log.h"
+
+namespace ht {
+
+const char* ToString(AllocPolicy policy) {
+  switch (policy) {
+    case AllocPolicy::kLinear:
+      return "linear";
+    case AllocPolicy::kBankAware:
+      return "bank-aware";
+    case AllocPolicy::kGuardRows:
+      return "guard-rows";
+    case AllocPolicy::kSubarrayAware:
+      return "subarray-aware";
+  }
+  return "?";
+}
+
+System::System(const SystemConfig& config) : config_(config) {
+  mc_ = std::make_unique<MemoryController>(config_.dram, config_.mc);
+  allocator_ = MakeAllocator();
+  kernel_ = std::make_unique<HostKernel>(mc_.get(), allocator_.get());
+  llc_ = std::make_unique<Cache>(config_.cache);
+  cores_.reserve(config_.cores);
+  for (uint32_t i = 0; i < config_.cores; ++i) {
+    cores_.push_back(std::make_unique<Core>(i, kInvalidDomain, config_.core, llc_.get(),
+                                            mc_.get()));
+  }
+
+  // Route MC completions back to the issuing core; DMA reads are
+  // fire-and-forget.
+  mc_->set_response_handler([this](const MemResponse& response) {
+    if (response.requestor < cores_.size()) {
+      cores_[response.requestor]->OnResponse(response, now_);
+    }
+  });
+
+  // Route ACT interrupts and PMU miss samples into the defense, if any.
+  mc_->SetActInterruptHandler([this](const ActInterrupt& irq) {
+    if (defense_ != nullptr) {
+      defense_->OnActInterrupt(irq, now_);
+    }
+  });
+}
+
+std::unique_ptr<FrameAllocator> System::MakeAllocator() const {
+  const AddressMapper& mapper = mc_->mapper();
+  switch (config_.alloc) {
+    case AllocPolicy::kLinear:
+      return std::make_unique<LinearAllocator>(mapper.total_lines() / kLinesPerPage);
+    case AllocPolicy::kBankAware:
+      return std::make_unique<BankAwareAllocator>(mapper);
+    case AllocPolicy::kGuardRows:
+      return std::make_unique<GuardRowAllocator>(mapper, config_.guard_domains,
+                                                 config_.guard_blast);
+    case AllocPolicy::kSubarrayAware:
+      return std::make_unique<SubarrayAwareAllocator>(mapper);
+  }
+  return nullptr;
+}
+
+void System::AssignCore(uint32_t index, DomainId domain, std::unique_ptr<InstructionStream> stream,
+                        bool is_host) {
+  Core& core = *cores_[index];
+  // Rebuild the core with the right domain/privilege; streams and
+  // translation hook in afterwards.
+  CoreConfig core_config = config_.core;
+  core_config.is_host = is_host;
+  cores_[index] = std::make_unique<Core>(index, domain, core_config, llc_.get(), mc_.get());
+  (void)core;
+  cores_[index]->set_translate(kernel_->TranslatorFor(domain));
+  cores_[index]->set_miss_observer([this](const MissEvent& event) {
+    if (defense_ != nullptr) {
+      defense_->OnMiss(event, now_);
+    }
+  });
+  cores_[index]->set_stream(std::move(stream));
+}
+
+DmaEngine& System::AddDma(DomainId domain, const DmaConfig& dma_config) {
+  const RequestorId id = 1000 + static_cast<RequestorId>(dmas_.size());
+  dmas_.push_back(std::make_unique<DmaEngine>(id, domain, dma_config, mc_.get()));
+  return *dmas_.back();
+}
+
+void System::InstallDefense(std::unique_ptr<Defense> defense) {
+  defense_ = std::move(defense);
+  if (defense_ != nullptr) {
+    defense_->Attach(kernel_.get(), llc_.get());
+  }
+}
+
+void System::RunFor(Cycle cycles) {
+  const Cycle end = now_ + cycles;
+  while (now_ < end) {
+    mc_->Tick(now_);
+    for (auto& core : cores_) {
+      core->Tick(now_);
+    }
+    for (auto& dma : dmas_) {
+      dma->Tick(now_);
+    }
+    if (defense_ != nullptr) {
+      defense_->Tick(now_);
+    }
+    ++now_;
+  }
+}
+
+void System::RunUntilQuiesced(Cycle max_cycles) {
+  const Cycle end = now_ + max_cycles;
+  while (now_ < end) {
+    bool all_halted = true;
+    for (auto& core : cores_) {
+      if (!core->halted() || core->outstanding() != 0) {
+        all_halted = false;
+        break;
+      }
+    }
+    if (all_halted && mc_->Idle()) {
+      return;
+    }
+    RunFor(1);
+  }
+}
+
+void System::DrainCaches() {
+  llc_->WritebackAll([this](PhysAddr addr, uint64_t value) {
+    const DdrCoord coord = mc_->mapper().Map(addr);
+    mc_->device(coord.channel)
+        .WriteLine(coord.rank, coord.bank, coord.row, coord.column, value);
+  });
+}
+
+uint64_t System::TotalOpsCompleted() const {
+  uint64_t total = 0;
+  for (const auto& core : cores_) {
+    total += core->ops_completed();
+  }
+  return total;
+}
+
+double System::RowHitRate() const {
+  const uint64_t hits = mc_->stats().Get("mc.row_hits");
+  const uint64_t misses =
+      mc_->stats().Get("mc.row_misses") + mc_->stats().Get("mc.row_conflicts");
+  return hits + misses == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(hits + misses);
+}
+
+double System::AvgReadLatency() const {
+  const Histogram* histogram = mc_->stats().GetHistogram("mc.read_latency");
+  return histogram == nullptr ? 0.0 : histogram->Mean();
+}
+
+}  // namespace ht

@@ -1,0 +1,106 @@
+// Full-system wiring: cores + shared LLC + DMA engines + memory
+// controller + DRAM + host kernel + an optional software defense, driven
+// by a single DRAM-clock cycle loop.
+#ifndef HAMMERTIME_SRC_SIM_SYSTEM_H_
+#define HAMMERTIME_SRC_SIM_SYSTEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "cpu/cache.h"
+#include "cpu/core.h"
+#include "cpu/dma.h"
+#include "defense/defense.h"
+#include "dram/config.h"
+#include "mc/controller.h"
+#include "os/allocator.h"
+#include "os/kernel.h"
+
+namespace ht {
+
+enum class AllocPolicy : uint8_t {
+  kLinear,
+  kBankAware,
+  kGuardRows,
+  kSubarrayAware,
+};
+
+const char* ToString(AllocPolicy policy);
+
+struct SystemConfig {
+  DramConfig dram = DramConfig::SimDefault();
+  McConfig mc;
+  CacheConfig cache;
+  CoreConfig core;
+  uint32_t cores = 4;
+  AllocPolicy alloc = AllocPolicy::kLinear;
+  // GuardRows needs the expected tenant count and radius up front.
+  uint32_t guard_domains = 4;
+  uint32_t guard_blast = 2;
+};
+
+class System {
+ public:
+  explicit System(const SystemConfig& config);
+
+  // --- Setup ------------------------------------------------------------
+
+  DomainId AddDomain(const DomainSpec& spec) { return kernel_->CreateDomain(spec); }
+
+  // Binds core `index` to a domain and instruction stream.
+  void AssignCore(uint32_t index, DomainId domain, std::unique_ptr<InstructionStream> stream,
+                  bool is_host = false);
+
+  DmaEngine& AddDma(DomainId domain, const DmaConfig& dma_config);
+
+  void InstallDefense(std::unique_ptr<Defense> defense);
+  Defense* defense() { return defense_.get(); }
+
+  // --- Run --------------------------------------------------------------
+
+  void RunFor(Cycle cycles);
+  // Runs until every core halted and the MC drained, or `max_cycles`.
+  void RunUntilQuiesced(Cycle max_cycles);
+  Cycle now() const { return now_; }
+
+  // Writes back all dirty LLC lines to DRAM (end-of-run accounting before
+  // golden verification).
+  void DrainCaches();
+
+  // --- Access -----------------------------------------------------------
+
+  HostKernel& kernel() { return *kernel_; }
+  MemoryController& mc() { return *mc_; }
+  Cache& llc() { return *llc_; }
+  Core& core(uint32_t index) { return *cores_[index]; }
+  uint32_t core_count() const { return static_cast<uint32_t>(cores_.size()); }
+  FrameAllocator& allocator() { return *allocator_; }
+  const SystemConfig& config() const { return config_; }
+
+  // Aggregate run metrics.
+  uint64_t TotalOpsCompleted() const;
+  uint64_t TotalFlips() const { return mc_->TotalFlipEvents(); }
+  double RowHitRate() const;
+  double AvgReadLatency() const;
+
+ private:
+  std::unique_ptr<FrameAllocator> MakeAllocator() const;
+
+  SystemConfig config_;
+  std::unique_ptr<MemoryController> mc_;
+  std::unique_ptr<FrameAllocator> allocator_;
+  std::unique_ptr<HostKernel> kernel_;
+  std::unique_ptr<Cache> llc_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::vector<std::unique_ptr<DmaEngine>> dmas_;
+  std::unique_ptr<Defense> defense_;
+  Cycle now_ = 0;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_SIM_SYSTEM_H_

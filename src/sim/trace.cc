@@ -1,0 +1,103 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+namespace ht {
+
+ParsedTrace ParseTrace(std::istream& in) {
+  ParsedTrace trace;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "R" || kind == "F" || kind == "W") {
+      std::string va_text;
+      fields >> va_text;
+      if (va_text.empty()) {
+        ++trace.skipped_lines;
+        continue;
+      }
+      VirtAddr va = 0;
+      try {
+        va = std::stoull(va_text, nullptr, 16);
+      } catch (...) {
+        ++trace.skipped_lines;
+        continue;
+      }
+      if (kind == "R") {
+        trace.ops.push_back(CoreOp::Load(va));
+      } else if (kind == "F") {
+        trace.ops.push_back(CoreOp::Flush(va));
+      } else {
+        std::string value_text;
+        fields >> value_text;
+        uint64_t value = 0;
+        if (!value_text.empty()) {
+          try {
+            value = std::stoull(value_text, nullptr, 16);
+          } catch (...) {
+            ++trace.skipped_lines;
+            continue;
+          }
+        }
+        trace.ops.push_back(CoreOp::Store(va, value));
+      }
+    } else if (kind == "N") {
+      trace.ops.push_back(CoreOp::Fence());
+    } else if (kind == "I") {
+      uint32_t cycles = 0;
+      fields >> cycles;
+      trace.ops.push_back(CoreOp::Idle(cycles));
+    } else {
+      ++trace.skipped_lines;
+    }
+  }
+  return trace;
+}
+
+void WriteTrace(const std::vector<CoreOp>& ops, std::ostream& out) {
+  for (const CoreOp& op : ops) {
+    switch (op.kind) {
+      case CoreOpKind::kLoad:
+        out << "R " << std::hex << op.va << std::dec << "\n";
+        break;
+      case CoreOpKind::kStore:
+        out << "W " << std::hex << op.va << " " << op.value << std::dec << "\n";
+        break;
+      case CoreOpKind::kFlush:
+        out << "F " << std::hex << op.va << std::dec << "\n";
+        break;
+      case CoreOpKind::kFence:
+        out << "N\n";
+        break;
+      case CoreOpKind::kIdle:
+        out << "I " << op.idle_cycles << "\n";
+        break;
+      case CoreOpKind::kHalt:
+      case CoreOpKind::kRefreshRow:
+      case CoreOpKind::kLockLine:
+      case CoreOpKind::kUnlockLine:
+        break;  // Not representable in the trace format.
+    }
+  }
+}
+
+CoreOp TraceWorkload::Next() {
+  if (ops_.empty()) {
+    return CoreOp::Halt();
+  }
+  if (cursor_ >= ops_.size()) {
+    cursor_ = 0;
+    ++completed_passes_;
+    if (repeats_ != 0 && completed_passes_ >= repeats_) {
+      return CoreOp::Halt();
+    }
+  }
+  return ops_[cursor_++];
+}
+
+}  // namespace ht

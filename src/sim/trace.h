@@ -1,0 +1,59 @@
+// Trace-driven workloads: replay a recorded memory-operation trace as an
+// InstructionStream, and record a stream back out. The format is one
+// operation per line:
+//
+//   R <hex-va>            load
+//   W <hex-va> <hex-val>  store
+//   F <hex-va>            clflush
+//   N                     fence
+//   I <cycles>            idle
+//   # ...                 comment
+//
+// Lets users feed captured application traces (e.g. from a Pin/DynamoRIO
+// tool) through the simulator without writing C++.
+#ifndef HAMMERTIME_SRC_SIM_TRACE_H_
+#define HAMMERTIME_SRC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cpu/core_ops.h"
+
+namespace ht {
+
+// Parses a trace; malformed lines are skipped and counted.
+struct ParsedTrace {
+  std::vector<CoreOp> ops;
+  uint64_t skipped_lines = 0;
+};
+
+ParsedTrace ParseTrace(std::istream& in);
+
+// Serializes ops in the trace format (inverse of ParseTrace for the
+// supported op kinds; Halt is omitted, unsupported kinds are skipped).
+void WriteTrace(const std::vector<CoreOp>& ops, std::ostream& out);
+
+// Replays a parsed trace, optionally looping it `repeats` times
+// (0 = forever).
+class TraceWorkload : public InstructionStream {
+ public:
+  TraceWorkload(std::vector<CoreOp> ops, uint64_t repeats = 1, uint32_t ilp = 8)
+      : ops_(std::move(ops)), repeats_(repeats), ilp_(ilp) {}
+
+  CoreOp Next() override;
+  uint32_t IlpHint() const override { return ilp_; }
+
+ private:
+  std::vector<CoreOp> ops_;
+  uint64_t repeats_;
+  uint32_t ilp_;
+  size_t cursor_ = 0;
+  uint64_t completed_passes_ = 0;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_SIM_TRACE_H_

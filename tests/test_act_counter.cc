@@ -1,0 +1,131 @@
+#include "mc/act_counter.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ht {
+namespace {
+
+ActCounterConfig Enabled(uint64_t threshold) {
+  ActCounterConfig config;
+  config.enabled = true;
+  config.threshold = threshold;
+  return config;
+}
+
+TEST(ActCounter, DisabledNeverInterrupts) {
+  ActCounterConfig config;
+  config.enabled = false;
+  ActCounter counter(0, config);
+  int interrupts = 0;
+  counter.set_handler([&](const ActInterrupt&) { ++interrupts; });
+  for (int i = 0; i < 1000; ++i) {
+    counter.OnActivate(64 * i, 1, false, i);
+  }
+  EXPECT_EQ(interrupts, 0);
+  EXPECT_EQ(counter.count(), 0u);
+}
+
+TEST(ActCounter, InterruptsAtThreshold) {
+  ActCounter counter(0, Enabled(10));
+  std::vector<ActInterrupt> interrupts;
+  counter.set_handler([&](const ActInterrupt& irq) { interrupts.push_back(irq); });
+  for (int i = 0; i < 25; ++i) {
+    counter.OnActivate(64 * i, 7, false, 100 + i);
+  }
+  ASSERT_EQ(interrupts.size(), 2u);
+  EXPECT_EQ(interrupts[0].acts_since_reset, 10u);
+  EXPECT_EQ(counter.count(), 5u);
+}
+
+TEST(ActCounter, PreciseModeLatchesTriggerAddress) {
+  ActCounter counter(3, Enabled(4));
+  ActInterrupt last;
+  counter.set_handler([&](const ActInterrupt& irq) { last = irq; });
+  counter.OnActivate(0x1000, 1, false, 1);
+  counter.OnActivate(0x2000, 2, false, 2);
+  counter.OnActivate(0x3000, 3, false, 3);
+  counter.OnActivate(0x4000, 4, true, 4);
+  EXPECT_EQ(last.trigger_addr, 0x4000u);
+  EXPECT_EQ(last.trigger_domain, 4u);
+  EXPECT_TRUE(last.trigger_is_dma);
+  EXPECT_EQ(last.channel, 3u);
+  EXPECT_EQ(last.cycle, 4u);
+}
+
+TEST(ActCounter, ImpreciseModeHidesAddress) {
+  // The existing Intel ACT_COUNT event: an interrupt fires but carries no
+  // address — §4.2's "Problem".
+  ActCounterConfig config = Enabled(4);
+  config.precise = false;
+  ActCounter counter(0, config);
+  ActInterrupt last;
+  counter.set_handler([&](const ActInterrupt& irq) { last = irq; });
+  for (int i = 0; i < 4; ++i) {
+    counter.OnActivate(0x5000, 9, false, i);
+  }
+  EXPECT_EQ(last.trigger_addr, kInvalidPhysAddr);
+  EXPECT_EQ(last.trigger_domain, kInvalidDomain);
+}
+
+TEST(ActCounter, DeterministicResetIsPredictable) {
+  ActCounter counter(0, Enabled(8));
+  std::vector<uint64_t> gaps;
+  uint64_t acts = 0;
+  uint64_t last_at = 0;
+  counter.set_handler([&](const ActInterrupt&) {
+    gaps.push_back(acts - last_at);
+    last_at = acts;
+  });
+  for (acts = 1; acts <= 80; ++acts) {
+    counter.OnActivate(0, 0, false, acts);
+  }
+  ASSERT_GE(gaps.size(), 2u);
+  for (size_t i = 1; i < gaps.size(); ++i) {
+    EXPECT_EQ(gaps[i], 8u);  // Perfectly periodic: attacker can sync.
+  }
+}
+
+TEST(ActCounter, RandomizedResetBreaksPeriodicity) {
+  ActCounterConfig config = Enabled(64);
+  config.randomize_reset = true;
+  ActCounter counter(0, config);
+  std::vector<uint64_t> gaps;
+  uint64_t acts = 0;
+  uint64_t last_at = 0;
+  counter.set_handler([&](const ActInterrupt&) {
+    gaps.push_back(acts - last_at);
+    last_at = acts;
+  });
+  for (acts = 1; acts <= 6400; ++acts) {
+    counter.OnActivate(0, 0, false, acts);
+  }
+  ASSERT_GE(gaps.size(), 10u);
+  std::set<uint64_t> distinct(gaps.begin(), gaps.end());
+  EXPECT_GT(distinct.size(), 3u);  // Gaps vary: overflow unpredictable.
+  for (uint64_t gap : gaps) {
+    EXPECT_LE(gap, 64u);  // Never later than the full threshold.
+  }
+}
+
+TEST(ActCounter, CountsInterrupts) {
+  ActCounter counter(0, Enabled(2));
+  counter.set_handler([](const ActInterrupt&) {});
+  for (int i = 0; i < 10; ++i) {
+    counter.OnActivate(0, 0, false, i);
+  }
+  EXPECT_EQ(counter.interrupts_raised(), 5u);
+}
+
+TEST(ActCounter, NoHandlerStillResets) {
+  ActCounter counter(0, Enabled(4));
+  for (int i = 0; i < 9; ++i) {
+    counter.OnActivate(0, 0, false, i);
+  }
+  EXPECT_EQ(counter.count(), 1u);
+  EXPECT_EQ(counter.interrupts_raised(), 2u);
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,138 @@
+#include "mc/addrmap.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ht {
+namespace {
+
+DramOrg DefaultOrg() { return DramConfig::SimDefault().org; }
+
+class AddrMapBijectionTest : public ::testing::TestWithParam<InterleaveScheme> {};
+
+TEST_P(AddrMapBijectionTest, MapAndInverseRoundTrip) {
+  AddressMapper mapper(DefaultOrg(), GetParam());
+  // Sample a spread of lines plus the extremes.
+  for (uint64_t line : {uint64_t{0}, uint64_t{1}, uint64_t{63}, uint64_t{64}, uint64_t{1000},
+                        mapper.total_lines() / 2, mapper.total_lines() - 1}) {
+    const DdrCoord coord = mapper.MapLine(line);
+    EXPECT_EQ(mapper.LineOf(coord), line) << ToString(GetParam()) << " line " << line;
+  }
+}
+
+TEST_P(AddrMapBijectionTest, CoordsStayInBounds) {
+  const DramOrg org = DefaultOrg();
+  AddressMapper mapper(org, GetParam());
+  for (uint64_t line = 0; line < 4096; ++line) {
+    const DdrCoord coord = mapper.MapLine(line);
+    EXPECT_LT(coord.channel, org.channels);
+    EXPECT_LT(coord.rank, org.ranks);
+    EXPECT_LT(coord.bank, org.banks);
+    EXPECT_LT(coord.row, org.rows_per_bank());
+    EXPECT_LT(coord.column, org.columns);
+  }
+}
+
+TEST_P(AddrMapBijectionTest, DenseRangeIsInjective) {
+  AddressMapper mapper(DefaultOrg(), GetParam());
+  std::set<uint64_t> seen;
+  for (uint64_t line = 0; line < 8192; ++line) {
+    const DdrCoord coord = mapper.MapLine(line);
+    uint64_t key = coord.channel;
+    key = key * 64 + coord.rank;
+    key = key * 64 + coord.bank;
+    key = key * (1ull << 32) + coord.row;
+    key = key * 4096 + coord.column;
+    EXPECT_TRUE(seen.insert(key).second) << "collision at line " << line;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, AddrMapBijectionTest,
+                         ::testing::Values(InterleaveScheme::kBankSequential,
+                                           InterleaveScheme::kCacheLine,
+                                           InterleaveScheme::kPermutation,
+                                           InterleaveScheme::kSubarrayIsolated),
+                         [](const auto& param_info) {
+                           std::string name = ToString(param_info.param);
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(AddrMap, BankSequentialKeepsConsecutiveLinesInOneBank) {
+  AddressMapper mapper(DefaultOrg(), InterleaveScheme::kBankSequential);
+  const DdrCoord first = mapper.MapLine(0);
+  for (uint64_t line = 0; line < DefaultOrg().columns; ++line) {
+    const DdrCoord coord = mapper.MapLine(line);
+    EXPECT_EQ(coord.bank, first.bank);
+    EXPECT_EQ(coord.row, first.row);
+    EXPECT_EQ(coord.column, line);
+  }
+}
+
+TEST(AddrMap, CacheLineSpreadsPageAcrossAllBanks) {
+  const DramOrg org = DefaultOrg();
+  AddressMapper mapper(org, InterleaveScheme::kCacheLine);
+  std::set<uint32_t> banks;
+  for (uint64_t line = 0; line < kLinesPerPage; ++line) {
+    banks.insert(mapper.MapLine(line).bank);
+  }
+  EXPECT_EQ(banks.size(), org.banks);
+}
+
+TEST(AddrMap, SubarrayIsolatedSpreadsPageAcrossAllBanks) {
+  const DramOrg org = DefaultOrg();
+  AddressMapper mapper(org, InterleaveScheme::kSubarrayIsolated);
+  std::set<uint32_t> banks;
+  for (uint64_t line = 0; line < kLinesPerPage; ++line) {
+    banks.insert(mapper.MapLine(line).bank);
+  }
+  EXPECT_EQ(banks.size(), org.banks);  // Full interleaving retained (§4.1).
+}
+
+TEST(AddrMap, SubarrayIsolatedPinsBandsToSubarrays) {
+  const DramOrg org = DefaultOrg();
+  AddressMapper mapper(org, InterleaveScheme::kSubarrayIsolated);
+  const uint64_t band = mapper.LinesPerSubarrayBand();
+  for (uint32_t s = 0; s < org.subarrays_per_bank; ++s) {
+    // Sample lines within band s: all rows must fall in subarray s.
+    for (uint64_t offset : {uint64_t{0}, band / 2, band - 1}) {
+      const DdrCoord coord = mapper.MapLine(s * band + offset);
+      EXPECT_EQ(org.SubarrayOfRow(coord.row), s) << "band " << s << " offset " << offset;
+      EXPECT_EQ(mapper.SubarrayBandOfLine(s * band + offset), s);
+    }
+  }
+}
+
+TEST(AddrMap, PermutationShufflesBanksAcrossRows) {
+  const DramOrg org = DefaultOrg();
+  AddressMapper mapper(org, InterleaveScheme::kPermutation);
+  // The same bank-slot at different rows maps to different banks.
+  const uint64_t lines_per_row = static_cast<uint64_t>(org.channels) * org.ranks * org.banks *
+                                 org.columns;
+  std::set<uint32_t> banks;
+  for (uint32_t r = 0; r < org.banks; ++r) {
+    banks.insert(mapper.MapLine(r * lines_per_row).bank);
+  }
+  EXPECT_GT(banks.size(), 1u);
+}
+
+TEST(AddrMap, CapacityMatchesOrg) {
+  const DramOrg org = DefaultOrg();
+  AddressMapper mapper(org, InterleaveScheme::kCacheLine);
+  EXPECT_EQ(mapper.capacity_bytes(), org.capacity_bytes());
+  EXPECT_EQ(mapper.total_lines() * kLineBytes, org.capacity_bytes());
+}
+
+TEST(AddrMap, AddrOfInvertsMap) {
+  AddressMapper mapper(DefaultOrg(), InterleaveScheme::kCacheLine);
+  const PhysAddr addr = 12345 * kLineBytes;
+  EXPECT_EQ(mapper.AddrOf(mapper.Map(addr)), addr);
+}
+
+}  // namespace
+}  // namespace ht

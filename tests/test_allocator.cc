@@ -1,0 +1,187 @@
+#include "os/allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ht {
+namespace {
+
+DramOrg Org() { return DramConfig::SimDefault().org; }
+
+TEST(LinearAllocator, UniqueFramesUntilExhaustion) {
+  LinearAllocator alloc(8);
+  std::set<uint64_t> frames;
+  for (int i = 0; i < 8; ++i) {
+    auto frame = alloc.AllocFrame(1);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_TRUE(frames.insert(*frame).second);
+  }
+  EXPECT_FALSE(alloc.AllocFrame(1).has_value());
+}
+
+TEST(LinearAllocator, FreedFramesReusable) {
+  LinearAllocator alloc(2);
+  auto a = alloc.AllocFrame(1);
+  auto b = alloc.AllocFrame(1);
+  ASSERT_TRUE(a && b);
+  EXPECT_FALSE(alloc.AllocFrame(1).has_value());
+  alloc.FreeFrame(1, *a);
+  auto c = alloc.AllocFrame(2);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, *a);
+}
+
+TEST(BankAware, InfeasibleUnderInterleaving) {
+  AddressMapper mapper(Org(), InterleaveScheme::kCacheLine);
+  BankAwareAllocator alloc(mapper);
+  EXPECT_FALSE(alloc.isolation_feasible());
+  EXPECT_FALSE(alloc.AllocFrame(1).has_value());  // Refuses rather than lies.
+}
+
+TEST(BankAware, ConfinesDomainsToDistinctBanks) {
+  AddressMapper mapper(Org(), InterleaveScheme::kBankSequential);
+  BankAwareAllocator alloc(mapper);
+  ASSERT_TRUE(alloc.isolation_feasible());
+  for (DomainId d = 1; d <= 3; ++d) {
+    for (int i = 0; i < 4; ++i) {
+      auto frame = alloc.AllocFrame(d);
+      ASSERT_TRUE(frame.has_value());
+      // Every line of the frame maps to the domain's bank.
+      const auto bank = alloc.BankOf(d);
+      ASSERT_TRUE(bank.has_value());
+      for (uint64_t l = *frame * kLinesPerPage; l < (*frame + 1) * kLinesPerPage; ++l) {
+        const DdrCoord coord = mapper.MapLine(l);
+        const uint32_t flat =
+            (coord.channel * Org().ranks + coord.rank) * Org().banks + coord.bank;
+        EXPECT_EQ(flat, *bank);
+      }
+    }
+  }
+  // Distinct domains, distinct banks.
+  EXPECT_NE(*alloc.BankOf(1), *alloc.BankOf(2));
+  EXPECT_NE(*alloc.BankOf(2), *alloc.BankOf(3));
+}
+
+TEST(BankAware, DomainPoolExhaustsIndependently) {
+  AddressMapper mapper(Org(), InterleaveScheme::kBankSequential);
+  BankAwareAllocator alloc(mapper);
+  const uint64_t per_bank = alloc.total_frames() / Org().total_banks();
+  for (uint64_t i = 0; i < per_bank; ++i) {
+    ASSERT_TRUE(alloc.AllocFrame(1).has_value());
+  }
+  EXPECT_FALSE(alloc.AllocFrame(1).has_value());
+  EXPECT_TRUE(alloc.AllocFrame(2).has_value());  // Other banks untouched.
+}
+
+TEST(GuardRows, WastesFramesProportionalToBlast) {
+  AddressMapper mapper(Org(), InterleaveScheme::kCacheLine);
+  GuardRowAllocator small(mapper, 4, 1);
+  GuardRowAllocator large(mapper, 4, 8);
+  EXPECT_TRUE(small.isolation_feasible());
+  EXPECT_TRUE(large.isolation_feasible());
+  EXPECT_GT(large.wasted_frames(), small.wasted_frames());
+  EXPECT_GT(small.wasted_frames(), 0u);
+}
+
+TEST(GuardRows, DomainsNeverOwnAdjacentRows) {
+  AddressMapper mapper(Org(), InterleaveScheme::kCacheLine);
+  const uint32_t blast = 2;
+  GuardRowAllocator alloc(mapper, 2, blast);
+  // Allocate everything for two domains and collect their rows.
+  std::set<uint32_t> rows1;
+  std::set<uint32_t> rows2;
+  while (auto frame = alloc.AllocFrame(1)) {
+    for (uint64_t l = *frame * kLinesPerPage; l < (*frame + 1) * kLinesPerPage; ++l) {
+      rows1.insert(mapper.MapLine(l).row);
+    }
+  }
+  while (auto frame = alloc.AllocFrame(2)) {
+    for (uint64_t l = *frame * kLinesPerPage; l < (*frame + 1) * kLinesPerPage; ++l) {
+      rows2.insert(mapper.MapLine(l).row);
+    }
+  }
+  ASSERT_FALSE(rows1.empty());
+  ASSERT_FALSE(rows2.empty());
+  // Minimum distance between the two domains' rows exceeds the blast radius.
+  for (uint32_t r1 : rows1) {
+    EXPECT_FALSE(rows2.contains(r1));
+    for (uint32_t d = 1; d <= blast; ++d) {
+      EXPECT_FALSE(rows2.contains(r1 + d)) << "rows " << r1 << " and " << r1 + d;
+      if (r1 >= d) {
+        EXPECT_FALSE(rows2.contains(r1 - d));
+      }
+    }
+  }
+}
+
+TEST(GuardRows, InfeasibleWhenGuardsExceedRows) {
+  DramOrg tiny = DramConfig::Tiny().org;
+  AddressMapper mapper(tiny, InterleaveScheme::kCacheLine);
+  GuardRowAllocator alloc(mapper, 16, 8);  // 15 gaps * 8 rows > 32 rows.
+  EXPECT_FALSE(alloc.isolation_feasible());
+}
+
+TEST(SubarrayAware, InfeasibleWithoutIsolatedInterleaving) {
+  AddressMapper mapper(Org(), InterleaveScheme::kCacheLine);
+  SubarrayAwareAllocator alloc(mapper);
+  EXPECT_FALSE(alloc.isolation_feasible());
+  EXPECT_FALSE(alloc.AllocFrame(1).has_value());
+}
+
+TEST(SubarrayAware, DomainsConfinedToTheirSubarrayGroup) {
+  AddressMapper mapper(Org(), InterleaveScheme::kSubarrayIsolated);
+  SubarrayAwareAllocator alloc(mapper);
+  ASSERT_TRUE(alloc.isolation_feasible());
+  for (DomainId d = 1; d <= 4; ++d) {
+    for (int i = 0; i < 8; ++i) {
+      auto frame = alloc.AllocFrame(d);
+      ASSERT_TRUE(frame.has_value());
+      const auto group = alloc.DomainGroup(d);
+      ASSERT_TRUE(group.has_value());
+      for (uint64_t l = *frame * kLinesPerPage; l < (*frame + 1) * kLinesPerPage; ++l) {
+        EXPECT_EQ(Org().SubarrayOfRow(mapper.MapLine(l).row), *group);
+      }
+    }
+  }
+  EXPECT_NE(*alloc.DomainGroup(1), *alloc.DomainGroup(2));
+  EXPECT_EQ(alloc.domains_sharing_groups(), 0u);
+}
+
+TEST(SubarrayAware, NoCapacityWaste) {
+  AddressMapper mapper(Org(), InterleaveScheme::kSubarrayIsolated);
+  SubarrayAwareAllocator alloc(mapper);
+  EXPECT_EQ(alloc.wasted_frames(), 0u);
+  // All frames reachable: groups * frames_per_band == total.
+  uint64_t allocated = 0;
+  for (DomainId d = 1; d <= Org().subarrays_per_bank; ++d) {
+    while (alloc.AllocFrame(d).has_value()) {
+      ++allocated;
+    }
+  }
+  EXPECT_EQ(allocated, alloc.total_frames());
+}
+
+TEST(SubarrayAware, MoreDomainsThanGroupsShare) {
+  AddressMapper mapper(Org(), InterleaveScheme::kSubarrayIsolated);
+  SubarrayAwareAllocator alloc(mapper);
+  const uint32_t groups = Org().subarrays_per_bank;
+  for (DomainId d = 1; d <= groups + 2; ++d) {
+    ASSERT_TRUE(alloc.AllocFrame(d).has_value());
+  }
+  EXPECT_EQ(alloc.domains_sharing_groups(), 2u);
+}
+
+TEST(SubarrayAware, FreeAndReallocWithinGroup) {
+  AddressMapper mapper(Org(), InterleaveScheme::kSubarrayIsolated);
+  SubarrayAwareAllocator alloc(mapper);
+  auto frame = alloc.AllocFrame(1);
+  ASSERT_TRUE(frame.has_value());
+  alloc.FreeFrame(1, *frame);
+  auto again = alloc.AllocFrame(1);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, *frame);
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,191 @@
+#include "cpu/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace ht {
+namespace {
+
+CacheConfig SmallConfig() {
+  CacheConfig config;
+  config.sets = 4;
+  config.ways = 2;
+  config.max_locked_ways = 1;
+  return config;
+}
+
+PhysAddr AddrInSet(uint32_t set, uint32_t tag, uint32_t sets = 4) {
+  return (static_cast<PhysAddr>(tag) * sets + set) * kLineBytes;
+}
+
+TEST(Cache, MissThenFillThenHit) {
+  Cache cache(SmallConfig());
+  EXPECT_FALSE(cache.Lookup(0x100).has_value());
+  cache.Fill(0x100, 77, false);
+  auto hit = cache.Lookup(0x100);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 77u);
+  EXPECT_EQ(cache.stats().Get("cache.read_misses"), 1u);
+  EXPECT_EQ(cache.stats().Get("cache.read_hits"), 1u);
+}
+
+TEST(Cache, StoreHitMarksDirtyAndUpdates) {
+  Cache cache(SmallConfig());
+  cache.Fill(0x100, 1, false);
+  EXPECT_TRUE(cache.StoreHit(0x100, 2));
+  EXPECT_EQ(*cache.Lookup(0x100), 2u);
+  const CacheAccessResult flush = cache.Flush(0x100);
+  EXPECT_TRUE(flush.writeback);
+  EXPECT_EQ(flush.writeback_value, 2u);
+}
+
+TEST(Cache, StoreMissReturnsFalse) {
+  Cache cache(SmallConfig());
+  EXPECT_FALSE(cache.StoreHit(0x100, 2));
+  EXPECT_EQ(cache.stats().Get("cache.write_misses"), 1u);
+}
+
+TEST(Cache, LruEvictionPrefersColdest) {
+  Cache cache(SmallConfig());
+  const PhysAddr a = AddrInSet(0, 1);
+  const PhysAddr b = AddrInSet(0, 2);
+  const PhysAddr c = AddrInSet(0, 3);
+  cache.Fill(a, 1, false);
+  cache.Fill(b, 2, false);
+  cache.Lookup(a);  // a is now MRU.
+  cache.Fill(c, 3, false);  // Evicts b.
+  EXPECT_TRUE(cache.Lookup(a).has_value());
+  EXPECT_FALSE(cache.Lookup(b).has_value());
+  EXPECT_TRUE(cache.Lookup(c).has_value());
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback) {
+  Cache cache(SmallConfig());
+  const PhysAddr a = AddrInSet(1, 1);
+  cache.Fill(a, 42, true);
+  cache.Fill(AddrInSet(1, 2), 0, false);
+  const CacheAccessResult result = cache.Fill(AddrInSet(1, 3), 0, false);
+  EXPECT_TRUE(result.writeback);
+  EXPECT_EQ(result.writeback_addr, a);
+  EXPECT_EQ(result.writeback_value, 42u);
+}
+
+TEST(Cache, FlushInvalidates) {
+  Cache cache(SmallConfig());
+  cache.Fill(0x100, 9, false);
+  const CacheAccessResult result = cache.Flush(0x100);
+  EXPECT_FALSE(result.writeback);  // Clean line: no writeback.
+  EXPECT_FALSE(cache.Lookup(0x100).has_value());
+}
+
+TEST(Cache, FlushAbsentLineIsNoop) {
+  Cache cache(SmallConfig());
+  const CacheAccessResult result = cache.Flush(0x100);
+  EXPECT_FALSE(result.writeback);
+}
+
+TEST(Cache, LockedLineSurvivesEvictionPressure) {
+  Cache cache(SmallConfig());
+  const PhysAddr hot = AddrInSet(2, 1);
+  cache.Fill(hot, 5, false);
+  ASSERT_TRUE(cache.Lock(hot));
+  // Flood the set.
+  for (uint32_t tag = 2; tag < 20; ++tag) {
+    cache.Fill(AddrInSet(2, tag), 0, false);
+  }
+  EXPECT_TRUE(cache.Lookup(hot).has_value());
+  EXPECT_EQ(cache.locked_lines(), 1u);
+}
+
+TEST(Cache, LockBudgetPerSetEnforced) {
+  Cache cache(SmallConfig());  // max_locked_ways = 1.
+  const PhysAddr a = AddrInSet(3, 1);
+  const PhysAddr b = AddrInSet(3, 2);
+  cache.Fill(a, 0, false);
+  cache.Fill(b, 0, false);
+  EXPECT_TRUE(cache.Lock(a));
+  EXPECT_FALSE(cache.Lock(b));
+  EXPECT_EQ(cache.stats().Get("cache.lock_rejected"), 1u);
+  cache.Unlock(a);
+  EXPECT_TRUE(cache.Lock(b));
+}
+
+TEST(Cache, LockAbsentLineFails) {
+  Cache cache(SmallConfig());
+  EXPECT_FALSE(cache.Lock(0x100));
+}
+
+TEST(Cache, GuestFlushCannotEvictLockedLine) {
+  Cache cache(SmallConfig());
+  cache.Fill(0x100, 7, true);
+  ASSERT_TRUE(cache.Lock(0x100));
+  const CacheAccessResult result = cache.Flush(0x100, /*privileged=*/false);
+  // Coherence: dirty data written back...
+  EXPECT_TRUE(result.writeback);
+  EXPECT_EQ(result.writeback_value, 7u);
+  // ...but the line stays resident and locked (no ACT fodder).
+  EXPECT_EQ(cache.locked_lines(), 1u);
+  EXPECT_TRUE(cache.Lookup(0x100).has_value());
+  EXPECT_EQ(cache.stats().Get("cache.flush_denied"), 1u);
+}
+
+TEST(Cache, PrivilegedFlushReleasesLock) {
+  Cache cache(SmallConfig());
+  cache.Fill(0x100, 0, false);
+  ASSERT_TRUE(cache.Lock(0x100));
+  cache.Flush(0x100, /*privileged=*/true);
+  EXPECT_EQ(cache.locked_lines(), 0u);
+  EXPECT_FALSE(cache.Lookup(0x100).has_value());
+}
+
+TEST(Cache, UnlockAllReleasesEverything) {
+  Cache cache(SmallConfig());
+  cache.Fill(AddrInSet(0, 1), 0, false);
+  cache.Fill(AddrInSet(1, 1), 0, false);
+  cache.Lock(AddrInSet(0, 1));
+  cache.Lock(AddrInSet(1, 1));
+  EXPECT_EQ(cache.locked_lines(), 2u);
+  cache.UnlockAll();
+  EXPECT_EQ(cache.locked_lines(), 0u);
+}
+
+TEST(Cache, WritebackAllDrainsDirtyLines) {
+  Cache cache(SmallConfig());
+  cache.Fill(AddrInSet(0, 1), 10, true);
+  cache.Fill(AddrInSet(1, 1), 20, true);
+  cache.Fill(AddrInSet(2, 1), 30, false);
+  std::map<PhysAddr, uint64_t> drained;
+  cache.WritebackAll([&](PhysAddr addr, uint64_t value) { drained[addr] = value; });
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[AddrInSet(0, 1)], 10u);
+  // Second drain: nothing (lines are clean now).
+  drained.clear();
+  cache.WritebackAll([&](PhysAddr addr, uint64_t value) { drained[addr] = value; });
+  EXPECT_TRUE(drained.empty());
+}
+
+TEST(Cache, FillOfResidentLineUpdatesInPlace) {
+  Cache cache(SmallConfig());
+  cache.Fill(0x100, 1, false);
+  const CacheAccessResult result = cache.Fill(0x100, 2, true);
+  EXPECT_FALSE(result.writeback);
+  EXPECT_EQ(*cache.Lookup(0x100), 2u);
+  EXPECT_TRUE(cache.Flush(0x100).writeback);  // Dirty flag was merged.
+}
+
+TEST(Cache, AllWaysLockedBypassesFill) {
+  CacheConfig config = SmallConfig();
+  config.max_locked_ways = 2;  // == ways.
+  Cache cache(config);
+  cache.Fill(AddrInSet(0, 1), 0, false);
+  cache.Fill(AddrInSet(0, 2), 0, false);
+  cache.Lock(AddrInSet(0, 1));
+  cache.Lock(AddrInSet(0, 2));
+  cache.Fill(AddrInSet(0, 3), 0, false);
+  EXPECT_FALSE(cache.Lookup(AddrInSet(0, 3)).has_value());
+  EXPECT_EQ(cache.stats().Get("cache.fill_bypassed"), 1u);
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,113 @@
+// Closed-page (auto-precharge) row-buffer policy tests.
+#include <gtest/gtest.h>
+
+#include "attack/hammer.h"
+#include "attack/planner.h"
+#include "mc/controller.h"
+#include "sim/scenario.h"
+#include "sim/system.h"
+#include "sim/workloads.h"
+
+namespace ht {
+namespace {
+
+TEST(ClosedPage, RdaClosesBankImmediately) {
+  const DramConfig config = DramConfig::SimDefault();
+  TimingChecker checker(config.org, config.timing, true);
+  checker.Record(DdrCommand::Act(0, 0, 5), 0);
+  ASSERT_TRUE(checker.OpenRow(0, 0).has_value());
+  const Cycle rd_at = config.timing.tRCD;
+  checker.Record(DdrCommand::Rd(0, 0, 2, /*ap=*/true), rd_at);
+  EXPECT_FALSE(checker.OpenRow(0, 0).has_value());
+  // Next ACT must wait for the internal precharge to complete.
+  EXPECT_GE(checker.EarliestCycle(DdrCommand::Act(0, 0, 6)),
+            rd_at + config.timing.tRTP + config.timing.tRP);
+}
+
+TEST(ClosedPage, WraClosesAfterWriteRecovery) {
+  const DramConfig config = DramConfig::SimDefault();
+  TimingChecker checker(config.org, config.timing, true);
+  checker.Record(DdrCommand::Act(0, 0, 5), 0);
+  const Cycle wr_at = config.timing.tRCD;
+  checker.Record(DdrCommand::Wr(0, 0, 2, /*ap=*/true), wr_at);
+  EXPECT_FALSE(checker.OpenRow(0, 0).has_value());
+  EXPECT_GE(checker.EarliestCycle(DdrCommand::Act(0, 0, 6)),
+            wr_at + config.timing.WriteToPrecharge() + config.timing.tRP);
+}
+
+TEST(ClosedPage, NonApAccessLeavesRowOpen) {
+  const DramConfig config = DramConfig::SimDefault();
+  TimingChecker checker(config.org, config.timing, true);
+  checker.Record(DdrCommand::Act(0, 0, 5), 0);
+  checker.Record(DdrCommand::Rd(0, 0, 2, /*ap=*/false), config.timing.tRCD);
+  EXPECT_TRUE(checker.OpenRow(0, 0).has_value());
+}
+
+TEST(ClosedPage, ControllerPolicyEliminatesRowHits) {
+  McConfig mc_config;
+  mc_config.open_page = false;
+  MemoryController mc(DramConfig::SimDefault(), mc_config);
+  // Two accesses to the same row, back to back.
+  const AddressMapper& mapper = mc.mapper();
+  DdrCoord second = mapper.Map(0);
+  second.column += 1;
+  Cycle now = 0;
+  auto run = [&](Cycle cycles) {
+    for (Cycle end = now + cycles; now < end; ++now) {
+      mc.Tick(now);
+    }
+  };
+  MemRequest request;
+  request.id = 1;
+  request.op = MemOp::kRead;
+  request.addr = 0;
+  ASSERT_TRUE(mc.Enqueue(request, now));
+  run(200);
+  request.id = 2;
+  request.addr = mapper.AddrOf(second);
+  ASSERT_TRUE(mc.Enqueue(request, now));
+  run(200);
+  EXPECT_EQ(mc.stats().Get("mc.row_hits"), 0u);
+  EXPECT_EQ(mc.stats().Get("mc.row_misses"), 2u);
+}
+
+TEST(ClosedPage, StreamThroughputPrefersOpenPage) {
+  // Sequential streams exploit the open row; closed-page pays an ACT per
+  // access and must be slower.
+  double throughput[2] = {0, 0};
+  for (int policy = 0; policy < 2; ++policy) {
+    SystemConfig config;
+    config.cores = 1;
+    config.mc.open_page = policy == 1;
+    System system(config);
+    auto tenants = SetupTenants(system, 1, 256);
+    system.AssignCore(0, tenants[0],
+                      MakeWorkload("stream", tenants[0], AddressSpace::BaseFor(tenants[0]),
+                                   256 * kPageBytes, ~0ull >> 1, 3));
+    system.RunFor(300000);
+    throughput[policy] = Summarize(system, 300000).ops_per_kcycle;
+  }
+  EXPECT_GT(throughput[1], throughput[0] * 1.05);
+}
+
+TEST(ClosedPage, AttackStillDetectedAndStopped) {
+  // The defense pipeline is policy-agnostic.
+  SystemConfig config;
+  config.cores = 2;
+  config.mc.open_page = false;
+  ApplyDefensePreset(config, DefenseKind::kSwRefresh, 256);
+  System system(config);
+  auto tenants = SetupTenants(system, 2, 512);
+  system.InstallDefense(MakeDefense(DefenseKind::kSwRefresh, config.dram));
+  auto plan = PlanDoubleSidedCross(system.kernel(), tenants[0], tenants[1]);
+  ASSERT_TRUE(plan.has_value());
+  HammerConfig hammer;
+  hammer.aggressors = plan->aggressor_vas;
+  system.AssignCore(0, tenants[0], std::make_unique<HammerStream>(hammer));
+  system.RunFor(800000);
+  EXPECT_EQ(Assess(system).cross_domain_flips, 0u);
+  EXPECT_GT(system.defense()->stats().Get("defense.victim_refreshes"), 0u);
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,281 @@
+#include "mc/controller.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ht {
+namespace {
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest() { Rebuild(DramConfig::SimDefault(), McConfig{}); }
+
+  void Rebuild(const DramConfig& dram, const McConfig& mc_config) {
+    mc_ = std::make_unique<MemoryController>(dram, mc_config);
+    responses_.clear();
+    mc_->set_response_handler([this](const MemResponse& r) { responses_.push_back(r); });
+  }
+
+  void RunFor(Cycle cycles) {
+    const Cycle end = now_ + cycles;
+    for (; now_ < end; ++now_) {
+      mc_->Tick(now_);
+    }
+  }
+
+  MemRequest Read(PhysAddr addr, DomainId domain = 1) {
+    MemRequest r;
+    r.id = next_id_++;
+    r.op = MemOp::kRead;
+    r.addr = addr;
+    r.domain = domain;
+    return r;
+  }
+
+  MemRequest Write(PhysAddr addr, uint64_t value, DomainId domain = 1) {
+    MemRequest r = Read(addr, domain);
+    r.op = MemOp::kWrite;
+    r.write_value = value;
+    return r;
+  }
+
+  std::unique_ptr<MemoryController> mc_;
+  std::vector<MemResponse> responses_;
+  Cycle now_ = 0;
+  uint64_t next_id_ = 1;
+};
+
+TEST_F(ControllerTest, WriteThenReadReturnsValue) {
+  ASSERT_TRUE(mc_->Enqueue(Write(0x1000, 0xCAFE), now_));
+  RunFor(200);
+  ASSERT_TRUE(mc_->Enqueue(Read(0x1000), now_));
+  RunFor(200);
+  ASSERT_EQ(responses_.size(), 2u);
+  EXPECT_EQ(responses_[0].op, MemOp::kWrite);
+  EXPECT_EQ(responses_[1].op, MemOp::kRead);
+  EXPECT_EQ(responses_[1].read_value, 0xCAFEu);
+  EXPECT_GT(responses_[1].Latency(), 0u);
+}
+
+TEST_F(ControllerTest, ColdAccessesAreRowMisses) {
+  // Two reads to different banks: both are pure row misses.
+  ASSERT_TRUE(mc_->Enqueue(Read(0x0), now_));
+  RunFor(200);
+  ASSERT_TRUE(mc_->Enqueue(Read(64), now_));
+  RunFor(200);
+  EXPECT_EQ(mc_->stats().Get("mc.row_misses"), 2u);
+  EXPECT_EQ(mc_->stats().Get("mc.row_hits"), 0u);
+  EXPECT_EQ(responses_.size(), 2u);
+}
+
+TEST_F(ControllerTest, SameRowSecondAccessIsRowHit) {
+  const AddressMapper& mapper = mc_->mapper();
+  const DdrCoord base = mapper.Map(0);
+  DdrCoord second = base;
+  second.column = base.column + 1;  // Same bank, same row, next column.
+  const PhysAddr addr2 = mapper.AddrOf(second);
+
+  ASSERT_TRUE(mc_->Enqueue(Read(0), now_));
+  RunFor(200);
+  ASSERT_TRUE(mc_->Enqueue(Read(addr2), now_));
+  RunFor(200);
+  EXPECT_EQ(mc_->stats().Get("mc.row_hits"), 1u);
+  EXPECT_EQ(mc_->stats().Get("mc.row_misses"), 1u);
+  // The hit completes faster than the miss.
+  EXPECT_LT(responses_[1].Latency(), responses_[0].Latency());
+}
+
+TEST_F(ControllerTest, ConflictingRowsForcePrecharge) {
+  const AddressMapper& mapper = mc_->mapper();
+  const DdrCoord base = mapper.Map(0);
+  DdrCoord other = base;
+  other.row = base.row + 1;  // Same bank, different row.
+  ASSERT_TRUE(mc_->Enqueue(Read(0), now_));
+  RunFor(200);
+  ASSERT_TRUE(mc_->Enqueue(Read(mapper.AddrOf(other)), now_));
+  RunFor(300);
+  EXPECT_EQ(mc_->stats().Get("mc.row_conflicts"), 1u);
+  EXPECT_EQ(responses_.size(), 2u);
+}
+
+TEST_F(ControllerTest, QueueBackpressure) {
+  McConfig mc_config;
+  mc_config.queue_capacity = 4;
+  Rebuild(DramConfig::SimDefault(), mc_config);
+  int accepted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (mc_->Enqueue(Read(static_cast<PhysAddr>(i) * 4096), now_)) {
+      ++accepted;
+    }
+  }
+  EXPECT_EQ(accepted, 4);
+  EXPECT_EQ(mc_->stats().Get("mc.enqueue_rejected"), 6u);
+}
+
+TEST_F(ControllerTest, PeriodicRefreshIssued) {
+  const Cycle period = mc_->dram_config().RefPeriod();
+  RunFor(period * 4 + 100);
+  EXPECT_GE(mc_->stats().Get("mc.refs_issued"), 3u);
+  EXPECT_EQ(mc_->device(0).CountRetentionViolations(now_), 0u);
+}
+
+TEST_F(ControllerTest, RefreshSurvivesHeavyTraffic) {
+  const Cycle period = mc_->dram_config().RefPeriod();
+  Rng rng(3);
+  for (Cycle end = now_ + period * 3; now_ < end;) {
+    mc_->Enqueue(Read(rng.NextBelow(1 << 20) * 64), now_);
+    RunFor(20);
+  }
+  EXPECT_GE(mc_->stats().Get("mc.refs_issued"), 2u);
+}
+
+TEST_F(ControllerTest, RefreshInstructionRepairsRow) {
+  // Hammer a row's neighbour close to MAC via raw requests, then refresh
+  // the victim with the §4.3 primitive and verify the accumulator reset.
+  const AddressMapper& mapper = mc_->mapper();
+  DdrCoord aggressor = mapper.Map(0);
+  aggressor.row = 10;
+  aggressor.column = 0;
+  DdrCoord conflict = aggressor;
+  conflict.row = 12;
+  const PhysAddr a_addr = mapper.AddrOf(aggressor);
+  const PhysAddr c_addr = mapper.AddrOf(conflict);
+  // Alternate two rows in one bank: every access is a row miss -> ACT.
+  for (int i = 0; i < 50; ++i) {
+    mc_->Enqueue(Read(a_addr), now_);
+    RunFor(120);
+    mc_->Enqueue(Read(c_addr), now_);
+    RunFor(120);
+  }
+  DdrCoord victim = aggressor;
+  victim.row = 11;
+  EXPECT_GT(mc_->device(0).DisturbanceLevel(victim.rank, victim.bank, victim.row), 0.0);
+
+  bool done = false;
+  ASSERT_TRUE(mc_->RefreshRow(mapper.AddrOf(victim), true, now_,
+                              [&done](const RefreshDone&) { done = true; }));
+  RunFor(500);
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(mc_->device(0).DisturbanceLevel(victim.rank, victim.bank, victim.row), 0.0);
+  EXPECT_EQ(mc_->stats().Get("mc.refresh_instr"), 1u);
+  EXPECT_EQ(mc_->stats().Get("mc.refresh_instr_acts"), 1u);
+}
+
+TEST_F(ControllerTest, RefreshNeighborsCommandRepairsVictims) {
+  const AddressMapper& mapper = mc_->mapper();
+  DdrCoord aggressor = mapper.Map(0);
+  aggressor.row = 20;
+  aggressor.column = 0;
+  DdrCoord conflict = aggressor;
+  conflict.row = 24;
+  for (int i = 0; i < 50; ++i) {
+    mc_->Enqueue(Read(mapper.AddrOf(aggressor)), now_);
+    RunFor(120);
+    mc_->Enqueue(Read(mapper.AddrOf(conflict)), now_);
+    RunFor(120);
+  }
+  DdrCoord victim = aggressor;
+  victim.row = 21;
+  ASSERT_GT(mc_->device(0).DisturbanceLevel(victim.rank, victim.bank, victim.row), 0.0);
+  ASSERT_TRUE(mc_->RefreshNeighbors(mapper.AddrOf(aggressor), 2, now_));
+  RunFor(1000);
+  EXPECT_DOUBLE_EQ(mc_->device(0).DisturbanceLevel(victim.rank, victim.bank, victim.row), 0.0);
+  EXPECT_GT(mc_->device(0).stats().Get("dram.ref_neighbors"), 0u);
+}
+
+TEST_F(ControllerTest, DomainGroupViolationDetected) {
+  McConfig mc_config;
+  mc_config.scheme = InterleaveScheme::kSubarrayIsolated;
+  mc_config.enforce_domain_groups = true;
+  Rebuild(DramConfig::SimDefault(), mc_config);
+  mc_->SetDomainGroup(1, 0);  // Domain 1 belongs to subarray group 0.
+
+  // An address in group 0: fine.
+  const uint64_t band_lines = mc_->mapper().LinesPerSubarrayBand();
+  ASSERT_TRUE(mc_->Enqueue(Read(0, 1), now_));
+  EXPECT_EQ(mc_->stats().Get("mc.domain_group_violations"), 0u);
+  // An address in group 1: violation.
+  ASSERT_TRUE(mc_->Enqueue(Read(band_lines * kLineBytes, 1), now_));
+  EXPECT_EQ(mc_->stats().Get("mc.domain_group_violations"), 1u);
+}
+
+TEST_F(ControllerTest, ActCounterFiresUnderConflictTraffic) {
+  McConfig mc_config;
+  mc_config.act_counter.enabled = true;
+  mc_config.act_counter.threshold = 16;
+  Rebuild(DramConfig::SimDefault(), mc_config);
+  int interrupts = 0;
+  PhysAddr last_addr = 0;
+  mc_->SetActInterruptHandler([&](const ActInterrupt& irq) {
+    ++interrupts;
+    last_addr = irq.trigger_addr;
+  });
+  const AddressMapper& mapper = mc_->mapper();
+  DdrCoord a = mapper.Map(0);
+  a.row = 30;
+  DdrCoord b = a;
+  b.row = 40;
+  for (int i = 0; i < 40; ++i) {
+    mc_->Enqueue(Read(mapper.AddrOf(a)), now_);
+    RunFor(120);
+    mc_->Enqueue(Read(mapper.AddrOf(b)), now_);
+    RunFor(120);
+  }
+  EXPECT_GT(interrupts, 0);
+  // The latched address names one of the hammered lines.
+  EXPECT_TRUE(last_addr == mapper.AddrOf(a) || last_addr == mapper.AddrOf(b));
+}
+
+TEST_F(ControllerTest, IdleAndQueuedReporting) {
+  EXPECT_TRUE(mc_->Idle());
+  mc_->Enqueue(Read(0x1000), now_);
+  EXPECT_FALSE(mc_->Idle());
+  EXPECT_EQ(mc_->QueuedRequests(), 1u);
+  RunFor(300);
+  EXPECT_TRUE(mc_->Idle());
+}
+
+TEST_F(ControllerTest, MitigationReceivesActivations) {
+  class Recorder : public McMitigation {
+   public:
+    std::string name() const override { return "recorder"; }
+    void OnActivate(uint32_t, uint32_t, uint32_t row, Cycle,
+                    std::vector<NeighborRefreshRequest>& out) override {
+      rows.push_back(row);
+      (void)out;
+    }
+    uint64_t SramBits() const override { return 0; }
+    std::vector<uint32_t> rows;
+  };
+  auto recorder = std::make_unique<Recorder>();
+  Recorder* raw = recorder.get();
+  mc_->InstallMitigation(std::move(recorder));
+  mc_->Enqueue(Read(0x2000), now_);
+  RunFor(300);
+  ASSERT_EQ(raw->rows.size(), 1u);
+  EXPECT_EQ(raw->rows[0], mc_->mapper().Map(0x2000).row);
+}
+
+TEST_F(ControllerTest, MitigationRefreshRequestsExecuted) {
+  // A mitigation that asks for a neighbour refresh on every ACT: the MC
+  // must turn it into internal PRE/ACT ops (visible as extra device ACTs).
+  class AlwaysRefresh : public McMitigation {
+   public:
+    std::string name() const override { return "always"; }
+    void OnActivate(uint32_t rank, uint32_t bank, uint32_t row, Cycle,
+                    std::vector<NeighborRefreshRequest>& out) override {
+      out.push_back({rank, bank, row});
+    }
+    uint64_t SramBits() const override { return 0; }
+  };
+  mc_->InstallMitigation(std::make_unique<AlwaysRefresh>());
+  mc_->Enqueue(Read(0x3000), now_);
+  RunFor(2000);
+  EXPECT_GT(mc_->stats().Get("mc.mitigation_refreshes"), 0u);
+  // 1 request ACT + up to 2*blast neighbour refresh ACTs.
+  EXPECT_GT(mc_->device(0).stats().Get("dram.acts"), 1u);
+}
+
+}  // namespace
+}  // namespace ht

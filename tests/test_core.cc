@@ -1,0 +1,183 @@
+#include "cpu/core.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/core_ops.h"
+
+namespace ht {
+namespace {
+
+// Fixed scripted stream for precise core-behaviour tests.
+class ScriptStream : public InstructionStream {
+ public:
+  explicit ScriptStream(std::vector<CoreOp> ops, uint32_t ilp = 8)
+      : ops_(std::move(ops)), ilp_(ilp) {}
+  CoreOp Next() override {
+    if (cursor_ >= ops_.size()) {
+      return CoreOp::Halt();
+    }
+    return ops_[cursor_++];
+  }
+  uint32_t IlpHint() const override { return ilp_; }
+
+ private:
+  std::vector<CoreOp> ops_;
+  uint32_t ilp_;
+  size_t cursor_ = 0;
+};
+
+class CoreTest : public ::testing::Test {
+ protected:
+  CoreTest()
+      : mc_(DramConfig::SimDefault(), McConfig{}),
+        cache_(CacheConfig{}),
+        core_(0, 1, CoreConfig{}, &cache_, &mc_) {
+    mc_.set_response_handler([this](const MemResponse& r) { core_.OnResponse(r, now_); });
+    core_.set_translate([](VirtAddr va) { return std::optional<PhysAddr>(va); });
+  }
+
+  void RunFor(Cycle cycles) {
+    const Cycle end = now_ + cycles;
+    for (; now_ < end; ++now_) {
+      mc_.Tick(now_);
+      core_.Tick(now_);
+    }
+  }
+
+  MemoryController mc_;
+  Cache cache_;
+  Core core_;
+  Cycle now_ = 0;
+};
+
+TEST_F(CoreTest, LoadMissGoesToDram) {
+  core_.set_stream(std::make_unique<ScriptStream>(std::vector<CoreOp>{CoreOp::Load(0x1000)}));
+  RunFor(300);
+  EXPECT_TRUE(core_.halted());
+  EXPECT_EQ(core_.stats().Get("core.load_misses"), 1u);
+  EXPECT_EQ(mc_.device(0).stats().Get("dram.reads"), 1u);
+  // The line is now cached.
+  EXPECT_TRUE(cache_.Lookup(0x1000).has_value());
+}
+
+TEST_F(CoreTest, SecondLoadHitsCache) {
+  core_.set_stream(std::make_unique<ScriptStream>(
+      std::vector<CoreOp>{CoreOp::Load(0x1000), CoreOp::Fence(), CoreOp::Load(0x1000)}));
+  RunFor(500);
+  EXPECT_EQ(core_.stats().Get("core.load_misses"), 1u);
+  EXPECT_EQ(core_.stats().Get("core.load_hits"), 1u);
+  EXPECT_EQ(mc_.device(0).stats().Get("dram.reads"), 1u);
+}
+
+TEST_F(CoreTest, FlushForcesNextLoadToDram) {
+  core_.set_stream(std::make_unique<ScriptStream>(std::vector<CoreOp>{
+      CoreOp::Load(0x1000), CoreOp::Fence(), CoreOp::Flush(0x1000), CoreOp::Load(0x1000)}));
+  RunFor(800);
+  EXPECT_EQ(core_.stats().Get("core.load_misses"), 2u);
+  EXPECT_EQ(mc_.device(0).stats().Get("dram.reads"), 2u);
+}
+
+TEST_F(CoreTest, StoreMissWriteAllocatesAndWritesBackOnFlush) {
+  core_.set_stream(std::make_unique<ScriptStream>(std::vector<CoreOp>{
+      CoreOp::Store(0x2000, 0xBEEF), CoreOp::Fence(), CoreOp::Flush(0x2000), CoreOp::Fence()}));
+  RunFor(1000);
+  // The store allocated via a read, then the flush wrote the dirty line.
+  EXPECT_EQ(core_.stats().Get("core.store_misses"), 1u);
+  EXPECT_GE(mc_.device(0).stats().Get("dram.writes"), 1u);
+  EXPECT_EQ(mc_.device(0).ReadLine(mc_.mapper().Map(0x2000).rank, mc_.mapper().Map(0x2000).bank,
+                                   mc_.mapper().Map(0x2000).row, mc_.mapper().Map(0x2000).column),
+            0xBEEFu);
+}
+
+TEST_F(CoreTest, FenceWaitsForOutstanding) {
+  core_.set_stream(std::make_unique<ScriptStream>(std::vector<CoreOp>{
+      CoreOp::Load(0x1000), CoreOp::Load(0x2000), CoreOp::Fence(), CoreOp::Load(0x1000)}));
+  RunFor(1000);
+  EXPECT_TRUE(core_.halted());
+  EXPECT_EQ(core_.outstanding(), 0u);
+  // The post-fence load hit (line already filled).
+  EXPECT_EQ(core_.stats().Get("core.load_hits"), 1u);
+}
+
+TEST_F(CoreTest, GuestRefreshInstructionFaults) {
+  core_.set_stream(
+      std::make_unique<ScriptStream>(std::vector<CoreOp>{CoreOp::RefreshRow(0x1000)}));
+  RunFor(200);
+  EXPECT_EQ(core_.stats().Get("core.refresh_priv_faults"), 1u);
+  EXPECT_EQ(mc_.stats().Get("mc.refresh_instr"), 0u);
+}
+
+TEST_F(CoreTest, HostRefreshInstructionExecutes) {
+  CoreConfig host_config;
+  host_config.is_host = true;
+  Core host(1, 0, host_config, &cache_, &mc_);
+  host.set_translate([](VirtAddr va) { return std::optional<PhysAddr>(va); });
+  host.set_stream(std::make_unique<ScriptStream>(
+      std::vector<CoreOp>{CoreOp::RefreshRow(0x4000), CoreOp::Load(0x4000)}));
+  for (; now_ < 1000; ++now_) {
+    mc_.Tick(now_);
+    host.Tick(now_);
+  }
+  EXPECT_EQ(host.stats().Get("core.refresh_instrs"), 1u);
+  EXPECT_EQ(mc_.stats().Get("mc.refresh_instr_acts"), 1u);
+}
+
+TEST_F(CoreTest, IdleConsumesCycles) {
+  core_.set_stream(std::make_unique<ScriptStream>(
+      std::vector<CoreOp>{CoreOp::Idle(100), CoreOp::Load(0x1000)}));
+  RunFor(50);
+  EXPECT_EQ(core_.stats().Get("core.load_misses"), 0u);  // Still idling.
+  RunFor(500);
+  EXPECT_EQ(core_.stats().Get("core.load_misses"), 1u);
+}
+
+TEST_F(CoreTest, TranslationFaultSkipsAccess) {
+  core_.set_translate([](VirtAddr) { return std::optional<PhysAddr>(); });
+  core_.set_stream(std::make_unique<ScriptStream>(std::vector<CoreOp>{CoreOp::Load(0x9999)}));
+  RunFor(100);
+  EXPECT_EQ(core_.stats().Get("core.translation_faults"), 1u);
+  EXPECT_TRUE(core_.halted());
+}
+
+TEST_F(CoreTest, WindowLimitsOutstanding) {
+  // ILP hint 2: at most 2 outstanding misses even with many independent loads.
+  std::vector<CoreOp> ops;
+  for (int i = 0; i < 8; ++i) {
+    ops.push_back(CoreOp::Load(0x10000 + static_cast<VirtAddr>(i) * 4096));
+  }
+  core_.set_stream(std::make_unique<ScriptStream>(ops, /*ilp=*/2));
+  uint32_t max_outstanding = 0;
+  for (; now_ < 2000; ++now_) {
+    mc_.Tick(now_);
+    core_.Tick(now_);
+    max_outstanding = std::max(max_outstanding, core_.outstanding());
+  }
+  EXPECT_LE(max_outstanding, 2u);
+  EXPECT_EQ(core_.stats().Get("core.load_misses"), 8u);
+}
+
+TEST_F(CoreTest, MissObserverSeesCpuMisses) {
+  std::vector<MissEvent> events;
+  core_.set_miss_observer([&](const MissEvent& e) { events.push_back(e); });
+  core_.set_stream(std::make_unique<ScriptStream>(
+      std::vector<CoreOp>{CoreOp::Load(0x1000), CoreOp::Fence(), CoreOp::Load(0x1000)}));
+  RunFor(600);
+  ASSERT_EQ(events.size(), 1u);  // Only the miss, not the hit.
+  EXPECT_EQ(events[0].addr, 0x1000u);
+  EXPECT_EQ(events[0].domain, 1u);
+}
+
+TEST_F(CoreTest, LockOpPinsLine) {
+  core_.set_stream(std::make_unique<ScriptStream>(std::vector<CoreOp>{
+      CoreOp::Load(0x1000), CoreOp::Fence(), CoreOp::LockLine(0x1000),
+      CoreOp::UnlockLine(0x1000)}));
+  RunFor(600);
+  EXPECT_TRUE(core_.halted());
+  EXPECT_EQ(cache_.stats().Get("cache.locks"), 1u);
+  EXPECT_EQ(cache_.locked_lines(), 0u);  // Unlocked again.
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,215 @@
+#include "dram/device.h"
+
+#include <gtest/gtest.h>
+
+namespace ht {
+namespace {
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  DeviceTest() : config_(DramConfig::Tiny()), device_(config_, 0) {}
+
+  Cycle Issue(const DdrCommand& cmd, Cycle at = 0) {
+    const Cycle t = std::max(at, device_.EarliestCycle(cmd));
+    EXPECT_EQ(device_.Issue(cmd, t), TimingVerdict::kOk) << cmd.ToDebugString();
+    return t;
+  }
+
+  // Hammers `row` in `bank` with `count` ACT/PRE pairs starting at `t`.
+  Cycle Hammer(uint32_t bank, uint32_t row, uint32_t count, Cycle t) {
+    for (uint32_t i = 0; i < count; ++i) {
+      t = Issue(DdrCommand::Act(0, bank, row), t);
+      t = Issue(DdrCommand::Pre(0, bank), t);
+    }
+    return t;
+  }
+
+  DramConfig config_;
+  DramDevice device_;
+};
+
+TEST_F(DeviceTest, IllegalCommandRejectedAndCounted) {
+  EXPECT_EQ(device_.Issue(DdrCommand::Rd(0, 0, 0), 0), TimingVerdict::kBankNotOpen);
+  EXPECT_EQ(device_.stats().Get("dram.illegal_commands"), 1u);
+}
+
+TEST_F(DeviceTest, DataRoundTrip) {
+  device_.WriteLine(0, 0, 3, 2, 0xABCD);
+  EXPECT_EQ(device_.ReadLine(0, 0, 3, 2), 0xABCDu);
+  EXPECT_EQ(device_.ReadLine(0, 1, 3, 2), 0u);  // Different bank.
+}
+
+TEST_F(DeviceTest, HammerBeyondMacFlipsNeighbours) {
+  // Tiny config: mac=64, blast=1. Populate the victim row so flips land
+  // in real data.
+  for (uint32_t c = 0; c < config_.org.columns; ++c) {
+    device_.WriteLine(0, 0, 6, c, 0x5555);
+  }
+  Hammer(0, 5, config_.disturbance.mac + 2, 0);
+  EXPECT_GT(device_.total_flip_events(), 0u);
+  ASSERT_FALSE(device_.flip_records().empty());
+  const FlipRecord& flip = device_.flip_records()[0];
+  EXPECT_EQ(flip.aggressor_row, 5u);
+  EXPECT_TRUE(flip.victim_row == 4 || flip.victim_row == 6);
+  // Victim row 6 held data: at least one of the two victims' flips
+  // corrupted stored bits.
+  bool corrupted = false;
+  for (uint32_t c = 0; c < config_.org.columns; ++c) {
+    if (device_.ReadLine(0, 0, 6, c) != 0x5555u) {
+      corrupted = true;
+    }
+  }
+  bool flipped_row6 = false;
+  for (const auto& record : device_.flip_records()) {
+    if (record.victim_row == 6 && record.bits_flipped > 0) {
+      flipped_row6 = true;
+    }
+  }
+  EXPECT_EQ(corrupted, flipped_row6);
+}
+
+TEST_F(DeviceTest, HammerBelowMacIsSafe) {
+  Hammer(0, 5, config_.disturbance.mac - 2, 0);
+  EXPECT_EQ(device_.total_flip_events(), 0u);
+}
+
+TEST_F(DeviceTest, RefSweepRepairsVictims) {
+  // Hammer to just below MAC, sweep a full refresh window of REFs, then
+  // hammer just below MAC again: no flips (accumulator was reset).
+  Cycle t = Hammer(0, 5, config_.disturbance.mac - 4, 0);
+  for (uint32_t i = 0; i < config_.retention.ref_commands_per_window; ++i) {
+    t = Issue(DdrCommand::Ref(0), t);
+  }
+  Hammer(0, 5, config_.disturbance.mac - 4, t);
+  EXPECT_EQ(device_.total_flip_events(), 0u);
+}
+
+TEST_F(DeviceTest, RefNeighborsRepairsVictims) {
+  Cycle t = Hammer(0, 5, config_.disturbance.mac - 4, 0);
+  t = Issue(DdrCommand::RefNeighbors(0, 0, 5, config_.disturbance.blast_radius), t);
+  Hammer(0, 5, config_.disturbance.mac - 4, t);
+  EXPECT_EQ(device_.total_flip_events(), 0u);
+}
+
+TEST_F(DeviceTest, VictimOwnActivationRepairs) {
+  Cycle t = Hammer(0, 5, config_.disturbance.mac - 4, 0);
+  // Activate the victims themselves.
+  t = Issue(DdrCommand::Act(0, 0, 4), t);
+  t = Issue(DdrCommand::Pre(0, 0), t);
+  t = Issue(DdrCommand::Act(0, 0, 6), t);
+  t = Issue(DdrCommand::Pre(0, 0), t);
+  // Row 5 got disturbed by those two ACTs; repair it too for cleanliness.
+  Hammer(0, 5, config_.disturbance.mac - 4, t);
+  EXPECT_EQ(device_.total_flip_events(), 0u);
+}
+
+TEST_F(DeviceTest, RetentionViolationsDetectedWithoutRefresh) {
+  // Never issue REF: after a full window every row is overdue.
+  EXPECT_EQ(device_.CountRetentionViolations(0), 0u);
+  const Cycle after_window = config_.retention.refresh_window + 1;
+  EXPECT_GT(device_.CountRetentionViolations(after_window), 0u);
+}
+
+TEST_F(DeviceTest, RegularRefreshPreventsRetentionViolations) {
+  Cycle t = 0;
+  const Cycle window = config_.retention.refresh_window;
+  const Cycle period = config_.RefPeriod();
+  for (Cycle due = period; due <= 2 * window; due += period) {
+    t = Issue(DdrCommand::Ref(0), std::max(t, due));
+  }
+  EXPECT_EQ(device_.CountRetentionViolations(2 * window), 0u);
+}
+
+TEST_F(DeviceTest, StatsCountCommands) {
+  Cycle t = Issue(DdrCommand::Act(0, 0, 1), 0);
+  t = Issue(DdrCommand::Rd(0, 0, 0), t);
+  t = Issue(DdrCommand::Wr(0, 0, 1), t);
+  t = Issue(DdrCommand::Pre(0, 0), t);
+  t = Issue(DdrCommand::Ref(0), t);
+  EXPECT_EQ(device_.stats().Get("dram.acts"), 1u);
+  EXPECT_EQ(device_.stats().Get("dram.reads"), 1u);
+  EXPECT_EQ(device_.stats().Get("dram.writes"), 1u);
+  EXPECT_EQ(device_.stats().Get("dram.pres"), 1u);
+  EXPECT_EQ(device_.stats().Get("dram.refs"), 1u);
+}
+
+TEST_F(DeviceTest, DisturbanceOracleTracksLogicalRows) {
+  Issue(DdrCommand::Act(0, 0, 5), 0);
+  EXPECT_DOUBLE_EQ(device_.DisturbanceLevel(0, 0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(device_.DisturbanceLevel(0, 0, 6), 1.0);
+  EXPECT_DOUBLE_EQ(device_.DisturbanceLevel(0, 0, 5), 0.0);
+}
+
+TEST(DeviceRemapTest, RemappedRowsReportInternalSubarray) {
+  DramConfig config = DramConfig::Tiny();
+  config.remap.enabled = true;
+  config.remap.remap_fraction = 0.5;
+  DramDevice device(config, 0);
+  // The oracle and the remap table must agree.
+  for (uint32_t r = 0; r < config.org.rows_per_bank(); ++r) {
+    EXPECT_EQ(device.InternalSubarrayOf(0, 0, r),
+              config.org.SubarrayOfRow(device.InternalRowOf(0, 0, r)));
+  }
+}
+
+TEST(DeviceRemapTest, FlipsReportLogicalRows) {
+  DramConfig config = DramConfig::Tiny();
+  config.remap.enabled = true;
+  config.remap.remap_fraction = 0.5;
+  config.remap.seed = 3;
+  DramDevice device(config, 0);
+  // Hammer logical row 5; victims must be reported as logical rows whose
+  // *internal* position neighbours 5's internal position.
+  const uint32_t internal5 = device.InternalRowOf(0, 0, 5);
+  Cycle t = 0;
+  for (uint32_t i = 0; i < config.disturbance.mac + 2; ++i) {
+    const DdrCommand act = DdrCommand::Act(0, 0, 5);
+    t = std::max(t, device.EarliestCycle(act));
+    ASSERT_EQ(device.Issue(act, t), TimingVerdict::kOk);
+    const DdrCommand pre = DdrCommand::Pre(0, 0);
+    t = std::max(t, device.EarliestCycle(pre));
+    ASSERT_EQ(device.Issue(pre, t), TimingVerdict::kOk);
+  }
+  ASSERT_FALSE(device.flip_records().empty());
+  for (const auto& flip : device.flip_records()) {
+    const uint32_t victim_internal = device.InternalRowOf(0, 0, flip.victim_row);
+    const uint32_t distance = victim_internal > internal5 ? victim_internal - internal5
+                                                          : internal5 - victim_internal;
+    EXPECT_LE(distance, config.disturbance.blast_radius);
+  }
+}
+
+TEST(DeviceTrrTest, TrrProtectsSingleAggressor) {
+  DramConfig config = DramConfig::Tiny();
+  config.trr.enabled = true;
+  config.trr.table_entries = 4;
+  config.trr.refreshes_per_ref = 2;
+  DramDevice device(config, 0);
+
+  // Interleave hammering with periodic REFs, like a real controller.
+  Cycle t = 0;
+  Cycle next_ref = config.RefPeriod();
+  uint32_t acts = 0;
+  while (acts < config.disturbance.mac * 3) {
+    if (t >= next_ref) {
+      const DdrCommand ref = DdrCommand::Ref(0);
+      t = std::max(t, device.EarliestCycle(ref));
+      ASSERT_EQ(device.Issue(ref, t), TimingVerdict::kOk);
+      next_ref += config.RefPeriod();
+      continue;
+    }
+    const DdrCommand act = DdrCommand::Act(0, 0, 5);
+    t = std::max(t + 1, device.EarliestCycle(act));
+    ASSERT_EQ(device.Issue(act, t), TimingVerdict::kOk);
+    const DdrCommand pre = DdrCommand::Pre(0, 0);
+    t = std::max(t + 1, device.EarliestCycle(pre));
+    ASSERT_EQ(device.Issue(pre, t), TimingVerdict::kOk);
+    ++acts;
+  }
+  // TRR must have intervened.
+  EXPECT_GT(device.stats().Get("dram.trr_repairs"), 0u);
+  EXPECT_EQ(device.total_flip_events(), 0u);
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,161 @@
+#include "dram/disturbance.h"
+
+#include <gtest/gtest.h>
+
+#include "dram/config.h"
+
+namespace ht {
+namespace {
+
+DramOrg TinyOrg() {
+  DramOrg org;
+  org.banks = 1;
+  org.subarrays_per_bank = 2;
+  org.rows_per_subarray = 16;
+  org.columns = 8;
+  return org;
+}
+
+TEST(Disturbance, ImmediateNeighbourFlipsAtMac) {
+  DisturbanceParams params;
+  params.mac = 10;
+  params.blast_radius = 1;
+  BankDisturbance bank(TinyOrg(), params);
+
+  std::vector<DisturbanceVictim> victims;
+  for (int i = 0; i < 9; ++i) {
+    bank.OnActivate(5, victims);
+  }
+  EXPECT_TRUE(victims.empty());
+  bank.OnActivate(5, victims);
+  ASSERT_EQ(victims.size(), 2u);  // Rows 4 and 6 cross together.
+  EXPECT_EQ(victims[0].aggressor_row, 5u);
+}
+
+TEST(Disturbance, VictimAccumulatorResetsAfterFlip) {
+  DisturbanceParams params;
+  params.mac = 4;
+  params.blast_radius = 1;
+  BankDisturbance bank(TinyOrg(), params);
+  std::vector<DisturbanceVictim> victims;
+  for (int i = 0; i < 8; ++i) {
+    bank.OnActivate(5, victims);
+  }
+  // MAC=4: flips at the 4th and 8th activation.
+  EXPECT_EQ(victims.size(), 4u);
+}
+
+TEST(Disturbance, RefreshPreventsFlip) {
+  DisturbanceParams params;
+  params.mac = 10;
+  params.blast_radius = 1;
+  BankDisturbance bank(TinyOrg(), params);
+  std::vector<DisturbanceVictim> victims;
+  for (int i = 0; i < 9; ++i) {
+    bank.OnActivate(5, victims);
+  }
+  bank.OnRefreshRow(4);
+  bank.OnRefreshRow(6);
+  bank.OnActivate(5, victims);
+  EXPECT_TRUE(victims.empty());
+  EXPECT_DOUBLE_EQ(bank.Level(4), 1.0);
+}
+
+TEST(Disturbance, OwnActivationRepairsRow) {
+  DisturbanceParams params;
+  params.mac = 10;
+  params.blast_radius = 1;
+  BankDisturbance bank(TinyOrg(), params);
+  std::vector<DisturbanceVictim> victims;
+  for (int i = 0; i < 9; ++i) {
+    bank.OnActivate(5, victims);
+  }
+  EXPECT_GT(bank.Level(6), 0.0);
+  bank.OnActivate(6, victims);  // Row 6's own ACT repairs it...
+  EXPECT_DOUBLE_EQ(bank.Level(6), 0.0);
+  EXPECT_GT(bank.Level(5), 0.0);  // ...while disturbing row 5.
+}
+
+TEST(Disturbance, DistanceWeightsHalve) {
+  DisturbanceParams params;
+  params.mac = 1000;
+  params.blast_radius = 3;
+  BankDisturbance bank(TinyOrg(), params);
+  std::vector<DisturbanceVictim> victims;
+  bank.OnActivate(8, victims);
+  EXPECT_DOUBLE_EQ(bank.Level(7), 1.0);
+  EXPECT_DOUBLE_EQ(bank.Level(6), 0.5);
+  EXPECT_DOUBLE_EQ(bank.Level(5), 0.25);
+  EXPECT_DOUBLE_EQ(bank.Level(4), 0.0);
+}
+
+TEST(Disturbance, SubarrayBoundaryBlocksDisturbance) {
+  DisturbanceParams params;
+  params.mac = 1000;
+  params.blast_radius = 3;
+  BankDisturbance bank(TinyOrg(), params);  // Subarrays: rows 0-15, 16-31.
+  std::vector<DisturbanceVictim> victims;
+  bank.OnActivate(15, victims);  // Last row of subarray 0.
+  EXPECT_DOUBLE_EQ(bank.Level(14), 1.0);
+  EXPECT_DOUBLE_EQ(bank.Level(16), 0.0);  // Across the boundary: isolated.
+  EXPECT_DOUBLE_EQ(bank.Level(17), 0.0);
+}
+
+TEST(Disturbance, EdgeRowsDoNotEscapeBank) {
+  DisturbanceParams params;
+  params.mac = 2;
+  params.blast_radius = 2;
+  BankDisturbance bank(TinyOrg(), params);
+  std::vector<DisturbanceVictim> victims;
+  // Rows 0 and 31 are bank edges; must not crash or wrap.
+  for (int i = 0; i < 10; ++i) {
+    bank.OnActivate(0, victims);
+    bank.OnActivate(31, victims);
+  }
+  for (const auto& victim : victims) {
+    EXPECT_LT(victim.row, 32u);
+  }
+}
+
+TEST(Disturbance, ActsSinceRepairCounts) {
+  DisturbanceParams params;
+  params.mac = 100;
+  params.blast_radius = 1;
+  BankDisturbance bank(TinyOrg(), params);
+  std::vector<DisturbanceVictim> victims;
+  bank.OnActivate(5, victims);
+  bank.OnActivate(5, victims);
+  EXPECT_EQ(bank.ActsSinceRepair(4), 2u);
+  EXPECT_EQ(bank.ActsSinceRepair(5), 0u);  // Self-repaired.
+  bank.OnRefreshRow(4);
+  EXPECT_EQ(bank.ActsSinceRepair(4), 0u);
+}
+
+// Property sweep: whatever the blast radius, a double-sided pair at
+// distance 2 flips the sandwiched victim after ceil(MAC/2) passes.
+class BlastRadiusTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BlastRadiusTest, DoubleSidedVictimFlipsAtHalfMac) {
+  DisturbanceParams params;
+  params.mac = 100;
+  params.blast_radius = GetParam();
+  DramOrg org = TinyOrg();
+  org.rows_per_subarray = 64;
+  org.subarrays_per_bank = 1;
+  BankDisturbance bank(org, params);
+  std::vector<DisturbanceVictim> victims;
+  int passes = 0;
+  while (victims.empty() && passes < 1000) {
+    bank.OnActivate(30, victims);
+    bank.OnActivate(32, victims);
+    ++passes;
+  }
+  ASSERT_FALSE(victims.empty());
+  EXPECT_EQ(victims[0].row, 31u);
+  EXPECT_EQ(passes, 50);  // 2 units of disturbance per pass.
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, BlastRadiusTest, ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,86 @@
+#include "cpu/dma.h"
+
+#include <gtest/gtest.h>
+
+namespace ht {
+namespace {
+
+TEST(Dma, IssuesPatternRoundRobinAtPeriod) {
+  MemoryController mc(DramConfig::SimDefault(), McConfig{});
+  DmaConfig config;
+  config.pattern = {0x1000, 0x2000};
+  config.period = 10;
+  config.total_requests = 6;
+  DmaEngine dma(1000, 5, config, &mc);
+  for (Cycle t = 0; t < 200; ++t) {
+    mc.Tick(t);
+    dma.Tick(t);
+  }
+  EXPECT_TRUE(dma.done());
+  EXPECT_EQ(dma.issued(), 6u);
+  EXPECT_EQ(mc.stats().Get("mc.requests"), 6u);
+}
+
+TEST(Dma, RequestsAreMarkedDma) {
+  MemoryController mc(DramConfig::SimDefault(), McConfig{});
+  McConfig mc_config;
+  mc_config.act_counter.enabled = true;
+  mc_config.act_counter.threshold = 1;
+  MemoryController mc2(DramConfig::SimDefault(), mc_config);
+  bool saw_dma = false;
+  mc2.SetActInterruptHandler([&](const ActInterrupt& irq) { saw_dma = irq.trigger_is_dma; });
+  DmaConfig config;
+  config.pattern = {0x1000};
+  config.period = 1;
+  config.total_requests = 1;
+  DmaEngine dma(1000, 5, config, &mc2);
+  for (Cycle t = 0; t < 300; ++t) {
+    mc2.Tick(t);
+    dma.Tick(t);
+  }
+  EXPECT_TRUE(saw_dma);
+}
+
+TEST(Dma, BackpressureRetriesWithoutSkipping) {
+  McConfig mc_config;
+  mc_config.queue_capacity = 1;
+  MemoryController mc(DramConfig::SimDefault(), mc_config);
+  DmaConfig config;
+  config.pattern = {0x1000, 0x2000, 0x3000};
+  config.period = 1;
+  config.total_requests = 3;
+  DmaEngine dma(1000, 5, config, &mc);
+  for (Cycle t = 0; t < 2000 && !dma.done(); ++t) {
+    mc.Tick(t);
+    dma.Tick(t);
+  }
+  EXPECT_TRUE(dma.done());
+  EXPECT_EQ(mc.stats().Get("mc.requests"), 3u);
+}
+
+TEST(Dma, EmptyPatternNeverIssues) {
+  MemoryController mc(DramConfig::SimDefault(), McConfig{});
+  DmaEngine dma(1000, 5, DmaConfig{}, &mc);
+  for (Cycle t = 0; t < 100; ++t) {
+    dma.Tick(t);
+  }
+  EXPECT_EQ(dma.issued(), 0u);
+}
+
+TEST(Dma, UnlimitedRunsForever) {
+  MemoryController mc(DramConfig::SimDefault(), McConfig{});
+  DmaConfig config;
+  config.pattern = {0x1000};
+  config.period = 5;
+  config.total_requests = 0;  // Unlimited.
+  DmaEngine dma(1000, 5, config, &mc);
+  for (Cycle t = 0; t < 1000; ++t) {
+    mc.Tick(t);
+    dma.Tick(t);
+  }
+  EXPECT_FALSE(dma.done());
+  EXPECT_GT(dma.issued(), 100u);
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,57 @@
+#include "dram/energy.h"
+
+#include <gtest/gtest.h>
+
+#include "dram/device.h"
+
+namespace ht {
+namespace {
+
+TEST(Energy, ZeroStatsZeroEnergy) {
+  StatSet stats;
+  EXPECT_DOUBLE_EQ(ComputeEnergy(stats, 2).total_nj(), 0.0);
+}
+
+TEST(Energy, BreakdownMatchesCounts) {
+  StatSet stats;
+  stats.Add("dram.acts", 10);
+  stats.Add("dram.reads", 100);
+  stats.Add("dram.writes", 50);
+  stats.Add("dram.refs", 4);
+  stats.Add("dram.ref_neighbors", 3);
+  EnergyParams params;
+  const EnergyBreakdown breakdown = ComputeEnergy(stats, 2, params);
+  EXPECT_DOUBLE_EQ(breakdown.activate_nj, 10 * params.act_pre_nj);
+  EXPECT_DOUBLE_EQ(breakdown.read_nj, 100 * params.read_nj);
+  EXPECT_DOUBLE_EQ(breakdown.write_nj, 50 * params.write_nj);
+  EXPECT_DOUBLE_EQ(breakdown.refresh_nj, 4 * params.ref_nj);
+  EXPECT_DOUBLE_EQ(breakdown.ref_neighbors_nj, 3 * 2.0 * 2 * params.ref_neighbors_row_nj);
+  EXPECT_DOUBLE_EQ(breakdown.total_nj(),
+                   breakdown.activate_nj + breakdown.read_nj + breakdown.write_nj +
+                       breakdown.refresh_nj + breakdown.ref_neighbors_nj);
+}
+
+TEST(Energy, DeviceActivityAccumulates) {
+  const DramConfig config = DramConfig::Tiny();
+  DramDevice device(config, 0);
+  Cycle t = 0;
+  auto issue = [&](const DdrCommand& cmd) {
+    t = std::max(t + 1, device.EarliestCycle(cmd));
+    ASSERT_EQ(device.Issue(cmd, t), TimingVerdict::kOk);
+  };
+  issue(DdrCommand::Act(0, 0, 1));
+  issue(DdrCommand::Rd(0, 0, 0));
+  issue(DdrCommand::Wr(0, 0, 1));
+  issue(DdrCommand::Pre(0, 0));
+  issue(DdrCommand::Ref(0));
+  const EnergyBreakdown breakdown =
+      ComputeEnergy(device.stats(), config.disturbance.blast_radius);
+  EXPECT_GT(breakdown.activate_nj, 0.0);
+  EXPECT_GT(breakdown.read_nj, 0.0);
+  EXPECT_GT(breakdown.write_nj, 0.0);
+  EXPECT_GT(breakdown.refresh_nj, 0.0);
+  EXPECT_DOUBLE_EQ(breakdown.ref_neighbors_nj, 0.0);
+}
+
+}  // namespace
+}  // namespace ht

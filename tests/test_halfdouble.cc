@@ -1,0 +1,100 @@
+// Half-Double-style distance-two hammering: aggressors at rows r±2 around
+// the victim. Defeats defenses that under-assume the blast radius — the
+// reason §4.3's REF_NEIGHBORS takes b as an argument "for adaptability to
+// emerging threats".
+#include <gtest/gtest.h>
+
+#include "attack/hammer.h"
+#include "attack/planner.h"
+#include "defense/refresh_defense.h"
+#include "sim/scenario.h"
+#include "sim/system.h"
+
+namespace ht {
+namespace {
+
+// Half-double needs the victim at distance 2 from attacker rows, so
+// tenants must own *pairs* of adjacent rows (chunks of two row-groups):
+// layout AA VV AA VV puts victim row r+2 between attacker rows r and r+4.
+std::vector<DomainId> SetupPairedTenants(System& system) {
+  return SetupTenants(system, 2, 512, 2 * PagesPerRowGroup(system.mc().mapper()));
+}
+
+TEST(HalfDouble, PlannerKeepsVictimAtDistanceTwo) {
+  SystemConfig config;
+  System system(config);
+  auto tenants = SetupPairedTenants(system);
+  auto plan = PlanHalfDoubleCross(system.kernel(), tenants[0], tenants[1]);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->aggressor_rows.size(), 2u);
+  EXPECT_EQ(plan->aggressor_rows[1], plan->aggressor_rows[0] + 4);
+  const auto owners = system.kernel().RowOwners(plan->channel, plan->rank, plan->bank,
+                                                plan->aggressor_rows[0] + 2);
+  EXPECT_NE(std::find(owners.begin(), owners.end(), tenants[1]), owners.end());
+}
+
+TEST(HalfDouble, FlipsVictimDespiteDistance) {
+  SystemConfig config;
+  config.cores = 1;
+  System system(config);  // blast_radius = 2 by default.
+  auto tenants = SetupPairedTenants(system);
+  auto plan = PlanHalfDoubleCross(system.kernel(), tenants[0], tenants[1]);
+  ASSERT_TRUE(plan.has_value());
+  HammerConfig hammer;
+  hammer.aggressors = plan->aggressor_vas;
+  system.AssignCore(0, tenants[0], std::make_unique<HammerStream>(hammer));
+  // Half weight at distance 2: needs ~2x the double-sided budget.
+  system.RunFor(2000000);
+  EXPECT_GT(Assess(system).cross_domain_flips, 0u);
+}
+
+TEST(HalfDouble, BlastOneDefenseMissesItBlastTwoStopsIt) {
+  for (const uint32_t assumed_blast : {1u, 2u}) {
+    SystemConfig config;
+    config.cores = 1;
+    ApplyDefensePreset(config, DefenseKind::kSwRefresh, 256);
+    System system(config);
+    auto tenants = SetupPairedTenants(system);
+    SoftRefreshConfig defense_config;
+    defense_config.blast_radius = assumed_blast;
+    system.InstallDefense(std::make_unique<SoftRefreshDefense>(defense_config));
+    auto plan = PlanHalfDoubleCross(system.kernel(), tenants[0], tenants[1]);
+    ASSERT_TRUE(plan.has_value());
+    HammerConfig hammer;
+    hammer.aggressors = plan->aggressor_vas;
+    system.AssignCore(0, tenants[0], std::make_unique<HammerStream>(hammer));
+    system.RunFor(2000000);
+    const SecurityOutcome outcome = Assess(system);
+    if (assumed_blast == 1) {
+      EXPECT_GT(outcome.cross_domain_flips, 0u)
+          << "distance-1-only refresh must miss half-double";
+    } else {
+      EXPECT_EQ(outcome.cross_domain_flips, 0u)
+          << "correctly-calibrated blast radius must stop it";
+    }
+  }
+}
+
+TEST(HalfDouble, DistanceTwoVictimSafeOnBlastOneDevice) {
+  // On an older module whose blast radius is 1, distance-2 coupling does
+  // not exist: the targeted middle row never flips (distance-1 neighbours
+  // of the aggressors still can — ordinary single-sided coupling).
+  SystemConfig config;
+  config.cores = 1;
+  config.dram.disturbance.blast_radius = 1;
+  System system(config);
+  auto tenants = SetupPairedTenants(system);
+  auto plan = PlanHalfDoubleCross(system.kernel(), tenants[0], tenants[1]);
+  ASSERT_TRUE(plan.has_value());
+  const uint32_t middle = plan->aggressor_rows[0] + 2;
+  HammerConfig hammer;
+  hammer.aggressors = plan->aggressor_vas;
+  system.AssignCore(0, tenants[0], std::make_unique<HammerStream>(hammer));
+  system.RunFor(2000000);
+  for (const FlipRecord& flip : system.mc().device(plan->channel).flip_records()) {
+    EXPECT_NE(flip.victim_row, middle) << "distance-2 victim flipped on a blast-1 device";
+  }
+}
+
+}  // namespace
+}  // namespace ht

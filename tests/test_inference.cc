@@ -1,0 +1,50 @@
+#include "attack/inference.h"
+
+#include <gtest/gtest.h>
+
+namespace ht {
+namespace {
+
+TEST(Inference, FindsAllSubarrayBoundariesWithoutRemap) {
+  DramConfig config = DramConfig::Tiny();  // 2 subarrays of 16 rows.
+  const SubarrayInference result = InferSubarrayBoundaries(config, 0);
+  EXPECT_EQ(result.boundaries, std::vector<uint32_t>{16u});
+  EXPECT_TRUE(result.anomalies.empty());
+  EXPECT_GT(result.flips_observed, 0u);
+}
+
+TEST(Inference, MultiSubarrayConfig) {
+  DramConfig config = DramConfig::Tiny();
+  config.org.subarrays_per_bank = 4;
+  config.org.rows_per_subarray = 8;
+  const SubarrayInference result = InferSubarrayBoundaries(config, 0);
+  EXPECT_EQ(result.boundaries, (std::vector<uint32_t>{8u, 16u, 24u}));
+}
+
+TEST(Inference, RemappingShowsAnomalies) {
+  DramConfig config = DramConfig::Tiny();
+  config.remap.enabled = true;
+  config.remap.remap_fraction = 0.4;
+  config.remap.seed = 11;
+  const SubarrayInference result = InferSubarrayBoundaries(config, 0);
+  // Remapped rows break logical-edge coupling at non-boundary positions.
+  EXPECT_FALSE(result.anomalies.empty());
+}
+
+TEST(Inference, ActBudgetScalesWithRows) {
+  DramConfig config = DramConfig::Tiny();
+  const SubarrayInference result = InferSubarrayBoundaries(config, 0, 1.2);
+  const uint64_t expected_min =
+      static_cast<uint64_t>(config.org.rows_per_bank()) * config.disturbance.mac;
+  EXPECT_GE(result.total_acts, expected_min);
+}
+
+TEST(Inference, WorksOnAnyBank) {
+  DramConfig config = DramConfig::Tiny();
+  const SubarrayInference bank0 = InferSubarrayBoundaries(config, 0);
+  const SubarrayInference bank1 = InferSubarrayBoundaries(config, 1);
+  EXPECT_EQ(bank0.boundaries, bank1.boundaries);
+}
+
+}  // namespace
+}  // namespace ht

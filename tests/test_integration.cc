@@ -1,0 +1,279 @@
+// End-to-end integration tests: full systems under attack, with and
+// without defenses. These are the repository's ground-truth checks that
+// the paper's core claims hold in the simulator.
+#include <gtest/gtest.h>
+
+#include "attack/hammer.h"
+#include "attack/planner.h"
+#include "sim/scenario.h"
+#include "sim/system.h"
+#include "sim/workloads.h"
+
+namespace ht {
+namespace {
+
+SystemConfig BaseConfig() {
+  SystemConfig config;
+  config.dram = DramConfig::SimDefault();
+  config.cores = 2;
+  return config;
+}
+
+// Allocates two tenants with abutting pages and returns a double-sided
+// plan from attacker around a victim row.
+struct AttackSetup {
+  std::unique_ptr<System> system;
+  DomainId attacker = 0;
+  DomainId victim = 0;
+  HammerPlan plan;
+};
+
+AttackSetup MakeDoubleSidedSetup(SystemConfig config) {
+  AttackSetup setup;
+  setup.system = std::make_unique<System>(config);
+  auto tenants = SetupTenants(*setup.system, 2, /*pages_each=*/512);
+  setup.attacker = tenants[0];
+  setup.victim = tenants[1];
+  auto plan = PlanDoubleSidedCross(setup.system->kernel(), setup.attacker, setup.victim);
+  if (plan.has_value()) {
+    setup.plan = *plan;
+  }
+  return setup;
+}
+
+TEST(Integration, DoubleSidedHammerFlipsVictimBits) {
+  auto setup = MakeDoubleSidedSetup(BaseConfig());
+  ASSERT_FALSE(setup.plan.aggressor_vas.empty())
+      << "linear allocator with interleaved chunks must yield a sandwich";
+
+  HammerConfig hammer;
+  hammer.aggressors = setup.plan.aggressor_vas;
+  setup.system->AssignCore(0, setup.attacker, std::make_unique<HammerStream>(hammer));
+  setup.system->RunFor(800000);
+
+  const SecurityOutcome outcome = Assess(*setup.system);
+  EXPECT_GT(outcome.flip_events, 0u);
+  EXPECT_GT(outcome.cross_domain_flips, 0u);
+  EXPECT_GT(outcome.corrupted_lines, 0u);
+}
+
+TEST(Integration, SoftRefreshDefenseStopsDoubleSided) {
+  SystemConfig config = BaseConfig();
+  ApplyDefensePreset(config, DefenseKind::kSwRefresh, /*act_threshold=*/256);
+  auto setup = MakeDoubleSidedSetup(config);
+  ASSERT_FALSE(setup.plan.aggressor_vas.empty());
+  setup.system->InstallDefense(MakeDefense(DefenseKind::kSwRefresh, config.dram));
+
+  HammerConfig hammer;
+  hammer.aggressors = setup.plan.aggressor_vas;
+  setup.system->AssignCore(0, setup.attacker, std::make_unique<HammerStream>(hammer));
+  setup.system->RunFor(800000);
+
+  const SecurityOutcome outcome = Assess(*setup.system);
+  EXPECT_EQ(outcome.cross_domain_flips, 0u);
+  EXPECT_EQ(outcome.corrupted_lines, 0u);
+  EXPECT_GT(setup.system->defense()->stats().Get("defense.victim_refreshes"), 0u);
+}
+
+TEST(Integration, SubarrayIsolationPreventsCrossDomainSandwich) {
+  SystemConfig config = BaseConfig();
+  config.mc.scheme = InterleaveScheme::kSubarrayIsolated;
+  config.alloc = AllocPolicy::kSubarrayAware;
+  auto setup = MakeDoubleSidedSetup(config);
+  // No cross-domain sandwich should even exist.
+  EXPECT_TRUE(setup.plan.aggressor_vas.empty());
+
+  // The attacker hammers its own rows as hard as it can instead.
+  auto fallback = PlanManySided(setup.system->kernel(), setup.attacker, 2);
+  ASSERT_TRUE(fallback.has_value());
+  HammerConfig hammer;
+  hammer.aggressors = fallback->aggressor_vas;
+  setup.system->AssignCore(0, setup.attacker, std::make_unique<HammerStream>(hammer));
+  setup.system->RunFor(800000);
+
+  const SecurityOutcome outcome = Assess(*setup.system);
+  EXPECT_EQ(outcome.cross_domain_flips, 0u);
+}
+
+TEST(Integration, TrrStopsDoubleSidedButNotManySided) {
+  // §3 / TRRespass: in-DRAM TRR with a small tracker handles few-sided
+  // attacks but is bypassed by many-sided ones.
+  for (const uint32_t sides : {2u, 16u}) {
+    SystemConfig config = BaseConfig();
+    config.dram.trr.enabled = true;
+    config.dram.trr.table_entries = 4;
+    config.dram.trr.refreshes_per_ref = 2;
+    System system(config);
+    auto tenants = SetupTenants(system, 2, 1024);
+    auto plan = PlanManySided(system.kernel(), tenants[0], sides);
+    ASSERT_TRUE(plan.has_value()) << sides;
+    HammerConfig hammer;
+    hammer.aggressors = plan->aggressor_vas;
+    system.AssignCore(0, tenants[0], std::make_unique<HammerStream>(hammer));
+    // Many-sided splits the attacker's ACT budget across 16 rows, so the
+    // bypass needs a longer run to push victims past the MAC.
+    system.RunFor(sides == 2 ? 900000 : 3000000);
+    if (sides == 2) {
+      EXPECT_EQ(system.TotalFlips(), 0u) << "TRR must stop 2-sided";
+    } else {
+      EXPECT_GT(system.TotalFlips(), 0u) << "16 sides must bypass 4-entry TRR";
+    }
+  }
+}
+
+TEST(Integration, BlockHammerThrottlingPreventsFlips) {
+  SystemConfig config = BaseConfig();
+  auto setup = MakeDoubleSidedSetup(config);
+  ASSERT_FALSE(setup.plan.aggressor_vas.empty());
+  InstallHwMitigation(*setup.system, HwMitigationKind::kBlockHammer);
+  HammerConfig hammer;
+  hammer.aggressors = setup.plan.aggressor_vas;
+  setup.system->AssignCore(0, setup.attacker, std::make_unique<HammerStream>(hammer));
+  setup.system->RunFor(800000);
+  EXPECT_EQ(setup.system->TotalFlips(), 0u);
+  EXPECT_GT(setup.system->mc().stats().Get("mc.throttle_stalls"), 0u);
+}
+
+TEST(Integration, ParaSuppressesFlipsProbabilistically) {
+  SystemConfig config = BaseConfig();
+  auto setup = MakeDoubleSidedSetup(config);
+  ASSERT_FALSE(setup.plan.aggressor_vas.empty());
+  InstallHwMitigation(*setup.system, HwMitigationKind::kPara);
+  HammerConfig hammer;
+  hammer.aggressors = setup.plan.aggressor_vas;
+  setup.system->AssignCore(0, setup.attacker, std::make_unique<HammerStream>(hammer));
+  setup.system->RunFor(800000);
+  // PARA with p=0.02 refreshes each victim every ~50 ACTs in expectation,
+  // far below the scaled MAC of 2500: no flips.
+  EXPECT_EQ(setup.system->TotalFlips(), 0u);
+  EXPECT_GT(setup.system->mc().stats().Get("mc.mitigation_refreshes"), 0u);
+}
+
+TEST(Integration, GrapheneStopsDoubleSided) {
+  SystemConfig config = BaseConfig();
+  auto setup = MakeDoubleSidedSetup(config);
+  ASSERT_FALSE(setup.plan.aggressor_vas.empty());
+  InstallHwMitigation(*setup.system, HwMitigationKind::kGraphene);
+  HammerConfig hammer;
+  hammer.aggressors = setup.plan.aggressor_vas;
+  setup.system->AssignCore(0, setup.attacker, std::make_unique<HammerStream>(hammer));
+  setup.system->RunFor(800000);
+  EXPECT_EQ(setup.system->TotalFlips(), 0u);
+}
+
+TEST(Integration, DmaHammerFlipsWithoutMcDefense) {
+  SystemConfig config = BaseConfig();
+  config.cores = 1;
+  auto setup = MakeDoubleSidedSetup(config);
+  ASSERT_FALSE(setup.plan.aggressor_vas.empty());
+  DmaConfig dma;
+  dma.pattern = setup.plan.aggressor_addrs;
+  dma.period = 8;
+  setup.system->AddDma(setup.attacker, dma);
+  setup.system->RunFor(800000);
+  EXPECT_GT(Assess(*setup.system).cross_domain_flips, 0u);
+}
+
+TEST(Integration, SwRefreshStopsDmaHammer) {
+  // The MC-level primitive sees DMA-triggered ACTs (unlike CPU PMUs).
+  SystemConfig config = BaseConfig();
+  config.cores = 1;
+  ApplyDefensePreset(config, DefenseKind::kSwRefresh, 256);
+  auto setup = MakeDoubleSidedSetup(config);
+  ASSERT_FALSE(setup.plan.aggressor_vas.empty());
+  setup.system->InstallDefense(MakeDefense(DefenseKind::kSwRefresh, config.dram));
+  DmaConfig dma;
+  dma.pattern = setup.plan.aggressor_addrs;
+  dma.period = 8;
+  setup.system->AddDma(setup.attacker, dma);
+  setup.system->RunFor(800000);
+  EXPECT_EQ(Assess(*setup.system).cross_domain_flips, 0u);
+  EXPECT_GT(setup.system->defense()->stats().Get("defense.victim_refreshes"), 0u);
+}
+
+TEST(Integration, AdaptiveAttackerBeatsDeterministicResetOnly) {
+  // §4.2: randomized counter resets defeat threshold-synchronized evasion.
+  uint64_t flips_by_reset_mode[2] = {0, 0};
+  for (const bool randomize : {false, true}) {
+    SystemConfig config = BaseConfig();
+    // REF_NEIGHBORS-based defense: its repairs are not ACT commands, so
+    // the channel ACT counter stays phase-locked to the attacker.
+    ApplyDefensePreset(config, DefenseKind::kSwRefreshRefn, 512);
+    config.mc.act_counter.randomize_reset = randomize;
+    auto setup = MakeDoubleSidedSetup(config);
+    ASSERT_FALSE(setup.plan.aggressor_vas.empty());
+    setup.system->InstallDefense(MakeDefense(DefenseKind::kSwRefreshRefn, config.dram));
+
+    // Decoys: the attacker's own rows in a *different* bank, so decoy
+    // interrupts never lead the defense to the real victims.
+    auto decoy_plan = PlanManySided(
+        setup.system->kernel(), setup.attacker, 2, 2,
+        BankTriple{setup.plan.channel, setup.plan.rank, setup.plan.bank});
+    ASSERT_TRUE(decoy_plan.has_value());
+    AdaptiveHammerConfig adaptive;
+    adaptive.aggressors = setup.plan.aggressor_vas;
+    adaptive.decoys = decoy_plan->aggressor_vas;
+    adaptive.counter_threshold = 512;
+    adaptive.safety_margin = 48;
+    setup.system->AssignCore(0, setup.attacker,
+                             std::make_unique<AdaptiveHammerStream>(adaptive));
+    setup.system->RunFor(2000000);
+    flips_by_reset_mode[randomize ? 1 : 0] = Assess(*setup.system).cross_domain_flips;
+  }
+  // Deterministic reset: evasion leaks flips. Randomized: fewer/none.
+  EXPECT_GT(flips_by_reset_mode[0], flips_by_reset_mode[1]);
+}
+
+TEST(Integration, EnclaveIntegrityTurnsFlipsIntoDos) {
+  SystemConfig config = BaseConfig();
+  System system(config);
+  const DomainId attacker = system.AddDomain({.name = "attacker"});
+  const DomainId enclave =
+      system.AddDomain({.name = "enclave", .enclave = true, .integrity_checked = true});
+  // Interleave allocations so the enclave abuts the attacker.
+  const uint64_t chunk = PagesPerRowGroup(system.mc().mapper());
+  std::optional<VirtAddr> attacker_base;
+  std::optional<VirtAddr> enclave_base;
+  for (int i = 0; i < 32; ++i) {
+    auto a = system.kernel().AllocRegion(attacker, chunk);
+    auto e = system.kernel().AllocRegion(enclave, chunk);
+    if (!attacker_base) {
+      attacker_base = a;
+    }
+    if (!enclave_base) {
+      enclave_base = e;
+    }
+  }
+  system.kernel().FillRegion(attacker, *attacker_base, 32 * chunk);
+  system.kernel().FillRegion(enclave, *enclave_base, 32 * chunk);
+  auto plan = PlanDoubleSidedCross(system.kernel(), attacker, enclave);
+  ASSERT_TRUE(plan.has_value());
+  HammerConfig hammer;
+  hammer.aggressors = plan->aggressor_vas;
+  system.AssignCore(0, attacker, std::make_unique<HammerStream>(hammer));
+  system.RunFor(800000);
+  const SecurityOutcome outcome = Assess(system);
+  EXPECT_GT(outcome.dos_lockups, 0u);  // Integrity check -> lockup, §4.4.
+  const FlipAttribution attribution = system.kernel().AttributeFlips();
+  EXPECT_GT(attribution.enclave_victims, 0u);
+}
+
+TEST(Integration, BenignWorkloadsProduceNoFlips) {
+  auto config = BaseConfig();
+  config.cores = 4;
+  System system(config);
+  auto tenants = SetupTenants(system, 4, 256);
+  for (uint32_t i = 0; i < 4; ++i) {
+    system.AssignCore(i, tenants[i],
+                      MakeWorkload("random", tenants[i], AddressSpace::BaseFor(tenants[i]),
+                                   256 * kPageBytes, 200000, 17 + i));
+  }
+  system.RunFor(400000);
+  const SecurityOutcome outcome = Assess(system);
+  EXPECT_EQ(outcome.flip_events, 0u);
+  EXPECT_EQ(outcome.corrupted_lines, 0u);
+  EXPECT_GT(system.TotalOpsCompleted(), 10000u);
+}
+
+}  // namespace
+}  // namespace ht

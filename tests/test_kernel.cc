@@ -1,0 +1,193 @@
+#include "os/kernel.h"
+
+#include <gtest/gtest.h>
+
+namespace ht {
+namespace {
+
+class KernelTest : public ::testing::Test {
+ protected:
+  KernelTest()
+      : mc_(DramConfig::SimDefault(), McConfig{}),
+        alloc_(mc_.mapper().total_lines() / kLinesPerPage),
+        kernel_(&mc_, &alloc_) {}
+
+  MemoryController mc_;
+  LinearAllocator alloc_;
+  HostKernel kernel_;
+};
+
+TEST_F(KernelTest, AllocRegionMapsContiguousVa) {
+  const DomainId d = kernel_.CreateDomain({.name = "a"});
+  auto base = kernel_.AllocRegion(d, 4);
+  ASSERT_TRUE(base.has_value());
+  for (uint64_t p = 0; p < 4; ++p) {
+    EXPECT_TRUE(kernel_.Translate(d, *base + p * kPageBytes).has_value());
+  }
+  EXPECT_FALSE(kernel_.Translate(d, *base + 4 * kPageBytes).has_value());
+}
+
+TEST_F(KernelTest, TranslationPreservesPageOffset) {
+  const DomainId d = kernel_.CreateDomain({.name = "a"});
+  auto base = kernel_.AllocRegion(d, 1);
+  const auto pa = kernel_.Translate(d, *base + 123);
+  ASSERT_TRUE(pa.has_value());
+  EXPECT_EQ(*pa % kPageBytes, 123u);
+}
+
+TEST_F(KernelTest, DomainsAreDisjoint) {
+  const DomainId a = kernel_.CreateDomain({.name = "a"});
+  const DomainId b = kernel_.CreateDomain({.name = "b"});
+  auto base_a = kernel_.AllocRegion(a, 8);
+  auto base_b = kernel_.AllocRegion(b, 8);
+  std::set<uint64_t> frames;
+  for (uint64_t p = 0; p < 8; ++p) {
+    frames.insert(*kernel_.Translate(a, *base_a + p * kPageBytes) / kPageBytes);
+    frames.insert(*kernel_.Translate(b, *base_b + p * kPageBytes) / kPageBytes);
+  }
+  EXPECT_EQ(frames.size(), 16u);
+  // Ownership is recorded.
+  EXPECT_EQ(kernel_.OwnerOfPhys(*kernel_.Translate(a, *base_a)), a);
+  EXPECT_EQ(kernel_.OwnerOfPhys(*kernel_.Translate(b, *base_b)), b);
+}
+
+TEST_F(KernelTest, FillAndVerifyClean) {
+  const DomainId d = kernel_.CreateDomain({.name = "a"});
+  auto base = kernel_.AllocRegion(d, 4);
+  kernel_.FillRegion(d, *base, 4);
+  const VerifyResult result = kernel_.VerifyRegion(d, *base, 4);
+  EXPECT_EQ(result.lines_checked, 4 * kLinesPerPage);
+  EXPECT_EQ(result.corrupted_lines, 0u);
+}
+
+TEST_F(KernelTest, VerifyDetectsCorruption) {
+  const DomainId d = kernel_.CreateDomain({.name = "a"});
+  auto base = kernel_.AllocRegion(d, 1);
+  kernel_.FillRegion(d, *base, 1);
+  // Corrupt one line directly in DRAM.
+  const PhysAddr pa = *kernel_.Translate(d, *base);
+  const DdrCoord coord = mc_.mapper().Map(pa);
+  const uint64_t good = mc_.device(coord.channel)
+                            .ReadLine(coord.rank, coord.bank, coord.row, coord.column);
+  mc_.device(coord.channel)
+      .WriteLine(coord.rank, coord.bank, coord.row, coord.column, good ^ 1);
+  const VerifyResult result = kernel_.VerifyRegion(d, *base, 1);
+  EXPECT_EQ(result.corrupted_lines, 1u);
+  EXPECT_EQ(result.dos_lockups, 0u);  // Not an enclave.
+}
+
+TEST_F(KernelTest, IntegrityCheckedEnclaveCorruptionIsDos) {
+  const DomainId d = kernel_.CreateDomain(
+      {.name = "enclave", .enclave = true, .integrity_checked = true});
+  auto base = kernel_.AllocRegion(d, 1);
+  kernel_.FillRegion(d, *base, 1);
+  const PhysAddr pa = *kernel_.Translate(d, *base);
+  const DdrCoord coord = mc_.mapper().Map(pa);
+  mc_.device(coord.channel).WriteLine(coord.rank, coord.bank, coord.row, coord.column, ~0ull);
+  const VerifyResult result = kernel_.VerifyRegion(d, *base, 1);
+  EXPECT_EQ(result.corrupted_lines, 1u);
+  EXPECT_EQ(result.dos_lockups, 1u);
+}
+
+TEST_F(KernelTest, NeighborRowAddrsMapToAdjacentRows) {
+  const DomainId d = kernel_.CreateDomain({.name = "a"});
+  auto base = kernel_.AllocRegion(d, 1);
+  const PhysAddr pa = *kernel_.Translate(d, *base);
+  const DdrCoord coord = mc_.mapper().Map(pa);
+  const auto neighbors = kernel_.NeighborRowAddrs(pa, 2);
+  ASSERT_FALSE(neighbors.empty());
+  for (PhysAddr n : neighbors) {
+    const DdrCoord nc = mc_.mapper().Map(n);
+    EXPECT_EQ(nc.channel, coord.channel);
+    EXPECT_EQ(nc.rank, coord.rank);
+    EXPECT_EQ(nc.bank, coord.bank);
+    const uint32_t dist = nc.row > coord.row ? nc.row - coord.row : coord.row - nc.row;
+    EXPECT_GE(dist, 1u);
+    EXPECT_LE(dist, 2u);
+  }
+}
+
+TEST_F(KernelTest, NeighborRowAddrsClampAtEdges) {
+  // Row 0 has no lower neighbours.
+  const PhysAddr pa = 0;  // Maps to row 0 in every scheme.
+  const uint32_t blast = 3;
+  const auto neighbors = kernel_.NeighborRowAddrs(pa, blast);
+  EXPECT_EQ(neighbors.size(), blast);  // Upper side only.
+}
+
+TEST_F(KernelTest, MovePagePreservesContentsAndRemaps) {
+  const DomainId d = kernel_.CreateDomain({.name = "a"});
+  auto base = kernel_.AllocRegion(d, 2);
+  kernel_.FillRegion(d, *base, 2);
+  const PhysAddr old_pa = *kernel_.Translate(d, *base);
+  ASSERT_TRUE(kernel_.MovePage(d, *base));
+  const PhysAddr new_pa = *kernel_.Translate(d, *base);
+  EXPECT_NE(old_pa / kPageBytes, new_pa / kPageBytes);
+  // Contents moved: verification still passes.
+  const VerifyResult result = kernel_.VerifyRegion(d, *base, 2);
+  EXPECT_EQ(result.corrupted_lines, 0u);
+  EXPECT_EQ(kernel_.page_moves(), 1u);
+  // Ownership tables updated.
+  EXPECT_EQ(kernel_.OwnerOfPhys(new_pa), d);
+  EXPECT_EQ(kernel_.OwnerOfPhys(old_pa), kInvalidDomain);
+}
+
+TEST_F(KernelTest, MovePageCarriesCorruption) {
+  // §4.2 wear-leveling moves data as-is; it must not "heal" flips.
+  const DomainId d = kernel_.CreateDomain({.name = "a"});
+  auto base = kernel_.AllocRegion(d, 1);
+  kernel_.FillRegion(d, *base, 1);
+  const PhysAddr pa = *kernel_.Translate(d, *base);
+  const DdrCoord coord = mc_.mapper().Map(pa);
+  const uint64_t good =
+      mc_.device(coord.channel).ReadLine(coord.rank, coord.bank, coord.row, coord.column);
+  mc_.device(coord.channel).WriteLine(coord.rank, coord.bank, coord.row, coord.column, good ^ 4);
+  ASSERT_TRUE(kernel_.MovePage(d, *base));
+  EXPECT_EQ(kernel_.VerifyRegion(d, *base, 1).corrupted_lines, 1u);
+}
+
+TEST_F(KernelTest, LocatePhysFindsPage) {
+  const DomainId d = kernel_.CreateDomain({.name = "a"});
+  auto base = kernel_.AllocRegion(d, 3);
+  const PhysAddr pa = *kernel_.Translate(d, *base + 2 * kPageBytes + 100);
+  const auto located = kernel_.LocatePhys(pa);
+  ASSERT_TRUE(located.has_value());
+  EXPECT_EQ(located->first, d);
+  EXPECT_EQ(located->second, *base + 2 * kPageBytes);
+}
+
+TEST_F(KernelTest, MovePageByPhysWorks) {
+  const DomainId d = kernel_.CreateDomain({.name = "a"});
+  auto base = kernel_.AllocRegion(d, 1);
+  const PhysAddr pa = *kernel_.Translate(d, *base);
+  EXPECT_TRUE(kernel_.MovePageByPhys(pa + 77));
+  EXPECT_NE(*kernel_.Translate(d, *base), pa);
+  EXPECT_FALSE(kernel_.MovePageByPhys(pa + 77));  // Old frame unmapped now.
+}
+
+TEST_F(KernelTest, RowOwnersListsDomainsInRow) {
+  const DomainId a = kernel_.CreateDomain({.name = "a"});
+  auto base = kernel_.AllocRegion(a, 16);
+  const PhysAddr pa = *kernel_.Translate(a, *base);
+  const DdrCoord coord = mc_.mapper().Map(pa);
+  const auto owners = kernel_.RowOwners(coord.channel, coord.rank, coord.bank, coord.row);
+  ASSERT_FALSE(owners.empty());
+  EXPECT_EQ(owners[0], a);
+}
+
+TEST_F(KernelTest, PatternValueDependsOnDomainAndAddress) {
+  EXPECT_NE(HostKernel::PatternValue(1, 0), HostKernel::PatternValue(2, 0));
+  EXPECT_NE(HostKernel::PatternValue(1, 0), HostKernel::PatternValue(1, 64));
+  EXPECT_EQ(HostKernel::PatternValue(1, 64), HostKernel::PatternValue(1, 64));
+}
+
+TEST_F(KernelTest, TranslatorClosureMatchesTranslate) {
+  const DomainId d = kernel_.CreateDomain({.name = "a"});
+  auto base = kernel_.AllocRegion(d, 1);
+  auto translator = kernel_.TranslatorFor(d);
+  EXPECT_EQ(translator(*base), kernel_.Translate(d, *base));
+  EXPECT_FALSE(translator(0xDEAD0000).has_value());
+}
+
+}  // namespace
+}  // namespace ht

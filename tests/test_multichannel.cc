@@ -1,0 +1,103 @@
+// Multi-channel / multi-rank configurations: the full stack must behave
+// identically with more parallel resources.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attack/hammer.h"
+#include "attack/planner.h"
+#include "sim/scenario.h"
+#include "sim/system.h"
+#include "sim/workloads.h"
+
+namespace ht {
+namespace {
+
+SystemConfig WideConfig() {
+  SystemConfig config;
+  config.dram.org.channels = 2;
+  config.dram.org.ranks = 2;
+  config.cores = 4;
+  return config;
+}
+
+TEST(MultiChannel, MapperBijectiveAcrossChannelsAndRanks) {
+  const DramOrg org = WideConfig().dram.org;
+  for (InterleaveScheme scheme :
+       {InterleaveScheme::kBankSequential, InterleaveScheme::kCacheLine,
+        InterleaveScheme::kPermutation, InterleaveScheme::kSubarrayIsolated}) {
+    AddressMapper mapper(org, scheme);
+    std::set<uint32_t> channels;
+    std::set<uint32_t> ranks;
+    // Sample densely (fine-grained interleavers change channel/rank in
+    // the low bits) and strided (bank-sequential changes them only at
+    // coarse boundaries).
+    const uint64_t stride = std::max<uint64_t>(1, mapper.total_lines() / 8192);
+    for (uint64_t i = 0; i < 16384; ++i) {
+      const uint64_t line = i < 8192 ? i : (i - 8192) * stride + (i % 3);
+      const DdrCoord coord = mapper.MapLine(line);
+      EXPECT_EQ(mapper.LineOf(coord), line) << ToString(scheme);
+      channels.insert(coord.channel);
+      ranks.insert(coord.rank);
+    }
+    EXPECT_EQ(channels.size(), 2u) << ToString(scheme);
+    EXPECT_EQ(ranks.size(), 2u) << ToString(scheme);
+  }
+}
+
+TEST(MultiChannel, BenignRunSpreadsTrafficAndStaysClean) {
+  System system(WideConfig());
+  auto tenants = SetupTenants(system, 4, 256);
+  for (uint32_t i = 0; i < 4; ++i) {
+    system.AssignCore(i, tenants[i],
+                      MakeWorkload("random", tenants[i], AddressSpace::BaseFor(tenants[i]),
+                                   256 * kPageBytes, 100000, 21 + i));
+  }
+  system.RunFor(500000);
+  // Both channels served traffic.
+  EXPECT_GT(system.mc().device(0).stats().Get("dram.reads"), 100u);
+  EXPECT_GT(system.mc().device(1).stats().Get("dram.reads"), 100u);
+  const SecurityOutcome outcome = Assess(system);
+  EXPECT_EQ(outcome.flip_events, 0u);
+  EXPECT_EQ(outcome.corrupted_lines, 0u);
+}
+
+TEST(MultiChannel, RefreshCoversEveryChannelAndRank) {
+  System system(WideConfig());
+  system.RunFor(system.config().dram.retention.refresh_window + 2000);
+  for (uint32_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(system.mc().device(c).CountRetentionViolations(system.now()), 0u)
+        << "channel " << c;
+  }
+}
+
+TEST(MultiChannel, AttackAndDefenseWorkOnAnyChannel) {
+  SystemConfig config = WideConfig();
+  ApplyDefensePreset(config, DefenseKind::kSwRefresh, 256);
+  System system(config);
+  auto tenants = SetupTenants(system, 2, 512);
+  system.InstallDefense(MakeDefense(DefenseKind::kSwRefresh, config.dram));
+  auto plan = PlanDoubleSidedCross(system.kernel(), tenants[0], tenants[1]);
+  ASSERT_TRUE(plan.has_value());
+  HammerConfig hammer;
+  hammer.aggressors = plan->aggressor_vas;
+  system.AssignCore(0, tenants[0], std::make_unique<HammerStream>(hammer));
+  system.RunFor(800000);
+  EXPECT_EQ(Assess(system).cross_domain_flips, 0u);
+  EXPECT_GT(system.defense()->stats().Get("defense.victim_refreshes"), 0u);
+}
+
+TEST(MultiChannel, UndefendedAttackFlipsOnWideSystem) {
+  System system(WideConfig());
+  auto tenants = SetupTenants(system, 2, 512);
+  auto plan = PlanDoubleSidedCross(system.kernel(), tenants[0], tenants[1]);
+  ASSERT_TRUE(plan.has_value());
+  HammerConfig hammer;
+  hammer.aggressors = plan->aggressor_vas;
+  system.AssignCore(0, tenants[0], std::make_unique<HammerStream>(hammer));
+  system.RunFor(800000);
+  EXPECT_GT(Assess(system).cross_domain_flips, 0u);
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,66 @@
+// One-location hammering (Gruss et al. [19], cited in §1): repeatedly
+// accessing a *single* row only works when something closes the row
+// between accesses. Under the open-page policy the row stays in the
+// buffer (accesses are hits, no ACTs); under the closed-page policy every
+// access auto-precharges, so a single aggressor generates a full ACT
+// stream — no second conflict row needed.
+#include <gtest/gtest.h>
+
+#include "attack/hammer.h"
+#include "attack/planner.h"
+#include "sim/scenario.h"
+#include "sim/system.h"
+
+namespace ht {
+namespace {
+
+uint64_t RunOneLocation(bool open_page) {
+  SystemConfig config;
+  config.cores = 1;
+  config.mc.open_page = open_page;
+  System system(config);
+  auto tenants = SetupTenants(system, 2, 512);
+  // One aggressor row, adjacent to victim data.
+  auto plan = PlanManySided(system.kernel(), tenants[0], 1, 1);
+  EXPECT_TRUE(plan.has_value());
+  HammerConfig hammer;
+  hammer.aggressors = plan->aggressor_vas;
+  system.AssignCore(0, tenants[0], std::make_unique<HammerStream>(hammer));
+  system.RunFor(1500000);
+  return Assess(system).flip_events;
+}
+
+TEST(OneLocation, OpenPagePolicyDefeatsIt) {
+  // The aggressor's row stays latched; flush+reload is a row hit.
+  EXPECT_EQ(RunOneLocation(/*open_page=*/true), 0u);
+}
+
+TEST(OneLocation, ClosedPagePolicyEnablesIt) {
+  // Every access RDA-closes the bank, so each reload is a fresh ACT.
+  EXPECT_GT(RunOneLocation(/*open_page=*/false), 0u);
+}
+
+TEST(OneLocation, ActCountsReflectThePolicy) {
+  for (const bool open_page : {true, false}) {
+    SystemConfig config;
+    config.cores = 1;
+    config.mc.open_page = open_page;
+    System system(config);
+    auto tenants = SetupTenants(system, 1, 64);
+    auto plan = PlanManySided(system.kernel(), tenants[0], 1, 1);
+    ASSERT_TRUE(plan.has_value());
+    HammerConfig hammer;
+    hammer.aggressors = plan->aggressor_vas;
+    system.AssignCore(0, tenants[0], std::make_unique<HammerStream>(hammer));
+    system.RunFor(100000);
+    const uint64_t acts = system.mc().device(plan->channel).stats().Get("dram.acts");
+    if (open_page) {
+      EXPECT_LT(acts, 50u) << "open page: almost all row hits";
+    } else {
+      EXPECT_GT(acts, 400u) << "closed page: one ACT per access";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,102 @@
+#include "attack/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.h"
+#include "sim/system.h"
+
+namespace ht {
+namespace {
+
+TEST(Planner, ManySidedRowsShareOneBank) {
+  SystemConfig config;
+  System system(config);
+  auto tenants = SetupTenants(system, 2, 512);
+  auto plan = PlanManySided(system.kernel(), tenants[0], 8);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->aggressor_rows.size(), 8u);
+  EXPECT_EQ(plan->aggressor_vas.size(), 8u);
+  EXPECT_EQ(plan->aggressor_addrs.size(), 8u);
+  // All aggressor addresses land in the plan's bank.
+  for (PhysAddr addr : plan->aggressor_addrs) {
+    const DdrCoord coord = system.mc().mapper().Map(addr);
+    EXPECT_EQ(coord.bank, plan->bank);
+    EXPECT_EQ(coord.rank, plan->rank);
+    EXPECT_EQ(coord.channel, plan->channel);
+  }
+}
+
+TEST(Planner, ManySidedPrefersSpacingTwo) {
+  SystemConfig config;
+  System system(config);
+  auto tenants = SetupTenants(system, 1, 1024);  // Plenty of rows.
+  auto plan = PlanManySided(system.kernel(), tenants[0], 4, 2);
+  ASSERT_TRUE(plan.has_value());
+  for (size_t i = 1; i < plan->aggressor_rows.size(); ++i) {
+    EXPECT_GE(plan->aggressor_rows[i] - plan->aggressor_rows[i - 1], 2u);
+  }
+}
+
+TEST(Planner, ManySidedFailsWhenTooFewRows) {
+  SystemConfig config;
+  System system(config);
+  auto tenants = SetupTenants(system, 1, 16, /*chunk_pages=*/16, /*fill=*/false);
+  // 16 pages = 1 row-group = 1 row per bank: can't muster 4 rows.
+  auto plan = PlanManySided(system.kernel(), tenants[0], 4);
+  EXPECT_FALSE(plan.has_value());
+}
+
+TEST(Planner, DoubleSidedCrossSandwichesVictim) {
+  SystemConfig config;
+  System system(config);
+  auto tenants = SetupTenants(system, 2, 512);
+  auto plan = PlanDoubleSidedCross(system.kernel(), tenants[0], tenants[1]);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->aggressor_rows.size(), 2u);
+  EXPECT_EQ(plan->aggressor_rows[1], plan->aggressor_rows[0] + 2);
+  // The middle row belongs to the victim.
+  const auto owners = system.kernel().RowOwners(plan->channel, plan->rank, plan->bank,
+                                                plan->aggressor_rows[0] + 1);
+  EXPECT_NE(std::find(owners.begin(), owners.end(), tenants[1]), owners.end());
+}
+
+TEST(Planner, DoubleSidedCrossFailsUnderSubarrayIsolation) {
+  SystemConfig config;
+  config.mc.scheme = InterleaveScheme::kSubarrayIsolated;
+  config.alloc = AllocPolicy::kSubarrayAware;
+  System system(config);
+  auto tenants = SetupTenants(system, 2, 512);
+  EXPECT_FALSE(PlanDoubleSidedCross(system.kernel(), tenants[0], tenants[1]).has_value());
+}
+
+TEST(Planner, DoubleSidedCrossFailsUnderGuardRows) {
+  SystemConfig config;
+  config.alloc = AllocPolicy::kGuardRows;
+  config.guard_domains = 2;
+  config.guard_blast = 2;
+  System system(config);
+  auto tenants = SetupTenants(system, 2, 256);
+  EXPECT_FALSE(PlanDoubleSidedCross(system.kernel(), tenants[0], tenants[1]).has_value());
+}
+
+TEST(Planner, VictimRowsExcludeAggressors) {
+  HammerPlan plan;
+  plan.aggressor_rows = {10, 12};
+  const auto victims = VictimRowsOf(plan, 2, 1024);
+  // Rows 8,9,11,13,14 (10 and 12 are aggressors, excluded).
+  EXPECT_EQ(victims, (std::vector<uint32_t>{8, 9, 11, 13, 14}));
+}
+
+TEST(Planner, VictimRowsClampAtBankEdges) {
+  HammerPlan plan;
+  plan.aggressor_rows = {0, 1023};
+  const auto victims = VictimRowsOf(plan, 2, 1024);
+  for (uint32_t v : victims) {
+    EXPECT_LT(v, 1024u);
+  }
+  EXPECT_EQ(victims.front(), 1u);
+  EXPECT_EQ(victims.back(), 1022u);
+}
+
+}  // namespace
+}  // namespace ht

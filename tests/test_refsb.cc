@@ -1,0 +1,113 @@
+// DDR5-style same-bank refresh (REFsb) tests.
+#include <gtest/gtest.h>
+
+#include "attack/hammer.h"
+#include "attack/planner.h"
+#include "dram/device.h"
+#include "sim/scenario.h"
+#include "sim/system.h"
+#include "sim/workloads.h"
+
+namespace ht {
+namespace {
+
+TEST(RefSb, CommandRefreshesOnlyItsBank) {
+  const DramConfig config = DramConfig::Tiny();
+  DramDevice device(config, 0);
+  Cycle t = 0;
+  auto issue = [&](const DdrCommand& cmd) {
+    t = std::max(t + 1, device.EarliestCycle(cmd));
+    ASSERT_EQ(device.Issue(cmd, t), TimingVerdict::kOk) << cmd.ToDebugString();
+  };
+  // Disturb a row in each bank.
+  issue(DdrCommand::Act(0, 0, 5));
+  issue(DdrCommand::Pre(0, 0));
+  issue(DdrCommand::Act(0, 1, 5));
+  issue(DdrCommand::Pre(0, 1));
+  ASSERT_GT(device.DisturbanceLevel(0, 0, 4), 0.0);
+  ASSERT_GT(device.DisturbanceLevel(0, 1, 4), 0.0);
+  // Sweep bank 0 fully with REFsb.
+  for (uint32_t i = 0; i < config.retention.ref_commands_per_window; ++i) {
+    issue(DdrCommand::RefSb(0, 0));
+  }
+  EXPECT_DOUBLE_EQ(device.DisturbanceLevel(0, 0, 4), 0.0);
+  EXPECT_GT(device.DisturbanceLevel(0, 1, 4), 0.0);  // Bank 1 untouched.
+  EXPECT_GT(device.stats().Get("dram.refs_sb"), 0u);
+}
+
+TEST(RefSb, OnlyTargetBankStalls) {
+  const DramConfig config = DramConfig::SimDefault();
+  TimingChecker checker(config.org, config.timing, true);
+  checker.Record(DdrCommand::RefSb(0, 0), 0);
+  // Bank 0 busy for tRFCsb; bank 1 free immediately.
+  EXPECT_GE(checker.EarliestCycle(DdrCommand::Act(0, 0, 1)), Cycle{config.timing.tRFCsb});
+  EXPECT_EQ(checker.EarliestCycle(DdrCommand::Act(0, 1, 1)), Cycle{0});
+}
+
+TEST(RefSb, RequiresTargetBankIdle) {
+  const DramConfig config = DramConfig::SimDefault();
+  TimingChecker checker(config.org, config.timing, true);
+  checker.Record(DdrCommand::Act(0, 0, 1), 0);
+  EXPECT_EQ(checker.Check(DdrCommand::RefSb(0, 0), 1000), TimingVerdict::kBanksNotIdle);
+  EXPECT_EQ(checker.Check(DdrCommand::RefSb(0, 1), 1000), TimingVerdict::kOk);
+}
+
+TEST(RefSb, ControllerKeepsRetentionClean) {
+  SystemConfig config;
+  config.dram.retention.per_bank_refresh = true;
+  config.cores = 2;
+  System system(config);
+  auto tenants = SetupTenants(system, 2, 256);
+  for (uint32_t i = 0; i < 2; ++i) {
+    system.AssignCore(i, tenants[i],
+                      MakeWorkload("random", tenants[i], AddressSpace::BaseFor(tenants[i]),
+                                   256 * kPageBytes, ~0ull >> 1, 41 + i));
+  }
+  system.RunFor(config.dram.retention.refresh_window + config.dram.RefPeriod() + 5000);
+  EXPECT_EQ(system.mc().device(0).CountRetentionViolations(system.now()), 0u);
+  EXPECT_GT(system.mc().stats().Get("mc.refs_sb_issued"), 0u);
+  EXPECT_EQ(system.mc().stats().Get("mc.refs_issued"), 0u);  // No all-bank REF.
+}
+
+TEST(RefSb, ImprovesTailLatencyOverAllBank) {
+  // All-bank REF stalls the whole rank for tRFC; per-bank refresh lets the
+  // other banks keep serving, shrinking the p99 read latency.
+  uint64_t p99[2] = {0, 0};
+  for (int mode = 0; mode < 2; ++mode) {
+    SystemConfig config;
+    config.cores = 4;
+    config.dram.retention.per_bank_refresh = mode == 1;
+    System system(config);
+    auto tenants = SetupTenants(system, 4, 256);
+    for (uint32_t i = 0; i < 4; ++i) {
+      system.AssignCore(i, tenants[i],
+                        MakeWorkload("random", tenants[i], AddressSpace::BaseFor(tenants[i]),
+                                     256 * kPageBytes, ~0ull >> 1, 71 + i));
+    }
+    system.RunFor(500000);
+    const Histogram* latency = system.mc().stats().GetHistogram("mc.read_latency");
+    ASSERT_NE(latency, nullptr);
+    p99[mode] = latency->Quantile(0.99);
+  }
+  EXPECT_LE(p99[1], p99[0]);
+}
+
+TEST(RefSb, DefensesUnaffectedByRefreshMode) {
+  SystemConfig config;
+  config.cores = 2;
+  config.dram.retention.per_bank_refresh = true;
+  ApplyDefensePreset(config, DefenseKind::kSwRefresh, 256);
+  System system(config);
+  auto tenants = SetupTenants(system, 2, 512);
+  system.InstallDefense(MakeDefense(DefenseKind::kSwRefresh, config.dram));
+  auto plan = PlanDoubleSidedCross(system.kernel(), tenants[0], tenants[1]);
+  ASSERT_TRUE(plan.has_value());
+  HammerConfig hammer;
+  hammer.aggressors = plan->aggressor_vas;
+  system.AssignCore(0, tenants[0], std::make_unique<HammerStream>(hammer));
+  system.RunFor(800000);
+  EXPECT_EQ(Assess(system).cross_domain_flips, 0u);
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,77 @@
+#include "dram/remap.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ht {
+namespace {
+
+DramOrg DefaultOrg() {
+  DramOrg org;
+  org.subarrays_per_bank = 4;
+  org.rows_per_subarray = 64;
+  return org;
+}
+
+TEST(RowRemap, DisabledIsIdentity) {
+  RemapParams params;
+  params.enabled = false;
+  RowRemapTable table(DefaultOrg(), params);
+  for (uint32_t r = 0; r < DefaultOrg().rows_per_bank(); ++r) {
+    EXPECT_EQ(table.ToInternal(r), r);
+    EXPECT_EQ(table.ToLogical(r), r);
+  }
+  EXPECT_EQ(table.remapped_rows(), 0u);
+}
+
+TEST(RowRemap, EnabledRemapsSomeRows) {
+  RemapParams params;
+  params.enabled = true;
+  params.remap_fraction = 0.1;
+  RowRemapTable table(DefaultOrg(), params);
+  EXPECT_GT(table.remapped_rows(), 0u);
+}
+
+TEST(RowRemap, WithinSubarrayByDefault) {
+  DramOrg org = DefaultOrg();
+  RemapParams params;
+  params.enabled = true;
+  params.remap_fraction = 0.5;
+  params.cross_subarray = false;
+  RowRemapTable table(org, params);
+  for (uint32_t r = 0; r < org.rows_per_bank(); ++r) {
+    EXPECT_EQ(org.SubarrayOfRow(table.ToInternal(r)), org.SubarrayOfRow(r))
+        << "row " << r << " escaped its subarray";
+  }
+}
+
+class RemapBijectionTest : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
+
+TEST_P(RemapBijectionTest, PermutationIsBijective) {
+  const auto [seed, cross] = GetParam();
+  DramOrg org = DefaultOrg();
+  RemapParams params;
+  params.enabled = true;
+  params.remap_fraction = 0.3;
+  params.seed = seed;
+  params.cross_subarray = cross;
+  RowRemapTable table(org, params);
+
+  std::set<uint32_t> internals;
+  for (uint32_t r = 0; r < org.rows_per_bank(); ++r) {
+    const uint32_t internal = table.ToInternal(r);
+    EXPECT_LT(internal, org.rows_per_bank());
+    internals.insert(internal);
+    EXPECT_EQ(table.ToLogical(internal), r);  // Round trip.
+  }
+  EXPECT_EQ(internals.size(), org.rows_per_bank());  // No collisions.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndModes, RemapBijectionTest,
+    ::testing::Combine(::testing::Values(1ull, 42ull, 0xFEEDull),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,134 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace ht {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng rng(0);
+  std::set<uint64_t> values;
+  for (int i = 0; i < 100; ++i) {
+    values.insert(rng.Next());
+  }
+  EXPECT_GT(values.size(), 95u);
+}
+
+TEST(Rng, NextBelowStaysInBounds) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.NextBelow(1), 0u);
+  }
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.NextInRange(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo = saw_lo || v == 5;
+    saw_hi = saw_hi || v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+    EXPECT_FALSE(rng.NextBool(-1.0));
+    EXPECT_TRUE(rng.NextBool(2.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBool(0.25)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Next() == child.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+class RngUniformityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngUniformityTest, BucketsRoughlyEven) {
+  Rng rng(GetParam());
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 32000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.NextBelow(kBuckets)];
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngUniformityTest,
+                         ::testing::Values(1u, 2u, 42u, 0xDEADBEEFu, ~0ull));
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,137 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace ht {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+}
+
+TEST(Histogram, TracksExactAggregates) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+}
+
+TEST(Histogram, QuantilesBracketedByMinMax) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    h.Record(v);
+  }
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    const uint64_t value = h.Quantile(q);
+    EXPECT_GE(value, h.min());
+    EXPECT_LE(value, h.max());
+  }
+  EXPECT_GT(h.Quantile(0.9), h.Quantile(0.1));
+}
+
+TEST(Histogram, ZeroValuesLandInFirstBucket) {
+  Histogram h;
+  h.Record(0);
+  h.Record(0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  a.Record(5);
+  b.Record(500);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.sum(), 505u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 500u);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.Record(123);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(Histogram, HugeValuesClampToLastBucket) {
+  Histogram h;
+  h.Record(~0ull);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), ~0ull);
+}
+
+TEST(StatSet, CountersAccumulate) {
+  StatSet s;
+  s.Add("x");
+  s.Add("x", 4);
+  EXPECT_EQ(s.Get("x"), 5u);
+  EXPECT_EQ(s.Get("missing"), 0u);
+}
+
+TEST(StatSet, GaugesOverwrite) {
+  StatSet s;
+  s.Set("g", 1.5);
+  s.Set("g", 2.5);
+  EXPECT_DOUBLE_EQ(s.GetGauge("g"), 2.5);
+  EXPECT_DOUBLE_EQ(s.GetGauge("missing"), 0.0);
+}
+
+TEST(StatSet, HistogramAccess) {
+  StatSet s;
+  EXPECT_EQ(s.GetHistogram("lat"), nullptr);
+  s.RecordLatency("lat", 100);
+  ASSERT_NE(s.GetHistogram("lat"), nullptr);
+  EXPECT_EQ(s.GetHistogram("lat")->count(), 1u);
+}
+
+TEST(StatSet, MergeFromCombinesAll) {
+  StatSet a;
+  StatSet b;
+  a.Add("c", 1);
+  b.Add("c", 2);
+  b.Add("only_b", 7);
+  b.Set("g", 3.0);
+  b.RecordLatency("lat", 9);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Get("c"), 3u);
+  EXPECT_EQ(a.Get("only_b"), 7u);
+  EXPECT_DOUBLE_EQ(a.GetGauge("g"), 3.0);
+  EXPECT_EQ(a.GetHistogram("lat")->count(), 1u);
+}
+
+TEST(StatSet, ToStringListsEverything) {
+  StatSet s;
+  s.Add("alpha", 2);
+  s.Set("beta", 1.0);
+  s.RecordLatency("gamma", 3);
+  const std::string out = s.ToString();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_NE(out.find("gamma"), std::string::npos);
+}
+
+TEST(StatSet, ResetClears) {
+  StatSet s;
+  s.Add("x");
+  s.Reset();
+  EXPECT_EQ(s.Get("x"), 0u);
+}
+
+}  // namespace
+}  // namespace ht

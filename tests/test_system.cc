@@ -1,0 +1,120 @@
+#include "sim/system.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.h"
+#include "sim/workloads.h"
+
+namespace ht {
+namespace {
+
+TEST(System, BenignRunCompletesOps) {
+  SystemConfig config;
+  config.cores = 2;
+  System system(config);
+  auto tenants = SetupTenants(system, 2, 128);
+  system.AssignCore(0, tenants[0],
+                    MakeWorkload("stream", tenants[0], AddressSpace::BaseFor(tenants[0]),
+                                 128 * kPageBytes, 5000, 1));
+  system.AssignCore(1, tenants[1],
+                    MakeWorkload("chase", tenants[1], AddressSpace::BaseFor(tenants[1]),
+                                 128 * kPageBytes, 5000, 2));
+  system.RunUntilQuiesced(10'000'000);
+  EXPECT_TRUE(system.core(0).halted());
+  EXPECT_TRUE(system.core(1).halted());
+  EXPECT_GE(system.TotalOpsCompleted(), 10000u);
+  EXPECT_GT(system.RowHitRate(), 0.0);
+  EXPECT_GT(system.AvgReadLatency(), 0.0);
+}
+
+TEST(System, RunForAdvancesClock) {
+  System system(SystemConfig{});
+  EXPECT_EQ(system.now(), 0u);
+  system.RunFor(1234);
+  EXPECT_EQ(system.now(), 1234u);
+}
+
+TEST(System, DrainCachesWritesDirtyData) {
+  SystemConfig config;
+  config.cores = 1;
+  System system(config);
+  auto tenants = SetupTenants(system, 1, 16);
+  // A write-heavy workload leaves dirty lines in the LLC.
+  system.AssignCore(0, tenants[0],
+                    std::make_unique<StreamWorkload>(tenants[0], AddressSpace::BaseFor(tenants[0]),
+                                                     16 * kPageBytes, 2000, 1.0, 3));
+  system.RunUntilQuiesced(5'000'000);
+  system.DrainCaches();
+  // After draining, DRAM holds the pattern: verification is clean.
+  EXPECT_EQ(system.kernel().VerifyAll().corrupted_lines, 0u);
+}
+
+TEST(System, PagesPerRowGroupMatchesScheme) {
+  SystemConfig config;
+  System interleaved(config);
+  config.mc.scheme = InterleaveScheme::kBankSequential;
+  System sequential(config);
+  const DramOrg& org = interleaved.config().dram.org;
+  EXPECT_EQ(PagesPerRowGroup(interleaved.mc().mapper()),
+            static_cast<uint64_t>(org.channels) * org.ranks * org.banks * org.columns /
+                kLinesPerPage);
+  EXPECT_EQ(PagesPerRowGroup(sequential.mc().mapper()),
+            std::max<uint64_t>(1, org.columns / kLinesPerPage));
+}
+
+TEST(System, RefreshKeepsRetentionCleanDuringLoad) {
+  SystemConfig config;
+  config.cores = 2;
+  System system(config);
+  auto tenants = SetupTenants(system, 2, 128);
+  for (uint32_t i = 0; i < 2; ++i) {
+    system.AssignCore(i, tenants[i],
+                      MakeWorkload("random", tenants[i], AddressSpace::BaseFor(tenants[i]),
+                                   128 * kPageBytes, 1u << 30, 11 + i));
+  }
+  system.RunFor(config.dram.retention.refresh_window + 1000);
+  EXPECT_EQ(system.mc().device(0).CountRetentionViolations(system.now()), 0u);
+}
+
+TEST(System, SummarizeReportsThroughput) {
+  SystemConfig config;
+  config.cores = 1;
+  System system(config);
+  auto tenants = SetupTenants(system, 1, 64);
+  system.AssignCore(0, tenants[0],
+                    MakeWorkload("stream", tenants[0], AddressSpace::BaseFor(tenants[0]),
+                                 64 * kPageBytes, 20000, 1));
+  system.RunFor(200000);
+  const PerfSummary summary = Summarize(system, 200000);
+  EXPECT_GT(summary.ops, 0u);
+  EXPECT_GT(summary.ops_per_kcycle, 0.0);
+  EXPECT_EQ(summary.cycles, 200000u);
+}
+
+TEST(System, AllocPolicyNamesCovered) {
+  EXPECT_STREQ(ToString(AllocPolicy::kLinear), "linear");
+  EXPECT_STREQ(ToString(AllocPolicy::kBankAware), "bank-aware");
+  EXPECT_STREQ(ToString(AllocPolicy::kGuardRows), "guard-rows");
+  EXPECT_STREQ(ToString(AllocPolicy::kSubarrayAware), "subarray-aware");
+}
+
+TEST(System, HwMitigationNamesCovered) {
+  EXPECT_STREQ(ToString(HwMitigationKind::kNone), "none");
+  EXPECT_STREQ(ToString(HwMitigationKind::kPara), "para");
+  EXPECT_STREQ(ToString(HwMitigationKind::kGraphene), "graphene");
+  EXPECT_STREQ(ToString(HwMitigationKind::kTwice), "twice");
+  EXPECT_STREQ(ToString(HwMitigationKind::kBlockHammer), "blockhammer");
+}
+
+TEST(System, SetupTenantsFillsAndAttributesOwnership) {
+  SystemConfig config;
+  System system(config);
+  auto tenants = SetupTenants(system, 3, 64);
+  EXPECT_EQ(tenants.size(), 3u);
+  const VerifyResult verify = system.kernel().VerifyAll();
+  EXPECT_EQ(verify.lines_checked, 3 * 64 * kLinesPerPage);
+  EXPECT_EQ(verify.corrupted_lines, 0u);
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,58 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace ht {
+namespace {
+
+TEST(Table, RendersTitleHeaderAndRows) {
+  Table t("My Experiment");
+  t.SetHeader({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta", "22"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("My Experiment"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t("t");
+  t.SetHeader({"a", "b"});
+  t.AddRow({"longvalue", "x"});
+  const std::string out = t.ToString();
+  // Header cell "a" must be padded to the width of "longvalue".
+  EXPECT_NE(out.find("| a         |"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadWithEmptyCells) {
+  Table t("t");
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"1"});
+  EXPECT_NO_THROW(t.ToString());
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t("t");
+  t.SetHeader({"k"});
+  t.AddRow({"has,comma"});
+  t.AddRow({"has\"quote"});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::Num(uint64_t{42}), "42");
+  EXPECT_EQ(Table::Num(int64_t{-7}), "-7");
+  EXPECT_EQ(Table::Fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Percent(0.5), "50.0%");
+  EXPECT_EQ(Table::Percent(0.123, 0), "12%");
+  EXPECT_EQ(Table::YesNo(true), "yes");
+  EXPECT_EQ(Table::YesNo(false), "no");
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,182 @@
+#include "dram/timing.h"
+
+#include <gtest/gtest.h>
+
+#include "dram/config.h"
+
+namespace ht {
+namespace {
+
+class TimingTest : public ::testing::Test {
+ protected:
+  TimingTest() : config_(DramConfig::SimDefault()),
+                 checker_(config_.org, config_.timing, true) {}
+
+  // Issues `cmd` at its earliest legal cycle (at or after `at`).
+  Cycle IssueEarliest(const DdrCommand& cmd, Cycle at = 0) {
+    const Cycle t = std::max(at, checker_.EarliestCycle(cmd));
+    EXPECT_EQ(checker_.Check(cmd, t), TimingVerdict::kOk) << cmd.ToDebugString();
+    checker_.Record(cmd, t);
+    return t;
+  }
+
+  DramConfig config_;
+  TimingChecker checker_;
+};
+
+TEST_F(TimingTest, ActThenReadRespectsTrcd) {
+  IssueEarliest(DdrCommand::Act(0, 0, 5));
+  const DdrCommand rd = DdrCommand::Rd(0, 0, 3);
+  EXPECT_EQ(checker_.EarliestCycle(rd), Cycle{config_.timing.tRCD});
+  EXPECT_EQ(checker_.Check(rd, config_.timing.tRCD - 1), TimingVerdict::kTooEarly);
+  EXPECT_EQ(checker_.Check(rd, config_.timing.tRCD), TimingVerdict::kOk);
+}
+
+TEST_F(TimingTest, ReadRequiresOpenBank) {
+  EXPECT_EQ(checker_.Check(DdrCommand::Rd(0, 0, 0), 100), TimingVerdict::kBankNotOpen);
+  EXPECT_EQ(checker_.Check(DdrCommand::Wr(0, 0, 0), 100), TimingVerdict::kBankNotOpen);
+}
+
+TEST_F(TimingTest, DoubleActivateRejected) {
+  IssueEarliest(DdrCommand::Act(0, 0, 5));
+  EXPECT_EQ(checker_.Check(DdrCommand::Act(0, 0, 6), 1000), TimingVerdict::kBankAlreadyOpen);
+}
+
+TEST_F(TimingTest, PrechargeRespectsTras) {
+  IssueEarliest(DdrCommand::Act(0, 0, 5));
+  const DdrCommand pre = DdrCommand::Pre(0, 0);
+  EXPECT_EQ(checker_.EarliestCycle(pre), Cycle{config_.timing.tRAS});
+}
+
+TEST_F(TimingTest, ActAfterPrechargeRespectsTrp) {
+  IssueEarliest(DdrCommand::Act(0, 0, 5));
+  const Cycle pre_at = IssueEarliest(DdrCommand::Pre(0, 0));
+  const DdrCommand act = DdrCommand::Act(0, 0, 6);
+  EXPECT_EQ(checker_.EarliestCycle(act), pre_at + config_.timing.tRP);
+}
+
+TEST_F(TimingTest, SameBankActToActRespectsTrc) {
+  const Cycle first = IssueEarliest(DdrCommand::Act(0, 0, 5));
+  IssueEarliest(DdrCommand::Pre(0, 0));
+  const Cycle second = IssueEarliest(DdrCommand::Act(0, 0, 6));
+  EXPECT_GE(second - first, Cycle{config_.timing.tRC});
+}
+
+TEST_F(TimingTest, DifferentBankActRespectsTrrd) {
+  const Cycle first = IssueEarliest(DdrCommand::Act(0, 0, 5));
+  const DdrCommand act1 = DdrCommand::Act(0, 1, 5);
+  EXPECT_EQ(checker_.EarliestCycle(act1), first + config_.timing.tRRD);
+}
+
+TEST_F(TimingTest, FawLimitsFourActivates) {
+  Cycle t = 0;
+  std::vector<Cycle> act_times;
+  for (uint32_t b = 0; b < 5; ++b) {
+    t = IssueEarliest(DdrCommand::Act(0, b, 1), t);
+    act_times.push_back(t);
+  }
+  // The 5th ACT must be at least tFAW after the 1st.
+  EXPECT_GE(act_times[4] - act_times[0], Cycle{config_.timing.tFAW});
+  // But earlier ACTs were only tRRD apart.
+  EXPECT_EQ(act_times[1] - act_times[0], Cycle{config_.timing.tRRD});
+}
+
+TEST_F(TimingTest, ConsecutiveReadsRespectTccd) {
+  IssueEarliest(DdrCommand::Act(0, 0, 5));
+  const Cycle rd1 = IssueEarliest(DdrCommand::Rd(0, 0, 0));
+  const Cycle rd2 = IssueEarliest(DdrCommand::Rd(0, 0, 1));
+  EXPECT_GE(rd2 - rd1, Cycle{config_.timing.tCCD});
+}
+
+TEST_F(TimingTest, ReadDelaysPrechargeByTrtp) {
+  IssueEarliest(DdrCommand::Act(0, 0, 5));
+  // Wait out tRAS first so tRTP is the binding constraint.
+  Cycle t = 1000;
+  t = IssueEarliest(DdrCommand::Rd(0, 0, 0), t);
+  const DdrCommand pre = DdrCommand::Pre(0, 0);
+  EXPECT_GE(checker_.EarliestCycle(pre), t + config_.timing.tRTP);
+}
+
+TEST_F(TimingTest, WriteDelaysPrechargeByWriteRecovery) {
+  IssueEarliest(DdrCommand::Act(0, 0, 5));
+  Cycle t = 1000;
+  t = IssueEarliest(DdrCommand::Wr(0, 0, 0), t);
+  EXPECT_GE(checker_.EarliestCycle(DdrCommand::Pre(0, 0)),
+            t + config_.timing.WriteToPrecharge());
+}
+
+TEST_F(TimingTest, WriteToReadTurnaround) {
+  IssueEarliest(DdrCommand::Act(0, 0, 5));
+  Cycle t = 1000;
+  t = IssueEarliest(DdrCommand::Wr(0, 0, 0), t);
+  EXPECT_GE(checker_.EarliestCycle(DdrCommand::Rd(0, 0, 1)), t + config_.timing.WriteToRead());
+}
+
+TEST_F(TimingTest, RefreshRequiresIdleBanks) {
+  IssueEarliest(DdrCommand::Act(0, 0, 5));
+  EXPECT_EQ(checker_.Check(DdrCommand::Ref(0), 10000), TimingVerdict::kBanksNotIdle);
+  IssueEarliest(DdrCommand::Pre(0, 0));
+  const Cycle ref_at = IssueEarliest(DdrCommand::Ref(0), 10000);
+  // Everything is blocked for tRFC after REF.
+  EXPECT_GE(checker_.EarliestCycle(DdrCommand::Act(0, 0, 1)), ref_at + config_.timing.tRFC);
+}
+
+TEST_F(TimingTest, PrechargeAllClosesEverything) {
+  IssueEarliest(DdrCommand::Act(0, 0, 5));
+  Cycle t = IssueEarliest(DdrCommand::Act(0, 1, 7));
+  t = IssueEarliest(DdrCommand::PreAll(0), t + config_.timing.tRAS);
+  EXPECT_FALSE(checker_.OpenRow(0, 0).has_value());
+  EXPECT_FALSE(checker_.OpenRow(0, 1).has_value());
+}
+
+TEST_F(TimingTest, OpenRowTracksActivation) {
+  EXPECT_FALSE(checker_.OpenRow(0, 3).has_value());
+  IssueEarliest(DdrCommand::Act(0, 3, 42));
+  ASSERT_TRUE(checker_.OpenRow(0, 3).has_value());
+  EXPECT_EQ(*checker_.OpenRow(0, 3), 42u);
+}
+
+TEST_F(TimingTest, RefNeighborsOccupiesBank) {
+  const Cycle t = IssueEarliest(DdrCommand::RefNeighbors(0, 0, 10, 2));
+  // The bank walks 2*blast rows internally.
+  EXPECT_GE(checker_.EarliestCycle(DdrCommand::Act(0, 0, 1)),
+            t + 4 * config_.timing.tRC);
+}
+
+TEST_F(TimingTest, RefNeighborsUnsupportedRejected) {
+  TimingChecker no_ext(config_.org, config_.timing, false);
+  EXPECT_EQ(no_ext.Check(DdrCommand::RefNeighbors(0, 0, 10, 2), 0),
+            TimingVerdict::kUnsupported);
+}
+
+TEST_F(TimingTest, DataBusSerializesBursts) {
+  IssueEarliest(DdrCommand::Act(0, 0, 5));
+  IssueEarliest(DdrCommand::Act(0, 1, 5));
+  Cycle t = 1000;
+  const Cycle rd1 = IssueEarliest(DdrCommand::Rd(0, 0, 0), t);
+  const Cycle rd2 = IssueEarliest(DdrCommand::Rd(0, 1, 0), rd1 + 1);
+  // Burst windows must not overlap: second data start >= first data end.
+  EXPECT_GE(rd2 + config_.timing.tCL, rd1 + config_.timing.tCL + config_.timing.tBL);
+}
+
+TEST(TimingVerdictTest, ToStringCoversAll) {
+  EXPECT_STREQ(ToString(TimingVerdict::kOk), "ok");
+  EXPECT_STREQ(ToString(TimingVerdict::kTooEarly), "too-early");
+  EXPECT_STREQ(ToString(TimingVerdict::kBankNotOpen), "bank-not-open");
+  EXPECT_STREQ(ToString(TimingVerdict::kBankAlreadyOpen), "bank-already-open");
+  EXPECT_STREQ(ToString(TimingVerdict::kBanksNotIdle), "banks-not-idle");
+  EXPECT_STREQ(ToString(TimingVerdict::kUnsupported), "unsupported");
+}
+
+TEST(DdrCommandTest, DebugStringsNameEveryType) {
+  EXPECT_NE(DdrCommand::Act(0, 1, 2).ToDebugString().find("ACT"), std::string::npos);
+  EXPECT_NE(DdrCommand::Pre(0, 1).ToDebugString().find("PRE"), std::string::npos);
+  EXPECT_NE(DdrCommand::Rd(0, 1, 2).ToDebugString().find("RD"), std::string::npos);
+  EXPECT_NE(DdrCommand::Wr(0, 1, 2).ToDebugString().find("WR"), std::string::npos);
+  EXPECT_NE(DdrCommand::Ref(0).ToDebugString().find("REF"), std::string::npos);
+  EXPECT_NE(DdrCommand::RefNeighbors(0, 1, 2, 3).ToDebugString().find("REF_NEIGHBORS"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ht

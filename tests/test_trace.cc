@@ -1,0 +1,83 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ht {
+namespace {
+
+TEST(Trace, ParsesAllOpKinds) {
+  std::istringstream in(
+      "# comment\n"
+      "R 1000\n"
+      "W 2000 dead\n"
+      "F 1000\n"
+      "N\n"
+      "I 50\n");
+  const ParsedTrace trace = ParseTrace(in);
+  ASSERT_EQ(trace.ops.size(), 5u);
+  EXPECT_EQ(trace.skipped_lines, 0u);
+  EXPECT_EQ(trace.ops[0].kind, CoreOpKind::kLoad);
+  EXPECT_EQ(trace.ops[0].va, 0x1000u);
+  EXPECT_EQ(trace.ops[1].kind, CoreOpKind::kStore);
+  EXPECT_EQ(trace.ops[1].value, 0xDEADu);
+  EXPECT_EQ(trace.ops[2].kind, CoreOpKind::kFlush);
+  EXPECT_EQ(trace.ops[3].kind, CoreOpKind::kFence);
+  EXPECT_EQ(trace.ops[4].kind, CoreOpKind::kIdle);
+  EXPECT_EQ(trace.ops[4].idle_cycles, 50u);
+}
+
+TEST(Trace, SkipsMalformedLines) {
+  std::istringstream in(
+      "R\n"
+      "R zzz\n"
+      "X 1000\n"
+      "R 4000\n");
+  const ParsedTrace trace = ParseTrace(in);
+  EXPECT_EQ(trace.ops.size(), 1u);
+  EXPECT_EQ(trace.skipped_lines, 3u);
+}
+
+TEST(Trace, RoundTripsThroughWriter) {
+  std::vector<CoreOp> ops = {CoreOp::Load(0xABC0), CoreOp::Store(0xDEF0, 7),
+                             CoreOp::Flush(0xABC0), CoreOp::Fence(), CoreOp::Idle(9)};
+  std::ostringstream out;
+  WriteTrace(ops, out);
+  std::istringstream in(out.str());
+  const ParsedTrace trace = ParseTrace(in);
+  ASSERT_EQ(trace.ops.size(), ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(trace.ops[i].kind, ops[i].kind) << i;
+    EXPECT_EQ(trace.ops[i].va, ops[i].va) << i;
+    EXPECT_EQ(trace.ops[i].value, ops[i].value) << i;
+    EXPECT_EQ(trace.ops[i].idle_cycles, ops[i].idle_cycles) << i;
+  }
+}
+
+TEST(Trace, WorkloadReplaysWithRepeats) {
+  std::vector<CoreOp> ops = {CoreOp::Load(0x100), CoreOp::Load(0x200)};
+  TraceWorkload workload(ops, /*repeats=*/2);
+  EXPECT_EQ(workload.Next().va, 0x100u);
+  EXPECT_EQ(workload.Next().va, 0x200u);
+  EXPECT_EQ(workload.Next().va, 0x100u);
+  EXPECT_EQ(workload.Next().va, 0x200u);
+  EXPECT_EQ(workload.Next().kind, CoreOpKind::kHalt);
+}
+
+TEST(Trace, EmptyTraceHalts) {
+  TraceWorkload workload({}, 0);
+  EXPECT_EQ(workload.Next().kind, CoreOpKind::kHalt);
+}
+
+TEST(Trace, UnrepresentableOpsSkippedOnWrite) {
+  std::ostringstream out;
+  WriteTrace({CoreOp::RefreshRow(0x100), CoreOp::Halt(), CoreOp::Load(0x200)}, out);
+  std::istringstream in(out.str());
+  const ParsedTrace trace = ParseTrace(in);
+  ASSERT_EQ(trace.ops.size(), 1u);
+  EXPECT_EQ(trace.ops[0].va, 0x200u);
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,84 @@
+#include "sim/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ht {
+namespace {
+
+TEST(StreamWorkload, SweepsSequentially) {
+  StreamWorkload stream(1, 0x1000, 4 * kLineBytes, 8, 0.0);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint64_t i = 0; i < 4; ++i) {
+      const CoreOp op = stream.Next();
+      EXPECT_EQ(op.kind, CoreOpKind::kLoad);
+      EXPECT_EQ(op.va, 0x1000 + i * kLineBytes);
+    }
+  }
+  EXPECT_EQ(stream.Next().kind, CoreOpKind::kHalt);
+}
+
+TEST(StreamWorkload, WriteFractionProducesStores) {
+  StreamWorkload stream(1, 0x1000, 64 * kLineBytes, 1000, 0.5, 3);
+  int stores = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (stream.Next().kind == CoreOpKind::kStore) {
+      ++stores;
+    }
+  }
+  EXPECT_GT(stores, 350);
+  EXPECT_LT(stores, 650);
+}
+
+TEST(RandomWorkload, StaysInRegion) {
+  const VirtAddr base = 0x10000;
+  const uint64_t bytes = 16 * kLineBytes;
+  RandomWorkload stream(1, base, bytes, 500, 0.0, 7);
+  for (int i = 0; i < 500; ++i) {
+    const CoreOp op = stream.Next();
+    EXPECT_GE(op.va, base);
+    EXPECT_LT(op.va, base + bytes);
+    EXPECT_EQ(op.va % kLineBytes, 0u);
+  }
+  EXPECT_EQ(stream.Next().kind, CoreOpKind::kHalt);
+}
+
+TEST(HotspotWorkload, ConcentratesOnHotSet) {
+  const VirtAddr base = 0;
+  HotspotWorkload stream(base, 1024 * kLineBytes, 2000, 0.9, 16, 5);
+  int hot = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (stream.Next().va < base + 16 * kLineBytes) {
+      ++hot;
+    }
+  }
+  EXPECT_GT(hot, 1700);  // ~90% + random collisions.
+}
+
+TEST(PointerChase, VisitsEveryLineExactlyOncePerCycle) {
+  const uint64_t lines = 32;
+  PointerChaseWorkload stream(0, lines * kLineBytes, lines, 9);
+  std::set<VirtAddr> visited;
+  for (uint64_t i = 0; i < lines; ++i) {
+    const CoreOp op = stream.Next();
+    EXPECT_EQ(op.kind, CoreOpKind::kLoad);
+    EXPECT_TRUE(visited.insert(op.va).second) << "revisited " << op.va;
+  }
+  EXPECT_EQ(visited.size(), lines);  // Full cycle (Sattolo).
+}
+
+TEST(PointerChase, IlpHintIsOne) {
+  PointerChaseWorkload stream(0, 1024, 10, 9);
+  EXPECT_EQ(stream.IlpHint(), 1u);
+}
+
+TEST(MakeWorkload, FactoryKnowsAllKinds) {
+  for (const char* kind : {"stream", "random", "hotspot", "chase"}) {
+    EXPECT_NE(MakeWorkload(kind, 1, 0, 4096, 10, 1), nullptr) << kind;
+  }
+  EXPECT_EQ(MakeWorkload("nope", 1, 0, 4096, 10, 1), nullptr);
+}
+
+}  // namespace
+}  // namespace ht
