@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_isolation_cost.dir/bench_e10_isolation_cost.cc.o"
+  "CMakeFiles/bench_e10_isolation_cost.dir/bench_e10_isolation_cost.cc.o.d"
+  "bench_e10_isolation_cost"
+  "bench_e10_isolation_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_isolation_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

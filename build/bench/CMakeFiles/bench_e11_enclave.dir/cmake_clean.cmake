@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_enclave.dir/bench_e11_enclave.cc.o"
+  "CMakeFiles/bench_e11_enclave.dir/bench_e11_enclave.cc.o.d"
+  "bench_e11_enclave"
+  "bench_e11_enclave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_enclave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

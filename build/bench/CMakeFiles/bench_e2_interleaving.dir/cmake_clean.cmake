@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_interleaving.dir/bench_e2_interleaving.cc.o"
+  "CMakeFiles/bench_e2_interleaving.dir/bench_e2_interleaving.cc.o.d"
+  "bench_e2_interleaving"
+  "bench_e2_interleaving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_interleaving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_trr_bypass.dir/bench_e3_trr_bypass.cc.o"
+  "CMakeFiles/bench_e3_trr_bypass.dir/bench_e3_trr_bypass.cc.o.d"
+  "bench_e3_trr_bypass"
+  "bench_e3_trr_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_trr_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

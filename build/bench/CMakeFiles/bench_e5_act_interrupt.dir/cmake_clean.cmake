@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_act_interrupt.dir/bench_e5_act_interrupt.cc.o"
+  "CMakeFiles/bench_e5_act_interrupt.dir/bench_e5_act_interrupt.cc.o.d"
+  "bench_e5_act_interrupt"
+  "bench_e5_act_interrupt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_act_interrupt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

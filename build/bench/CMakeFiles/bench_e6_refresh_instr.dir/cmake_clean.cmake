@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_refresh_instr.dir/bench_e6_refresh_instr.cc.o"
+  "CMakeFiles/bench_e6_refresh_instr.dir/bench_e6_refresh_instr.cc.o.d"
+  "bench_e6_refresh_instr"
+  "bench_e6_refresh_instr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_refresh_instr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_locking.dir/bench_e9_locking.cc.o"
+  "CMakeFiles/bench_e9_locking.dir/bench_e9_locking.cc.o.d"
+  "bench_e9_locking"
+  "bench_e9_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

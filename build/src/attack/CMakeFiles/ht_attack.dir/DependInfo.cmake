@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/hammer.cc" "src/attack/CMakeFiles/ht_attack.dir/hammer.cc.o" "gcc" "src/attack/CMakeFiles/ht_attack.dir/hammer.cc.o.d"
+  "/root/repo/src/attack/inference.cc" "src/attack/CMakeFiles/ht_attack.dir/inference.cc.o" "gcc" "src/attack/CMakeFiles/ht_attack.dir/inference.cc.o.d"
+  "/root/repo/src/attack/planner.cc" "src/attack/CMakeFiles/ht_attack.dir/planner.cc.o" "gcc" "src/attack/CMakeFiles/ht_attack.dir/planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/ht_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ht_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ht_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ht_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/ht_mc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

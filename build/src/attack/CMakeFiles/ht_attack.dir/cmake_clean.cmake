@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_attack.dir/hammer.cc.o"
+  "CMakeFiles/ht_attack.dir/hammer.cc.o.d"
+  "CMakeFiles/ht_attack.dir/inference.cc.o"
+  "CMakeFiles/ht_attack.dir/inference.cc.o.d"
+  "CMakeFiles/ht_attack.dir/planner.cc.o"
+  "CMakeFiles/ht_attack.dir/planner.cc.o.d"
+  "libht_attack.a"
+  "libht_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

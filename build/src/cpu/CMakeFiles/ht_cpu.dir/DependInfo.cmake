@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cache.cc" "src/cpu/CMakeFiles/ht_cpu.dir/cache.cc.o" "gcc" "src/cpu/CMakeFiles/ht_cpu.dir/cache.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/cpu/CMakeFiles/ht_cpu.dir/core.cc.o" "gcc" "src/cpu/CMakeFiles/ht_cpu.dir/core.cc.o.d"
+  "/root/repo/src/cpu/dma.cc" "src/cpu/CMakeFiles/ht_cpu.dir/dma.cc.o" "gcc" "src/cpu/CMakeFiles/ht_cpu.dir/dma.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mc/CMakeFiles/ht_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ht_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ht_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_cpu.dir/cache.cc.o"
+  "CMakeFiles/ht_cpu.dir/cache.cc.o.d"
+  "CMakeFiles/ht_cpu.dir/core.cc.o"
+  "CMakeFiles/ht_cpu.dir/core.cc.o.d"
+  "CMakeFiles/ht_cpu.dir/dma.cc.o"
+  "CMakeFiles/ht_cpu.dir/dma.cc.o.d"
+  "libht_cpu.a"
+  "libht_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/defense/anvil_defense.cc" "src/defense/CMakeFiles/ht_defense.dir/anvil_defense.cc.o" "gcc" "src/defense/CMakeFiles/ht_defense.dir/anvil_defense.cc.o.d"
+  "/root/repo/src/defense/frequency_defense.cc" "src/defense/CMakeFiles/ht_defense.dir/frequency_defense.cc.o" "gcc" "src/defense/CMakeFiles/ht_defense.dir/frequency_defense.cc.o.d"
+  "/root/repo/src/defense/quarantine.cc" "src/defense/CMakeFiles/ht_defense.dir/quarantine.cc.o" "gcc" "src/defense/CMakeFiles/ht_defense.dir/quarantine.cc.o.d"
+  "/root/repo/src/defense/refresh_defense.cc" "src/defense/CMakeFiles/ht_defense.dir/refresh_defense.cc.o" "gcc" "src/defense/CMakeFiles/ht_defense.dir/refresh_defense.cc.o.d"
+  "/root/repo/src/defense/scrub_defense.cc" "src/defense/CMakeFiles/ht_defense.dir/scrub_defense.cc.o" "gcc" "src/defense/CMakeFiles/ht_defense.dir/scrub_defense.cc.o.d"
+  "/root/repo/src/defense/watchset_defense.cc" "src/defense/CMakeFiles/ht_defense.dir/watchset_defense.cc.o" "gcc" "src/defense/CMakeFiles/ht_defense.dir/watchset_defense.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/ht_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ht_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/ht_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ht_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ht_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

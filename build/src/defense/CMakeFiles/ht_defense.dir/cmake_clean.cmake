@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_defense.dir/anvil_defense.cc.o"
+  "CMakeFiles/ht_defense.dir/anvil_defense.cc.o.d"
+  "CMakeFiles/ht_defense.dir/frequency_defense.cc.o"
+  "CMakeFiles/ht_defense.dir/frequency_defense.cc.o.d"
+  "CMakeFiles/ht_defense.dir/quarantine.cc.o"
+  "CMakeFiles/ht_defense.dir/quarantine.cc.o.d"
+  "CMakeFiles/ht_defense.dir/refresh_defense.cc.o"
+  "CMakeFiles/ht_defense.dir/refresh_defense.cc.o.d"
+  "CMakeFiles/ht_defense.dir/scrub_defense.cc.o"
+  "CMakeFiles/ht_defense.dir/scrub_defense.cc.o.d"
+  "CMakeFiles/ht_defense.dir/watchset_defense.cc.o"
+  "CMakeFiles/ht_defense.dir/watchset_defense.cc.o.d"
+  "libht_defense.a"
+  "libht_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/command.cc" "src/dram/CMakeFiles/ht_dram.dir/command.cc.o" "gcc" "src/dram/CMakeFiles/ht_dram.dir/command.cc.o.d"
+  "/root/repo/src/dram/config.cc" "src/dram/CMakeFiles/ht_dram.dir/config.cc.o" "gcc" "src/dram/CMakeFiles/ht_dram.dir/config.cc.o.d"
+  "/root/repo/src/dram/data_store.cc" "src/dram/CMakeFiles/ht_dram.dir/data_store.cc.o" "gcc" "src/dram/CMakeFiles/ht_dram.dir/data_store.cc.o.d"
+  "/root/repo/src/dram/device.cc" "src/dram/CMakeFiles/ht_dram.dir/device.cc.o" "gcc" "src/dram/CMakeFiles/ht_dram.dir/device.cc.o.d"
+  "/root/repo/src/dram/disturbance.cc" "src/dram/CMakeFiles/ht_dram.dir/disturbance.cc.o" "gcc" "src/dram/CMakeFiles/ht_dram.dir/disturbance.cc.o.d"
+  "/root/repo/src/dram/remap.cc" "src/dram/CMakeFiles/ht_dram.dir/remap.cc.o" "gcc" "src/dram/CMakeFiles/ht_dram.dir/remap.cc.o.d"
+  "/root/repo/src/dram/timing.cc" "src/dram/CMakeFiles/ht_dram.dir/timing.cc.o" "gcc" "src/dram/CMakeFiles/ht_dram.dir/timing.cc.o.d"
+  "/root/repo/src/dram/trr.cc" "src/dram/CMakeFiles/ht_dram.dir/trr.cc.o" "gcc" "src/dram/CMakeFiles/ht_dram.dir/trr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ht_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

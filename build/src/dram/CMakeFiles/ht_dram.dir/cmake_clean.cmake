@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_dram.dir/command.cc.o"
+  "CMakeFiles/ht_dram.dir/command.cc.o.d"
+  "CMakeFiles/ht_dram.dir/config.cc.o"
+  "CMakeFiles/ht_dram.dir/config.cc.o.d"
+  "CMakeFiles/ht_dram.dir/data_store.cc.o"
+  "CMakeFiles/ht_dram.dir/data_store.cc.o.d"
+  "CMakeFiles/ht_dram.dir/device.cc.o"
+  "CMakeFiles/ht_dram.dir/device.cc.o.d"
+  "CMakeFiles/ht_dram.dir/disturbance.cc.o"
+  "CMakeFiles/ht_dram.dir/disturbance.cc.o.d"
+  "CMakeFiles/ht_dram.dir/remap.cc.o"
+  "CMakeFiles/ht_dram.dir/remap.cc.o.d"
+  "CMakeFiles/ht_dram.dir/timing.cc.o"
+  "CMakeFiles/ht_dram.dir/timing.cc.o.d"
+  "CMakeFiles/ht_dram.dir/trr.cc.o"
+  "CMakeFiles/ht_dram.dir/trr.cc.o.d"
+  "libht_dram.a"
+  "libht_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

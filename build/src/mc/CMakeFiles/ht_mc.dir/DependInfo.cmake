@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc/act_counter.cc" "src/mc/CMakeFiles/ht_mc.dir/act_counter.cc.o" "gcc" "src/mc/CMakeFiles/ht_mc.dir/act_counter.cc.o.d"
+  "/root/repo/src/mc/addrmap.cc" "src/mc/CMakeFiles/ht_mc.dir/addrmap.cc.o" "gcc" "src/mc/CMakeFiles/ht_mc.dir/addrmap.cc.o.d"
+  "/root/repo/src/mc/controller.cc" "src/mc/CMakeFiles/ht_mc.dir/controller.cc.o" "gcc" "src/mc/CMakeFiles/ht_mc.dir/controller.cc.o.d"
+  "/root/repo/src/mc/mitigations.cc" "src/mc/CMakeFiles/ht_mc.dir/mitigations.cc.o" "gcc" "src/mc/CMakeFiles/ht_mc.dir/mitigations.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/ht_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ht_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_mc.dir/act_counter.cc.o"
+  "CMakeFiles/ht_mc.dir/act_counter.cc.o.d"
+  "CMakeFiles/ht_mc.dir/addrmap.cc.o"
+  "CMakeFiles/ht_mc.dir/addrmap.cc.o.d"
+  "CMakeFiles/ht_mc.dir/controller.cc.o"
+  "CMakeFiles/ht_mc.dir/controller.cc.o.d"
+  "CMakeFiles/ht_mc.dir/mitigations.cc.o"
+  "CMakeFiles/ht_mc.dir/mitigations.cc.o.d"
+  "libht_mc.a"
+  "libht_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/allocator.cc" "src/os/CMakeFiles/ht_os.dir/allocator.cc.o" "gcc" "src/os/CMakeFiles/ht_os.dir/allocator.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/os/CMakeFiles/ht_os.dir/kernel.cc.o" "gcc" "src/os/CMakeFiles/ht_os.dir/kernel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mc/CMakeFiles/ht_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ht_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ht_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_os.dir/allocator.cc.o"
+  "CMakeFiles/ht_os.dir/allocator.cc.o.d"
+  "CMakeFiles/ht_os.dir/kernel.cc.o"
+  "CMakeFiles/ht_os.dir/kernel.cc.o.d"
+  "libht_os.a"
+  "libht_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/scenario.cc" "src/sim/CMakeFiles/ht_sim.dir/scenario.cc.o" "gcc" "src/sim/CMakeFiles/ht_sim.dir/scenario.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/sim/CMakeFiles/ht_sim.dir/system.cc.o" "gcc" "src/sim/CMakeFiles/ht_sim.dir/system.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/ht_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/ht_sim.dir/trace.cc.o.d"
+  "/root/repo/src/sim/workloads.cc" "src/sim/CMakeFiles/ht_sim.dir/workloads.cc.o" "gcc" "src/sim/CMakeFiles/ht_sim.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/defense/CMakeFiles/ht_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/ht_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/ht_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ht_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/ht_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ht_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ht_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

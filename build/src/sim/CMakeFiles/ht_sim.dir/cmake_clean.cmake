@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_sim.dir/scenario.cc.o"
+  "CMakeFiles/ht_sim.dir/scenario.cc.o.d"
+  "CMakeFiles/ht_sim.dir/system.cc.o"
+  "CMakeFiles/ht_sim.dir/system.cc.o.d"
+  "CMakeFiles/ht_sim.dir/trace.cc.o"
+  "CMakeFiles/ht_sim.dir/trace.cc.o.d"
+  "CMakeFiles/ht_sim.dir/workloads.cc.o"
+  "CMakeFiles/ht_sim.dir/workloads.cc.o.d"
+  "libht_sim.a"
+  "libht_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_act_counter.cc" "tests/CMakeFiles/ht_tests.dir/test_act_counter.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_act_counter.cc.o.d"
+  "/root/repo/tests/test_addrmap.cc" "tests/CMakeFiles/ht_tests.dir/test_addrmap.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_addrmap.cc.o.d"
+  "/root/repo/tests/test_allocator.cc" "tests/CMakeFiles/ht_tests.dir/test_allocator.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_allocator.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/ht_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_closed_page.cc" "tests/CMakeFiles/ht_tests.dir/test_closed_page.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_closed_page.cc.o.d"
+  "/root/repo/tests/test_controller.cc" "tests/CMakeFiles/ht_tests.dir/test_controller.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_controller.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/ht_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_data_store.cc" "tests/CMakeFiles/ht_tests.dir/test_data_store.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_data_store.cc.o.d"
+  "/root/repo/tests/test_defenses.cc" "tests/CMakeFiles/ht_tests.dir/test_defenses.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_defenses.cc.o.d"
+  "/root/repo/tests/test_device.cc" "tests/CMakeFiles/ht_tests.dir/test_device.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_device.cc.o.d"
+  "/root/repo/tests/test_disturbance.cc" "tests/CMakeFiles/ht_tests.dir/test_disturbance.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_disturbance.cc.o.d"
+  "/root/repo/tests/test_dma.cc" "tests/CMakeFiles/ht_tests.dir/test_dma.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_dma.cc.o.d"
+  "/root/repo/tests/test_ecc.cc" "tests/CMakeFiles/ht_tests.dir/test_ecc.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_ecc.cc.o.d"
+  "/root/repo/tests/test_energy.cc" "tests/CMakeFiles/ht_tests.dir/test_energy.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_energy.cc.o.d"
+  "/root/repo/tests/test_fuzz.cc" "tests/CMakeFiles/ht_tests.dir/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_fuzz.cc.o.d"
+  "/root/repo/tests/test_halfdouble.cc" "tests/CMakeFiles/ht_tests.dir/test_halfdouble.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_halfdouble.cc.o.d"
+  "/root/repo/tests/test_hammer.cc" "tests/CMakeFiles/ht_tests.dir/test_hammer.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_hammer.cc.o.d"
+  "/root/repo/tests/test_inference.cc" "tests/CMakeFiles/ht_tests.dir/test_inference.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_inference.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/ht_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_kernel.cc" "tests/CMakeFiles/ht_tests.dir/test_kernel.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_kernel.cc.o.d"
+  "/root/repo/tests/test_mitigations.cc" "tests/CMakeFiles/ht_tests.dir/test_mitigations.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_mitigations.cc.o.d"
+  "/root/repo/tests/test_multichannel.cc" "tests/CMakeFiles/ht_tests.dir/test_multichannel.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_multichannel.cc.o.d"
+  "/root/repo/tests/test_onelocation.cc" "tests/CMakeFiles/ht_tests.dir/test_onelocation.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_onelocation.cc.o.d"
+  "/root/repo/tests/test_planner.cc" "tests/CMakeFiles/ht_tests.dir/test_planner.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_planner.cc.o.d"
+  "/root/repo/tests/test_quarantine.cc" "tests/CMakeFiles/ht_tests.dir/test_quarantine.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_quarantine.cc.o.d"
+  "/root/repo/tests/test_refsb.cc" "tests/CMakeFiles/ht_tests.dir/test_refsb.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_refsb.cc.o.d"
+  "/root/repo/tests/test_remap.cc" "tests/CMakeFiles/ht_tests.dir/test_remap.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_remap.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/ht_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_scrub.cc" "tests/CMakeFiles/ht_tests.dir/test_scrub.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_scrub.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/ht_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/ht_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_table.cc" "tests/CMakeFiles/ht_tests.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_table.cc.o.d"
+  "/root/repo/tests/test_timing.cc" "tests/CMakeFiles/ht_tests.dir/test_timing.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_timing.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/ht_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_trr.cc" "tests/CMakeFiles/ht_tests.dir/test_trr.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_trr.cc.o.d"
+  "/root/repo/tests/test_watchset.cc" "tests/CMakeFiles/ht_tests.dir/test_watchset.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_watchset.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/ht_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ht_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/ht_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/ht_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/ht_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ht_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/ht_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ht_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ht_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

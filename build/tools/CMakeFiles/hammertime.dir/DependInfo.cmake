@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/hammertime_cli.cc" "tools/CMakeFiles/hammertime.dir/hammertime_cli.cc.o" "gcc" "tools/CMakeFiles/hammertime.dir/hammertime_cli.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ht_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/ht_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/ht_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/ht_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ht_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/ht_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ht_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ht_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

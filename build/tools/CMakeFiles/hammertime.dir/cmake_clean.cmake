@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hammertime.dir/hammertime_cli.cc.o"
+  "CMakeFiles/hammertime.dir/hammertime_cli.cc.o.d"
+  "hammertime"
+  "hammertime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hammertime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
