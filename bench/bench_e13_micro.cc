@@ -1,8 +1,13 @@
-// E13 — google-benchmark microbenchmarks of the simulator's hot paths.
-// These guard against regressions that would make the experiment suite
-// impractically slow; they do not correspond to a paper figure.
+// E13 — google-benchmark microbenchmarks of the simulator's hot paths,
+// plus a whole-system throughput report (BENCH_throughput.json). The
+// microbenches guard against regressions that would make the experiment
+// suite impractically slow; they do not correspond to a paper figure.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
 #include "cpu/cache.h"
 #include "dram/device.h"
 #include "mc/addrmap.h"
@@ -117,7 +122,71 @@ void BM_ControllerTick(benchmark::State& state) {
 }
 BENCHMARK(BM_ControllerTick)->Name("Controller/TickUnderLoad");
 
+// --- Whole-system simulation throughput -----------------------------------
+//
+// Measures simulated cycles per wall-clock second on an idle-heavy system
+// (no instruction streams; only the refresh manager is periodically
+// active) with idle skipping on and off, and writes the numbers to
+// BENCH_throughput.json. This is the scenario the idle-skipping fast
+// path exists for, and the report is what CI trend lines consume.
+
+struct ThroughputSample {
+  double seconds = 0.0;
+  double cycles_per_sec = 0.0;
+};
+
+ThroughputSample MeasureIdleHeavy(bool skip_idle, Cycle cycles) {
+  SystemConfig config;
+  config.skip_idle = skip_idle;
+  System system(config);
+  const auto start = std::chrono::steady_clock::now();
+  system.RunFor(cycles);
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  ThroughputSample sample;
+  sample.seconds = elapsed.count();
+  sample.cycles_per_sec =
+      sample.seconds > 0.0 ? static_cast<double>(cycles) / sample.seconds : 0.0;
+  return sample;
+}
+
+void WriteThroughputReport() {
+  const Cycle cycles = std::min<Cycle>(30000000, BenchSmokeCap());
+  const ThroughputSample off = MeasureIdleHeavy(false, cycles);
+  const ThroughputSample on = MeasureIdleHeavy(true, cycles);
+  const double speedup = off.cycles_per_sec > 0.0 ? on.cycles_per_sec / off.cycles_per_sec : 0.0;
+
+  FILE* out = std::fopen("BENCH_throughput.json", "w");
+  if (out == nullptr) {
+    std::perror("BENCH_throughput.json");
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"scenario\": \"idle_heavy\",\n"
+               "  \"simulated_cycles\": %llu,\n"
+               "  \"skip_idle_off\": {\"wall_seconds\": %.6f, \"cycles_per_sec\": %.0f},\n"
+               "  \"skip_idle_on\": {\"wall_seconds\": %.6f, \"cycles_per_sec\": %.0f},\n"
+               "  \"speedup\": %.2f\n"
+               "}\n",
+               static_cast<unsigned long long>(cycles), off.seconds, off.cycles_per_sec,
+               on.seconds, on.cycles_per_sec, speedup);
+  std::fclose(out);
+  std::printf("System/IdleHeavy: %llu cycles — skip off %.0f cyc/s, skip on %.0f cyc/s "
+              "(%.1fx); wrote BENCH_throughput.json\n",
+              static_cast<unsigned long long>(cycles), off.cycles_per_sec, on.cycles_per_sec,
+              speedup);
+}
+
 }  // namespace
 }  // namespace ht
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  ht::WriteThroughputReport();
+  return 0;
+}

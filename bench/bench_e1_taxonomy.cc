@@ -23,7 +23,7 @@ struct DefenseRow {
   bool trr = false;
 };
 
-void Main() {
+void Main(unsigned threads) {
   const std::vector<DefenseRow> defenses = {
       {"none", "-", DefenseKind::kNone, HwMitigationKind::kNone, false, false, false},
       {"trr-only (in-DRAM, n=4)", "refresh", DefenseKind::kNone, HwMitigationKind::kNone, false,
@@ -52,14 +52,12 @@ void Main() {
                                            AttackKind::kDma, AttackKind::kAdaptive,
                                            AttackKind::kHalfDouble};
 
-  Table table(
-      "E1. Taxonomy coverage matrix (Table 1, measured): cross-domain flip events per attack");
-  table.SetHeader({"defense", "class", "double-sided", "many-sided(16)", "dma", "adaptive",
-                   "half-double", "protected"});
-
+  // The matrix cells are independent simulations, so build every spec up
+  // front and fan them out across the worker pool; results come back in
+  // spec order, so rendering below is identical to the serial version.
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(defenses.size() * attacks.size());
   for (const DefenseRow& row : defenses) {
-    std::vector<std::string> cells = {row.label, row.mitigation_class};
-    bool all_safe = true;
     for (AttackKind attack : attacks) {
       ScenarioSpec spec;
       spec.defense = row.defense;
@@ -83,7 +81,21 @@ void Main() {
         spec.system.dram.trr.enabled = true;
         spec.system.dram.trr.table_entries = 4;
       }
-      const ScenarioResult result = RunScenario(spec);
+      specs.push_back(spec);
+    }
+  }
+  const std::vector<ScenarioResult> results = RunScenarios(specs, threads);
+
+  Table table(
+      "E1. Taxonomy coverage matrix (Table 1, measured): cross-domain flip events per attack");
+  table.SetHeader({"defense", "class", "double-sided", "many-sided(16)", "dma", "adaptive",
+                   "half-double", "protected"});
+  size_t next = 0;
+  for (const DefenseRow& row : defenses) {
+    std::vector<std::string> cells = {row.label, row.mitigation_class};
+    bool all_safe = true;
+    for (size_t a = 0; a < attacks.size(); ++a) {
+      const ScenarioResult& result = results[next++];
       const uint64_t flips = result.security.cross_domain_flips;
       all_safe = all_safe && flips == 0;
       std::string cell = Table::Num(flips);
@@ -108,7 +120,7 @@ void Main() {
 }  // namespace
 }  // namespace ht
 
-int main() {
-  ht::Main();
+int main(int argc, char** argv) {
+  ht::Main(ht::ParseThreadsArg(argc, argv));
   return 0;
 }

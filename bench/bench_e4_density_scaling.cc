@@ -24,7 +24,60 @@ uint64_t GrapheneEntriesFor(const DramConfig& dram) {
   return std::max<uint64_t>(1, 4 * max_acts_per_window / std::max(1u, dram.disturbance.mac));
 }
 
-void Main() {
+struct Case {
+  DefenseKind defense;
+  HwMitigationKind hw;
+  bool trr;
+  bool subarray;
+};
+
+const std::vector<Case>& Cases() {
+  static const std::vector<Case> cases = {
+      {DefenseKind::kNone, HwMitigationKind::kNone, false, false},
+      {DefenseKind::kNone, HwMitigationKind::kNone, true, false},
+      {DefenseKind::kNone, HwMitigationKind::kPara, false, false},
+      {DefenseKind::kNone, HwMitigationKind::kGraphene, false, false},
+      {DefenseKind::kNone, HwMitigationKind::kBlockHammer, false, false},
+      {DefenseKind::kSwRefresh, HwMitigationKind::kNone, false, false},
+      {DefenseKind::kNone, HwMitigationKind::kNone, false, true},
+  };
+  return cases;
+}
+
+ScenarioSpec SpecFor(const DramConfig& dram, const Case& c) {
+  ScenarioSpec spec;
+  spec.system.dram = dram;
+  spec.defense = c.defense;
+  spec.hw = c.hw;
+  spec.attack = AttackKind::kDoubleSided;
+  spec.run_cycles = 1200000;
+  // Interrupt threshold scales with MAC: react within mac/4 ACTs.
+  spec.act_threshold = std::max<uint64_t>(16, dram.disturbance.mac / 4);
+  if (c.trr) {
+    spec.system.dram.trr.enabled = true;
+    spec.system.dram.trr.table_entries = 4;
+  }
+  if (c.subarray) {
+    spec.system.mc.scheme = InterleaveScheme::kSubarrayIsolated;
+    spec.system.alloc = AllocPolicy::kSubarrayAware;
+  }
+  return spec;
+}
+
+void Main(unsigned threads) {
+  // The generation × defense grid is 35 independent simulations — build
+  // them all and fan out across the worker pool.
+  constexpr int kGenerations = 5;
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(kGenerations * Cases().size());
+  for (int generation = 0; generation < kGenerations; ++generation) {
+    const DramConfig dram = DramConfig::DensityGeneration(generation);
+    for (const Case& c : Cases()) {
+      specs.push_back(SpecFor(dram, c));
+    }
+  }
+  const std::vector<ScenarioResult> results = RunScenarios(specs, threads);
+
   Table security("E4a. Defense outcome across density generations (double-sided, 1.2M cycles): "
                  "cross-domain flip events");
   security.SetHeader({"generation", "MAC(scaled)", "blast", "none", "trr n=4", "para",
@@ -36,52 +89,21 @@ void Main() {
                   "blockhammer stall-cycles", "blockhammer SRAM", "sw-refresh extra-ACTs",
                   "sw-refresh SRAM"});
 
-  for (int generation = 0; generation <= 4; ++generation) {
+  size_t next = 0;
+  for (int generation = 0; generation < kGenerations; ++generation) {
     const DramConfig dram = DramConfig::DensityGeneration(generation);
     std::vector<std::string> security_row = {dram.name,
                                              Table::Num(uint64_t{dram.disturbance.mac}),
                                              Table::Num(uint64_t{dram.disturbance.blast_radius})};
     std::vector<std::string> cost_row = {dram.name};
 
-    struct Case {
-      DefenseKind defense;
-      HwMitigationKind hw;
-      bool trr;
-      bool subarray;
-    };
-    const std::vector<Case> cases = {
-        {DefenseKind::kNone, HwMitigationKind::kNone, false, false},
-        {DefenseKind::kNone, HwMitigationKind::kNone, true, false},
-        {DefenseKind::kNone, HwMitigationKind::kPara, false, false},
-        {DefenseKind::kNone, HwMitigationKind::kGraphene, false, false},
-        {DefenseKind::kNone, HwMitigationKind::kBlockHammer, false, false},
-        {DefenseKind::kSwRefresh, HwMitigationKind::kNone, false, false},
-        {DefenseKind::kNone, HwMitigationKind::kNone, false, true},
-    };
-
     uint64_t para_acts = 0;
     uint64_t graphene_acts = 0;
     uint64_t blockhammer_stalls = 0;
     uint64_t swrefresh_acts = 0;
 
-    for (const Case& c : cases) {
-      ScenarioSpec spec;
-      spec.system.dram = dram;
-      spec.defense = c.defense;
-      spec.hw = c.hw;
-      spec.attack = AttackKind::kDoubleSided;
-      spec.run_cycles = 1200000;
-      // Interrupt threshold scales with MAC: react within mac/4 ACTs.
-      spec.act_threshold = std::max<uint64_t>(16, dram.disturbance.mac / 4);
-      if (c.trr) {
-        spec.system.dram.trr.enabled = true;
-        spec.system.dram.trr.table_entries = 4;
-      }
-      if (c.subarray) {
-        spec.system.mc.scheme = InterleaveScheme::kSubarrayIsolated;
-        spec.system.alloc = AllocPolicy::kSubarrayAware;
-      }
-      const ScenarioResult result = RunScenario(spec);
+    for (const Case& c : Cases()) {
+      const ScenarioResult& result = results[next++];
       security_row.push_back(Table::Num(result.security.cross_domain_flips));
       if (c.hw == HwMitigationKind::kPara) {
         para_acts = result.perf.extra_acts;
@@ -130,7 +152,7 @@ void Main() {
 }  // namespace
 }  // namespace ht
 
-int main() {
-  ht::Main();
+int main(int argc, char** argv) {
+  ht::Main(ht::ParseThreadsArg(argc, argv));
   return 0;
 }

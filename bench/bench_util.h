@@ -4,13 +4,17 @@
 #ifndef HAMMERTIME_BENCH_BENCH_UTIL_H_
 #define HAMMERTIME_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "attack/hammer.h"
 #include "attack/planner.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "sim/scenario.h"
 #include "sim/system.h"
 #include "sim/workloads.h"
@@ -68,11 +72,42 @@ struct ScenarioResult {
   bool attack_planned = true;  // False if isolation denied the attacker a plan.
 };
 
+// Smoke-test cap on per-scenario cycle budgets. When HT_BENCH_SMOKE is
+// set, every scenario runs for at most this many cycles (the variable's
+// value, or 20000 when it is set but not a number) — enough to exercise
+// the full setup/run/assess path while keeping whole benches under a
+// second for the `bench_smoke` CTest label.
+inline Cycle BenchSmokeCap() {
+  static const Cycle cap = [] {
+    const char* env = std::getenv("HT_BENCH_SMOKE");
+    if (env == nullptr || *env == '\0') {
+      return kNeverCycle;
+    }
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    return (end != env && parsed > 0) ? static_cast<Cycle>(parsed) : Cycle{20000};
+  }();
+  return cap;
+}
+
+// Parses `--threads N` from argv for the bench mains. Returns 0 (auto:
+// HT_THREADS env, then hardware concurrency) when absent — the value is
+// meant to be fed to RunScenarios / ResolveThreadCount.
+inline unsigned ParseThreadsArg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--threads") {
+      return static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+  }
+  return 0;
+}
+
 // Builds the standard two-tenant (attacker + victim) scenario, runs it,
 // and collects outcome metrics. Isolation-centric defenses are expressed
 // through `spec.system` (scheme + alloc policy) by the caller.
 inline ScenarioResult RunScenario(ScenarioSpec spec) {
   ApplyDefensePreset(spec.system, spec.defense, spec.act_threshold);
+  spec.run_cycles = std::min(spec.run_cycles, BenchSmokeCap());
   if (spec.randomize_reset.has_value()) {
     spec.system.mc.act_counter.randomize_reset = *spec.randomize_reset;
   }
@@ -163,6 +198,21 @@ inline ScenarioResult RunScenario(ScenarioSpec spec) {
   result.throttle_stalls = system.mc().stats().Get("mc.throttle_stalls");
   result.mitigation_refreshes = system.mc().stats().Get("mc.mitigation_refreshes");
   return result;
+}
+
+// Runs every spec on a worker pool and returns the results in spec order.
+// Each scenario is a self-contained System (no shared mutable state), so
+// results are bit-identical to a serial `for (spec : specs) RunScenario`
+// loop regardless of the worker count or scheduling order.
+//
+// `threads` = 0 resolves via HT_THREADS, then hardware concurrency; bench
+// mains typically pass ParseThreadsArg(argc, argv) so `--threads N` wins.
+inline std::vector<ScenarioResult> RunScenarios(const std::vector<ScenarioSpec>& specs,
+                                                unsigned threads = 0) {
+  std::vector<ScenarioResult> results(specs.size());
+  ParallelFor(specs.size(), ResolveThreadCount(threads),
+              [&](uint64_t i) { results[i] = RunScenario(specs[i]); });
+  return results;
 }
 
 }  // namespace ht

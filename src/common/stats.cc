@@ -65,7 +65,7 @@ uint64_t Histogram::Quantile(double q) const {
 
 uint64_t StatSet::Get(const std::string& name) const {
   auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+  return it == counters_.end() ? 0 : it->second.value();
 }
 
 double StatSet::GetGauge(const std::string& name) const {
@@ -80,7 +80,7 @@ const Histogram* StatSet::GetHistogram(const std::string& name) const {
 
 void StatSet::MergeFrom(const StatSet& other) {
   for (const auto& [name, value] : other.counters_) {
-    counters_[name] += value;
+    counters_[name].value_ += value.value_;
   }
   for (const auto& [name, value] : other.gauges_) {
     gauges_[name] = value;
@@ -91,15 +91,22 @@ void StatSet::MergeFrom(const StatSet& other) {
 }
 
 void StatSet::Reset() {
-  counters_.clear();
-  gauges_.clear();
-  histograms_.clear();
+  // Zero in place: interned Counter*/Histogram* handles stay valid.
+  for (auto& [name, counter] : counters_) {
+    counter.value_ = 0;
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge = 0.0;
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram.Reset();
+  }
 }
 
 std::string StatSet::ToString() const {
   std::ostringstream out;
-  for (const auto& [name, value] : counters_) {
-    out << name << " = " << value << "\n";
+  for (const auto& [name, counter] : counters_) {
+    out << name << " = " << counter.value() << "\n";
   }
   for (const auto& [name, value] : gauges_) {
     out << name << " = " << value << "\n";

@@ -1,5 +1,16 @@
 // Lightweight metric primitives: named counters, gauges, and fixed-bucket
 // histograms, grouped in a StatSet that components expose for reporting.
+//
+// Two access styles:
+//  * string-keyed (`Add("mc.row_hits")`) — convenient for cold paths and
+//    one-off bookkeeping;
+//  * interned handles (`Counter* hits = stats_.counter("mc.row_hits")`,
+//    then `hits->Increment()`) — the hot-path form. A handle resolves the
+//    name once; every subsequent update is a plain pointer increment.
+//
+// Handle lifetime: a Counter*/Histogram* stays valid for the lifetime of
+// the owning StatSet. Reset() zeroes values in place (it does not erase
+// entries), so handles survive Reset(); MergeFrom() only adds entries.
 #ifndef HAMMERTIME_SRC_COMMON_STATS_H_
 #define HAMMERTIME_SRC_COMMON_STATS_H_
 
@@ -40,11 +51,31 @@ class Histogram {
   uint64_t max_;
 };
 
+// A single named counter inside a StatSet. Obtained once via
+// StatSet::counter(); updates are branch-free pointer increments.
+class Counter {
+ public:
+  void Increment() { ++value_; }
+  void Add(uint64_t delta) { value_ += delta; }
+  uint64_t value() const { return value_; }
+
+ private:
+  friend class StatSet;
+  uint64_t value_ = 0;
+};
+
 // A named bundle of metrics. Components own a StatSet and register deltas
 // into it; the experiment harness snapshots and prints them.
 class StatSet {
  public:
-  void Add(const std::string& name, uint64_t delta = 1) { counters_[name] += delta; }
+  // --- Interned handles (hot path) -------------------------------------
+  // Stable for the StatSet's lifetime (std::map nodes never move; Reset()
+  // zeroes in place rather than erasing).
+  Counter* counter(const std::string& name) { return &counters_[name]; }
+  Histogram* histogram(const std::string& name) { return &histograms_[name]; }
+
+  // --- String-keyed API (cold paths, tests) -----------------------------
+  void Add(const std::string& name, uint64_t delta = 1) { counters_[name].value_ += delta; }
   void Set(const std::string& name, double value) { gauges_[name] = value; }
   void RecordLatency(const std::string& name, uint64_t value) { histograms_[name].Record(value); }
 
@@ -52,18 +83,19 @@ class StatSet {
   double GetGauge(const std::string& name) const;
   const Histogram* GetHistogram(const std::string& name) const;
 
-  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, Counter>& counters() const { return counters_; }
   const std::map<std::string, double>& gauges() const { return gauges_; }
   const std::map<std::string, Histogram>& histograms() const { return histograms_; }
 
   void MergeFrom(const StatSet& other);
+  // Zeroes every metric in place. Interned handles remain valid.
   void Reset();
 
   // Human-readable dump, one metric per line, sorted by name.
   std::string ToString() const;
 
  private:
-  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, Counter> counters_;
   std::map<std::string, double> gauges_;
   std::map<std::string, Histogram> histograms_;
 };

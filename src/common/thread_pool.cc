@@ -1,0 +1,56 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ht {
+
+unsigned ResolveThreadCount(unsigned requested) {
+  if (requested != 0) {
+    return requested;
+  }
+  if (const char* env = std::getenv("HT_THREADS"); env != nullptr) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) {
+      return static_cast<unsigned>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ParallelFor(uint64_t jobs, unsigned threads, const std::function<void(uint64_t)>& body) {
+  if (jobs == 0) {
+    return;
+  }
+  threads = std::min<uint64_t>(std::max(1u, threads), jobs);
+  if (threads == 1 || jobs == 1) {
+    for (uint64_t i = 0; i < jobs; ++i) {
+      body(i);
+    }
+    return;
+  }
+  // Work stealing off a shared atomic cursor: workers grab the next
+  // un-started index, so uneven job lengths still balance.
+  std::atomic<uint64_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs) {
+        return;
+      }
+      body(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned t = 1; t < threads; ++t) {
+    pool.emplace_back(worker);
+  }
+  worker();
+  for (std::thread& t : pool) {
+    t.join();
+  }
+}
+
+}  // namespace ht

@@ -1,0 +1,27 @@
+// A small fixed-size worker pool for embarrassingly parallel fan-out
+// (one self-contained simulation per job). Jobs are indexed, results are
+// written by index, so the output order is deterministic regardless of
+// which worker ran which job.
+#ifndef HAMMERTIME_SRC_COMMON_THREAD_POOL_H_
+#define HAMMERTIME_SRC_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace ht {
+
+// Worker count resolution: explicit `requested` wins if nonzero, then the
+// HT_THREADS environment variable, then the hardware concurrency.
+unsigned ResolveThreadCount(unsigned requested = 0);
+
+// Runs body(i) for every i in [0, jobs) across `threads` workers (inline
+// when threads <= 1 or jobs <= 1). Each job must be independent: no shared
+// mutable state except its own output slot. Blocks until all jobs finish.
+void ParallelFor(uint64_t jobs, unsigned threads, const std::function<void(uint64_t)>& body);
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_COMMON_THREAD_POOL_H_

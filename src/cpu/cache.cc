@@ -6,6 +6,14 @@ namespace ht {
 
 Cache::Cache(const CacheConfig& config) : config_(config) {
   lines_.resize(static_cast<size_t>(config_.sets) * config_.ways);
+  c_read_hits_ = stats_.counter("cache.read_hits");
+  c_read_misses_ = stats_.counter("cache.read_misses");
+  c_write_hits_ = stats_.counter("cache.write_hits");
+  c_write_misses_ = stats_.counter("cache.write_misses");
+  c_fills_ = stats_.counter("cache.fills");
+  c_evictions_ = stats_.counter("cache.evictions");
+  c_writebacks_ = stats_.counter("cache.writebacks");
+  c_flushes_ = stats_.counter("cache.flushes");
 }
 
 Cache::Line* Cache::FindLine(PhysAddr addr) {
@@ -23,24 +31,24 @@ Cache::Line* Cache::FindLine(PhysAddr addr) {
 std::optional<uint64_t> Cache::Lookup(PhysAddr addr) {
   Line* line = FindLine(addr);
   if (line == nullptr) {
-    stats_.Add("cache.read_misses");
+    c_read_misses_->Increment();
     return std::nullopt;
   }
   line->lru = ++lru_clock_;
-  stats_.Add("cache.read_hits");
+  c_read_hits_->Increment();
   return line->value;
 }
 
 bool Cache::StoreHit(PhysAddr addr, uint64_t value) {
   Line* line = FindLine(addr);
   if (line == nullptr) {
-    stats_.Add("cache.write_misses");
+    c_write_misses_->Increment();
     return false;
   }
   line->value = value;
   line->dirty = true;
   line->lru = ++lru_clock_;
-  stats_.Add("cache.write_hits");
+  c_write_hits_->Increment();
   return true;
 }
 
@@ -80,13 +88,13 @@ CacheAccessResult Cache::Fill(PhysAddr addr, uint64_t value, bool dirty) {
     result.writeback = true;
     result.writeback_addr = (victim->tag * config_.sets + set) * kLineBytes;
     result.writeback_value = victim->value;
-    stats_.Add("cache.writebacks");
+    c_writebacks_->Increment();
   }
   if (victim->valid) {
-    stats_.Add("cache.evictions");
+    c_evictions_->Increment();
   }
   *victim = Line{true, dirty, false, TagOf(addr), value, ++lru_clock_};
-  stats_.Add("cache.fills");
+  c_fills_->Increment();
   return result;
 }
 
@@ -100,7 +108,7 @@ CacheAccessResult Cache::Flush(PhysAddr addr, bool privileged) {
     result.writeback = true;
     result.writeback_addr = addr / kLineBytes * kLineBytes;
     result.writeback_value = line->value;
-    stats_.Add("cache.writebacks");
+    c_writebacks_->Increment();
     line->dirty = false;
   }
   if (line->locked && !privileged) {
@@ -114,7 +122,7 @@ CacheAccessResult Cache::Flush(PhysAddr addr, bool privileged) {
     --locked_lines_;
   }
   line->valid = false;
-  stats_.Add("cache.flushes");
+  c_flushes_->Increment();
   return result;
 }
 

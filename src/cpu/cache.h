@@ -95,6 +95,16 @@ class Cache {
   uint64_t lru_clock_ = 0;
   uint32_t locked_lines_ = 0;
   StatSet stats_;
+
+  // Interned stat handles (see common/stats.h for lifetime rules).
+  Counter* c_read_hits_;
+  Counter* c_read_misses_;
+  Counter* c_write_hits_;
+  Counter* c_write_misses_;
+  Counter* c_fills_;
+  Counter* c_evictions_;
+  Counter* c_writebacks_;
+  Counter* c_flushes_;
 };
 
 }  // namespace ht

@@ -7,7 +7,18 @@ namespace ht {
 Core::Core(RequestorId id, DomainId domain, const CoreConfig& config, Cache* cache,
            MemoryController* mc)
     : id_(id), domain_(domain), config_(config), cache_(cache), mc_(mc),
-      window_(config.window) {}
+      window_(config.window) {
+  c_fence_stalls_ = stats_.counter("core.fence_stalls");
+  c_window_stalls_ = stats_.counter("core.window_stalls");
+  c_translation_faults_ = stats_.counter("core.translation_faults");
+  c_flushes_ = stats_.counter("core.flushes");
+  c_load_hits_ = stats_.counter("core.load_hits");
+  c_store_hits_ = stats_.counter("core.store_hits");
+  c_load_misses_ = stats_.counter("core.load_misses");
+  c_store_misses_ = stats_.counter("core.store_misses");
+  c_mc_backpressure_ = stats_.counter("core.mc_backpressure");
+  h_miss_latency_ = stats_.histogram("core.miss_latency");
+}
 
 void Core::set_stream(std::unique_ptr<InstructionStream> stream) {
   stream_ = std::move(stream);
@@ -15,6 +26,20 @@ void Core::set_stream(std::unique_ptr<InstructionStream> stream) {
     window_ = std::min(config_.window, std::max(1u, stream_->IlpHint()));
     halted_ = false;
   }
+}
+
+Cycle Core::NextWake(Cycle now) const {
+  if (!stalled_writebacks_.empty()) {
+    return now;  // Retries the MC every cycle.
+  }
+  if (halted_ || stream_ == nullptr || refresh_pending_) {
+    // Nothing to do until an MC-side event (response/refresh completion),
+    // and the MC's own NextWake covers those.
+    return kNeverCycle;
+  }
+  // Issuable (or fence/window-stalled, which ticks a stall counter every
+  // cycle) as soon as the issue gate opens.
+  return std::max(now, next_issue_);
 }
 
 void Core::Tick(Cycle now) {
@@ -31,7 +56,7 @@ void Core::Tick(Cycle now) {
   }
   if (fence_pending_) {
     if (outstanding_ != 0) {
-      stats_.Add("core.fence_stalls");
+      c_fence_stalls_->Increment();
       return;
     }
     fence_pending_ = false;
@@ -61,12 +86,12 @@ void Core::Execute(const CoreOp& op, Cycle now) {
     case CoreOpKind::kLoad:
     case CoreOpKind::kStore: {
       if (outstanding_ >= window_) {
-        stats_.Add("core.window_stalls");
+        c_window_stalls_->Increment();
         return;
       }
       const auto pa = translate_ ? translate_(op.va) : std::optional<PhysAddr>(op.va);
       if (!pa.has_value()) {
-        stats_.Add("core.translation_faults");
+        c_translation_faults_->Increment();
         ++ops_completed_;
         current_op_.reset();
         return;
@@ -85,7 +110,7 @@ void Core::Execute(const CoreOp& op, Cycle now) {
           EnqueueWriteback(result.writeback_addr, result.writeback_value, now);
         }
       }
-      stats_.Add("core.flushes");
+      c_flushes_->Increment();
       next_issue_ = now + config_.flush_latency;
       ++ops_completed_;
       current_op_.reset();
@@ -101,7 +126,7 @@ void Core::Execute(const CoreOp& op, Cycle now) {
       }
       const auto pa = translate_ ? translate_(op.va) : std::optional<PhysAddr>(op.va);
       if (!pa.has_value()) {
-        stats_.Add("core.translation_faults");
+        c_translation_faults_->Increment();
         ++ops_completed_;
         current_op_.reset();
         return;
@@ -145,13 +170,13 @@ bool Core::IssueAccess(const CoreOp& op, PhysAddr pa, Cycle now) {
     const auto hit = cache_->Lookup(pa);
     if (hit.has_value()) {
       next_issue_ = now + cache_->config().hit_latency;
-      stats_.Add("core.load_hits");
+      c_load_hits_->Increment();
       return true;
     }
   } else {
     if (cache_->StoreHit(pa, op.value)) {
       next_issue_ = now + cache_->config().hit_latency;
-      stats_.Add("core.store_hits");
+      c_store_hits_->Increment();
       return true;
     }
   }
@@ -165,14 +190,14 @@ bool Core::IssueAccess(const CoreOp& op, PhysAddr pa, Cycle now) {
   request.requestor = id_;
   request.domain = domain_;
   if (!mc_->Enqueue(request, now)) {
-    stats_.Add("core.mc_backpressure");
+    c_mc_backpressure_->Increment();
     return false;  // Retry next cycle.
   }
   if (op.kind == CoreOpKind::kStore) {
     pending_stores_[request.id] = {op.value};
-    stats_.Add("core.store_misses");
+    c_store_misses_->Increment();
   } else {
-    stats_.Add("core.load_misses");
+    c_load_misses_->Increment();
   }
   ++outstanding_;
   next_issue_ = now + 1;
@@ -216,7 +241,7 @@ void Core::OnResponse(const MemResponse& response, Cycle now) {
   if (outstanding_ > 0) {
     --outstanding_;
   }
-  stats_.RecordLatency("core.miss_latency", response.Latency());
+  h_miss_latency_->Record(response.Latency());
 }
 
 }  // namespace ht

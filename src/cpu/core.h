@@ -59,6 +59,12 @@ class Core {
   // at most one new operation.
   void Tick(Cycle now);
 
+  // Earliest cycle >= now at which Tick could change state or emit a stat.
+  // kNeverCycle means the core only wakes through the MC (halted, no
+  // stream, or blocked on an in-flight refresh instruction — states where
+  // per-cycle ticking is a no-op until an MC event lands).
+  Cycle NextWake(Cycle now) const;
+
   // Delivers a completed memory request (routed by the System).
   void OnResponse(const MemResponse& response, Cycle now);
 
@@ -101,6 +107,18 @@ class Core {
   std::unordered_map<uint64_t, PendingStore> pending_stores_;
   std::deque<MemRequest> stalled_writebacks_;
   StatSet stats_;
+
+  // Interned stat handles (see common/stats.h for lifetime rules).
+  Counter* c_fence_stalls_;
+  Counter* c_window_stalls_;
+  Counter* c_translation_faults_;
+  Counter* c_flushes_;
+  Counter* c_load_hits_;
+  Counter* c_store_hits_;
+  Counter* c_load_misses_;
+  Counter* c_store_misses_;
+  Counter* c_mc_backpressure_;
+  Histogram* h_miss_latency_;
 };
 
 }  // namespace ht

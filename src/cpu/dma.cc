@@ -14,12 +14,12 @@ void DmaEngine::Tick(Cycle now) {
   request.domain = domain_;
   request.is_dma = true;
   if (!mc_->Enqueue(request, now)) {
-    stats_.Add("dma.backpressure");
+    c_backpressure_->Increment();
     return;  // Retry next cycle without advancing.
   }
   cursor_ = (cursor_ + 1) % config_.pattern.size();
   ++issued_;
-  stats_.Add("dma.requests");
+  c_requests_->Increment();
   next_issue_ = now + config_.period;
 }
 

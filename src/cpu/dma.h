@@ -26,9 +26,21 @@ struct DmaConfig {
 class DmaEngine {
  public:
   DmaEngine(RequestorId id, DomainId domain, const DmaConfig& config, MemoryController* mc)
-      : id_(id), domain_(domain), config_(config), mc_(mc) {}
+      : id_(id), domain_(domain), config_(config), mc_(mc) {
+    c_requests_ = stats_.counter("dma.requests");
+    c_backpressure_ = stats_.counter("dma.backpressure");
+  }
 
   void Tick(Cycle now);
+
+  // Earliest cycle >= now at which Tick could issue a request (or retry a
+  // rejected one). kNeverCycle once the engine is done or has no pattern.
+  Cycle NextWake(Cycle now) const {
+    if (done() || config_.pattern.empty()) {
+      return kNeverCycle;
+    }
+    return next_issue_ > now ? next_issue_ : now;
+  }
 
   bool done() const {
     return config_.total_requests != 0 && issued_ >= config_.total_requests;
@@ -48,6 +60,10 @@ class DmaEngine {
   size_t cursor_ = 0;
   uint64_t next_seq_ = 0;
   StatSet stats_;
+
+  // Interned stat handles (see common/stats.h for lifetime rules).
+  Counter* c_requests_;
+  Counter* c_backpressure_;
 };
 
 }  // namespace ht

@@ -12,7 +12,7 @@ void AnvilDefense::OnMiss(const MissEvent& event, Cycle now) {
     return;
   }
   row_misses_.erase(key);
-  stats_.Add("defense.detections");
+  c_detections_->Increment();
 
   // "Refresh" the potential victims with ordinary reads: reach DRAM and
   // hope the access ACTs the row. Issued as host reads straight to the MC
@@ -26,9 +26,9 @@ void AnvilDefense::OnMiss(const MissEvent& event, Cycle now) {
     request.requestor = 0xA11;  // Host handler pseudo-requestor.
     request.domain = kInvalidDomain;
     if (mc.Enqueue(request, now)) {
-      stats_.Add("defense.refresh_reads");
+      c_refresh_reads_->Increment();
     } else {
-      stats_.Add("defense.refresh_dropped");
+      c_refresh_dropped_->Increment();
     }
   }
 }

@@ -26,18 +26,28 @@ struct AnvilConfig {
 
 class AnvilDefense : public Defense {
  public:
-  explicit AnvilDefense(const AnvilConfig& config) : config_(config) {}
+  explicit AnvilDefense(const AnvilConfig& config) : config_(config) {
+    c_detections_ = stats_.counter("defense.detections");
+    c_refresh_reads_ = stats_.counter("defense.refresh_reads");
+    c_refresh_dropped_ = stats_.counter("defense.refresh_dropped");
+  }
 
   std::string name() const override { return "anvil"; }
 
   void OnMiss(const MissEvent& event, Cycle now) override;
   void Tick(Cycle now) override;
+  Cycle NextWake(Cycle now) const override {
+    return next_reset_ > now ? next_reset_ : now;
+  }
 
  private:
   AnvilConfig config_;
   std::unordered_map<uint64_t, uint32_t> row_misses_;
   Cycle next_reset_ = 0;
   uint64_t next_req_id_ = 0;
+  Counter* c_detections_;
+  Counter* c_refresh_reads_;
+  Counter* c_refresh_dropped_;
 };
 
 }  // namespace ht

@@ -52,6 +52,14 @@ class Defense {
   // Periodic housekeeping; called once per simulated cycle.
   virtual void Tick(Cycle now) { (void)now; }
 
+  // Earliest cycle >= now at which Tick could change state or emit a
+  // stat. The conservative default (`now`) keeps per-cycle ticking for
+  // subclasses that override Tick without overriding this; defenses with
+  // a known deadline override it so the System can skip idle stretches.
+  // Event hooks (OnActInterrupt/OnMiss) need no coverage here — they only
+  // fire while the MC is active, which pins the System's clock anyway.
+  virtual Cycle NextWake(Cycle now) const { return now; }
+
   StatSet& stats() { return stats_; }
   const StatSet& stats() const { return stats_; }
 
@@ -65,6 +73,10 @@ class Defense {
 class NoDefense : public Defense {
  public:
   std::string name() const override { return "none"; }
+  Cycle NextWake(Cycle now) const override {
+    (void)now;
+    return kNeverCycle;
+  }
 };
 
 }  // namespace ht

@@ -22,19 +22,19 @@ uint64_t ActRemapDefense::RowKeyOf(PhysAddr addr) const {
 void ActRemapDefense::OnActInterrupt(const ActInterrupt& irq, Cycle now) {
   (void)now;
   if (irq.trigger_addr == kInvalidPhysAddr) {
-    stats_.Add("defense.unactionable_interrupts");
+    c_unactionable_->Increment();
     return;
   }
-  stats_.Add("defense.interrupts");
+  c_interrupts_->Increment();
   const uint64_t key = RowKeyOf(irq.trigger_addr);
   if (++row_hits_[key] < config_.interrupts_per_row) {
     return;
   }
   row_hits_.erase(key);
   if (quarantine_.Migrate(*kernel_, irq.trigger_addr)) {
-    stats_.Add("defense.pages_migrated");
+    c_pages_migrated_->Increment();
   } else {
-    stats_.Add("defense.migration_failures");
+    c_migration_failures_->Increment();
   }
 }
 
@@ -53,10 +53,10 @@ void CacheLockDefense::Attach(HostKernel* kernel, Cache* cache) {
 
 void CacheLockDefense::OnActInterrupt(const ActInterrupt& irq, Cycle now) {
   if (irq.trigger_addr == kInvalidPhysAddr) {
-    stats_.Add("defense.unactionable_interrupts");
+    c_unactionable_->Increment();
     return;
   }
-  stats_.Add("defense.interrupts");
+  c_interrupts_->Increment();
   if (!cache_->Lock(irq.trigger_addr)) {
     // The hot line usually isn't resident at interrupt time (the ACT that
     // overflowed the counter is its fill in flight). Fetch-and-lock: the
@@ -78,7 +78,7 @@ void CacheLockDefense::OnActInterrupt(const ActInterrupt& irq, Cycle now) {
       return;
     }
   }
-  stats_.Add("defense.lines_locked");
+  c_lines_locked_->Increment();
   held_.push_back({irq.trigger_addr, now + config_.lock_duration});
 }
 
@@ -86,7 +86,7 @@ void CacheLockDefense::Tick(Cycle now) {
   while (!held_.empty() && held_.front().release_at <= now) {
     cache_->Unlock(held_.front().addr);
     held_.pop_front();
-    stats_.Add("defense.locks_released");
+    c_locks_released_->Increment();
   }
 }
 

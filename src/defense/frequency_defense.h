@@ -36,13 +36,21 @@ struct ActRemapConfig {
 
 class ActRemapDefense : public Defense {
  public:
-  explicit ActRemapDefense(const ActRemapConfig& config) : config_(config) {}
+  explicit ActRemapDefense(const ActRemapConfig& config) : config_(config) {
+    c_interrupts_ = stats_.counter("defense.interrupts");
+    c_unactionable_ = stats_.counter("defense.unactionable_interrupts");
+    c_pages_migrated_ = stats_.counter("defense.pages_migrated");
+    c_migration_failures_ = stats_.counter("defense.migration_failures");
+  }
 
   std::string name() const override { return "act-remap"; }
 
   void Attach(HostKernel* kernel, Cache* cache) override;
   void OnActInterrupt(const ActInterrupt& irq, Cycle now) override;
   void Tick(Cycle now) override;
+  Cycle NextWake(Cycle now) const override {
+    return next_forget_ > now ? next_forget_ : now;
+  }
 
  private:
   // Key identifying a row: channel | rank | bank | row packed.
@@ -52,6 +60,10 @@ class ActRemapDefense : public Defense {
   std::unordered_map<uint64_t, uint32_t> row_hits_;
   QuarantinePool quarantine_;
   Cycle next_forget_ = 0;
+  Counter* c_interrupts_;
+  Counter* c_unactionable_;
+  Counter* c_pages_migrated_;
+  Counter* c_migration_failures_;
 };
 
 struct CacheLockConfig {
@@ -61,13 +73,24 @@ struct CacheLockConfig {
 
 class CacheLockDefense : public Defense {
  public:
-  explicit CacheLockDefense(const CacheLockConfig& config) : config_(config) {}
+  explicit CacheLockDefense(const CacheLockConfig& config) : config_(config) {
+    c_interrupts_ = stats_.counter("defense.interrupts");
+    c_unactionable_ = stats_.counter("defense.unactionable_interrupts");
+    c_lines_locked_ = stats_.counter("defense.lines_locked");
+    c_locks_released_ = stats_.counter("defense.locks_released");
+  }
 
   std::string name() const override { return "cache-lock"; }
 
   void Attach(HostKernel* kernel, Cache* cache) override;
   void OnActInterrupt(const ActInterrupt& irq, Cycle now) override;
   void Tick(Cycle now) override;
+  Cycle NextWake(Cycle now) const override {
+    if (held_.empty()) {
+      return kNeverCycle;
+    }
+    return held_.front().release_at > now ? held_.front().release_at : now;
+  }
 
  private:
   struct HeldLock {
@@ -78,6 +101,10 @@ class CacheLockDefense : public Defense {
   CacheLockConfig config_;
   std::deque<HeldLock> held_;
   QuarantinePool quarantine_;
+  Counter* c_interrupts_;
+  Counter* c_unactionable_;
+  Counter* c_lines_locked_;
+  Counter* c_locks_released_;
 };
 
 }  // namespace ht

@@ -6,24 +6,24 @@ void SoftRefreshDefense::OnActInterrupt(const ActInterrupt& irq, Cycle now) {
   if (irq.trigger_addr == kInvalidPhysAddr) {
     // Imprecise legacy interrupt: no address, nothing actionable (§4.2's
     // "system software is powerless" problem).
-    stats_.Add("defense.unactionable_interrupts");
+    c_unactionable_->Increment();
     return;
   }
-  stats_.Add("defense.interrupts");
+  c_interrupts_->Increment();
   MemoryController& mc = kernel_->mc();
   if (config_.method == VictimRefreshMethod::kRefNeighbors) {
     if (mc.RefreshNeighbors(irq.trigger_addr, config_.blast_radius, now)) {
-      stats_.Add("defense.ref_neighbors");
+      c_ref_neighbors_->Increment();
     } else {
-      stats_.Add("defense.refresh_dropped");
+      c_refresh_dropped_->Increment();
     }
     return;
   }
   for (PhysAddr victim : kernel_->NeighborRowAddrs(irq.trigger_addr, config_.blast_radius)) {
     if (mc.RefreshRow(victim, /*auto_precharge=*/true, now)) {
-      stats_.Add("defense.victim_refreshes");
+      c_victim_refreshes_->Increment();
     } else {
-      stats_.Add("defense.refresh_dropped");
+      c_refresh_dropped_->Increment();
     }
   }
 }

@@ -24,7 +24,13 @@ struct SoftRefreshConfig {
 
 class SoftRefreshDefense : public Defense {
  public:
-  explicit SoftRefreshDefense(const SoftRefreshConfig& config) : config_(config) {}
+  explicit SoftRefreshDefense(const SoftRefreshConfig& config) : config_(config) {
+    c_interrupts_ = stats_.counter("defense.interrupts");
+    c_unactionable_ = stats_.counter("defense.unactionable_interrupts");
+    c_ref_neighbors_ = stats_.counter("defense.ref_neighbors");
+    c_victim_refreshes_ = stats_.counter("defense.victim_refreshes");
+    c_refresh_dropped_ = stats_.counter("defense.refresh_dropped");
+  }
 
   std::string name() const override {
     return config_.method == VictimRefreshMethod::kRefreshInstruction ? "sw-refresh"
@@ -33,8 +39,19 @@ class SoftRefreshDefense : public Defense {
 
   void OnActInterrupt(const ActInterrupt& irq, Cycle now) override;
 
+  // Purely interrupt-driven; the default per-cycle Tick is a no-op.
+  Cycle NextWake(Cycle now) const override {
+    (void)now;
+    return kNeverCycle;
+  }
+
  private:
   SoftRefreshConfig config_;
+  Counter* c_interrupts_;
+  Counter* c_unactionable_;
+  Counter* c_ref_neighbors_;
+  Counter* c_victim_refreshes_;
+  Counter* c_refresh_dropped_;
 };
 
 }  // namespace ht

@@ -32,7 +32,7 @@ void ScrubDefense::ScrubLine(PhysAddr addr, Cycle now) {
   const uint64_t corrected =
       device.ReadLine(coord.rank, coord.bank, coord.row, coord.column);
   device.WriteLine(coord.rank, coord.bank, coord.row, coord.column, corrected);
-  stats_.Add("defense.lines_scrubbed");
+  c_lines_scrubbed_->Increment();
 
   // Charge the memory-bandwidth cost: the patrol read goes through the
   // normal request path (fire-and-forget).
@@ -42,7 +42,7 @@ void ScrubDefense::ScrubLine(PhysAddr addr, Cycle now) {
   request.addr = addr;
   request.requestor = 0x5C2B;
   if (!mc.Enqueue(request, now)) {
-    stats_.Add("defense.scrub_backpressure");
+    c_scrub_backpressure_->Increment();
   }
 }
 

@@ -24,12 +24,21 @@ struct ScrubConfig {
 
 class ScrubDefense : public Defense {
  public:
-  explicit ScrubDefense(const ScrubConfig& config) : config_(config) {}
+  explicit ScrubDefense(const ScrubConfig& config) : config_(config) {
+    c_lines_scrubbed_ = stats_.counter("defense.lines_scrubbed");
+    c_scrub_backpressure_ = stats_.counter("defense.scrub_backpressure");
+  }
 
   std::string name() const override { return "ecc-scrub"; }
 
   void Attach(HostKernel* kernel, Cache* cache) override;
   void Tick(Cycle now) override;
+  Cycle NextWake(Cycle now) const override {
+    if (!ecc_available_) {
+      return kNeverCycle;
+    }
+    return next_burst_ > now ? next_burst_ : now;
+  }
 
  private:
   void RefreshFrameList();
@@ -42,6 +51,8 @@ class ScrubDefense : public Defense {
   uint32_t line_cursor_ = 0;
   Cycle next_burst_ = 0;
   uint64_t next_req_id_ = 0;
+  Counter* c_lines_scrubbed_;
+  Counter* c_scrub_backpressure_;
 };
 
 }  // namespace ht

@@ -40,9 +40,9 @@ void WatchSetDefense::Tick(Cycle now) {
   MemoryController& mc = kernel_->mc();
   for (PhysAddr addr : watched_rows_) {
     if (mc.RefreshRow(addr, /*auto_precharge=*/true, now)) {
-      stats_.Add("defense.watch_refreshes");
+      c_watch_refreshes_->Increment();
     } else {
-      stats_.Add("defense.refresh_dropped");
+      c_refresh_dropped_->Increment();
     }
   }
   stats_.Add("defense.watch_sweeps");

@@ -24,7 +24,10 @@ struct WatchSetConfig {
 
 class WatchSetDefense : public Defense {
  public:
-  explicit WatchSetDefense(const WatchSetConfig& config) : config_(config) {}
+  explicit WatchSetDefense(const WatchSetConfig& config) : config_(config) {
+    c_watch_refreshes_ = stats_.counter("defense.watch_refreshes");
+    c_refresh_dropped_ = stats_.counter("defense.refresh_dropped");
+  }
 
   std::string name() const override { return "watchset"; }
 
@@ -32,6 +35,12 @@ class WatchSetDefense : public Defense {
   void Watch(DomainId domain, VirtAddr base, uint64_t pages);
 
   void Tick(Cycle now) override;
+  Cycle NextWake(Cycle now) const override {
+    if (watched_rows_.empty()) {
+      return kNeverCycle;
+    }
+    return next_sweep_ > now ? next_sweep_ : now;
+  }
 
   size_t watched_lines() const { return watched_rows_.size(); }
 
@@ -40,6 +49,8 @@ class WatchSetDefense : public Defense {
   // One representative physical line address per watched row.
   std::vector<PhysAddr> watched_rows_;
   Cycle next_sweep_ = 0;
+  Counter* c_watch_refreshes_;
+  Counter* c_refresh_dropped_;
 };
 
 }  // namespace ht

@@ -25,6 +25,21 @@ DramDevice::DramDevice(const DramConfig& config, uint32_t channel_index)
   }
   ref_sweep_row_.assign(config_.org.ranks, 0);
   ref_sweep_row_sb_.assign(static_cast<size_t>(config_.org.ranks) * banks, 0);
+
+  c_acts_ = stats_.counter("dram.acts");
+  c_pres_ = stats_.counter("dram.pres");
+  c_preas_ = stats_.counter("dram.preas");
+  c_reads_ = stats_.counter("dram.reads");
+  c_writes_ = stats_.counter("dram.writes");
+  c_refs_ = stats_.counter("dram.refs");
+  c_refs_sb_ = stats_.counter("dram.refs_sb");
+  c_ref_neighbors_ = stats_.counter("dram.ref_neighbors");
+  c_trr_repairs_ = stats_.counter("dram.trr_repairs");
+  c_flip_events_ = stats_.counter("dram.flip_events");
+  c_flipped_bits_ = stats_.counter("dram.flipped_bits");
+  c_ecc_corrected_ = ecc_stats_.counter("dram.ecc_corrected");
+  c_ecc_detected_ = ecc_stats_.counter("dram.ecc_detected");
+  c_ecc_escaped_ = ecc_stats_.counter("dram.ecc_escaped");
 }
 
 uint64_t DramDevice::RowKey(uint32_t rank, uint32_t bank, uint32_t logical_row) const {
@@ -42,31 +57,31 @@ TimingVerdict DramDevice::Issue(const DdrCommand& cmd, Cycle now) {
   timing_.Record(cmd, now);
   switch (cmd.type) {
     case DdrCommandType::kActivate:
-      stats_.Add("dram.acts");
+      c_acts_->Increment();
       ApplyActivate(cmd.rank, cmd.bank, cmd.row, now);
       break;
     case DdrCommandType::kPrecharge:
-      stats_.Add("dram.pres");
+      c_pres_->Increment();
       break;
     case DdrCommandType::kPrechargeAll:
-      stats_.Add("dram.preas");
+      c_preas_->Increment();
       break;
     case DdrCommandType::kRead:
-      stats_.Add("dram.reads");
+      c_reads_->Increment();
       break;
     case DdrCommandType::kWrite:
-      stats_.Add("dram.writes");
+      c_writes_->Increment();
       break;
     case DdrCommandType::kRefresh:
-      stats_.Add("dram.refs");
+      c_refs_->Increment();
       ApplyRefresh(cmd.rank, now);
       break;
     case DdrCommandType::kRefreshSb:
-      stats_.Add("dram.refs_sb");
+      c_refs_sb_->Increment();
       ApplyRefreshSb(cmd.rank, cmd.bank, now);
       break;
     case DdrCommandType::kRefreshNeighbors:
-      stats_.Add("dram.ref_neighbors");
+      c_ref_neighbors_->Increment();
       ApplyRefreshNeighbors(cmd.rank, cmd.bank, cmd.row, cmd.blast, now);
       break;
   }
@@ -107,7 +122,7 @@ void DramDevice::ApplyRefresh(uint32_t rank, Cycle now) {
 
   // TRR piggybacks targeted neighbour refreshes on the REF (§3).
   for (const TrrRepair& repair : trr_[rank].OnRefresh()) {
-    stats_.Add("dram.trr_repairs");
+    c_trr_repairs_->Increment();
     const uint32_t internal = repair.internal_row;
     const uint32_t subarray = config_.org.SubarrayOfRow(internal);
     for (uint32_t d = 1; d <= config_.disturbance.blast_radius; ++d) {
@@ -133,7 +148,7 @@ void DramDevice::ApplyRefreshSb(uint32_t rank, uint32_t bank, Cycle now) {
 
   // TRR can piggyback on same-bank refreshes too.
   for (const TrrRepair& repair : trr_[rank].OnRefresh()) {
-    stats_.Add("dram.trr_repairs");
+    c_trr_repairs_->Increment();
     const uint32_t internal = repair.internal_row;
     const uint32_t subarray = config_.org.SubarrayOfRow(internal);
     for (uint32_t d = 1; d <= config_.disturbance.blast_radius; ++d) {
@@ -177,8 +192,8 @@ void DramDevice::RecordFlips(uint32_t rank, uint32_t bank,
     const uint32_t applied = data_.FlipRandomBits(RowKey(rank, bank, logical_victim), bits);
 
     ++total_flip_events_;
-    stats_.Add("dram.flip_events");
-    stats_.Add("dram.flipped_bits", applied);
+    c_flip_events_->Increment();
+    c_flipped_bits_->Add(applied);
     if (flips_.size() < kMaxFlipRecords) {
       flips_.push_back({now, channel_index_, rank, bank, logical_victim, logical_aggressor,
                         config_.org.SubarrayOfRow(victim.row), applied});
@@ -203,13 +218,13 @@ uint64_t DramDevice::ReadLine(uint32_t rank, uint32_t bank, uint32_t row, uint32
   }
   switch (std::popcount(mask)) {
     case 1:
-      ecc_stats_.Add("dram.ecc_corrected");
+      c_ecc_corrected_->Increment();
       return raw ^ mask;  // SECDED corrects the single flipped bit.
     case 2:
-      ecc_stats_.Add("dram.ecc_detected");  // Machine check on real HW.
+      c_ecc_detected_->Increment();  // Machine check on real HW.
       return raw;
     default:
-      ecc_stats_.Add("dram.ecc_escaped");  // Silent multi-bit corruption.
+      c_ecc_escaped_->Increment();  // Silent multi-bit corruption.
       return raw;
   }
 }

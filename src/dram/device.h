@@ -133,6 +133,22 @@ class DramDevice {
   std::vector<FlipRecord> flips_;
   uint64_t total_flip_events_ = 0;
   StatSet stats_;
+
+  // Interned stat handles (see common/stats.h for lifetime rules).
+  Counter* c_acts_;
+  Counter* c_pres_;
+  Counter* c_preas_;
+  Counter* c_reads_;
+  Counter* c_writes_;
+  Counter* c_refs_;
+  Counter* c_refs_sb_;
+  Counter* c_ref_neighbors_;
+  Counter* c_trr_repairs_;
+  Counter* c_flip_events_;
+  Counter* c_flipped_bits_;
+  Counter* c_ecc_corrected_;
+  Counter* c_ecc_detected_;
+  Counter* c_ecc_escaped_;
 };
 
 }  // namespace ht

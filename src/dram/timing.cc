@@ -220,8 +220,4 @@ void TimingChecker::Record(const DdrCommand& cmd, Cycle now) {
   }
 }
 
-std::optional<uint32_t> TimingChecker::OpenRow(uint32_t rank, uint32_t bank_index) const {
-  return ranks_[rank].banks[bank_index].open_row;
-}
-
 }  // namespace ht

@@ -45,8 +45,11 @@ class TimingChecker {
   // on an illegal command leaves state undefined.
   void Record(const DdrCommand& cmd, Cycle now);
 
-  // Row currently latched in `bank`'s row buffer, if any.
-  std::optional<uint32_t> OpenRow(uint32_t rank, uint32_t bank) const;
+  // Row currently latched in `bank`'s row buffer, if any. Inline: the
+  // FR-FCFS scan calls this per queue entry per cycle.
+  std::optional<uint32_t> OpenRow(uint32_t rank, uint32_t bank_index) const {
+    return ranks_[rank].banks[bank_index].open_row;
+  }
 
   // Cycle at which the data for a RD issued at `issue` becomes available.
   Cycle ReadDataReady(Cycle issue) const { return issue + timing_.tCL + timing_.tBL; }

@@ -30,6 +30,23 @@ MemoryController::MemoryController(const DramConfig& dram_config, const McConfig
     }
   }
   next_epoch_ = dram_config_.retention.refresh_window;
+
+  c_requests_ = stats_.counter("mc.requests");
+  c_enqueue_rejected_ = stats_.counter("mc.enqueue_rejected");
+  c_domain_group_violations_ = stats_.counter("mc.domain_group_violations");
+  c_row_hits_ = stats_.counter("mc.row_hits");
+  c_row_misses_ = stats_.counter("mc.row_misses");
+  c_row_conflicts_ = stats_.counter("mc.row_conflicts");
+  c_throttle_stalls_ = stats_.counter("mc.throttle_stalls");
+  c_reads_done_ = stats_.counter("mc.reads_done");
+  c_writes_done_ = stats_.counter("mc.writes_done");
+  c_refs_issued_ = stats_.counter("mc.refs_issued");
+  c_refs_sb_issued_ = stats_.counter("mc.refs_sb_issued");
+  c_refresh_instr_ = stats_.counter("mc.refresh_instr");
+  c_refresh_instr_acts_ = stats_.counter("mc.refresh_instr_acts");
+  c_mitigation_refreshes_ = stats_.counter("mc.mitigation_refreshes");
+  h_read_latency_ = stats_.histogram("mc.read_latency");
+  h_write_latency_ = stats_.histogram("mc.write_latency");
 }
 
 std::optional<uint32_t> MemoryController::DomainGroup(DomainId domain) const {
@@ -49,7 +66,7 @@ bool MemoryController::Enqueue(const MemRequest& request, Cycle now) {
   const DdrCoord coord = mapper_.Map(request.addr);
   ChannelState& channel = channels_[coord.channel];
   if (channel.queue.size() >= config_.queue_capacity) {
-    stats_.Add("mc.enqueue_rejected");
+    c_enqueue_rejected_->Increment();
     return false;
   }
   if (config_.enforce_domain_groups && request.domain != kInvalidDomain) {
@@ -58,13 +75,14 @@ bool MemoryController::Enqueue(const MemRequest& request, Cycle now) {
         dram_config_.org.SubarrayOfRow(coord.row) != *group) {
       // The primitive's enforcement hook: a request escaping its domain's
       // subarray group indicates an allocator bug or an attack attempt.
-      stats_.Add("mc.domain_group_violations");
+      c_domain_group_violations_->Increment();
     }
   }
   MemRequest stamped = request;
   stamped.enqueue_cycle = now;
   channel.queue.push_back({stamped, coord, false});
-  stats_.Add("mc.requests");
+  channel.next_sched = 0;
+  c_requests_->Increment();
   return true;
 }
 
@@ -90,7 +108,7 @@ bool MemoryController::RefreshRow(PhysAddr addr, bool auto_precharge, Cycle now,
   op.addr = addr;
   op.done = std::move(done);
   channel.internal_ops.push_back(std::move(op));
-  stats_.Add("mc.refresh_instr");
+  c_refresh_instr_->Increment();
   return true;
 }
 
@@ -116,6 +134,9 @@ void MemoryController::Tick(Cycle now) {
   if (mitigation_ != nullptr && now >= next_epoch_) {
     mitigation_->OnEpoch(now);
     next_epoch_ += dram_config_.retention.refresh_window;
+    for (ChannelState& channel : channels_) {
+      channel.next_sched = 0;
+    }
   }
   for (uint32_t c = 0; c < channels(); ++c) {
     DrainCompletions(c, now);
@@ -129,7 +150,7 @@ void MemoryController::DrainCompletions(uint32_t channel_index, Cycle now) {
     MemResponse response = channel.in_flight.top().response;
     channel.in_flight.pop();
     response.complete_cycle = now;
-    stats_.RecordLatency("mc.read_latency", response.Latency());
+    h_read_latency_->Record(response.Latency());
     if (response_handler_) {
       response_handler_(response);
     }
@@ -140,9 +161,11 @@ void MemoryController::TickChannel(uint32_t channel_index, Cycle now) {
   // Priority: refresh manager (retention correctness) > internal ops
   // (defense actions are latency-critical) > regular requests.
   if (TryRefreshManager(channel_index, now)) {
+    channels_[channel_index].next_sched = 0;
     return;
   }
   if (TryInternalOps(channel_index, now)) {
+    channels_[channel_index].next_sched = 0;
     return;
   }
   TryRequests(channel_index, now);
@@ -172,7 +195,7 @@ bool MemoryController::TryRefreshManager(uint32_t channel_index, Cycle now) {
       if (device.Check(refsb, now) == TimingVerdict::kOk) {
         device.Issue(refsb, now);
         channel.ref_due[slot] += dram_config_.RefPeriod();
-        stats_.Add("mc.refs_sb_issued");
+        c_refs_sb_issued_->Increment();
         return true;
       }
       return false;
@@ -203,7 +226,7 @@ bool MemoryController::TryRefreshManager(uint32_t channel_index, Cycle now) {
     if (device.Check(ref, now) == TimingVerdict::kOk) {
       device.Issue(ref, now);
       channel.ref_due[rank] += dram_config_.RefPeriod();
-      stats_.Add("mc.refs_issued");
+      c_refs_issued_->Increment();
       return true;
     }
     return false;
@@ -247,7 +270,7 @@ bool MemoryController::TryInternalOps(uint32_t channel_index, Cycle now) {
           // increment the raw ACT counter like real ACT_COUNT would.
           act_counters_[channel_index]->OnActivate(op.addr, kInvalidDomain, false, now);
           op.activated = true;
-          stats_.Add("mc.refresh_instr_acts");
+          c_refresh_instr_acts_->Increment();
           if (!op.auto_precharge) {
             if (op.done) {
               op.done({op.addr, op.requested, now});
@@ -296,7 +319,18 @@ bool MemoryController::TryRequests(uint32_t channel_index, Cycle now) {
   if (channel.queue.empty()) {
     return false;
   }
+  if (now < channel.next_sched) {
+    // Memoized from the last failed scan: channel state is unchanged
+    // (every mutation resets next_sched) and no blocked command becomes
+    // legal before next_sched, so the scan below would fail identically.
+    return false;
+  }
   DramDevice& device = *devices_[channel_index];
+  // Earliest cycle any candidate blocked purely by timing becomes legal.
+  Cycle block = kNeverCycle;
+  // A throttled candidate was seen: ActAllowedAt counts throttle events
+  // per scanned cycle, so the scan must rerun every cycle to stay exact.
+  bool unstable = false;
 
   // Ranks (or, in per-bank mode, individual banks) with an overdue REF
   // are draining: starting new row activity there would starve the
@@ -341,11 +375,13 @@ bool MemoryController::TryRequests(uint32_t channel_index, Cycle now) {
     if (device.Check(cmd, now) == TimingVerdict::kOk) {
       device.Issue(cmd, now);
       if (!pending.counted) {
-        stats_.Add("mc.row_hits");  // Served without its own ACT.
+        c_row_hits_->Increment();  // Served without its own ACT.
       }
       IssueRequestAccess(channel_index, i, now);
+      channel.next_sched = 0;
       return true;
     }
+    block = std::min(block, device.EarliestCycle(cmd));
   }
 
   // Pass 2 (FCFS): oldest request to a closed bank — ACT (unless throttled).
@@ -372,7 +408,8 @@ bool MemoryController::TryRequests(uint32_t channel_index, Cycle now) {
       const Cycle allowed = mitigation_->ActAllowedAt(pending.coord.rank, pending.coord.bank,
                                                       pending.coord.row, now);
       if (allowed > now) {
-        stats_.Add("mc.throttle_stalls");
+        c_throttle_stalls_->Increment();
+        unstable = true;
         continue;
       }
     }
@@ -381,14 +418,16 @@ bool MemoryController::TryRequests(uint32_t channel_index, Cycle now) {
     if (device.Check(act, now) == TimingVerdict::kOk) {
       device.Issue(act, now);
       if (!pending.counted) {
-        stats_.Add("mc.row_misses");
+        c_row_misses_->Increment();
         pending.counted = true;
       }
       act_counters_[channel_index]->OnActivate(pending.request.addr, pending.request.domain,
                                                pending.request.is_dma, now);
       NotifyMitigationActivate(pending.coord, now);
+      channel.next_sched = 0;
       return true;
     }
+    block = std::min(block, device.EarliestCycle(act));
   }
 
   // Pass 3: oldest conflicting request — PRE the bank if no older request
@@ -415,12 +454,19 @@ bool MemoryController::TryRequests(uint32_t channel_index, Cycle now) {
     if (device.Check(pre, now) == TimingVerdict::kOk) {
       device.Issue(pre, now);
       if (!pending.counted) {
-        stats_.Add("mc.row_conflicts");
+        c_row_conflicts_->Increment();
         pending.counted = true;
       }
+      channel.next_sched = 0;
       return true;
     }
+    block = std::min(block, device.EarliestCycle(pre));
   }
+  // Nothing issued. Candidates filtered for non-timing reasons (draining
+  // ranks, claimed banks, an older request pinning an open row) can only
+  // unblock via a state change, which resets next_sched; timing-blocked
+  // candidates unblock at `block`.
+  channel.next_sched = unstable ? now + 1 : std::max(block, now + 1);
   return false;
 }
 
@@ -444,8 +490,8 @@ void MemoryController::IssueRequestAccess(uint32_t channel_index, size_t queue_i
                      pending.coord.column, pending.request.write_value);
     // Writes are posted: complete as soon as the WR command issues.
     response.complete_cycle = now;
-    stats_.Add("mc.writes_done");
-    stats_.RecordLatency("mc.write_latency", response.Latency());
+    c_writes_done_->Increment();
+    h_write_latency_->Record(response.Latency());
     if (response_handler_) {
       response_handler_(response);
     }
@@ -461,7 +507,7 @@ void MemoryController::IssueRequestAccess(uint32_t channel_index, size_t queue_i
   in_flight.ready = now + dram_config_.timing.tCL + dram_config_.timing.tBL;
   in_flight.response = response;
   channel.in_flight.push(in_flight);
-  stats_.Add("mc.reads_done");
+  c_reads_done_->Increment();
 }
 
 void MemoryController::NotifyMitigationActivate(const DdrCoord& coord, Cycle now) {
@@ -478,7 +524,7 @@ void MemoryController::NotifyMitigationActivate(const DdrCoord& coord, Cycle now
 void MemoryController::EnqueueNeighborRefresh(const NeighborRefreshRequest& refresh,
                                               uint32_t channel_index, Cycle now) {
   ChannelState& channel = channels_[channel_index];
-  stats_.Add("mc.mitigation_refreshes");
+  c_mitigation_refreshes_->Increment();
   const uint32_t blast = EffectiveBlast();
   if (config_.use_ref_neighbors) {
     if (channel.internal_ops.size() >= kMaxInternalOps) {
@@ -516,6 +562,26 @@ void MemoryController::EnqueueNeighborRefresh(const NeighborRefreshRequest& refr
       channel.internal_ops.push_back(std::move(op));
     }
   }
+}
+
+Cycle MemoryController::NextWake(Cycle now) const {
+  Cycle wake = kNeverCycle;
+  if (mitigation_ != nullptr) {
+    wake = std::min(wake, next_epoch_);
+  }
+  for (const ChannelState& channel : channels_) {
+    // Queued work may issue (or retry a blocked command) every cycle.
+    if (!channel.queue.empty() || !channel.internal_ops.empty()) {
+      return now;
+    }
+    if (!channel.in_flight.empty()) {
+      wake = std::min(wake, channel.in_flight.top().ready);
+    }
+    for (const Cycle due : channel.ref_due) {
+      wake = std::min(wake, due);
+    }
+  }
+  return std::max(now, wake);
 }
 
 bool MemoryController::Idle() const {

@@ -75,6 +75,13 @@ class MemoryController {
   // Advances the controller one DRAM clock cycle.
   void Tick(Cycle now);
 
+  // Earliest cycle >= now at which Tick(now) could change state or emit a
+  // stat: `now` while any queue holds work, else the nearest of the
+  // in-flight read completions, refresh deadlines, and mitigation epoch.
+  // Never later than the controller's next actual action, so the System
+  // may advance its clock straight to the returned cycle.
+  Cycle NextWake(Cycle now) const;
+
   // Outstanding work (queued requests, internal ops, in-flight reads).
   bool Idle() const;
   size_t QueuedRequests() const;
@@ -157,6 +164,11 @@ class MemoryController {
     std::deque<InternalOp> internal_ops;
     std::vector<Cycle> ref_due;  // Per rank.
     std::priority_queue<InFlightRead, std::vector<InFlightRead>, std::greater<>> in_flight;
+    // Scheduler memo: TryRequests provably cannot issue before this cycle
+    // unless channel state changes first. Every event that could change a
+    // scan's outcome (enqueue, any DDR command issued on the channel,
+    // mitigation epoch) resets it to 0, forcing a fresh scan.
+    Cycle next_sched = 0;
   };
 
   // One scheduling step for a channel; issues at most one command.
@@ -182,6 +194,25 @@ class MemoryController {
   MemResponseCallback response_handler_;
   Cycle next_epoch_ = 0;
   StatSet stats_;
+
+  // Interned stat handles (resolved once in the constructor; see
+  // common/stats.h for lifetime rules).
+  Counter* c_requests_;
+  Counter* c_enqueue_rejected_;
+  Counter* c_domain_group_violations_;
+  Counter* c_row_hits_;
+  Counter* c_row_misses_;
+  Counter* c_row_conflicts_;
+  Counter* c_throttle_stalls_;
+  Counter* c_reads_done_;
+  Counter* c_writes_done_;
+  Counter* c_refs_issued_;
+  Counter* c_refs_sb_issued_;
+  Counter* c_refresh_instr_;
+  Counter* c_refresh_instr_acts_;
+  Counter* c_mitigation_refreshes_;
+  Histogram* h_read_latency_;
+  Histogram* h_write_latency_;
 
   static constexpr size_t kMaxInternalOps = 256;
 };

@@ -41,6 +41,10 @@ struct SystemConfig {
   // GuardRows needs the expected tenant count and radius up front.
   uint32_t guard_domains = 4;
   uint32_t guard_blast = 2;
+  // Fast-forward the clock across provably idle stretches (cycles where
+  // no component's Tick could change state or emit a stat). Produces
+  // bit-identical results to per-cycle ticking; disable to cross-check.
+  bool skip_idle = true;
 };
 
 class System {
@@ -66,6 +70,7 @@ class System {
   // Runs until every core halted and the MC drained, or `max_cycles`.
   void RunUntilQuiesced(Cycle max_cycles);
   Cycle now() const { return now_; }
+  void set_skip_idle(bool skip) { config_.skip_idle = skip; }
 
   // Writes back all dirty LLC lines to DRAM (end-of-run accounting before
   // golden verification).
@@ -89,6 +94,13 @@ class System {
 
  private:
   std::unique_ptr<FrameAllocator> MakeAllocator() const;
+
+  // Ticks every component once at now_, advances the clock, and — when
+  // idle skipping is on — jumps straight to the earliest NextWake cycle,
+  // clamped to `end`.
+  void Step(Cycle end);
+  // Minimum NextWake over the MC, cores, DMA engines, and defense.
+  Cycle NextWakeCycle(Cycle now) const;
 
   SystemConfig config_;
   std::unique_ptr<MemoryController> mc_;
