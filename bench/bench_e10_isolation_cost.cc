@@ -80,7 +80,8 @@ void PolicyComparison() {
 }  // namespace
 }  // namespace ht
 
-int main() {
+int main(int argc, char** argv) {
+  ht::ParseTelemetryArgs(argc, argv);
   ht::GuardRowTable();
   ht::PolicyComparison();
   return 0;

@@ -240,7 +240,8 @@ void WatchSetAblation() {
 }  // namespace
 }  // namespace ht
 
-int main() {
+int main(int argc, char** argv) {
+  ht::ParseTelemetryArgs(argc, argv);
   ht::RefNeighborsVsInstr();
   ht::InferenceAccuracy();
   ht::RemapRobustness();

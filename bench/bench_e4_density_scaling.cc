@@ -153,6 +153,7 @@ void Main(unsigned threads) {
 }  // namespace ht
 
 int main(int argc, char** argv) {
+  ht::ParseTelemetryArgs(argc, argv);
   ht::Main(ht::ParseThreadsArg(argc, argv));
   return 0;
 }

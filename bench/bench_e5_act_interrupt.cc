@@ -79,7 +79,8 @@ void ResetModes() {
 }  // namespace
 }  // namespace ht
 
-int main() {
+int main(int argc, char** argv) {
+  ht::ParseTelemetryArgs(argc, argv);
   ht::ThresholdSweep();
   ht::ResetModes();
   return 0;

@@ -171,7 +171,8 @@ void Main() {
 }  // namespace
 }  // namespace ht
 
-int main() {
+int main(int argc, char** argv) {
+  ht::ParseTelemetryArgs(argc, argv);
   ht::Main();
   return 0;
 }

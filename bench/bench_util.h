@@ -5,15 +5,21 @@
 #define HAMMERTIME_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "attack/hammer.h"
 #include "attack/planner.h"
 #include "common/table.h"
+#include "common/telemetry/json.h"
+#include "common/telemetry/report.h"
+#include "common/telemetry/trace.h"
 #include "common/thread_pool.h"
 #include "sim/scenario.h"
 #include "sim/system.h"
@@ -102,14 +108,138 @@ inline unsigned ParseThreadsArg(int argc, char** argv) {
   return 0;
 }
 
+// --- Telemetry plumbing ------------------------------------------------------
+
+// Process-wide telemetry options for the bench mains, set once by
+// ParseTelemetryArgs before any RunScenarios call. Empty paths = off.
+struct BenchTelemetryOptions {
+  std::string trace_out;    // Chrome trace_event JSON for all scenarios.
+  std::string metrics_out;  // hammertime.metrics.v1 run-report document.
+  Cycle sample_every = 0;   // Sampler period; defaulted when metrics_out set.
+};
+
+inline BenchTelemetryOptions& BenchTelemetry() {
+  static BenchTelemetryOptions options;
+  return options;
+}
+
+// Default sampler period when `--metrics-out` is given without an
+// explicit `--sample-every`: coarse enough to stay cheap on full-length
+// scenarios, fine enough for ~50 points on the default 800k-cycle run.
+inline constexpr Cycle kDefaultSampleEvery = 16384;
+
+// Parses `--trace-out P`, `--metrics-out P`, and `--sample-every N` for
+// the bench mains (same space-separated style as --threads).
+inline void ParseTelemetryArgs(int argc, char** argv) {
+  BenchTelemetryOptions& options = BenchTelemetry();
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace-out") {
+      options.trace_out = argv[i + 1];
+    } else if (arg == "--metrics-out") {
+      options.metrics_out = argv[i + 1];
+    } else if (arg == "--sample-every") {
+      options.sample_every = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  if (!options.metrics_out.empty() && options.sample_every == 0) {
+    options.sample_every = kDefaultSampleEvery;
+  }
+}
+
+// Accumulated across RunScenarios calls (a bench main typically runs
+// several batches); the output files are rewritten after each batch so a
+// crash mid-bench still leaves the completed scenarios on disk.
+struct BenchTelemetryState {
+  std::unique_ptr<TraceSink> sink = std::make_unique<TraceSink>();
+  std::vector<JsonValue> reports;
+  size_t scenarios_started = 0;
+};
+
+inline BenchTelemetryState& TelemetryState() {
+  static BenchTelemetryState state;
+  return state;
+}
+
+// Test hook: drop all accumulated buffers/reports (fresh TraceSink).
+inline void ResetBenchTelemetry() {
+  TelemetryState().sink = std::make_unique<TraceSink>();
+  TelemetryState().reports.clear();
+  TelemetryState().scenarios_started = 0;
+}
+
+// Per-scenario telemetry capture. RunScenarios fills the `in` fields (one
+// TraceBuffer per scenario, created in spec order so the merged trace is
+// deterministic under any worker count) and reads the `out` fields back
+// on the calling thread.
+struct ScenarioTelemetry {
+  // in:
+  std::string label;
+  TraceBuffer* trace = nullptr;
+  Cycle sample_every = 0;
+  // out:
+  JsonValue report;
+  double wall_seconds = 0.0;
+};
+
+// Flattens the interesting ScenarioSpec knobs into a config object for
+// the run report.
+inline JsonValue ScenarioSpecToJson(const ScenarioSpec& spec) {
+  JsonValue config = JsonValue::Object();
+  config.Set("defense", JsonValue::Str(ToString(spec.defense)));
+  config.Set("hw_mitigation", JsonValue::Str(ToString(spec.hw)));
+  config.Set("attack", JsonValue::Str(ToString(spec.attack)));
+  config.Set("alloc", JsonValue::Str(ToString(spec.system.alloc)));
+  config.Set("sides", JsonValue::Uint(spec.sides));
+  config.Set("act_threshold", JsonValue::Uint(spec.act_threshold));
+  config.Set("run_cycles", JsonValue::Uint(std::min(spec.run_cycles, BenchSmokeCap())));
+  config.Set("tenants", JsonValue::Uint(spec.tenants));
+  config.Set("pages_per_tenant", JsonValue::Uint(spec.pages_per_tenant));
+  config.Set("benign_corunner", JsonValue::Bool(spec.benign_corunner));
+  config.Set("skip_idle", JsonValue::Bool(spec.system.skip_idle));
+  config.Set("channels", JsonValue::Uint(spec.system.dram.org.channels));
+  config.Set("cores", JsonValue::Uint(spec.system.cores));
+  return config;
+}
+
+inline JsonValue ScenarioResultToJson(const ScenarioResult& result) {
+  JsonValue out = JsonValue::Object();
+  out.Set("flip_events", JsonValue::Uint(result.security.flip_events));
+  out.Set("cross_domain_flips", JsonValue::Uint(result.security.cross_domain_flips));
+  out.Set("intra_domain_flips", JsonValue::Uint(result.security.intra_domain_flips));
+  out.Set("corrupted_lines", JsonValue::Uint(result.security.corrupted_lines));
+  out.Set("dos_lockups", JsonValue::Uint(result.security.dos_lockups));
+  out.Set("ops", JsonValue::Uint(result.perf.ops));
+  out.Set("cycles", JsonValue::Uint(result.perf.cycles));
+  out.Set("ops_per_kcycle", JsonValue::Double(result.perf.ops_per_kcycle));
+  out.Set("row_hit_rate", JsonValue::Double(result.perf.row_hit_rate));
+  out.Set("avg_read_latency", JsonValue::Double(result.perf.avg_read_latency));
+  out.Set("extra_acts", JsonValue::Uint(result.perf.extra_acts));
+  out.Set("defense_interrupts", JsonValue::Uint(result.defense_interrupts));
+  out.Set("page_moves", JsonValue::Uint(result.page_moves));
+  out.Set("throttle_stalls", JsonValue::Uint(result.throttle_stalls));
+  out.Set("mitigation_refreshes", JsonValue::Uint(result.mitigation_refreshes));
+  out.Set("attack_planned", JsonValue::Bool(result.attack_planned));
+  return out;
+}
+
 // Builds the standard two-tenant (attacker + victim) scenario, runs it,
 // and collects outcome metrics. Isolation-centric defenses are expressed
 // through `spec.system` (scheme + alloc policy) by the caller.
-inline ScenarioResult RunScenario(ScenarioSpec spec) {
+//
+// With `telemetry` set, the scenario runs with its trace buffer and
+// sampler attached and fills telemetry->report with a
+// hammertime.run_report.v1 document (plus per-scenario wall-clock).
+inline ScenarioResult RunScenario(ScenarioSpec spec, ScenarioTelemetry* telemetry = nullptr) {
+  const auto wall_start = std::chrono::steady_clock::now();
   ApplyDefensePreset(spec.system, spec.defense, spec.act_threshold);
   spec.run_cycles = std::min(spec.run_cycles, BenchSmokeCap());
   if (spec.randomize_reset.has_value()) {
     spec.system.mc.act_counter.randomize_reset = *spec.randomize_reset;
+  }
+  if (telemetry != nullptr) {
+    spec.system.telemetry.trace = telemetry->trace;
+    spec.system.telemetry.sample_every = telemetry->sample_every;
   }
   System system(spec.system);
   // Half-double needs tenants owning pairs of adjacent rows so a victim
@@ -197,7 +327,39 @@ inline ScenarioResult RunScenario(ScenarioSpec spec) {
   result.page_moves = system.kernel().page_moves();
   result.throttle_stalls = system.mc().stats().Get("mc.throttle_stalls");
   result.mitigation_refreshes = system.mc().stats().Get("mc.mitigation_refreshes");
+
+  if (telemetry != nullptr) {
+    telemetry->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+    TraceCounts counts;
+    if (telemetry->trace != nullptr) {
+      counts.trace_events = telemetry->trace->events_emitted();
+      counts.trace_dropped = telemetry->trace->events_dropped();
+    }
+    counts.samples_taken = system.sampler().samples_taken();
+    telemetry->report = BuildRunReport(telemetry->label, ScenarioSpecToJson(spec),
+                                       ScenarioResultToJson(result), system.CollectStats(),
+                                       &system.sampler(), telemetry->wall_seconds, counts);
+  }
   return result;
+}
+
+// Rewrites the --trace-out / --metrics-out files from everything
+// accumulated so far. Called after every RunScenarios batch.
+inline void FlushBenchTelemetry() {
+  const BenchTelemetryOptions& options = BenchTelemetry();
+  BenchTelemetryState& state = TelemetryState();
+  if (!options.trace_out.empty()) {
+    std::ofstream out(options.trace_out);
+    state.sink->WriteChromeTrace(out);
+  }
+  if (!options.metrics_out.empty()) {
+    std::ofstream out(options.metrics_out);
+    // MakeMetricsDocument consumes its input; hand it a copy so later
+    // batches can re-flush the full accumulated list.
+    MakeMetricsDocument(state.reports).Dump(out);
+    out << "\n";
+  }
 }
 
 // Runs every spec on a worker pool and returns the results in spec order.
@@ -210,8 +372,33 @@ inline ScenarioResult RunScenario(ScenarioSpec spec) {
 inline std::vector<ScenarioResult> RunScenarios(const std::vector<ScenarioSpec>& specs,
                                                 unsigned threads = 0) {
   std::vector<ScenarioResult> results(specs.size());
+  const BenchTelemetryOptions& options = BenchTelemetry();
+  const bool telemetry_on = !options.trace_out.empty() || !options.metrics_out.empty();
+  if (!telemetry_on) {
+    ParallelFor(specs.size(), ResolveThreadCount(threads),
+                [&](uint64_t i) { results[i] = RunScenario(specs[i]); });
+    return results;
+  }
+
+  // Buffers are created serially in spec order before the fan-out, so the
+  // merged trace and the report order are identical for any worker count.
+  BenchTelemetryState& state = TelemetryState();
+  std::vector<ScenarioTelemetry> telemetry(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    telemetry[i].label = "scenario" + std::to_string(state.scenarios_started + i) + "." +
+                         ToString(specs[i].defense) + "." + ToString(specs[i].attack);
+    if (!options.trace_out.empty()) {
+      telemetry[i].trace = state.sink->CreateBuffer(telemetry[i].label);
+    }
+    telemetry[i].sample_every = options.sample_every;
+  }
+  state.scenarios_started += specs.size();
   ParallelFor(specs.size(), ResolveThreadCount(threads),
-              [&](uint64_t i) { results[i] = RunScenario(specs[i]); });
+              [&](uint64_t i) { results[i] = RunScenario(specs[i], &telemetry[i]); });
+  for (ScenarioTelemetry& scenario : telemetry) {
+    state.reports.push_back(std::move(scenario.report));
+  }
+  FlushBenchTelemetry();
   return results;
 }
 

@@ -2,11 +2,23 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace ht {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink& SinkSlot() {
+  static LogSink sink;  // Empty == stderr default.
+  return sink;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -30,7 +42,18 @@ void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkSlot() = std::move(sink);
+}
+
 void LogLine(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  const LogSink& sink = SinkSlot();
+  if (sink) {
+    sink(level, message);
+    return;
+  }
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
 }
 

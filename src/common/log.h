@@ -1,8 +1,13 @@
 // Minimal leveled logging. Off by default so simulations stay quiet and
 // fast; tests and examples can raise the level for tracing.
+//
+// Thread safety: the threshold is atomic and LogLine serializes behind a
+// mutex, so the parallel scenario runner's worker threads can log without
+// interleaving lines.
 #ifndef HAMMERTIME_SRC_COMMON_LOG_H_
 #define HAMMERTIME_SRC_COMMON_LOG_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -20,7 +25,14 @@ enum class LogLevel : int {
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-// Writes one formatted line to stderr if `level` passes the threshold.
+// Redirects LogLine away from stderr (e.g. into a test capture or a
+// file). Pass an empty function to restore the stderr default. The sink
+// is invoked under the log mutex — it must not log re-entrantly.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void SetLogSink(LogSink sink);
+
+// Formats one line and hands it to the active sink (stderr by default)
+// if `level` passes the threshold. Safe to call from any thread.
 void LogLine(LogLevel level, const std::string& message);
 
 }  // namespace ht

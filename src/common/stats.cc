@@ -70,7 +70,7 @@ uint64_t StatSet::Get(const std::string& name) const {
 
 double StatSet::GetGauge(const std::string& name) const {
   auto it = gauges_.find(name);
-  return it == gauges_.end() ? 0.0 : it->second;
+  return it == gauges_.end() ? 0.0 : it->second.value();
 }
 
 const Histogram* StatSet::GetHistogram(const std::string& name) const {
@@ -83,7 +83,7 @@ void StatSet::MergeFrom(const StatSet& other) {
     counters_[name].value_ += value.value_;
   }
   for (const auto& [name, value] : other.gauges_) {
-    gauges_[name] = value;
+    gauges_[name].value_ = value.value_;
   }
   for (const auto& [name, histogram] : other.histograms_) {
     histograms_[name].Merge(histogram);
@@ -96,7 +96,7 @@ void StatSet::Reset() {
     counter.value_ = 0;
   }
   for (auto& [name, gauge] : gauges_) {
-    gauge = 0.0;
+    gauge.value_ = 0.0;
   }
   for (auto& [name, histogram] : histograms_) {
     histogram.Reset();
@@ -109,7 +109,7 @@ std::string StatSet::ToString() const {
     out << name << " = " << counter.value() << "\n";
   }
   for (const auto& [name, value] : gauges_) {
-    out << name << " = " << value << "\n";
+    out << name << " = " << value.value() << "\n";
   }
   for (const auto& [name, histogram] : histograms_) {
     out << name << " : count=" << histogram.count() << " mean=" << histogram.Mean()

@@ -64,6 +64,18 @@ class Counter {
   uint64_t value_ = 0;
 };
 
+// A named last-value gauge. Obtained once via StatSet::gauge(); updates
+// are plain stores with no map lookup.
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  friend class StatSet;
+  double value_ = 0.0;
+};
+
 // A named bundle of metrics. Components own a StatSet and register deltas
 // into it; the experiment harness snapshots and prints them.
 class StatSet {
@@ -72,11 +84,12 @@ class StatSet {
   // Stable for the StatSet's lifetime (std::map nodes never move; Reset()
   // zeroes in place rather than erasing).
   Counter* counter(const std::string& name) { return &counters_[name]; }
+  Gauge* gauge(const std::string& name) { return &gauges_[name]; }
   Histogram* histogram(const std::string& name) { return &histograms_[name]; }
 
   // --- String-keyed API (cold paths, tests) -----------------------------
   void Add(const std::string& name, uint64_t delta = 1) { counters_[name].value_ += delta; }
-  void Set(const std::string& name, double value) { gauges_[name] = value; }
+  void Set(const std::string& name, double value) { gauges_[name].value_ = value; }
   void RecordLatency(const std::string& name, uint64_t value) { histograms_[name].Record(value); }
 
   uint64_t Get(const std::string& name) const;
@@ -84,7 +97,7 @@ class StatSet {
   const Histogram* GetHistogram(const std::string& name) const;
 
   const std::map<std::string, Counter>& counters() const { return counters_; }
-  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
   const std::map<std::string, Histogram>& histograms() const { return histograms_; }
 
   void MergeFrom(const StatSet& other);
@@ -96,7 +109,7 @@ class StatSet {
 
  private:
   std::map<std::string, Counter> counters_;
-  std::map<std::string, double> gauges_;
+  std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
 };
 

@@ -1,0 +1,280 @@
+#include "common/telemetry/report.h"
+
+#include <utility>
+
+#include "common/stats.h"
+#include "common/telemetry/sampler.h"
+
+namespace ht {
+
+JsonValue HistogramToJson(const Histogram& histogram) {
+  JsonValue out = JsonValue::Object();
+  out.Set("count", JsonValue::Uint(histogram.count()));
+  out.Set("sum", JsonValue::Uint(histogram.sum()));
+  out.Set("min", JsonValue::Uint(histogram.min()));
+  out.Set("max", JsonValue::Uint(histogram.max()));
+  out.Set("mean", JsonValue::Double(histogram.Mean()));
+  out.Set("p50", JsonValue::Uint(histogram.Quantile(0.5)));
+  out.Set("p90", JsonValue::Uint(histogram.Quantile(0.9)));
+  out.Set("p99", JsonValue::Uint(histogram.Quantile(0.99)));
+  return out;
+}
+
+JsonValue StatSetToJson(const StatSet& stats) {
+  JsonValue out = JsonValue::Object();
+  JsonValue counters = JsonValue::Object();
+  for (const auto& [name, counter] : stats.counters()) {
+    counters.Set(name, JsonValue::Uint(counter.value()));
+  }
+  out.Set("counters", std::move(counters));
+  JsonValue gauges = JsonValue::Object();
+  for (const auto& [name, gauge] : stats.gauges()) {
+    gauges.Set(name, JsonValue::Double(gauge.value()));
+  }
+  out.Set("gauges", std::move(gauges));
+  JsonValue histograms = JsonValue::Object();
+  for (const auto& [name, histogram] : stats.histograms()) {
+    histograms.Set(name, HistogramToJson(histogram));
+  }
+  out.Set("histograms", std::move(histograms));
+  return out;
+}
+
+JsonValue SamplerToJson(const StatSampler& sampler) {
+  JsonValue out = JsonValue::Object();
+  out.Set("period", JsonValue::Uint(sampler.period()));
+  JsonValue stamps = JsonValue::Array();
+  for (Cycle stamp : sampler.stamps()) {
+    stamps.Push(JsonValue::Uint(stamp));
+  }
+  out.Set("stamps", std::move(stamps));
+  JsonValue series = JsonValue::Object();
+  for (const auto& [name, values] : sampler.AlignedSeries()) {
+    JsonValue column = JsonValue::Array();
+    for (double value : values) {
+      column.Push(JsonValue::Double(value));
+    }
+    series.Set(name, std::move(column));
+  }
+  out.Set("series", std::move(series));
+  return out;
+}
+
+JsonValue BuildRunReport(const std::string& scenario, JsonValue config, JsonValue result,
+                         const StatSet& stats, const StatSampler* sampler, double wall_seconds,
+                         const TraceCounts& counts) {
+  JsonValue report = JsonValue::Object();
+  report.Set("schema", JsonValue::Str("hammertime.run_report.v1"));
+  report.Set("scenario", JsonValue::Str(scenario));
+  report.Set("config", std::move(config));
+  report.Set("result", std::move(result));
+  report.Set("stats", StatSetToJson(stats));
+  if (sampler != nullptr && sampler->enabled()) {
+    report.Set("samples", SamplerToJson(*sampler));
+  } else {
+    report.Set("samples", JsonValue::Null());
+  }
+  JsonValue telemetry = JsonValue::Object();
+  telemetry.Set("wall_seconds", JsonValue::Double(wall_seconds));
+  telemetry.Set("trace_events", JsonValue::Uint(counts.trace_events));
+  telemetry.Set("trace_dropped", JsonValue::Uint(counts.trace_dropped));
+  telemetry.Set("samples_taken", JsonValue::Uint(counts.samples_taken));
+  report.Set("telemetry", std::move(telemetry));
+  return report;
+}
+
+JsonValue MakeMetricsDocument(std::vector<JsonValue> reports) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::Str("hammertime.metrics.v1"));
+  JsonValue list = JsonValue::Array();
+  for (JsonValue& report : reports) {
+    list.Push(std::move(report));
+  }
+  doc.Set("reports", std::move(list));
+  return doc;
+}
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+bool RequireObject(const JsonValue& doc, std::string_view key, const JsonValue** out,
+                   std::string* error) {
+  const JsonValue* value = doc.Find(key);
+  if (value == nullptr || value->type() != JsonValue::Type::kObject) {
+    return Fail(error, "missing object field \"" + std::string(key) + "\"");
+  }
+  *out = value;
+  return true;
+}
+
+bool AllNumbers(const JsonValue& object, std::string_view where, std::string* error) {
+  for (const auto& [name, value] : object.members()) {
+    if (!value.is_number()) {
+      return Fail(error, std::string(where) + "." + name + " is not a number");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ValidateRunReport(const JsonValue& doc, std::string* error) {
+  if (doc.type() != JsonValue::Type::kObject) {
+    return Fail(error, "run report is not an object");
+  }
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || schema->type() != JsonValue::Type::kString ||
+      schema->as_string() != "hammertime.run_report.v1") {
+    return Fail(error, "schema is not \"hammertime.run_report.v1\"");
+  }
+  const JsonValue* scenario = doc.Find("scenario");
+  if (scenario == nullptr || scenario->type() != JsonValue::Type::kString) {
+    return Fail(error, "missing string field \"scenario\"");
+  }
+  const JsonValue* config = nullptr;
+  const JsonValue* result = nullptr;
+  const JsonValue* stats = nullptr;
+  if (!RequireObject(doc, "config", &config, error) ||
+      !RequireObject(doc, "result", &result, error) ||
+      !RequireObject(doc, "stats", &stats, error)) {
+    return false;
+  }
+  const JsonValue* counters = nullptr;
+  const JsonValue* gauges = nullptr;
+  const JsonValue* histograms = nullptr;
+  if (!RequireObject(*stats, "counters", &counters, error) ||
+      !RequireObject(*stats, "gauges", &gauges, error) ||
+      !RequireObject(*stats, "histograms", &histograms, error)) {
+    return false;
+  }
+  if (!AllNumbers(*counters, "stats.counters", error) ||
+      !AllNumbers(*gauges, "stats.gauges", error)) {
+    return false;
+  }
+  for (const auto& [name, histogram] : histograms->members()) {
+    if (histogram.type() != JsonValue::Type::kObject) {
+      return Fail(error, "stats.histograms." + name + " is not an object");
+    }
+    for (const char* field : {"count", "sum", "min", "max", "mean", "p50", "p90", "p99"}) {
+      const JsonValue* value = histogram.Find(field);
+      if (value == nullptr || !value->is_number()) {
+        return Fail(error, "stats.histograms." + name + " missing numeric \"" + field + "\"");
+      }
+    }
+  }
+  const JsonValue* samples = doc.Find("samples");
+  if (samples == nullptr) {
+    return Fail(error, "missing field \"samples\" (null when sampling is off)");
+  }
+  if (samples->type() != JsonValue::Type::kNull) {
+    if (samples->type() != JsonValue::Type::kObject) {
+      return Fail(error, "samples is neither null nor an object");
+    }
+    const JsonValue* period = samples->Find("period");
+    if (period == nullptr || !period->is_number()) {
+      return Fail(error, "samples.period is not a number");
+    }
+    const JsonValue* stamps = samples->Find("stamps");
+    if (stamps == nullptr || stamps->type() != JsonValue::Type::kArray) {
+      return Fail(error, "samples.stamps is not an array");
+    }
+    const JsonValue* series = nullptr;
+    if (!RequireObject(*samples, "series", &series, error)) {
+      return false;
+    }
+    for (const auto& [name, column] : series->members()) {
+      if (column.type() != JsonValue::Type::kArray || column.size() != stamps->size()) {
+        return Fail(error, "samples.series." + name + " is not stamp-aligned");
+      }
+    }
+  }
+  const JsonValue* telemetry = nullptr;
+  if (!RequireObject(doc, "telemetry", &telemetry, error)) {
+    return false;
+  }
+  for (const char* field : {"wall_seconds", "trace_events", "trace_dropped", "samples_taken"}) {
+    const JsonValue* value = telemetry->Find(field);
+    if (value == nullptr || !value->is_number()) {
+      return Fail(error, std::string("telemetry missing numeric \"") + field + "\"");
+    }
+  }
+  return true;
+}
+
+bool ValidateMetricsDocument(const JsonValue& doc, std::string* error) {
+  if (doc.type() != JsonValue::Type::kObject) {
+    return Fail(error, "metrics document is not an object");
+  }
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || schema->type() != JsonValue::Type::kString ||
+      schema->as_string() != "hammertime.metrics.v1") {
+    return Fail(error, "schema is not \"hammertime.metrics.v1\"");
+  }
+  const JsonValue* reports = doc.Find("reports");
+  if (reports == nullptr || reports->type() != JsonValue::Type::kArray) {
+    return Fail(error, "missing array field \"reports\"");
+  }
+  for (size_t i = 0; i < reports->size(); ++i) {
+    std::string inner;
+    if (!ValidateRunReport(reports->at(i), &inner)) {
+      return Fail(error, "reports[" + std::to_string(i) + "]: " + inner);
+    }
+  }
+  return true;
+}
+
+bool ValidateChromeTrace(const JsonValue& doc, const std::vector<std::string>& required_names,
+                         std::string* error) {
+  if (doc.type() != JsonValue::Type::kObject) {
+    return Fail(error, "trace is not an object");
+  }
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || events->type() != JsonValue::Type::kArray) {
+    return Fail(error, "missing array field \"traceEvents\"");
+  }
+  std::vector<bool> seen(required_names.size(), false);
+  for (size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& event = events->at(i);
+    const std::string where = "traceEvents[" + std::to_string(i) + "]";
+    if (event.type() != JsonValue::Type::kObject) {
+      return Fail(error, where + " is not an object");
+    }
+    const JsonValue* name = event.Find("name");
+    const JsonValue* ph = event.Find("ph");
+    if (name == nullptr || name->type() != JsonValue::Type::kString || ph == nullptr ||
+        ph->type() != JsonValue::Type::kString) {
+      return Fail(error, where + " missing string name/ph");
+    }
+    for (const char* field : {"pid", "tid"}) {
+      const JsonValue* value = event.Find(field);
+      if (value == nullptr || !value->is_number()) {
+        return Fail(error, where + " missing numeric \"" + field + "\"");
+      }
+    }
+    if (ph->as_string() == "i") {
+      const JsonValue* ts = event.Find("ts");
+      if (ts == nullptr || !ts->is_number()) {
+        return Fail(error, where + " instant event missing numeric \"ts\"");
+      }
+    }
+    for (size_t j = 0; j < required_names.size(); ++j) {
+      if (!seen[j] && name->as_string() == required_names[j]) {
+        seen[j] = true;
+      }
+    }
+  }
+  for (size_t j = 0; j < required_names.size(); ++j) {
+    if (!seen[j]) {
+      return Fail(error, "no \"" + required_names[j] + "\" event in trace");
+    }
+  }
+  return true;
+}
+
+}  // namespace ht

@@ -1,0 +1,73 @@
+// Structured run reports: one JSON document per scenario capturing the
+// configuration, final stats (counters, gauges, histogram quantiles),
+// sampler time series, and telemetry bookkeeping (wall-clock, trace and
+// sample counts).
+//
+// Schemas (validated by tools/trace_check and the trace_smoke ctests):
+//   hammertime.run_report.v1 — one scenario:
+//     { "schema", "scenario", "config": {...}, "result": {...},
+//       "stats": { "counters": {name: uint}, "gauges": {name: double},
+//                  "histograms": {name: {count,sum,min,max,mean,
+//                                        p50,p90,p99}} },
+//       "samples": { "period": uint, "stamps": [uint...],
+//                    "series": {name: [double...]} },
+//       "telemetry": { "wall_seconds": double, "trace_events": uint,
+//                      "trace_dropped": uint, "samples_taken": uint } }
+//   hammertime.metrics.v1 — a run: { "schema", "reports": [run_report...] }
+#ifndef HAMMERTIME_SRC_COMMON_TELEMETRY_REPORT_H_
+#define HAMMERTIME_SRC_COMMON_TELEMETRY_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/telemetry/json.h"
+
+namespace ht {
+
+class Histogram;
+class StatSampler;
+class StatSet;
+
+struct TraceCounts {
+  uint64_t trace_events = 0;
+  uint64_t trace_dropped = 0;
+  uint64_t samples_taken = 0;
+};
+
+// {count,sum,min,max,mean,p50,p90,p99} for one histogram.
+JsonValue HistogramToJson(const Histogram& histogram);
+
+// {counters:{...}, gauges:{...}, histograms:{...}}; map iteration order
+// makes the output deterministic.
+JsonValue StatSetToJson(const StatSet& stats);
+
+// {period, stamps:[...], series:{...}} with all series stamp-aligned.
+JsonValue SamplerToJson(const StatSampler& sampler);
+
+// Assembles one hammertime.run_report.v1 document. `config` and `result`
+// are caller-built objects (the report layer does not know about
+// ScenarioSpec); pass JsonValue::Object() when there is nothing to say.
+JsonValue BuildRunReport(const std::string& scenario, JsonValue config, JsonValue result,
+                         const StatSet& stats, const StatSampler* sampler, double wall_seconds,
+                         const TraceCounts& counts);
+
+// Wraps per-scenario reports into a hammertime.metrics.v1 document.
+JsonValue MakeMetricsDocument(std::vector<JsonValue> reports);
+
+// Schema validation used by tools/trace_check and the trace_smoke tests.
+// Returns true when `doc` matches the documented shape; on failure,
+// `error` (if non-null) names the first offending field.
+bool ValidateRunReport(const JsonValue& doc, std::string* error = nullptr);
+bool ValidateMetricsDocument(const JsonValue& doc, std::string* error = nullptr);
+
+// Chrome trace_event JSON validation: top-level object with a
+// "traceEvents" array whose entries carry name/ph/pid/tid (and ts for
+// instants). `required_names` (if non-empty) must each appear at least
+// once among the event names.
+bool ValidateChromeTrace(const JsonValue& doc, const std::vector<std::string>& required_names,
+                         std::string* error = nullptr);
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_COMMON_TELEMETRY_REPORT_H_

@@ -1,0 +1,60 @@
+#include "common/telemetry/sampler.h"
+
+#include "common/stats.h"
+
+namespace ht {
+
+void StatSampler::AddSource(const std::string& prefix, const StatSet* stats) {
+  sources_.push_back(Source{prefix, stats});
+}
+
+void StatSampler::Sample(Cycle now) {
+  if (period_ == 0) {
+    return;
+  }
+  const size_t missed = stamps_.size();  // Stamps a brand-new series did not see.
+  stamps_.push_back(now);
+  for (const Source& source : sources_) {
+    // Most metric names already carry a component prefix ("mc.row_hits");
+    // an empty source prefix keeps them as-is, a non-empty one ("ch1")
+    // disambiguates duplicated sources like per-channel devices.
+    const std::string lead = source.prefix.empty() ? "" : source.prefix + ".";
+    for (const auto& [name, counter] : source.stats->counters()) {
+      auto& values = series_[lead + name];
+      values.resize(missed, 0.0);
+      values.push_back(static_cast<double>(counter.value()));
+    }
+    for (const auto& [name, gauge] : source.stats->gauges()) {
+      auto& values = series_[lead + name];
+      values.resize(missed, 0.0);
+      values.push_back(gauge.value());
+    }
+    for (const auto& [name, histogram] : source.stats->histograms()) {
+      auto& counts = series_[lead + name + ".count"];
+      counts.resize(missed, 0.0);
+      counts.push_back(static_cast<double>(histogram.count()));
+      auto& means = series_[lead + name + ".mean"];
+      means.resize(missed, 0.0);
+      means.push_back(histogram.Mean());
+    }
+  }
+}
+
+Cycle StatSampler::NextSampleCycle() const {
+  if (period_ == 0) {
+    return ~Cycle{0};
+  }
+  return stamps_.empty() ? period_ : stamps_.back() + period_;
+}
+
+std::map<std::string, std::vector<double>> StatSampler::AlignedSeries() const {
+  std::map<std::string, std::vector<double>> out = series_;
+  for (auto& [name, values] : out) {
+    // StatSet entries are never erased, so only trailing gaps are possible
+    // (a source added after the last Sample); pad defensively anyway.
+    values.resize(stamps_.size(), values.empty() ? 0.0 : values.back());
+  }
+  return out;
+}
+
+}  // namespace ht

@@ -1,0 +1,72 @@
+// Periodic StatSet sampling: snapshots selected counters and gauges every
+// N cycles into an in-memory time series, so benches can plot activation
+// rates and mitigation overhead over time instead of end-of-run totals.
+//
+// Sampling is pulled by the simulation loop (System::Step checks the next
+// sample deadline and also feeds it into NextWakeCycle), so samples land
+// on exact k*period cycle boundaries whether or not idle-skipping is on.
+// Counter series are cumulative values at each stamp; a StatSet::Reset()
+// between samples therefore shows up as the series dropping — callers that
+// reset mid-run should expect sawtooth series, and AlignedSeries() pads
+// late-registered series with leading zeros so every series has one entry
+// per stamp.
+#ifndef HAMMERTIME_SRC_COMMON_TELEMETRY_SAMPLER_H_
+#define HAMMERTIME_SRC_COMMON_TELEMETRY_SAMPLER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ht {
+
+class StatSet;
+
+class StatSampler {
+ public:
+  // `period` of 0 disables sampling (Sample() becomes a no-op).
+  explicit StatSampler(Cycle period = 0) : period_(period) {}
+
+  Cycle period() const { return period_; }
+  bool enabled() const { return period_ != 0; }
+
+  // Registers a StatSet to snapshot; series are named `<prefix>.<metric>`.
+  // Pointers must outlive the sampler. Sources added after sampling has
+  // started are picked up at the next Sample() call.
+  void AddSource(const std::string& prefix, const StatSet* stats);
+
+  // Takes one snapshot stamped `now`. Counters and gauges are recorded;
+  // histograms are summarized as `<name>.count` and `<name>.mean`.
+  void Sample(Cycle now);
+
+  // Next cycle at which Sample() should run (k*period strictly after the
+  // last stamp; period itself if nothing sampled yet). ~0 when disabled.
+  Cycle NextSampleCycle() const;
+
+  size_t samples_taken() const { return stamps_.size(); }
+  const std::vector<Cycle>& stamps() const { return stamps_; }
+
+  // One value per stamp for every series ever observed; series that
+  // appeared late (e.g. a counter first touched mid-run) are padded with
+  // leading zeros so all vectors align with stamps().
+  std::map<std::string, std::vector<double>> AlignedSeries() const;
+
+ private:
+  struct Source {
+    std::string prefix;
+    const StatSet* stats;
+  };
+
+  Cycle period_;
+  std::vector<Source> sources_;
+  std::vector<Cycle> stamps_;
+  // Series name -> sampled values; may be shorter than stamps_ if the
+  // series appeared after sampling began (AlignedSeries pads the front).
+  std::map<std::string, std::vector<double>> series_;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_COMMON_TELEMETRY_SAMPLER_H_

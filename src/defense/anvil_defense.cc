@@ -13,6 +13,8 @@ void AnvilDefense::OnMiss(const MissEvent& event, Cycle now) {
   }
   row_misses_.erase(key);
   c_detections_->Increment();
+  HT_TRACE(trace_, now, TraceKind::kDefenseTrigger, 0, 0, 0, 0,
+           static_cast<uint64_t>(event.addr));
 
   // "Refresh" the potential victims with ordinary reads: reach DRAM and
   // hope the access ACTs the row. Issued as host reads straight to the MC

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "common/stats.h"
+#include "common/telemetry/trace.h"
 #include "common/types.h"
 #include "cpu/cache.h"
 #include "cpu/core.h"
@@ -63,10 +64,15 @@ class Defense {
   StatSet& stats() { return stats_; }
   const StatSet& stats() const { return stats_; }
 
+  // Attach (or detach with nullptr) a trace buffer; subclasses emit
+  // trigger/action/quarantine events through it.
+  void set_trace(TraceBuffer* trace) { trace_ = trace; }
+
  protected:
   HostKernel* kernel_ = nullptr;
   Cache* cache_ = nullptr;
   StatSet stats_;
+  TraceBuffer* trace_ = nullptr;
 };
 
 // Baseline: no software defense installed.

@@ -8,6 +8,7 @@ void ActRemapDefense::Attach(HostKernel* kernel, Cache* cache) {
   Defense::Attach(kernel, cache);
   quarantine_.Init(*kernel_, config_.quarantine_pages);
   stats_.Add("defense.quarantine_frames", quarantine_.remaining());
+  g_quarantine_free_->Set(static_cast<double>(quarantine_.remaining()));
 }
 
 uint64_t ActRemapDefense::RowKeyOf(PhysAddr addr) const {
@@ -20,7 +21,6 @@ uint64_t ActRemapDefense::RowKeyOf(PhysAddr addr) const {
 }
 
 void ActRemapDefense::OnActInterrupt(const ActInterrupt& irq, Cycle now) {
-  (void)now;
   if (irq.trigger_addr == kInvalidPhysAddr) {
     c_unactionable_->Increment();
     return;
@@ -31,8 +31,13 @@ void ActRemapDefense::OnActInterrupt(const ActInterrupt& irq, Cycle now) {
     return;
   }
   row_hits_.erase(key);
+  HT_TRACE(trace_, now, TraceKind::kDefenseTrigger, 0, 0, 0, 0,
+           static_cast<uint64_t>(irq.trigger_addr));
   if (quarantine_.Migrate(*kernel_, irq.trigger_addr)) {
     c_pages_migrated_->Increment();
+    g_quarantine_free_->Set(static_cast<double>(quarantine_.remaining()));
+    HT_TRACE(trace_, now, TraceKind::kQuarantine, 0, 0, 0, 0,
+             static_cast<uint64_t>(irq.trigger_addr));
   } else {
     c_migration_failures_->Increment();
   }
@@ -57,6 +62,8 @@ void CacheLockDefense::OnActInterrupt(const ActInterrupt& irq, Cycle now) {
     return;
   }
   c_interrupts_->Increment();
+  HT_TRACE(trace_, now, TraceKind::kDefenseTrigger, 0, 0, 0, 0,
+           static_cast<uint64_t>(irq.trigger_addr));
   if (!cache_->Lock(irq.trigger_addr)) {
     // The hot line usually isn't resident at interrupt time (the ACT that
     // overflowed the counter is its fill in flight). Fetch-and-lock: the
@@ -72,6 +79,8 @@ void CacheLockDefense::OnActInterrupt(const ActInterrupt& irq, Cycle now) {
       // victim data again.
       if (quarantine_.Migrate(*kernel_, irq.trigger_addr)) {
         stats_.Add("defense.fallback_migrations");
+        HT_TRACE(trace_, now, TraceKind::kQuarantine, 0, 0, 0, 0,
+                 static_cast<uint64_t>(irq.trigger_addr));
       } else {
         stats_.Add("defense.migration_failures");
       }
@@ -79,7 +88,10 @@ void CacheLockDefense::OnActInterrupt(const ActInterrupt& irq, Cycle now) {
     }
   }
   c_lines_locked_->Increment();
+  HT_TRACE(trace_, now, TraceKind::kDefenseAction, 0, 0, 0, 0,
+           static_cast<uint64_t>(irq.trigger_addr));
   held_.push_back({irq.trigger_addr, now + config_.lock_duration});
+  g_locks_held_->Set(static_cast<double>(held_.size()));
 }
 
 void CacheLockDefense::Tick(Cycle now) {
@@ -87,6 +99,7 @@ void CacheLockDefense::Tick(Cycle now) {
     cache_->Unlock(held_.front().addr);
     held_.pop_front();
     c_locks_released_->Increment();
+    g_locks_held_->Set(static_cast<double>(held_.size()));
   }
 }
 

@@ -41,6 +41,7 @@ class ActRemapDefense : public Defense {
     c_unactionable_ = stats_.counter("defense.unactionable_interrupts");
     c_pages_migrated_ = stats_.counter("defense.pages_migrated");
     c_migration_failures_ = stats_.counter("defense.migration_failures");
+    g_quarantine_free_ = stats_.gauge("defense.quarantine_free");
   }
 
   std::string name() const override { return "act-remap"; }
@@ -64,6 +65,7 @@ class ActRemapDefense : public Defense {
   Counter* c_unactionable_;
   Counter* c_pages_migrated_;
   Counter* c_migration_failures_;
+  Gauge* g_quarantine_free_;
 };
 
 struct CacheLockConfig {
@@ -78,6 +80,7 @@ class CacheLockDefense : public Defense {
     c_unactionable_ = stats_.counter("defense.unactionable_interrupts");
     c_lines_locked_ = stats_.counter("defense.lines_locked");
     c_locks_released_ = stats_.counter("defense.locks_released");
+    g_locks_held_ = stats_.gauge("defense.locks_held");
   }
 
   std::string name() const override { return "cache-lock"; }
@@ -105,6 +108,7 @@ class CacheLockDefense : public Defense {
   Counter* c_unactionable_;
   Counter* c_lines_locked_;
   Counter* c_locks_released_;
+  Gauge* g_locks_held_;
 };
 
 }  // namespace ht

@@ -10,6 +10,8 @@ void SoftRefreshDefense::OnActInterrupt(const ActInterrupt& irq, Cycle now) {
     return;
   }
   c_interrupts_->Increment();
+  HT_TRACE(trace_, now, TraceKind::kDefenseTrigger, 0, 0, 0, 0,
+           static_cast<uint64_t>(irq.trigger_addr));
   MemoryController& mc = kernel_->mc();
   if (config_.method == VictimRefreshMethod::kRefNeighbors) {
     if (mc.RefreshNeighbors(irq.trigger_addr, config_.blast_radius, now)) {

@@ -57,6 +57,7 @@ void ScrubDefense::Tick(Cycle now) {
       return;
     }
     stats_.Add("defense.scrub_passes");
+    HT_TRACE(trace_, now, TraceKind::kDefenseAction, 0, 0, 0, 0, frames_.size());
   }
   for (uint32_t i = 0; i < config_.lines_per_burst && frame_cursor_ < frames_.size(); ++i) {
     const PhysAddr addr =

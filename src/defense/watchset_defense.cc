@@ -33,6 +33,7 @@ void WatchSetDefense::Tick(Cycle now) {
     return;
   }
   next_sweep_ = now + config_.period;
+  HT_TRACE(trace_, now, TraceKind::kDefenseAction, 0, 0, 0, 0, watched_rows_.size());
   // The watched rows are the potential victims: refreshing each one
   // resets its accumulated disturbance, so no aggressor — inside or
   // outside the set — can reach the MAC between sweeps (as long as

@@ -55,33 +55,44 @@ TimingVerdict DramDevice::Issue(const DdrCommand& cmd, Cycle now) {
     return verdict;
   }
   timing_.Record(cmd, now);
+  const uint8_t ch = static_cast<uint8_t>(channel_index_);
+  const uint8_t rk = static_cast<uint8_t>(cmd.rank);
+  const uint8_t bk = static_cast<uint8_t>(cmd.bank);
   switch (cmd.type) {
     case DdrCommandType::kActivate:
       c_acts_->Increment();
+      HT_TRACE(trace_, now, TraceKind::kAct, ch, rk, bk, cmd.row, 0);
       ApplyActivate(cmd.rank, cmd.bank, cmd.row, now);
       break;
     case DdrCommandType::kPrecharge:
       c_pres_->Increment();
+      HT_TRACE(trace_, now, TraceKind::kPre, ch, rk, bk, 0, 0);
       break;
     case DdrCommandType::kPrechargeAll:
       c_preas_->Increment();
+      HT_TRACE(trace_, now, TraceKind::kPreAll, ch, rk, 0, 0, 0);
       break;
     case DdrCommandType::kRead:
       c_reads_->Increment();
+      HT_TRACE(trace_, now, TraceKind::kRd, ch, rk, bk, cmd.row, 0);
       break;
     case DdrCommandType::kWrite:
       c_writes_->Increment();
+      HT_TRACE(trace_, now, TraceKind::kWr, ch, rk, bk, cmd.row, 0);
       break;
     case DdrCommandType::kRefresh:
       c_refs_->Increment();
+      HT_TRACE(trace_, now, TraceKind::kRef, ch, rk, 0, 0, 0);
       ApplyRefresh(cmd.rank, now);
       break;
     case DdrCommandType::kRefreshSb:
       c_refs_sb_->Increment();
+      HT_TRACE(trace_, now, TraceKind::kRefSb, ch, rk, bk, 0, 0);
       ApplyRefreshSb(cmd.rank, cmd.bank, now);
       break;
     case DdrCommandType::kRefreshNeighbors:
       c_ref_neighbors_->Increment();
+      HT_TRACE(trace_, now, TraceKind::kRefNeighbors, ch, rk, bk, cmd.row, cmd.blast);
       ApplyRefreshNeighbors(cmd.rank, cmd.bank, cmd.row, cmd.blast, now);
       break;
   }
@@ -123,6 +134,9 @@ void DramDevice::ApplyRefresh(uint32_t rank, Cycle now) {
   // TRR piggybacks targeted neighbour refreshes on the REF (§3).
   for (const TrrRepair& repair : trr_[rank].OnRefresh()) {
     c_trr_repairs_->Increment();
+    HT_TRACE(trace_, now, TraceKind::kTrrRepair, static_cast<uint8_t>(channel_index_),
+             static_cast<uint8_t>(rank), static_cast<uint8_t>(repair.bank), repair.internal_row,
+             0);
     const uint32_t internal = repair.internal_row;
     const uint32_t subarray = config_.org.SubarrayOfRow(internal);
     for (uint32_t d = 1; d <= config_.disturbance.blast_radius; ++d) {
@@ -149,6 +163,9 @@ void DramDevice::ApplyRefreshSb(uint32_t rank, uint32_t bank, Cycle now) {
   // TRR can piggyback on same-bank refreshes too.
   for (const TrrRepair& repair : trr_[rank].OnRefresh()) {
     c_trr_repairs_->Increment();
+    HT_TRACE(trace_, now, TraceKind::kTrrRepair, static_cast<uint8_t>(channel_index_),
+             static_cast<uint8_t>(rank), static_cast<uint8_t>(repair.bank), repair.internal_row,
+             0);
     const uint32_t internal = repair.internal_row;
     const uint32_t subarray = config_.org.SubarrayOfRow(internal);
     for (uint32_t d = 1; d <= config_.disturbance.blast_radius; ++d) {
@@ -194,6 +211,9 @@ void DramDevice::RecordFlips(uint32_t rank, uint32_t bank,
     ++total_flip_events_;
     c_flip_events_->Increment();
     c_flipped_bits_->Add(applied);
+    HT_TRACE(trace_, now, TraceKind::kBitFlip, static_cast<uint8_t>(channel_index_),
+             static_cast<uint8_t>(rank), static_cast<uint8_t>(bank), logical_victim,
+             static_cast<uint64_t>(logical_aggressor) | (static_cast<uint64_t>(applied) << 32));
     if (flips_.size() < kMaxFlipRecords) {
       flips_.push_back({now, channel_index_, rank, bank, logical_victim, logical_aggressor,
                         config_.org.SubarrayOfRow(victim.row), applied});

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/telemetry/trace.h"
 #include "common/types.h"
 #include "dram/command.h"
 #include "dram/config.h"
@@ -94,6 +95,10 @@ class DramDevice {
   // ECC read-path counters (corrected / detected / escaped).
   const StatSet& ecc_stats() const { return ecc_stats_; }
 
+  // Attach (or detach with nullptr) a trace buffer; the device emits one
+  // event per issued command plus FLIP/TRR events.
+  void set_trace(TraceBuffer* trace) { trace_ = trace; }
+
   static constexpr size_t kMaxFlipRecords = 200000;
 
  private:
@@ -133,6 +138,7 @@ class DramDevice {
   std::vector<FlipRecord> flips_;
   uint64_t total_flip_events_ = 0;
   StatSet stats_;
+  TraceBuffer* trace_ = nullptr;
 
   // Interned stat handles (see common/stats.h for lifetime rules).
   Counter* c_acts_;

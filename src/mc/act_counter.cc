@@ -11,6 +11,8 @@ void ActCounter::OnActivate(PhysAddr trigger_addr, DomainId domain, bool is_dma,
     return;
   }
   ++interrupts_;
+  HT_TRACE(trace_, now, TraceKind::kActInterrupt, static_cast<uint8_t>(channel_), 0, 0, 0,
+           static_cast<uint64_t>(trigger_addr));
   if (handler_) {
     ActInterrupt interrupt;
     interrupt.channel = channel_;

@@ -15,6 +15,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/telemetry/trace.h"
 #include "common/types.h"
 
 namespace ht {
@@ -59,6 +60,8 @@ class ActCounter {
   uint64_t count() const { return count_; }
   uint64_t interrupts_raised() const { return interrupts_; }
 
+  void set_trace(TraceBuffer* trace) { trace_ = trace; }
+
  private:
   uint32_t channel_;
   ActCounterConfig config_;
@@ -66,6 +69,7 @@ class ActCounter {
   ActInterruptHandler handler_;
   uint64_t count_ = 0;
   uint64_t interrupts_ = 0;
+  TraceBuffer* trace_ = nullptr;
 };
 
 }  // namespace ht

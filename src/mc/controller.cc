@@ -131,11 +131,27 @@ bool MemoryController::RefreshNeighbors(PhysAddr addr, uint32_t blast, Cycle now
 }
 
 void MemoryController::Tick(Cycle now) {
-  if (mitigation_ != nullptr && now >= next_epoch_) {
-    mitigation_->OnEpoch(now);
-    next_epoch_ += dram_config_.retention.refresh_window;
-    for (ChannelState& channel : channels_) {
-      channel.next_sched = 0;
+  // Gate on the pointers first: without a mitigation (or tracing)
+  // next_epoch_ never advances, and testing it first would make this
+  // "unlikely" branch permanently taken after the first window.
+  if ((mitigation_ != nullptr || trace_ != nullptr) && now >= next_epoch_) [[unlikely]] {
+    if (mitigation_ != nullptr) {
+      mitigation_->OnEpoch(now);
+      HT_TRACE(trace_, next_epoch_, TraceKind::kEpochRollover, 0, 0, 0, 0, epoch_index_);
+      ++epoch_index_;
+      next_epoch_ += dram_config_.retention.refresh_window;
+      for (ChannelState& channel : channels_) {
+        channel.next_sched = 0;
+      }
+    } else {
+      // Without a mitigation nothing else reads next_epoch_, so the trace
+      // path may advance it (stamping any windows idle-skipping jumped
+      // over at their true boundary cycles) without changing simulation.
+      while (now >= next_epoch_) {
+        trace_->Emit(next_epoch_, TraceKind::kEpochRollover, 0, 0, 0, 0, epoch_index_);
+        ++epoch_index_;
+        next_epoch_ += dram_config_.retention.refresh_window;
+      }
     }
   }
   for (uint32_t c = 0; c < channels(); ++c) {
@@ -526,6 +542,9 @@ void MemoryController::EnqueueNeighborRefresh(const NeighborRefreshRequest& refr
   ChannelState& channel = channels_[channel_index];
   c_mitigation_refreshes_->Increment();
   const uint32_t blast = EffectiveBlast();
+  HT_TRACE(trace_, now, TraceKind::kMitigationRefresh, static_cast<uint8_t>(channel_index),
+           static_cast<uint8_t>(refresh.rank), static_cast<uint8_t>(refresh.bank),
+           refresh.aggressor_row, blast);
   if (config_.use_ref_neighbors) {
     if (channel.internal_ops.size() >= kMaxInternalOps) {
       stats_.Add("mc.mitigation_refresh_dropped");
@@ -603,6 +622,16 @@ size_t MemoryController::QueuedRequests() const {
 
 void MemoryController::InstallMitigation(std::unique_ptr<McMitigation> mitigation) {
   mitigation_ = std::move(mitigation);
+}
+
+void MemoryController::set_trace(TraceBuffer* trace) {
+  trace_ = trace;
+  for (auto& device : devices_) {
+    device->set_trace(trace);
+  }
+  for (auto& counter : act_counters_) {
+    counter->set_trace(trace);
+  }
 }
 
 uint64_t MemoryController::TotalFlipEvents() const {

@@ -124,6 +124,11 @@ class MemoryController {
   const McConfig& config() const { return config_; }
   const DramConfig& dram_config() const { return dram_config_; }
 
+  // Attach (or detach with nullptr) a trace buffer; propagates to every
+  // channel's device and ACT counter, so all DDR commands, flips, TRR
+  // repairs, interrupts, and epoch rollovers land in one buffer.
+  void set_trace(TraceBuffer* trace);
+
   // Total Rowhammer flip events across all channels.
   uint64_t TotalFlipEvents() const;
 
@@ -193,7 +198,9 @@ class MemoryController {
   std::unordered_map<DomainId, uint32_t> domain_groups_;
   MemResponseCallback response_handler_;
   Cycle next_epoch_ = 0;
+  uint64_t epoch_index_ = 0;  // Refresh windows completed (trace only).
   StatSet stats_;
+  TraceBuffer* trace_ = nullptr;
 
   // Interned stat handles (resolved once in the constructor; see
   // common/stats.h for lifetime rules).

@@ -188,6 +188,8 @@ bool HostKernel::MovePageToFrame(DomainId domain, VirtAddr va_page, uint64_t new
   allocator_->FreeFrame(domain, *old_frame);
   ++page_moves_;
   stats_.Add("kernel.page_moves");
+  HT_TRACE(trace_, trace_clock_ != nullptr ? *trace_clock_ : 0, TraceKind::kPageMove, 0, 0, 0,
+           static_cast<uint32_t>(domain), *new_frame);
   return true;
 }
 

@@ -123,6 +123,14 @@ class HostKernel {
   FrameAllocator& allocator() { return *allocator_; }
   StatSet& stats() { return stats_; }
 
+  // Attach (or detach with nullptr) a trace buffer. Kernel services have
+  // no cycle argument, so `clock` points at the simulation clock (the
+  // System's now) to stamp PAGE_MOVE events.
+  void set_trace(TraceBuffer* trace, const Cycle* clock) {
+    trace_ = trace;
+    trace_clock_ = clock;
+  }
+
  private:
   struct Region {
     DomainId domain;
@@ -144,6 +152,8 @@ class HostKernel {
   DomainId next_domain_ = 1;
   uint64_t page_moves_ = 0;
   StatSet stats_;
+  TraceBuffer* trace_ = nullptr;
+  const Cycle* trace_clock_ = nullptr;
 };
 
 }  // namespace ht

@@ -45,6 +45,22 @@ System::System(const SystemConfig& config) : config_(config) {
       defense_->OnActInterrupt(irq, now_);
     }
   });
+
+  if (config_.telemetry.trace != nullptr) {
+    mc_->set_trace(config_.telemetry.trace);
+    kernel_->set_trace(config_.telemetry.trace, &now_);
+  }
+  sampler_ = StatSampler(config_.telemetry.sample_every);
+  if (sampler_.enabled()) {
+    sampler_.AddSource("", &mc_->stats());
+    for (uint32_t c = 0; c < mc_->channels(); ++c) {
+      // Per-channel device stats share metric names; prefix by channel.
+      sampler_.AddSource("ch" + std::to_string(c), &mc_->device(c).stats());
+    }
+    sampler_.AddSource("", &kernel_->stats());
+    sampler_.AddSource("llc", &llc_->stats());
+    sample_next_ = sampler_.NextSampleCycle();
+  }
 }
 
 std::unique_ptr<FrameAllocator> System::MakeAllocator() const {
@@ -88,7 +104,11 @@ DmaEngine& System::AddDma(DomainId domain, const DmaConfig& dma_config) {
 void System::InstallDefense(std::unique_ptr<Defense> defense) {
   defense_ = std::move(defense);
   if (defense_ != nullptr) {
+    defense_->set_trace(config_.telemetry.trace);
     defense_->Attach(kernel_.get(), llc_.get());
+    if (sampler_.enabled()) {
+      sampler_.AddSource("", &defense_->stats());
+    }
   }
 }
 
@@ -103,10 +123,21 @@ Cycle System::NextWakeCycle(Cycle now) const {
   if (defense_ != nullptr) {
     wake = std::min(wake, defense_->NextWake(now));
   }
+  // Sample deadlines join the min so idle skipping lands the clock on
+  // exact k*period boundaries — skip and tick runs yield identical series.
+  wake = std::min(wake, sample_next_);
   return wake;
 }
 
 void System::Step(Cycle end) {
+  if (now_ >= sample_next_) [[unlikely]] {
+    // Stamped at the boundary cycle even if ticking overshot it (cannot
+    // happen while NextWakeCycle includes sample_next_, but stay exact).
+    while (now_ >= sample_next_) {
+      sampler_.Sample(sample_next_);
+      sample_next_ += sampler_.period();
+    }
+  }
   mc_->Tick(now_);
   for (auto& core : cores_) {
     core->Tick(now_);
@@ -180,6 +211,27 @@ double System::RowHitRate() const {
 double System::AvgReadLatency() const {
   const Histogram* histogram = mc_->stats().GetHistogram("mc.read_latency");
   return histogram == nullptr ? 0.0 : histogram->Mean();
+}
+
+StatSet System::CollectStats() const {
+  StatSet merged;
+  merged.MergeFrom(mc_->stats());
+  for (uint32_t c = 0; c < mc_->channels(); ++c) {
+    merged.MergeFrom(mc_->device(c).stats());
+    merged.MergeFrom(mc_->device(c).ecc_stats());
+  }
+  merged.MergeFrom(llc_->stats());
+  for (const auto& core : cores_) {
+    merged.MergeFrom(core->stats());
+  }
+  for (const auto& dma : dmas_) {
+    merged.MergeFrom(dma->stats());
+  }
+  merged.MergeFrom(kernel_->stats());
+  if (defense_ != nullptr) {
+    merged.MergeFrom(defense_->stats());
+  }
+  return merged;
 }
 
 }  // namespace ht

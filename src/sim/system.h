@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/telemetry/sampler.h"
+#include "common/telemetry/trace.h"
 #include "common/types.h"
 #include "cpu/cache.h"
 #include "cpu/core.h"
@@ -31,6 +33,18 @@ enum class AllocPolicy : uint8_t {
 
 const char* ToString(AllocPolicy policy);
 
+// Observability knobs. Off by default: a null trace buffer and a zero
+// sample period cost one predictable branch each on the hot path.
+struct TelemetryConfig {
+  // Borrowed buffer (owned by a TraceSink); nullptr = tracing off. The
+  // System fans it out to the MC, devices, ACT counters, kernel, and the
+  // installed defense, so one scenario's events share one buffer.
+  TraceBuffer* trace = nullptr;
+  // Snapshot all component StatSets every N cycles; 0 = sampling off.
+  // Samples land on exact k*N boundaries whether or not skip_idle is on.
+  Cycle sample_every = 0;
+};
+
 struct SystemConfig {
   DramConfig dram = DramConfig::SimDefault();
   McConfig mc;
@@ -45,6 +59,7 @@ struct SystemConfig {
   // no component's Tick could change state or emit a stat). Produces
   // bit-identical results to per-cycle ticking; disable to cross-check.
   bool skip_idle = true;
+  TelemetryConfig telemetry;
 };
 
 class System {
@@ -92,6 +107,15 @@ class System {
   double RowHitRate() const;
   double AvgReadLatency() const;
 
+  // --- Telemetry ---------------------------------------------------------
+
+  const StatSampler& sampler() const { return sampler_; }
+
+  // One StatSet merging every component's stats (MC, per-channel devices
+  // and their ECC counters, LLC, cores, DMA engines, kernel, defense) for
+  // end-of-run reports. Per-channel counters sum together.
+  StatSet CollectStats() const;
+
  private:
   std::unique_ptr<FrameAllocator> MakeAllocator() const;
 
@@ -111,6 +135,8 @@ class System {
   std::vector<std::unique_ptr<DmaEngine>> dmas_;
   std::unique_ptr<Defense> defense_;
   Cycle now_ = 0;
+  StatSampler sampler_;
+  Cycle sample_next_ = kNeverCycle;
 };
 
 }  // namespace ht

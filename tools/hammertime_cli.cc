@@ -36,6 +36,9 @@ struct CliOptions {
   bool closed_page = false;
   bool csv = false;
   bool verbose = false;
+  std::string trace_out;    // Chrome trace_event JSON path.
+  std::string metrics_out;  // hammertime.metrics.v1 report path.
+  Cycle sample_every = 0;
 };
 
 void PrintUsage() {
@@ -58,6 +61,10 @@ void PrintUsage() {
       "  --remap            enable vendor row remapping\n"
       "  --csv              emit CSV instead of a table\n"
       "  --verbose          dump raw MC/DRAM statistics afterwards\n"
+      "  --trace-out=PATH   write a Chrome trace_event JSON (chrome://tracing)\n"
+      "  --metrics-out=PATH write a hammertime.metrics.v1 run report\n"
+      "  --sample-every=N   stat-sampler period in cycles (default 16384\n"
+      "                     when --metrics-out is set)\n"
       "  --help             this text");
 }
 
@@ -112,6 +119,12 @@ int main(int argc, char** argv) {
       options.threshold = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--cycles", value)) {
       options.cycles = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--trace-out", value)) {
+      options.trace_out = value;
+    } else if (ParseFlag(argv[i], "--metrics-out", value)) {
+      options.metrics_out = value;
+    } else if (ParseFlag(argv[i], "--sample-every", value)) {
+      options.sample_every = std::strtoull(value.c_str(), nullptr, 10);
     } else {
       return Fail(std::string("unknown flag ") + argv[i]);
     }
@@ -188,7 +201,37 @@ int main(int argc, char** argv) {
     return Fail("unknown hw mitigation " + options.hw);
   }
 
-  const ScenarioResult result = RunScenario(spec);
+  if (!options.metrics_out.empty() && options.sample_every == 0) {
+    options.sample_every = kDefaultSampleEvery;
+  }
+  const bool telemetry_on = !options.trace_out.empty() || !options.metrics_out.empty();
+  TraceSink sink;
+  ScenarioTelemetry telemetry;
+  telemetry.label = options.attack + "-vs-" + options.defense;
+  telemetry.sample_every = options.sample_every;
+  if (!options.trace_out.empty()) {
+    telemetry.trace = sink.CreateBuffer(telemetry.label);
+  }
+
+  const ScenarioResult result = RunScenario(spec, telemetry_on ? &telemetry : nullptr);
+
+  if (!options.trace_out.empty()) {
+    std::ofstream trace_file(options.trace_out);
+    if (!trace_file) {
+      return Fail("cannot open " + options.trace_out);
+    }
+    sink.WriteChromeTrace(trace_file);
+  }
+  if (!options.metrics_out.empty()) {
+    std::ofstream metrics_file(options.metrics_out);
+    if (!metrics_file) {
+      return Fail("cannot open " + options.metrics_out);
+    }
+    std::vector<JsonValue> reports;
+    reports.push_back(std::move(telemetry.report));
+    MakeMetricsDocument(std::move(reports)).Dump(metrics_file);
+    metrics_file << "\n";
+  }
 
   Table table("hammertime: " + options.attack + " vs " + options.defense +
               (options.hw != "none" ? "+" + options.hw : ""));

@@ -1,0 +1,144 @@
+// trace_check — schema validator for the telemetry output files.
+//
+//   trace_check --trace FILE [NAME...]    Chrome trace_event JSON; each
+//                                         extra NAME must appear among the
+//                                         event names at least once.
+//   trace_check --metrics FILE            hammertime.metrics.v1 document.
+//   trace_check --compare FILE FILE       two metrics documents must be
+//                                         identical after zeroing the
+//                                         non-deterministic wall_seconds
+//                                         (serial-vs-parallel check).
+//
+// Exits 0 on success, 1 on validation failure, 2 on usage/IO errors.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/telemetry/json.h"
+#include "common/telemetry/report.h"
+
+namespace {
+
+int Usage() {
+  std::fputs(
+      "usage: trace_check --trace FILE [NAME...]\n"
+      "       trace_check --metrics FILE\n"
+      "       trace_check --compare FILE FILE\n",
+      stderr);
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+std::optional<ht::JsonValue> ParseFile(const std::string& path) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    return std::nullopt;
+  }
+  std::string error;
+  auto doc = ht::JsonValue::Parse(text, &error);
+  if (!doc.has_value()) {
+    std::fprintf(stderr, "trace_check: %s: %s\n", path.c_str(), error.c_str());
+  }
+  return doc;
+}
+
+// Wall-clock differs between otherwise identical runs; zero it everywhere
+// before comparing documents.
+void ZeroWallSeconds(ht::JsonValue& value) {
+  if (value.type() == ht::JsonValue::Type::kObject) {
+    for (auto& [key, member] : value.members()) {
+      if (key == "wall_seconds") {
+        member = ht::JsonValue::Double(0.0);
+      } else {
+        ZeroWallSeconds(member);
+      }
+    }
+  } else if (value.type() == ht::JsonValue::Type::kArray) {
+    for (size_t i = 0; i < value.size(); ++i) {
+      ZeroWallSeconds(value.at(i));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  const std::string mode = argv[1];
+  std::string error;
+
+  if (mode == "--trace") {
+    auto doc = ParseFile(argv[2]);
+    if (!doc.has_value()) {
+      return 2;
+    }
+    std::vector<std::string> required;
+    for (int i = 3; i < argc; ++i) {
+      required.push_back(argv[i]);
+    }
+    if (!ht::ValidateChromeTrace(*doc, required, &error)) {
+      std::fprintf(stderr, "trace_check: %s: %s\n", argv[2], error.c_str());
+      return 1;
+    }
+    std::printf("trace_check: %s: valid chrome trace (%zu events)\n", argv[2],
+                doc->Find("traceEvents")->size());
+    return 0;
+  }
+
+  if (mode == "--metrics") {
+    auto doc = ParseFile(argv[2]);
+    if (!doc.has_value()) {
+      return 2;
+    }
+    if (!ht::ValidateMetricsDocument(*doc, &error)) {
+      std::fprintf(stderr, "trace_check: %s: %s\n", argv[2], error.c_str());
+      return 1;
+    }
+    std::printf("trace_check: %s: valid metrics document (%zu reports)\n", argv[2],
+                doc->Find("reports")->size());
+    return 0;
+  }
+
+  if (mode == "--compare") {
+    if (argc != 4) {
+      return Usage();
+    }
+    auto a = ParseFile(argv[2]);
+    auto b = ParseFile(argv[3]);
+    if (!a.has_value() || !b.has_value()) {
+      return 2;
+    }
+    for (const auto* doc : {&*a, &*b}) {
+      if (!ht::ValidateMetricsDocument(*doc, &error)) {
+        std::fprintf(stderr, "trace_check: %s\n", error.c_str());
+        return 1;
+      }
+    }
+    ZeroWallSeconds(*a);
+    ZeroWallSeconds(*b);
+    if (!(*a == *b)) {
+      std::fprintf(stderr, "trace_check: %s and %s differ beyond wall_seconds\n", argv[2],
+                   argv[3]);
+      return 1;
+    }
+    std::printf("trace_check: %s == %s (modulo wall_seconds)\n", argv[2], argv[3]);
+    return 0;
+  }
+
+  return Usage();
+}
