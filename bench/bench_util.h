@@ -223,6 +223,16 @@ inline JsonValue ScenarioResultToJson(const ScenarioResult& result) {
   return out;
 }
 
+// Optional observation points inside RunScenario, for callers that need
+// access to the live System (e.g. tools/hammerfuzz attaching the
+// differential oracle). `on_start` fires after full setup, immediately
+// before RunFor; `on_finish` fires after all results are collected, while
+// the System is still alive. Both are skipped when null.
+struct ScenarioHooks {
+  std::function<void(System&)> on_start;
+  std::function<void(System&)> on_finish;
+};
+
 // Builds the standard two-tenant (attacker + victim) scenario, runs it,
 // and collects outcome metrics. Isolation-centric defenses are expressed
 // through `spec.system` (scheme + alloc policy) by the caller.
@@ -230,7 +240,8 @@ inline JsonValue ScenarioResultToJson(const ScenarioResult& result) {
 // With `telemetry` set, the scenario runs with its trace buffer and
 // sampler attached and fills telemetry->report with a
 // hammertime.run_report.v1 document (plus per-scenario wall-clock).
-inline ScenarioResult RunScenario(ScenarioSpec spec, ScenarioTelemetry* telemetry = nullptr) {
+inline ScenarioResult RunScenario(ScenarioSpec spec, ScenarioTelemetry* telemetry = nullptr,
+                                  const ScenarioHooks* hooks = nullptr) {
   const auto wall_start = std::chrono::steady_clock::now();
   ApplyDefensePreset(spec.system, spec.defense, spec.act_threshold);
   spec.run_cycles = std::min(spec.run_cycles, BenchSmokeCap());
@@ -316,6 +327,10 @@ inline ScenarioResult RunScenario(ScenarioSpec spec, ScenarioTelemetry* telemetr
                                    ~0ull >> 1, 99));
   }
 
+  if (hooks != nullptr && hooks->on_start) {
+    hooks->on_start(system);
+  }
+
   system.RunFor(spec.run_cycles);
 
   result.security = Assess(system);
@@ -340,6 +355,9 @@ inline ScenarioResult RunScenario(ScenarioSpec spec, ScenarioTelemetry* telemetr
     telemetry->report = BuildRunReport(telemetry->label, ScenarioSpecToJson(spec),
                                        ScenarioResultToJson(result), system.CollectStats(),
                                        &system.sampler(), telemetry->wall_seconds, counts);
+  }
+  if (hooks != nullptr && hooks->on_finish) {
+    hooks->on_finish(system);
   }
   return result;
 }

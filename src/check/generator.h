@@ -1,0 +1,92 @@
+// Shared randomized-input generation for the correctness subsystem: one
+// pattern source used by both tests/test_fuzz.cc and tools/hammerfuzz.
+//
+// Everything a fuzz case does is derived deterministically from its seed
+// line, and command streams are prefix-stable in `steps` (running N steps
+// replays the first N steps of any longer run with the same seed), which
+// is what makes binary-search shrinking sound.
+//
+// Seed-file format (one case per line, '#' comments allowed):
+//   htfuzz v1 device seed=0x2a steps=20000 mask=0x0 inject=0
+//   htfuzz v1 scenario seed=0x2a cycles=120000 mask=0x0 inject=0
+// `mask` disables config features (shrinking aid, kFuzz* bits below);
+// `inject` != 0 arms the oracle's fault injection after that many
+// commands — recorded so an injected-divergence repro replays by itself.
+#ifndef HAMMERTIME_SRC_CHECK_GENERATOR_H_
+#define HAMMERTIME_SRC_CHECK_GENERATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/oracle.h"
+#include "common/rng.h"
+#include "dram/config.h"
+
+namespace ht {
+
+// Feature-disable bits for shrinking: a failing case is re-run with each
+// bit set; bits that keep it failing stay set, pinning the blame.
+inline constexpr uint32_t kFuzzNoTrr = 1u << 0;
+inline constexpr uint32_t kFuzzNoRemap = 1u << 1;
+inline constexpr uint32_t kFuzzNoEcc = 1u << 2;
+inline constexpr uint32_t kFuzzPlainTiming = 1u << 3;   // Default DDR4 timings.
+inline constexpr uint32_t kFuzzTinyGeometry = 1u << 4;  // DramConfig::Tiny() shape.
+
+// Width of the hot row band that half the generated ACTs hammer (see
+// NextDeviceCommand): concentrating ACTs keeps the disturbance
+// accumulators and the TRR tracker under real pressure. (The stream's
+// frequent REFsb / REF_NEIGHBORS commands repair victims too often for
+// random traffic to flip bits — deterministic hammering in
+// tests/test_oracle.cc and the scenario cases cover the flip path.)
+inline constexpr uint32_t kFuzzHotRows = 3;
+
+struct FuzzCase {
+  enum class Kind : uint8_t { kDevice, kScenario };
+  Kind kind = Kind::kDevice;
+  uint64_t seed = 1;
+  uint64_t steps = 20000;   // Device cases: random commands to attempt.
+  Cycle cycles = 120000;    // Scenario cases: run length.
+  uint32_t feature_mask = 0;
+  uint64_t inject_after = 0;  // Oracle fault injection (0 = off).
+
+  std::string ToSeedLine() const;
+};
+std::optional<FuzzCase> ParseSeedLine(const std::string& line);
+
+// Randomized DramConfig: Tiny-like geometry with jittered shape, timing,
+// MAC/blast, and TRR/remap/ECC toggles. Deterministic in (seed, mask).
+DramConfig MakeFuzzDramConfig(uint64_t seed, uint32_t feature_mask);
+
+// One step of the random device command stream (the pattern source
+// promoted from tests/test_fuzz.cc, plus REFsb). Draws a fixed number of
+// rng values per call regardless of the chosen command, preserving
+// prefix stability across config feature masks.
+DdrCommand NextDeviceCommand(Rng& rng, const DramConfig& config);
+
+// Drives a bare device with `steps` random commands under the oracle,
+// keeping the REF cadence, and cross-checks Check() against Issue().
+struct DeviceFuzzOutcome {
+  uint64_t issued = 0;
+  uint64_t illegal_attempts = 0;
+  uint64_t flips = 0;
+  uint64_t retention_violations = 0;
+  uint64_t check_issue_mismatches = 0;
+  uint64_t oracle_divergences = 0;
+  std::string report;  // Non-empty iff failed().
+
+  bool failed() const {
+    return retention_violations != 0 || check_issue_mismatches != 0 || oracle_divergences != 0;
+  }
+};
+DeviceFuzzOutcome RunDeviceFuzz(const FuzzCase& fuzz_case);
+
+// Shrinks a failing device case: binary-search the smallest failing step
+// count (sound because streams are prefix-stable), then greedily disable
+// config features that keep it failing, re-tightening steps after each.
+FuzzCase ShrinkDeviceFuzz(const FuzzCase& failing);
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_CHECK_GENERATOR_H_

@@ -1,0 +1,304 @@
+#include "check/reference.h"
+
+#include <algorithm>
+
+namespace ht {
+
+namespace {
+
+// Folds `event + delta` into a running earliest-cycle maximum, skipping
+// events that never happened.
+inline void Fold(Cycle& earliest, const std::optional<Cycle>& event, Cycle delta) {
+  if (event.has_value()) {
+    earliest = std::max(earliest, *event + delta);
+  }
+}
+
+}  // namespace
+
+RefTimingModel::RefTimingModel(const DramOrg& org, const DramTiming& timing,
+                               bool ref_neighbors_supported)
+    : org_(org), timing_(timing), ref_neighbors_supported_(ref_neighbors_supported) {
+  ranks_.resize(org_.ranks);
+  for (RankEvents& rank : ranks_) {
+    rank.banks.resize(org_.banks);
+  }
+}
+
+Cycle RefTimingModel::BankBusyUntil(const BankEvents& b) const {
+  Cycle busy = 0;
+  Fold(busy, b.last_refsb, timing_.tRFCsb);
+  if (b.last_refn.has_value()) {
+    busy = std::max(busy, *b.last_refn +
+                              static_cast<Cycle>(2 * b.last_refn_blast) * timing_.tRC +
+                              timing_.tRP);
+  }
+  return busy;
+}
+
+Cycle RefTimingModel::BankActReady(const BankEvents& b) const {
+  Cycle ready = BankBusyUntil(b);
+  Fold(ready, b.last_act, timing_.tRC);
+  Fold(ready, b.last_pre, timing_.tRP);
+  Fold(ready, b.last_rda, timing_.ReadToPrecharge() + timing_.tRP);
+  Fold(ready, b.last_wra, timing_.WriteToPrecharge() + timing_.tRP);
+  return ready;
+}
+
+Cycle RefTimingModel::BankPreReady(const BankEvents& b) const {
+  Cycle ready = 0;
+  Fold(ready, b.last_act, timing_.tRAS);
+  Fold(ready, b.last_rd, timing_.ReadToPrecharge());
+  Fold(ready, b.last_wr, timing_.WriteToPrecharge());
+  return ready;
+}
+
+Cycle RefTimingModel::EarliestCycle(const DdrCommand& cmd) const {
+  const RankEvents& rank = ranks_[cmd.rank];
+  Cycle earliest = 0;
+  Fold(earliest, rank.last_ref, timing_.tRFC);
+  switch (cmd.type) {
+    case DdrCommandType::kActivate: {
+      const BankEvents& b = rank.banks[cmd.bank];
+      earliest = std::max(earliest, BankActReady(b));
+      Fold(earliest, rank.last_act, timing_.tRRD);
+      // tFAW: with four ACTs on record, the oldest must be tFAW old.
+      if (rank.recent_acts.size() == 4) {
+        earliest = std::max(earliest, rank.recent_acts.front() + timing_.tFAW);
+      }
+      break;
+    }
+    case DdrCommandType::kPrecharge: {
+      const BankEvents& b = rank.banks[cmd.bank];
+      earliest = std::max({earliest, BankPreReady(b), BankBusyUntil(b)});
+      break;
+    }
+    case DdrCommandType::kPrechargeAll: {
+      for (const BankEvents& b : rank.banks) {
+        if (b.open_row.has_value()) {
+          earliest = std::max({earliest, BankPreReady(b), BankBusyUntil(b)});
+        }
+      }
+      break;
+    }
+    case DdrCommandType::kRead: {
+      const BankEvents& b = rank.banks[cmd.bank];
+      earliest = std::max(earliest, BankBusyUntil(b));
+      Fold(earliest, b.last_act, timing_.tRCD);
+      Fold(earliest, rank.last_rd, timing_.tCCD);
+      Fold(earliest, rank.last_wr, timing_.WriteToRead());
+      // Channel data bus: the burst starts tCL after issue and must not
+      // overlap the previous burst (from either a RD or a WR).
+      Cycle bus_free = 0;
+      Fold(bus_free, last_rd_any_, timing_.tCL + timing_.tBL);
+      Fold(bus_free, last_wr_any_, timing_.tCWL + timing_.tBL);
+      if (bus_free > earliest + timing_.tCL) {
+        earliest = bus_free - timing_.tCL;
+      }
+      break;
+    }
+    case DdrCommandType::kWrite: {
+      const BankEvents& b = rank.banks[cmd.bank];
+      earliest = std::max(earliest, BankBusyUntil(b));
+      Fold(earliest, b.last_act, timing_.tRCD);
+      Fold(earliest, rank.last_rd, timing_.tCCD);
+      Fold(earliest, rank.last_wr, timing_.tCCD);
+      Cycle bus_free = 0;
+      Fold(bus_free, last_rd_any_, timing_.tCL + timing_.tBL);
+      Fold(bus_free, last_wr_any_, timing_.tCWL + timing_.tBL);
+      if (bus_free > earliest + timing_.tCWL) {
+        earliest = bus_free - timing_.tCWL;
+      }
+      break;
+    }
+    case DdrCommandType::kRefresh: {
+      for (const BankEvents& b : rank.banks) {
+        earliest = std::max({earliest, BankActReady(b), BankBusyUntil(b)});
+      }
+      break;
+    }
+    case DdrCommandType::kRefreshSb:
+    case DdrCommandType::kRefreshNeighbors: {
+      const BankEvents& b = rank.banks[cmd.bank];
+      earliest = std::max({earliest, BankActReady(b), BankBusyUntil(b)});
+      break;
+    }
+  }
+  return earliest;
+}
+
+TimingVerdict RefTimingModel::Check(const DdrCommand& cmd, Cycle now) const {
+  const RankEvents& rank = ranks_[cmd.rank];
+  switch (cmd.type) {
+    case DdrCommandType::kActivate:
+      if (rank.banks[cmd.bank].open_row.has_value()) {
+        return TimingVerdict::kBankAlreadyOpen;
+      }
+      break;
+    case DdrCommandType::kPrecharge:
+      // PRE to an idle bank is a harmless NOP per DDR.
+      break;
+    case DdrCommandType::kRead:
+    case DdrCommandType::kWrite:
+      if (!rank.banks[cmd.bank].open_row.has_value()) {
+        return TimingVerdict::kBankNotOpen;
+      }
+      break;
+    case DdrCommandType::kRefresh:
+      for (const BankEvents& b : rank.banks) {
+        if (b.open_row.has_value()) {
+          return TimingVerdict::kBanksNotIdle;
+        }
+      }
+      break;
+    case DdrCommandType::kRefreshSb:
+      if (rank.banks[cmd.bank].open_row.has_value()) {
+        return TimingVerdict::kBanksNotIdle;
+      }
+      break;
+    case DdrCommandType::kRefreshNeighbors:
+      if (!ref_neighbors_supported_) {
+        return TimingVerdict::kUnsupported;
+      }
+      if (rank.banks[cmd.bank].open_row.has_value()) {
+        return TimingVerdict::kBankAlreadyOpen;
+      }
+      break;
+    case DdrCommandType::kPrechargeAll:
+      break;
+  }
+  if (now < EarliestCycle(cmd)) {
+    return TimingVerdict::kTooEarly;
+  }
+  return TimingVerdict::kOk;
+}
+
+void RefTimingModel::Record(const DdrCommand& cmd, Cycle now) {
+  RankEvents& rank = ranks_[cmd.rank];
+  switch (cmd.type) {
+    case DdrCommandType::kActivate: {
+      BankEvents& b = rank.banks[cmd.bank];
+      b.open_row = cmd.row;
+      b.last_act = now;
+      rank.last_act = now;
+      rank.recent_acts.push_back(now);
+      if (rank.recent_acts.size() > 4) {
+        rank.recent_acts.pop_front();
+      }
+      break;
+    }
+    case DdrCommandType::kPrecharge: {
+      BankEvents& b = rank.banks[cmd.bank];
+      b.open_row.reset();
+      b.last_pre = now;
+      break;
+    }
+    case DdrCommandType::kPrechargeAll: {
+      for (BankEvents& b : rank.banks) {
+        if (b.open_row.has_value()) {
+          b.open_row.reset();
+          b.last_pre = now;
+        }
+      }
+      break;
+    }
+    case DdrCommandType::kRead: {
+      BankEvents& b = rank.banks[cmd.bank];
+      b.last_rd = now;
+      rank.last_rd = now;
+      last_rd_any_ = now;
+      if (cmd.ap) {
+        b.last_rda = now;
+        b.open_row.reset();
+      }
+      break;
+    }
+    case DdrCommandType::kWrite: {
+      BankEvents& b = rank.banks[cmd.bank];
+      b.last_wr = now;
+      rank.last_wr = now;
+      last_wr_any_ = now;
+      if (cmd.ap) {
+        b.last_wra = now;
+        b.open_row.reset();
+      }
+      break;
+    }
+    case DdrCommandType::kRefresh: {
+      rank.last_ref = now;
+      break;
+    }
+    case DdrCommandType::kRefreshSb: {
+      rank.banks[cmd.bank].last_refsb = now;
+      break;
+    }
+    case DdrCommandType::kRefreshNeighbors: {
+      BankEvents& b = rank.banks[cmd.bank];
+      b.last_refn = now;
+      b.last_refn_blast = cmd.blast;
+      break;
+    }
+  }
+}
+
+RefBankDisturbance::RefBankDisturbance(const DramOrg& org, const DisturbanceParams& params)
+    : org_(org), params_(params) {
+  level_.assign(org_.rows_per_bank(), 0.0);
+  acts_.assign(org_.rows_per_bank(), 0);
+}
+
+void RefBankDisturbance::OnActivate(uint32_t row, std::vector<DisturbanceVictim>& victims) {
+  // The ACT repairs the activated row itself. Victim order (distance
+  // 1..blast, below before above) and the floating-point accumulation
+  // order must match the device so predictions compare exactly.
+  level_[row] = 0.0;
+  acts_[row] = 0;
+
+  const uint32_t subarray = org_.SubarrayOfRow(row);
+  const uint32_t rows_per_bank = org_.rows_per_bank();
+  const double mac = static_cast<double>(params_.mac);
+  for (uint32_t d = 1; d <= params_.blast_radius; ++d) {
+    const double w = params_.DistanceWeight(d);
+    if (row >= d) {
+      const uint32_t v = row - d;
+      if (org_.SubarrayOfRow(v) == subarray) {
+        level_[v] += w;
+        ++acts_[v];
+        if (level_[v] >= mac) {
+          victims.push_back({v, row});
+          level_[v] = 0.0;
+          acts_[v] = 0;
+        }
+      }
+    }
+    const uint32_t v = row + d;
+    if (v < rows_per_bank && org_.SubarrayOfRow(v) == subarray) {
+      level_[v] += w;
+      ++acts_[v];
+      if (level_[v] >= mac) {
+        victims.push_back({v, row});
+        level_[v] = 0.0;
+        acts_[v] = 0;
+      }
+    }
+  }
+}
+
+void RefBankDisturbance::OnRepair(uint32_t row) {
+  level_[row] = 0.0;
+  acts_[row] = 0;
+}
+
+void RefActCounter::OnActivate() {
+  if (!config_.enabled) {
+    return;
+  }
+  ++count_;
+  if (count_ < config_.threshold) {
+    return;
+  }
+  ++interrupts_;
+  count_ = config_.randomize_reset ? rng_.NextBelow(config_.threshold) : 0;
+}
+
+}  // namespace ht

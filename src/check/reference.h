@@ -1,0 +1,133 @@
+// The naive reference models behind the differential oracle.
+//
+// Each class here re-derives, from first principles and raw event history,
+// a verdict the optimized implementation computes incrementally:
+//
+//  * RefTimingModel keeps the raw timestamps of past commands and folds
+//    every constraint at query time — where TimingChecker maintains
+//    per-bank deadlines at record time. Agreement between the two is a
+//    real cross-check, not a copy: a bug in deadline maintenance (a missed
+//    max(), a stale memo) shows up as a verdict or earliest-cycle split.
+//  * RefBankDisturbance recomputes blast-radius accumulation per ACT.
+//  * RefActCounter replays the MC's ACT counter with its own RNG stream.
+//
+// Everything is deliberately straight-line: no memoization, no idle
+// skipping, no early outs beyond what the DDR rules themselves demand.
+#ifndef HAMMERTIME_SRC_CHECK_REFERENCE_H_
+#define HAMMERTIME_SRC_CHECK_REFERENCE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "dram/command.h"
+#include "dram/config.h"
+#include "dram/disturbance.h"
+#include "dram/timing.h"
+#include "mc/act_counter.h"
+
+namespace ht {
+
+// Straight-line per-bank DRAM state machine over raw event timestamps.
+class RefTimingModel {
+ public:
+  RefTimingModel(const DramOrg& org, const DramTiming& timing, bool ref_neighbors_supported);
+
+  // Same contract as TimingChecker: structural verdicts first, then
+  // kTooEarly when `now` precedes EarliestCycle(cmd).
+  TimingVerdict Check(const DdrCommand& cmd, Cycle now) const;
+
+  // Earliest cycle every timing constraint holds, folded from history.
+  Cycle EarliestCycle(const DdrCommand& cmd) const;
+
+  // Records `cmd` issued at `now` (caller must have Check()ed it).
+  void Record(const DdrCommand& cmd, Cycle now);
+
+  std::optional<uint32_t> OpenRow(uint32_t rank, uint32_t bank) const {
+    return ranks_[rank].banks[bank].open_row;
+  }
+
+ private:
+  struct BankEvents {
+    std::optional<uint32_t> open_row;
+    // Raw last-event cycles. "No such event yet" = nullopt, so cycle 0
+    // events need no sentinel encoding.
+    std::optional<Cycle> last_act;
+    std::optional<Cycle> last_pre;      // PRE or PREA closing this bank.
+    std::optional<Cycle> last_rd;       // Any RD (auto-precharge or not).
+    std::optional<Cycle> last_wr;       // Any WR.
+    std::optional<Cycle> last_rda;      // RD with auto-precharge.
+    std::optional<Cycle> last_wra;      // WR with auto-precharge.
+    std::optional<Cycle> last_refsb;
+    std::optional<Cycle> last_refn;
+    uint32_t last_refn_blast = 0;
+  };
+  struct RankEvents {
+    std::vector<BankEvents> banks;
+    std::deque<Cycle> recent_acts;      // Oldest first, trimmed to 4 (tFAW).
+    std::optional<Cycle> last_act;      // Any bank (tRRD).
+    std::optional<Cycle> last_ref;      // All-bank REF (tRFC).
+    std::optional<Cycle> last_rd;       // Any bank (tCCD / tWTR).
+    std::optional<Cycle> last_wr;
+  };
+
+  // End of the per-bank internal busy window (REFsb / REF_NEIGHBORS).
+  Cycle BankBusyUntil(const BankEvents& b) const;
+  // Earliest ACT permitted by this bank's own history (no rank rules).
+  Cycle BankActReady(const BankEvents& b) const;
+  // Earliest PRE permitted by this bank's own history.
+  Cycle BankPreReady(const BankEvents& b) const;
+
+  DramOrg org_;
+  DramTiming timing_;
+  bool ref_neighbors_supported_;
+  std::vector<RankEvents> ranks_;
+  std::optional<Cycle> last_rd_any_;    // Channel data bus (all ranks).
+  std::optional<Cycle> last_wr_any_;
+};
+
+// Per-row activation counting with blast radius — independently written
+// mirror of BankDisturbance, kept arithmetically identical (same victim
+// order, same weights) so flip predictions match the device exactly.
+class RefBankDisturbance {
+ public:
+  RefBankDisturbance(const DramOrg& org, const DisturbanceParams& params);
+
+  // Registers an ACT of internal `row`; appends predicted MAC crossings
+  // in device order (distance 1..blast, below before above).
+  void OnActivate(uint32_t row, std::vector<DisturbanceVictim>& victims);
+  void OnRepair(uint32_t row);
+
+  double Level(uint32_t row) const { return level_[row]; }
+
+ private:
+  DramOrg org_;
+  DisturbanceParams params_;
+  std::vector<double> level_;
+  std::vector<uint32_t> acts_;
+};
+
+// Shadow of mc/ActCounter: same config, same seed, same draw order.
+class RefActCounter {
+ public:
+  RefActCounter(uint32_t channel, const ActCounterConfig& config)
+      : config_(config), rng_(config.rng_seed + channel) {}
+
+  void OnActivate();
+
+  uint64_t count() const { return count_; }
+  uint64_t interrupts() const { return interrupts_; }
+
+ private:
+  ActCounterConfig config_;
+  Rng rng_;
+  uint64_t count_ = 0;
+  uint64_t interrupts_ = 0;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_CHECK_REFERENCE_H_

@@ -42,6 +42,22 @@ class Histogram {
   // min/max endpoints.
   uint64_t Quantile(double q) const;
 
+  // Exact structural equality (buckets and summary stats). Used by the
+  // differential checks that compare StatSets across run variants.
+  bool operator==(const Histogram& other) const {
+    if (count_ != other.count_ || sum_ != other.sum_ || max_ != other.max_ ||
+        min() != other.min()) {
+      return false;
+    }
+    for (int i = 0; i < kBuckets; ++i) {
+      if (buckets_[i] != other.buckets_[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+  bool operator!=(const Histogram& other) const { return !(*this == other); }
+
  private:
   static constexpr int kBuckets = 64;  // bucket i holds values with bit-width i.
   uint64_t buckets_[kBuckets];

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <exception>
+#include <mutex>
 
 namespace ht {
 
@@ -33,13 +35,28 @@ void ParallelFor(uint64_t jobs, unsigned threads, const std::function<void(uint6
   // Work stealing off a shared atomic cursor: workers grab the next
   // un-started index, so uneven job lengths still balance.
   std::atomic<uint64_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   auto worker = [&]() {
     for (;;) {
+      if (failed.load(std::memory_order_relaxed)) {
+        return;
+      }
       const uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs) {
         return;
       }
-      body(i);
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error == nullptr) {
+          first_error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
     }
   };
   std::vector<std::thread> pool;
@@ -50,6 +67,9 @@ void ParallelFor(uint64_t jobs, unsigned threads, const std::function<void(uint6
   worker();
   for (std::thread& t : pool) {
     t.join();
+  }
+  if (first_error != nullptr) {
+    std::rethrow_exception(first_error);
   }
 }
 

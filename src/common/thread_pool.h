@@ -20,6 +20,10 @@ unsigned ResolveThreadCount(unsigned requested = 0);
 // Runs body(i) for every i in [0, jobs) across `threads` workers (inline
 // when threads <= 1 or jobs <= 1). Each job must be independent: no shared
 // mutable state except its own output slot. Blocks until all jobs finish.
+//
+// If a job throws, unstarted jobs are abandoned, already-running jobs
+// finish, and one of the caught exceptions (the first observed) is
+// rethrown on the calling thread after all workers have joined.
 void ParallelFor(uint64_t jobs, unsigned threads, const std::function<void(uint64_t)>& body);
 
 }  // namespace ht

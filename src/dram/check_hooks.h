@@ -1,0 +1,47 @@
+// Differential-checking hook points on the DRAM device command stream.
+//
+// src/check/ implements this interface with a naive reference model and
+// attaches it via DramDevice::set_check_observer(). The interface lives in
+// dram/ (not check/) so the device never depends on the library that
+// verifies it. A detached observer costs one predictable branch per Issue
+// — the same contract as tracing (see device.h set_trace).
+#ifndef HAMMERTIME_SRC_DRAM_CHECK_HOOKS_H_
+#define HAMMERTIME_SRC_DRAM_CHECK_HOOKS_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "dram/command.h"
+#include "dram/timing.h"
+
+namespace ht {
+
+class DeviceCheckObserver {
+ public:
+  virtual ~DeviceCheckObserver() = default;
+
+  // Called for EVERY command handed to Issue() — rejected ones included —
+  // before any device state changes. `verdict` is the device's decision;
+  // `internal_row` is the remapped row for ACT / REF_NEIGHBORS (0 for
+  // commands without a row operand).
+  virtual void OnCommand(const DdrCommand& cmd, Cycle now, TimingVerdict verdict,
+                         uint32_t internal_row) = 0;
+
+  // Called for every internal-row repair performed while applying the
+  // current command (REF sweep groups, TRR piggybacks, REF_NEIGHBORS
+  // victims). Fires between OnCommand and OnCommandApplied.
+  virtual void OnRepair(uint32_t rank, uint32_t bank, uint32_t internal_row, Cycle now) = 0;
+
+  // Called for every disturbance victim that crossed the MAC while
+  // applying the current ACT. Rows are *internal* coordinates.
+  virtual void OnFlip(uint32_t rank, uint32_t bank, uint32_t internal_victim,
+                      uint32_t internal_aggressor, Cycle now) = 0;
+
+  // Called after an accepted command's state changes have fully applied.
+  // Not called for rejected commands.
+  virtual void OnCommandApplied(const DdrCommand& cmd, Cycle now) = 0;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_DRAM_CHECK_HOOKS_H_

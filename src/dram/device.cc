@@ -48,6 +48,16 @@ uint64_t DramDevice::RowKey(uint32_t rank, uint32_t bank, uint32_t logical_row) 
 
 TimingVerdict DramDevice::Issue(const DdrCommand& cmd, Cycle now) {
   const TimingVerdict verdict = timing_.Check(cmd, now);
+  if (check_ != nullptr) {
+    // The observer gets the remapped row for row-addressed commands so its
+    // reference model works in internal coordinates without a remap copy.
+    uint32_t internal_row = 0;
+    if (cmd.type == DdrCommandType::kActivate ||
+        cmd.type == DdrCommandType::kRefreshNeighbors) {
+      internal_row = unit(cmd.rank, cmd.bank).remap_table.ToInternal(cmd.row);
+    }
+    check_->OnCommand(cmd, now, verdict, internal_row);
+  }
   if (verdict != TimingVerdict::kOk) {
     stats_.Add("dram.illegal_commands");
     HT_LOG_DEBUG("rejected " << cmd.ToDebugString() << " at " << now << ": "
@@ -96,6 +106,9 @@ TimingVerdict DramDevice::Issue(const DdrCommand& cmd, Cycle now) {
       ApplyRefreshNeighbors(cmd.rank, cmd.bank, cmd.row, cmd.blast, now);
       break;
   }
+  if (check_ != nullptr) {
+    check_->OnCommandApplied(cmd, now);
+  }
   return TimingVerdict::kOk;
 }
 
@@ -117,6 +130,9 @@ void DramDevice::RepairInternalRow(uint32_t rank, uint32_t bank, uint32_t intern
   BankUnit& u = unit(rank, bank);
   u.disturbance.OnRefreshRow(internal_row);
   u.last_repair[internal_row] = now;
+  if (check_ != nullptr) {
+    check_->OnRepair(rank, bank, internal_row, now);
+  }
 }
 
 void DramDevice::ApplyRefresh(uint32_t rank, Cycle now) {
@@ -208,6 +224,9 @@ void DramDevice::RecordFlips(uint32_t rank, uint32_t bank,
         config_.disturbance.min_flip_bits, config_.disturbance.max_flip_bits));
     const uint32_t applied = data_.FlipRandomBits(RowKey(rank, bank, logical_victim), bits);
 
+    if (check_ != nullptr) {
+      check_->OnFlip(rank, bank, victim.row, victim.aggressor_row, now);
+    }
     ++total_flip_events_;
     c_flip_events_->Increment();
     c_flipped_bits_->Add(applied);

@@ -15,6 +15,7 @@
 #include "common/stats.h"
 #include "common/telemetry/trace.h"
 #include "common/types.h"
+#include "dram/check_hooks.h"
 #include "dram/command.h"
 #include "dram/config.h"
 #include "dram/data_store.h"
@@ -99,6 +100,11 @@ class DramDevice {
   // event per issued command plus FLIP/TRR events.
   void set_trace(TraceBuffer* trace) { trace_ = trace; }
 
+  // Attach (or detach with nullptr) a differential-check observer (see
+  // dram/check_hooks.h). The observer sees every command — rejected ones
+  // included — plus each repair and flip while the command applies.
+  void set_check_observer(DeviceCheckObserver* check) { check_ = check; }
+
   static constexpr size_t kMaxFlipRecords = 200000;
 
  private:
@@ -139,6 +145,7 @@ class DramDevice {
   uint64_t total_flip_events_ = 0;
   StatSet stats_;
   TraceBuffer* trace_ = nullptr;
+  DeviceCheckObserver* check_ = nullptr;
 
   // Interned stat handles (see common/stats.h for lifetime rules).
   Counter* c_acts_;

@@ -1,9 +1,15 @@
 // Randomized property tests: drive the device and the full system with
 // random (but legality-checked) inputs and assert global invariants.
+//
+// The device fuzz loop lives in check/generator.cc (shared with
+// tools/hammerfuzz) and runs with the differential oracle attached, so
+// every random command is also cross-checked against the naive reference
+// models from check/reference.h.
 #include <gtest/gtest.h>
 
+#include "check/generator.h"
+#include "check/oracle.h"
 #include "common/rng.h"
-#include "dram/device.h"
 #include "sim/scenario.h"
 #include "sim/system.h"
 #include "sim/workloads.h"
@@ -11,89 +17,23 @@
 namespace ht {
 namespace {
 
-// Issues `steps` random commands against a device, only when legal, while
-// keeping the REF cadence. Invariants: the device never accepts an
-// illegal command (cross-checked with Check), retention stays clean, and
-// identical seeds produce identical flip histories.
-struct FuzzOutcome {
-  uint64_t issued = 0;
-  uint64_t flips = 0;
-  uint64_t illegal_attempts = 0;
-};
-
-FuzzOutcome FuzzDevice(uint64_t seed, uint64_t steps) {
-  const DramConfig config = DramConfig::Tiny();
-  DramDevice device(config, 0);
-  Rng rng(seed);
-  Cycle now = 0;
-  Cycle next_ref = config.RefPeriod();
-  FuzzOutcome outcome;
-
-  for (uint64_t i = 0; i < steps; ++i) {
-    now += 1 + rng.NextBelow(8);
-    // Refresh keeps priority, as a real controller would schedule it.
-    if (now >= next_ref) {
-      // Close everything first.
-      const DdrCommand prea = DdrCommand::PreAll(0);
-      now = std::max(now, device.EarliestCycle(prea));
-      EXPECT_EQ(device.Issue(prea, now), TimingVerdict::kOk);
-      const DdrCommand ref = DdrCommand::Ref(0);
-      now = std::max(now + 1, device.EarliestCycle(ref));
-      EXPECT_EQ(device.Issue(ref, now), TimingVerdict::kOk);
-      next_ref += config.RefPeriod();
-      continue;
-    }
-    DdrCommand cmd;
-    const uint32_t bank = static_cast<uint32_t>(rng.NextBelow(config.org.banks));
-    const uint32_t row = static_cast<uint32_t>(rng.NextBelow(config.org.rows_per_bank()));
-    const uint32_t column = static_cast<uint32_t>(rng.NextBelow(config.org.columns));
-    switch (rng.NextBelow(6)) {
-      case 0:
-        cmd = DdrCommand::Act(0, bank, row);
-        break;
-      case 1:
-        cmd = DdrCommand::Pre(0, bank);
-        break;
-      case 2:
-        cmd = DdrCommand::Rd(0, bank, column, rng.NextBool(0.3));
-        break;
-      case 3:
-        cmd = DdrCommand::Wr(0, bank, column, rng.NextBool(0.3));
-        break;
-      case 4:
-        cmd = DdrCommand::PreAll(0);
-        break;
-      default:
-        cmd = DdrCommand::RefNeighbors(0, bank, row, 1 + static_cast<uint32_t>(rng.NextBelow(3)));
-        break;
-    }
-    const Cycle at = std::max(now, device.EarliestCycle(cmd));
-    const TimingVerdict precheck = device.Check(cmd, at);
-    const TimingVerdict verdict = device.Issue(cmd, at);
-    EXPECT_EQ(precheck, verdict) << cmd.ToDebugString();
-    if (verdict == TimingVerdict::kOk) {
-      ++outcome.issued;
-      now = at;
-    } else {
-      ++outcome.illegal_attempts;  // Structural (e.g. RD on closed bank).
-    }
-  }
-  outcome.flips = device.total_flip_events();
-  // Retention must be clean: REFs were never skipped.
-  EXPECT_EQ(device.CountRetentionViolations(now), 0u);
-  return outcome;
-}
-
 class DeviceFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(DeviceFuzzTest, RandomCommandStreamsKeepInvariants) {
-  const FuzzOutcome outcome = FuzzDevice(GetParam(), 20000);
+  FuzzCase fuzz_case;
+  fuzz_case.seed = GetParam();
+  fuzz_case.steps = 20000;
+  const DeviceFuzzOutcome outcome = RunDeviceFuzz(fuzz_case);
+  EXPECT_FALSE(outcome.failed()) << outcome.report;
   EXPECT_GT(outcome.issued, 10000u);
 }
 
 TEST_P(DeviceFuzzTest, DeterministicUnderSameSeed) {
-  const FuzzOutcome a = FuzzDevice(GetParam(), 8000);
-  const FuzzOutcome b = FuzzDevice(GetParam(), 8000);
+  FuzzCase fuzz_case;
+  fuzz_case.seed = GetParam();
+  fuzz_case.steps = 8000;
+  const DeviceFuzzOutcome a = RunDeviceFuzz(fuzz_case);
+  const DeviceFuzzOutcome b = RunDeviceFuzz(fuzz_case);
   EXPECT_EQ(a.issued, b.issued);
   EXPECT_EQ(a.flips, b.flips);
   EXPECT_EQ(a.illegal_attempts, b.illegal_attempts);
@@ -104,7 +44,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DeviceFuzzTest,
 
 // Full-system fuzz: random tenant count / workload mix / defense; the
 // run must stay clean (no flips without an attacker, no retention
-// violations, every halted core drained).
+// violations, every halted core drained) — and, with the differential
+// oracle attached to every channel, the optimized device/MC fast paths
+// must agree with the naive reference models command by command.
 class SystemFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(SystemFuzzTest, RandomBenignSystemsStayClean) {
@@ -128,7 +70,12 @@ TEST_P(SystemFuzzTest, RandomBenignSystemsStayClean) {
                                    AddressSpace::BaseFor(tenants[i]), 128 * kPageBytes,
                                    ~0ull >> 1, rng.Next()));
   }
+  SystemOracle oracle;
+  oracle.Attach(system);
   system.RunFor(300000);
+  oracle.FinalCheck();
+  oracle.Detach(system);
+  EXPECT_TRUE(oracle.ok()) << oracle.Report();
   const SecurityOutcome outcome = Assess(system);
   EXPECT_EQ(outcome.flip_events, 0u) << "benign traffic flipped bits";
   EXPECT_EQ(outcome.corrupted_lines, 0u);

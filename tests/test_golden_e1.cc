@@ -1,0 +1,120 @@
+// Golden-run regression for the E1 taxonomy matrix (EXPERIMENTS.md):
+// every defense row × attack column from bench_e1_taxonomy, with the
+// exact cross-domain flip counts and adjacency-denial outcomes locked
+// into a fixture. The simulator is deterministic end to end, so any
+// change in these numbers is a behaviour change that must be reviewed
+// (and this fixture updated deliberately).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace ht {
+namespace {
+
+struct GoldenCell {
+  uint64_t cross_domain_flips = 0;
+  bool attack_planned = true;  // False = isolation denied adjacency.
+};
+
+struct GoldenRow {
+  const char* label;
+  DefenseKind defense = DefenseKind::kNone;
+  HwMitigationKind hw = HwMitigationKind::kNone;
+  bool subarray_isolated = false;
+  bool guard_rows = false;
+  bool trr = false;
+  // Cells in attack order: double-sided, many-sided(16), dma, adaptive,
+  // half-double.
+  GoldenCell cells[5];
+};
+
+// The fixture: bench_e1_taxonomy's full-length output, verified against
+// the checked-in EXPERIMENTS.md table.
+const GoldenRow kGolden[] = {
+    {"none", DefenseKind::kNone, HwMitigationKind::kNone, false, false, false,
+     {{12, true}, {31, true}, {3, true}, {8, true}, {25, true}}},
+    {"trr-only", DefenseKind::kNone, HwMitigationKind::kNone, false, false, true,
+     {{0, true}, {31, true}, {0, true}, {0, true}, {0, true}}},
+    {"subarray-isolation", DefenseKind::kNone, HwMitigationKind::kNone, true, false, false,
+     {{0, false}, {0, true}, {0, false}, {0, false}, {0, false}}},
+    {"guard-rows", DefenseKind::kNone, HwMitigationKind::kNone, false, true, false,
+     {{0, false}, {0, true}, {0, false}, {0, false}, {0, false}}},
+    {"act-remap", DefenseKind::kActRemap, HwMitigationKind::kNone, false, false, false,
+     {{0, true}, {1, true}, {3, true}, {0, true}, {0, true}}},
+    {"cache-lock", DefenseKind::kCacheLock, HwMitigationKind::kNone, false, false, false,
+     {{0, true}, {0, true}, {3, true}, {0, true}, {0, true}}},
+    {"blockhammer", DefenseKind::kNone, HwMitigationKind::kBlockHammer, false, false, false,
+     {{0, true}, {0, true}, {0, true}, {0, true}, {0, true}}},
+    {"sw-refresh", DefenseKind::kSwRefresh, HwMitigationKind::kNone, false, false, false,
+     {{0, true}, {0, true}, {0, true}, {0, true}, {0, true}}},
+    {"sw-refresh-refn", DefenseKind::kSwRefreshRefn, HwMitigationKind::kNone, false, false,
+     false,
+     {{0, true}, {0, true}, {0, true}, {0, true}, {0, true}}},
+    {"para", DefenseKind::kNone, HwMitigationKind::kPara, false, false, false,
+     {{0, true}, {0, true}, {0, true}, {0, true}, {0, true}}},
+    {"graphene", DefenseKind::kNone, HwMitigationKind::kGraphene, false, false, false,
+     {{0, true}, {0, true}, {0, true}, {0, true}, {0, true}}},
+    {"anvil", DefenseKind::kAnvil, HwMitigationKind::kNone, false, false, false,
+     {{0, true}, {0, true}, {3, true}, {0, true}, {0, true}}},
+};
+
+const AttackKind kAttacks[] = {AttackKind::kDoubleSided, AttackKind::kManySided,
+                               AttackKind::kDma, AttackKind::kAdaptive,
+                               AttackKind::kHalfDouble};
+
+// Mirrors bench_e1_taxonomy's spec construction exactly — same cycle
+// budgets, same defense wiring — so the fixture IS the bench output.
+ScenarioSpec SpecFor(const GoldenRow& row, AttackKind attack) {
+  ScenarioSpec spec;
+  spec.defense = row.defense;
+  spec.hw = row.hw;
+  spec.attack = attack;
+  spec.sides = 16;
+  spec.run_cycles = attack == AttackKind::kManySided || attack == AttackKind::kHalfDouble
+                        ? 3000000
+                        : 1200000;
+  if (row.subarray_isolated) {
+    spec.system.mc.scheme = InterleaveScheme::kSubarrayIsolated;
+    spec.system.alloc = AllocPolicy::kSubarrayAware;
+    spec.system.mc.enforce_domain_groups = true;
+  }
+  if (row.guard_rows) {
+    spec.system.alloc = AllocPolicy::kGuardRows;
+    spec.system.guard_domains = 2;
+    spec.system.guard_blast = spec.system.dram.disturbance.blast_radius;
+  }
+  if (row.trr) {
+    spec.system.dram.trr.enabled = true;
+    spec.system.dram.trr.table_entries = 4;
+  }
+  return spec;
+}
+
+TEST(GoldenE1Test, TaxonomyFlipMatrixMatchesFixture) {
+  if (std::getenv("HT_BENCH_SMOKE") != nullptr) {
+    GTEST_SKIP() << "fixture holds full-length counts; smoke cap would skew them";
+  }
+  std::vector<ScenarioSpec> specs;
+  for (const GoldenRow& row : kGolden) {
+    for (AttackKind attack : kAttacks) {
+      specs.push_back(SpecFor(row, attack));
+    }
+  }
+  const std::vector<ScenarioResult> results = RunScenarios(specs);
+  size_t next = 0;
+  for (const GoldenRow& row : kGolden) {
+    for (size_t a = 0; a < 5; ++a) {
+      const ScenarioResult& result = results[next++];
+      const GoldenCell& expected = row.cells[a];
+      EXPECT_EQ(result.security.cross_domain_flips, expected.cross_domain_flips)
+          << row.label << " vs " << ToString(kAttacks[a]);
+      EXPECT_EQ(result.attack_planned, expected.attack_planned)
+          << row.label << " vs " << ToString(kAttacks[a]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,107 @@
+// ParallelFor and ResolveThreadCount: job coverage, the inline
+// degenerate paths, and exception propagation to the calling thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace ht {
+namespace {
+
+TEST(ParallelForTest, EveryJobRunsExactlyOnceIntoItsSlot) {
+  const uint64_t jobs = 500;
+  std::vector<uint64_t> slots(jobs, 0);
+  std::atomic<uint64_t> executed{0};
+  ParallelFor(jobs, 4, [&](uint64_t i) {
+    slots[i] += i + 1;
+    executed.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(executed.load(), jobs);
+  for (uint64_t i = 0; i < jobs; ++i) {
+    EXPECT_EQ(slots[i], i + 1) << "job " << i;
+  }
+}
+
+TEST(ParallelForTest, SingleThreadRunsInlineInOrder) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<uint64_t> order;
+  ParallelFor(8, 1, [&](uint64_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);  // Safe: inline path, no concurrency.
+  });
+  ASSERT_EQ(order.size(), 8u);
+  for (uint64_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(ParallelForTest, SingleJobRunsInlineOnCallingThread) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  ParallelFor(1, 8, [&](uint64_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ParallelForTest, ZeroJobsIsANop) {
+  bool ran = false;
+  ParallelFor(0, 4, [&](uint64_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesFromWorker) {
+  std::atomic<uint64_t> executed{0};
+  try {
+    ParallelFor(200, 4, [&](uint64_t i) {
+      if (i == 13) {
+        throw std::runtime_error("boom13");
+      }
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "ParallelFor swallowed the exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom13");
+  }
+  // Every non-throwing job that ran completed (no torn state), and the
+  // throwing job was not counted.
+  EXPECT_LT(executed.load(), 200u);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesFromInlinePath) {
+  EXPECT_THROW(
+      ParallelFor(4, 1,
+                  [&](uint64_t i) {
+                    if (i == 2) {
+                      throw std::logic_error("inline");
+                    }
+                  }),
+      std::logic_error);
+}
+
+TEST(ResolveThreadCountTest, ExplicitRequestWins) {
+  EXPECT_EQ(ResolveThreadCount(3), 3u);
+  EXPECT_EQ(ResolveThreadCount(1), 1u);
+}
+
+TEST(ResolveThreadCountTest, EnvironmentThenHardwareFallback) {
+  const char* saved = std::getenv("HT_THREADS");
+  const std::string saved_value = saved != nullptr ? saved : "";
+
+  setenv("HT_THREADS", "5", 1);
+  EXPECT_EQ(ResolveThreadCount(0), 5u);
+  setenv("HT_THREADS", "not-a-number", 1);
+  EXPECT_GE(ResolveThreadCount(0), 1u);  // Falls through to hardware.
+  unsetenv("HT_THREADS");
+  EXPECT_GE(ResolveThreadCount(0), 1u);
+
+  if (saved != nullptr) {
+    setenv("HT_THREADS", saved_value.c_str(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace ht
