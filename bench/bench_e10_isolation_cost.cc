@@ -81,7 +81,7 @@ void PolicyComparison() {
 }  // namespace ht
 
 int main(int argc, char** argv) {
-  ht::ParseTelemetryArgs(argc, argv);
+  ht::BenchMain(argc, argv);
   ht::GuardRowTable();
   ht::PolicyComparison();
   return 0;

@@ -241,7 +241,7 @@ void WatchSetAblation() {
 }  // namespace ht
 
 int main(int argc, char** argv) {
-  ht::ParseTelemetryArgs(argc, argv);
+  ht::BenchMain(argc, argv);
   ht::RefNeighborsVsInstr();
   ht::InferenceAccuracy();
   ht::RemapRobustness();

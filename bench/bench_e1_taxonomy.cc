@@ -121,7 +121,6 @@ void Main(unsigned threads) {
 }  // namespace ht
 
 int main(int argc, char** argv) {
-  ht::ParseTelemetryArgs(argc, argv);
-  ht::Main(ht::ParseThreadsArg(argc, argv));
+  ht::Main(ht::BenchMain(argc, argv));
   return 0;
 }

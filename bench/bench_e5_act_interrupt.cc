@@ -80,7 +80,7 @@ void ResetModes() {
 }  // namespace ht
 
 int main(int argc, char** argv) {
-  ht::ParseTelemetryArgs(argc, argv);
+  ht::BenchMain(argc, argv);
   ht::ThresholdSweep();
   ht::ResetModes();
   return 0;

@@ -58,7 +58,7 @@ void Main() {
 }  // namespace ht
 
 int main(int argc, char** argv) {
-  ht::ParseTelemetryArgs(argc, argv);
+  ht::BenchMain(argc, argv);
   ht::Main();
   return 0;
 }

@@ -1,423 +1,35 @@
-// Shared scenario plumbing for the experiment benches (bench_e1..e12).
-// Each bench configures a system + attack + defense combination through
-// RunScenario and renders its paper-style table via ht::Table.
+// Thin bench-only conveniences for the experiment benches (bench_e1..e13).
+// All scenario machinery (ScenarioSpec, RunScenario(s), telemetry
+// plumbing) lives in the runner library — src/sim/runner/runner.h — which
+// every bench consumes through this header; here we only add the shared
+// bench-main entry glue, re-export ht::Table for rendering the
+// paper-style tables, and pull in the attack/OS/workload headers the
+// hand-rolled benches build their custom systems from.
 #ifndef HAMMERTIME_BENCH_BENCH_UTIL_H_
 #define HAMMERTIME_BENCH_BENCH_UTIL_H_
 
-#include <algorithm>
-#include <chrono>
-#include <cstdlib>
-#include <fstream>
-#include <memory>
-#include <optional>
-#include <string>
-#include <utility>
-#include <vector>
-
 #include "attack/hammer.h"
 #include "attack/planner.h"
+#include "common/argparse.h"
 #include "common/table.h"
-#include "common/telemetry/json.h"
-#include "common/telemetry/report.h"
-#include "common/telemetry/trace.h"
-#include "common/thread_pool.h"
-#include "sim/scenario.h"
-#include "sim/system.h"
+#include "os/address_space.h"
+#include "sim/runner/runner.h"
 #include "sim/workloads.h"
 
 namespace ht {
 
-enum class AttackKind : uint8_t {
-  kNone,         // Benign only.
-  kDoubleSided,  // Classic sandwich around a victim row.
-  kManySided,    // TRRespass-style n aggressors (set `sides`).
-  kDma,          // Double-sided pattern driven by a DMA engine.
-  kAdaptive,     // Counter-synchronized evasion attacker (§4.2).
-  kHalfDouble,   // Distance-2 aggressors (blast-radius attack).
-};
-
-inline const char* ToString(AttackKind kind) {
-  switch (kind) {
-    case AttackKind::kNone:
-      return "benign";
-    case AttackKind::kDoubleSided:
-      return "double-sided";
-    case AttackKind::kManySided:
-      return "many-sided";
-    case AttackKind::kDma:
-      return "dma";
-    case AttackKind::kAdaptive:
-      return "adaptive";
-    case AttackKind::kHalfDouble:
-      return "half-double";
-  }
-  return "?";
-}
-
-struct ScenarioSpec {
-  SystemConfig system;
-  DefenseKind defense = DefenseKind::kNone;
-  HwMitigationKind hw = HwMitigationKind::kNone;
-  AttackKind attack = AttackKind::kDoubleSided;
-  uint32_t sides = 16;             // For kManySided.
-  uint64_t act_threshold = 256;    // Interrupt threshold for SW defenses.
-  std::optional<bool> randomize_reset;  // Override the preset's choice.
-  Cycle run_cycles = 800000;
-  uint32_t tenants = 2;
-  uint64_t pages_per_tenant = 512;
-  bool benign_corunner = false;    // Victim tenant runs a random workload.
-};
-
-struct ScenarioResult {
-  SecurityOutcome security;
-  PerfSummary perf;
-  uint64_t defense_interrupts = 0;
-  uint64_t page_moves = 0;
-  uint64_t throttle_stalls = 0;
-  uint64_t mitigation_refreshes = 0;
-  bool attack_planned = true;  // False if isolation denied the attacker a plan.
-};
-
-// Smoke-test cap on per-scenario cycle budgets. When HT_BENCH_SMOKE is
-// set, every scenario runs for at most this many cycles (the variable's
-// value, or 20000 when it is set but not a number) — enough to exercise
-// the full setup/run/assess path while keeping whole benches under a
-// second for the `bench_smoke` CTest label.
-inline Cycle BenchSmokeCap() {
-  static const Cycle cap = [] {
-    const char* env = std::getenv("HT_BENCH_SMOKE");
-    if (env == nullptr || *env == '\0') {
-      return kNeverCycle;
-    }
-    char* end = nullptr;
-    const unsigned long long parsed = std::strtoull(env, &end, 10);
-    return (end != env && parsed > 0) ? static_cast<Cycle>(parsed) : Cycle{20000};
-  }();
-  return cap;
-}
-
-// Parses `--threads N` from argv for the bench mains. Returns 0 (auto:
-// HT_THREADS env, then hardware concurrency) when absent — the value is
-// meant to be fed to RunScenarios / ResolveThreadCount.
-inline unsigned ParseThreadsArg(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--threads") {
-      return static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
-    }
-  }
-  return 0;
-}
-
-// --- Telemetry plumbing ------------------------------------------------------
-
-// Process-wide telemetry options for the bench mains, set once by
-// ParseTelemetryArgs before any RunScenarios call. Empty paths = off.
-struct BenchTelemetryOptions {
-  std::string trace_out;    // Chrome trace_event JSON for all scenarios.
-  std::string metrics_out;  // hammertime.metrics.v1 run-report document.
-  Cycle sample_every = 0;   // Sampler period; defaulted when metrics_out set.
-};
-
-inline BenchTelemetryOptions& BenchTelemetry() {
-  static BenchTelemetryOptions options;
-  return options;
-}
-
-// Default sampler period when `--metrics-out` is given without an
-// explicit `--sample-every`: coarse enough to stay cheap on full-length
-// scenarios, fine enough for ~50 points on the default 800k-cycle run.
-inline constexpr Cycle kDefaultSampleEvery = 16384;
-
-// Parses `--trace-out P`, `--metrics-out P`, and `--sample-every N` for
-// the bench mains (same space-separated style as --threads).
-inline void ParseTelemetryArgs(int argc, char** argv) {
-  BenchTelemetryOptions& options = BenchTelemetry();
-  for (int i = 1; i + 1 < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--trace-out") {
-      options.trace_out = argv[i + 1];
-    } else if (arg == "--metrics-out") {
-      options.metrics_out = argv[i + 1];
-    } else if (arg == "--sample-every") {
-      options.sample_every = std::strtoull(argv[i + 1], nullptr, 10);
-    }
-  }
-  if (!options.metrics_out.empty() && options.sample_every == 0) {
-    options.sample_every = kDefaultSampleEvery;
-  }
-}
-
-// Accumulated across RunScenarios calls (a bench main typically runs
-// several batches); the output files are rewritten after each batch so a
-// crash mid-bench still leaves the completed scenarios on disk.
-struct BenchTelemetryState {
-  std::unique_ptr<TraceSink> sink = std::make_unique<TraceSink>();
-  std::vector<JsonValue> reports;
-  size_t scenarios_started = 0;
-};
-
-inline BenchTelemetryState& TelemetryState() {
-  static BenchTelemetryState state;
-  return state;
-}
-
-// Test hook: drop all accumulated buffers/reports (fresh TraceSink).
-inline void ResetBenchTelemetry() {
-  TelemetryState().sink = std::make_unique<TraceSink>();
-  TelemetryState().reports.clear();
-  TelemetryState().scenarios_started = 0;
-}
-
-// Per-scenario telemetry capture. RunScenarios fills the `in` fields (one
-// TraceBuffer per scenario, created in spec order so the merged trace is
-// deterministic under any worker count) and reads the `out` fields back
-// on the calling thread.
-struct ScenarioTelemetry {
-  // in:
-  std::string label;
-  TraceBuffer* trace = nullptr;
-  Cycle sample_every = 0;
-  // out:
-  JsonValue report;
-  double wall_seconds = 0.0;
-};
-
-// Flattens the interesting ScenarioSpec knobs into a config object for
-// the run report.
-inline JsonValue ScenarioSpecToJson(const ScenarioSpec& spec) {
-  JsonValue config = JsonValue::Object();
-  config.Set("defense", JsonValue::Str(ToString(spec.defense)));
-  config.Set("hw_mitigation", JsonValue::Str(ToString(spec.hw)));
-  config.Set("attack", JsonValue::Str(ToString(spec.attack)));
-  config.Set("alloc", JsonValue::Str(ToString(spec.system.alloc)));
-  config.Set("sides", JsonValue::Uint(spec.sides));
-  config.Set("act_threshold", JsonValue::Uint(spec.act_threshold));
-  config.Set("run_cycles", JsonValue::Uint(std::min(spec.run_cycles, BenchSmokeCap())));
-  config.Set("tenants", JsonValue::Uint(spec.tenants));
-  config.Set("pages_per_tenant", JsonValue::Uint(spec.pages_per_tenant));
-  config.Set("benign_corunner", JsonValue::Bool(spec.benign_corunner));
-  config.Set("skip_idle", JsonValue::Bool(spec.system.skip_idle));
-  config.Set("channels", JsonValue::Uint(spec.system.dram.org.channels));
-  config.Set("cores", JsonValue::Uint(spec.system.cores));
-  return config;
-}
-
-inline JsonValue ScenarioResultToJson(const ScenarioResult& result) {
-  JsonValue out = JsonValue::Object();
-  out.Set("flip_events", JsonValue::Uint(result.security.flip_events));
-  out.Set("cross_domain_flips", JsonValue::Uint(result.security.cross_domain_flips));
-  out.Set("intra_domain_flips", JsonValue::Uint(result.security.intra_domain_flips));
-  out.Set("corrupted_lines", JsonValue::Uint(result.security.corrupted_lines));
-  out.Set("dos_lockups", JsonValue::Uint(result.security.dos_lockups));
-  out.Set("ops", JsonValue::Uint(result.perf.ops));
-  out.Set("cycles", JsonValue::Uint(result.perf.cycles));
-  out.Set("ops_per_kcycle", JsonValue::Double(result.perf.ops_per_kcycle));
-  out.Set("row_hit_rate", JsonValue::Double(result.perf.row_hit_rate));
-  out.Set("avg_read_latency", JsonValue::Double(result.perf.avg_read_latency));
-  out.Set("extra_acts", JsonValue::Uint(result.perf.extra_acts));
-  out.Set("defense_interrupts", JsonValue::Uint(result.defense_interrupts));
-  out.Set("page_moves", JsonValue::Uint(result.page_moves));
-  out.Set("throttle_stalls", JsonValue::Uint(result.throttle_stalls));
-  out.Set("mitigation_refreshes", JsonValue::Uint(result.mitigation_refreshes));
-  out.Set("attack_planned", JsonValue::Bool(result.attack_planned));
-  return out;
-}
-
-// Optional observation points inside RunScenario, for callers that need
-// access to the live System (e.g. tools/hammerfuzz attaching the
-// differential oracle). `on_start` fires after full setup, immediately
-// before RunFor; `on_finish` fires after all results are collected, while
-// the System is still alive. Both are skipped when null.
-struct ScenarioHooks {
-  std::function<void(System&)> on_start;
-  std::function<void(System&)> on_finish;
-};
-
-// Builds the standard two-tenant (attacker + victim) scenario, runs it,
-// and collects outcome metrics. Isolation-centric defenses are expressed
-// through `spec.system` (scheme + alloc policy) by the caller.
-//
-// With `telemetry` set, the scenario runs with its trace buffer and
-// sampler attached and fills telemetry->report with a
-// hammertime.run_report.v1 document (plus per-scenario wall-clock).
-inline ScenarioResult RunScenario(ScenarioSpec spec, ScenarioTelemetry* telemetry = nullptr,
-                                  const ScenarioHooks* hooks = nullptr) {
-  const auto wall_start = std::chrono::steady_clock::now();
-  ApplyDefensePreset(spec.system, spec.defense, spec.act_threshold);
-  spec.run_cycles = std::min(spec.run_cycles, BenchSmokeCap());
-  if (spec.randomize_reset.has_value()) {
-    spec.system.mc.act_counter.randomize_reset = *spec.randomize_reset;
-  }
-  if (telemetry != nullptr) {
-    spec.system.telemetry.trace = telemetry->trace;
-    spec.system.telemetry.sample_every = telemetry->sample_every;
-  }
-  System system(spec.system);
-  // Half-double needs tenants owning pairs of adjacent rows so a victim
-  // sits at distance two from attacker rows.
-  const uint64_t chunk = spec.attack == AttackKind::kHalfDouble
-                             ? 2 * PagesPerRowGroup(system.mc().mapper())
-                             : 0;
-  auto tenants = SetupTenants(system, spec.tenants, spec.pages_per_tenant, chunk);
-  const DomainId attacker = tenants[0];
-  const DomainId victim = tenants.size() > 1 ? tenants[1] : tenants[0];
-  system.InstallDefense(MakeDefense(spec.defense, spec.system.dram));
-  InstallHwMitigation(system, spec.hw);
-
-  ScenarioResult result;
-
-  // Attack plan: prefer the cross-domain sandwich; fall back to hammering
-  // the attacker's own rows when isolation denies adjacency.
-  std::optional<HammerPlan> plan;
-  if (spec.attack != AttackKind::kNone) {
-    if (spec.attack == AttackKind::kManySided) {
-      plan = PlanManySided(system.kernel(), attacker, spec.sides);
-    } else if (spec.attack == AttackKind::kHalfDouble) {
-      plan = PlanHalfDoubleCross(system.kernel(), attacker, victim);
-      if (!plan.has_value()) {
-        result.attack_planned = false;
-        plan = PlanManySided(system.kernel(), attacker, 2, 4);
-      }
-    } else {
-      plan = PlanDoubleSidedCross(system.kernel(), attacker, victim);
-      if (!plan.has_value()) {
-        result.attack_planned = false;
-        plan = PlanManySided(system.kernel(), attacker, 2);
-      }
-    }
-  }
-
-  if (plan.has_value()) {
-    switch (spec.attack) {
-      case AttackKind::kNone:
-        break;
-      case AttackKind::kDoubleSided:
-      case AttackKind::kManySided:
-      case AttackKind::kHalfDouble: {
-        HammerConfig hammer;
-        hammer.aggressors = plan->aggressor_vas;
-        system.AssignCore(0, attacker, std::make_unique<HammerStream>(hammer));
-        break;
-      }
-      case AttackKind::kDma: {
-        DmaConfig dma;
-        dma.pattern = plan->aggressor_addrs;
-        dma.period = 8;
-        system.AddDma(attacker, dma);
-        break;
-      }
-      case AttackKind::kAdaptive: {
-        auto decoys = PlanManySided(system.kernel(), attacker, 2, 2,
-                                    BankTriple{plan->channel, plan->rank, plan->bank});
-        AdaptiveHammerConfig adaptive;
-        adaptive.aggressors = plan->aggressor_vas;
-        adaptive.decoys = decoys.has_value() ? decoys->aggressor_vas : plan->aggressor_vas;
-        adaptive.counter_threshold = spec.act_threshold;
-        adaptive.safety_margin = spec.act_threshold / 10;
-        system.AssignCore(0, attacker, std::make_unique<AdaptiveHammerStream>(adaptive));
-        break;
-      }
-    }
-  }
-
-  if (spec.benign_corunner && system.core_count() > 1) {
-    system.AssignCore(1, victim,
-                      MakeWorkload("random", victim, AddressSpace::BaseFor(victim),
-                                   spec.pages_per_tenant * kPageBytes,
-                                   ~0ull >> 1, 99));
-  }
-
-  if (hooks != nullptr && hooks->on_start) {
-    hooks->on_start(system);
-  }
-
-  system.RunFor(spec.run_cycles);
-
-  result.security = Assess(system);
-  result.perf = Summarize(system, spec.run_cycles);
-  if (system.defense() != nullptr) {
-    result.defense_interrupts = system.defense()->stats().Get("defense.interrupts") +
-                                system.defense()->stats().Get("defense.detections");
-  }
-  result.page_moves = system.kernel().page_moves();
-  result.throttle_stalls = system.mc().stats().Get("mc.throttle_stalls");
-  result.mitigation_refreshes = system.mc().stats().Get("mc.mitigation_refreshes");
-
-  if (telemetry != nullptr) {
-    telemetry->wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
-    TraceCounts counts;
-    if (telemetry->trace != nullptr) {
-      counts.trace_events = telemetry->trace->events_emitted();
-      counts.trace_dropped = telemetry->trace->events_dropped();
-    }
-    counts.samples_taken = system.sampler().samples_taken();
-    telemetry->report = BuildRunReport(telemetry->label, ScenarioSpecToJson(spec),
-                                       ScenarioResultToJson(result), system.CollectStats(),
-                                       &system.sampler(), telemetry->wall_seconds, counts);
-  }
-  if (hooks != nullptr && hooks->on_finish) {
-    hooks->on_finish(system);
-  }
-  return result;
-}
-
-// Rewrites the --trace-out / --metrics-out files from everything
-// accumulated so far. Called after every RunScenarios batch.
-inline void FlushBenchTelemetry() {
-  const BenchTelemetryOptions& options = BenchTelemetry();
-  BenchTelemetryState& state = TelemetryState();
-  if (!options.trace_out.empty()) {
-    std::ofstream out(options.trace_out);
-    state.sink->WriteChromeTrace(out);
-  }
-  if (!options.metrics_out.empty()) {
-    std::ofstream out(options.metrics_out);
-    // MakeMetricsDocument consumes its input; hand it a copy so later
-    // batches can re-flush the full accumulated list.
-    MakeMetricsDocument(state.reports).Dump(out);
-    out << "\n";
-  }
-}
-
-// Runs every spec on a worker pool and returns the results in spec order.
-// Each scenario is a self-contained System (no shared mutable state), so
-// results are bit-identical to a serial `for (spec : specs) RunScenario`
-// loop regardless of the worker count or scheduling order.
-//
-// `threads` = 0 resolves via HT_THREADS, then hardware concurrency; bench
-// mains typically pass ParseThreadsArg(argc, argv) so `--threads N` wins.
-inline std::vector<ScenarioResult> RunScenarios(const std::vector<ScenarioSpec>& specs,
-                                                unsigned threads = 0) {
-  std::vector<ScenarioResult> results(specs.size());
-  const BenchTelemetryOptions& options = BenchTelemetry();
-  const bool telemetry_on = !options.trace_out.empty() || !options.metrics_out.empty();
-  if (!telemetry_on) {
-    ParallelFor(specs.size(), ResolveThreadCount(threads),
-                [&](uint64_t i) { results[i] = RunScenario(specs[i]); });
-    return results;
-  }
-
-  // Buffers are created serially in spec order before the fan-out, so the
-  // merged trace and the report order are identical for any worker count.
-  BenchTelemetryState& state = TelemetryState();
-  std::vector<ScenarioTelemetry> telemetry(specs.size());
-  for (size_t i = 0; i < specs.size(); ++i) {
-    telemetry[i].label = "scenario" + std::to_string(state.scenarios_started + i) + "." +
-                         ToString(specs[i].defense) + "." + ToString(specs[i].attack);
-    if (!options.trace_out.empty()) {
-      telemetry[i].trace = state.sink->CreateBuffer(telemetry[i].label);
-    }
-    telemetry[i].sample_every = options.sample_every;
-  }
-  state.scenarios_started += specs.size();
-  ParallelFor(specs.size(), ResolveThreadCount(threads),
-              [&](uint64_t i) { results[i] = RunScenario(specs[i], &telemetry[i]); });
-  for (ScenarioTelemetry& scenario : telemetry) {
-    state.reports.push_back(std::move(scenario.report));
-  }
-  FlushBenchTelemetry();
-  return results;
+// Parses the shared runner flags (--threads, --trace-out, --metrics-out,
+// --sample-every) for a bench main, installs the process-wide telemetry
+// options, and returns the requested worker count (0 = auto). Unknown
+// flags and positional arguments are tolerated so harness wrappers can
+// pass extra arguments through.
+inline unsigned BenchMain(int argc, char** argv) {
+  ArgParser parser(argv != nullptr && argc > 0 ? argv[0] : "bench",
+                   "hammertime experiment bench");
+  AddRunnerFlags(parser);
+  parser.AllowUnknown().AllowPositionals("");
+  parser.Parse(argc, argv);
+  return ApplyRunnerFlags(parser);
 }
 
 }  // namespace ht

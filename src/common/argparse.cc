@@ -1,0 +1,232 @@
+#include "common/argparse.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace ht {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {
+  Flag("help", "show this text");
+}
+
+ArgParser& ArgParser::Flag(const std::string& name, std::string help) {
+  Spec spec;
+  spec.name = name;
+  spec.help = std::move(help);
+  spec.takes_value = false;
+  specs_.push_back(std::move(spec));
+  return *this;
+}
+
+ArgParser& ArgParser::Option(const std::string& name, std::string value_name, std::string help,
+                             std::string default_value) {
+  Spec spec;
+  spec.name = name;
+  spec.value_name = std::move(value_name);
+  spec.help = std::move(help);
+  spec.default_value = std::move(default_value);
+  spec.takes_value = true;
+  specs_.push_back(std::move(spec));
+  return *this;
+}
+
+ArgParser& ArgParser::AllowUnknown() {
+  allow_unknown_ = true;
+  return *this;
+}
+
+ArgParser& ArgParser::AllowPositionals(std::string name_help) {
+  allow_positionals_ = true;
+  positional_help_ = std::move(name_help);
+  return *this;
+}
+
+ArgParser::Spec* ArgParser::FindSpec(std::string_view name) {
+  for (Spec& spec : specs_) {
+    if (spec.name == name) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+const ArgParser::Spec* ArgParser::FindSpec(std::string_view name) const {
+  for (const Spec& spec : specs_) {
+    if (spec.name == name) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+bool ArgParser::Fail(std::string message) {
+  error_ = std::move(message);
+  return false;
+}
+
+bool ArgParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.size() < 2 || arg[0] != '-' || arg[1] != '-') {
+      if (!allow_positionals_) {
+        return Fail("unexpected argument '" + std::string(arg) + "' (try --help)");
+      }
+      positionals_.emplace_back(arg);
+      continue;
+    }
+    std::string_view name = arg.substr(2);
+    std::string_view inline_value;
+    bool has_inline_value = false;
+    if (const size_t eq = name.find('='); eq != std::string_view::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline_value = true;
+    }
+    Spec* spec = FindSpec(name);
+    if (spec == nullptr) {
+      if (!allow_unknown_) {
+        return Fail("unknown flag --" + std::string(name) + " (try --help)");
+      }
+      unknown_.emplace_back(arg);
+      // Unknown flags in `--name value` form are ambiguous; only consume
+      // a trailing value when it was attached with '='.
+      continue;
+    }
+    if (!spec->takes_value) {
+      if (has_inline_value) {
+        return Fail("flag --" + spec->name + " does not take a value");
+      }
+      spec->set = true;
+      continue;
+    }
+    if (has_inline_value) {
+      spec->value = std::string(inline_value);
+    } else {
+      if (i + 1 >= argc) {
+        return Fail("flag --" + spec->name + " expects a value");
+      }
+      spec->value = argv[++i];
+    }
+    spec->set = true;
+  }
+  help_requested_ = Has("help");
+  return true;
+}
+
+std::string ArgParser::Usage() const {
+  std::ostringstream out;
+  out << program_ << " — " << description_ << "\n\nusage: " << program_ << " [flags]";
+  if (allow_positionals_) {
+    out << " " << positional_help_;
+  }
+  out << "\n\n";
+  size_t width = 0;
+  for (const Spec& spec : specs_) {
+    size_t w = 2 + spec.name.size();
+    if (spec.takes_value) {
+      w += 1 + spec.value_name.size();
+    }
+    width = std::max(width, w);
+  }
+  for (const Spec& spec : specs_) {
+    std::string left = "--" + spec.name;
+    if (spec.takes_value) {
+      left += " " + spec.value_name;
+    }
+    out << "  " << left << std::string(width - left.size() + 2, ' ') << spec.help;
+    if (spec.takes_value && !spec.default_value.empty()) {
+      out << " (default " << spec.default_value << ")";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+bool ArgParser::Has(std::string_view name) const {
+  const Spec* spec = FindSpec(name);
+  return spec != nullptr && spec->set;
+}
+
+const std::string& ArgParser::Get(std::string_view name) const {
+  static const std::string empty;
+  const Spec* spec = FindSpec(name);
+  if (spec == nullptr) {
+    return empty;
+  }
+  return spec->set ? spec->value : spec->default_value;
+}
+
+uint64_t ArgParser::GetUint(std::string_view name) const {
+  const std::string& text = Get(name);
+  return text.empty() ? 0 : std::strtoull(text.c_str(), nullptr, 10);
+}
+
+int64_t ArgParser::GetInt(std::string_view name) const {
+  const std::string& text = Get(name);
+  return text.empty() ? 0 : std::strtoll(text.c_str(), nullptr, 10);
+}
+
+std::vector<std::string> ArgParser::GetStrings(std::string_view name) const {
+  std::vector<std::string> out;
+  const std::string& text = Get(name);
+  if (text.empty()) {
+    return out;
+  }
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t comma = text.find(',', start);
+    const size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > start) {
+      out.push_back(text.substr(start, end - start));
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<uint64_t> ArgParser::GetUints(std::string_view name) const {
+  std::vector<uint64_t> out;
+  for (const std::string& item : GetStrings(name)) {
+    out.push_back(std::strtoull(item.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+std::vector<int64_t> ArgParser::GetInts(std::string_view name) const {
+  std::vector<int64_t> out;
+  for (const std::string& item : GetStrings(name)) {
+    out.push_back(std::strtoll(item.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+bool ParseShard(std::string_view text, uint32_t* index, uint32_t* count) {
+  const size_t slash = text.find('/');
+  if (slash == std::string_view::npos || slash == 0 || slash + 1 >= text.size()) {
+    return false;
+  }
+  const std::string k(text.substr(0, slash));
+  const std::string n(text.substr(slash + 1));
+  char* end = nullptr;
+  const unsigned long ki = std::strtoul(k.c_str(), &end, 10);
+  if (end != k.c_str() + k.size()) {
+    return false;
+  }
+  const unsigned long ni = std::strtoul(n.c_str(), &end, 10);
+  if (end != n.c_str() + n.size()) {
+    return false;
+  }
+  if (ni == 0 || ki == 0 || ki > ni) {
+    return false;
+  }
+  *index = static_cast<uint32_t>(ki);
+  *count = static_cast<uint32_t>(ni);
+  return true;
+}
+
+}  // namespace ht

@@ -277,4 +277,53 @@ bool ValidateChromeTrace(const JsonValue& doc, const std::vector<std::string>& r
   return true;
 }
 
+bool ValidateSweepReport(const JsonValue& doc, std::string* error) {
+  if (doc.type() != JsonValue::Type::kObject) {
+    return Fail(error, "sweep report is not an object");
+  }
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || schema->type() != JsonValue::Type::kString ||
+      schema->as_string() != kSweepReportSchema) {
+    return Fail(error, std::string("schema is not \"") + kSweepReportSchema + "\"");
+  }
+  const JsonValue* grid_cells = doc.Find("grid_cells");
+  if (grid_cells == nullptr || grid_cells->type() != JsonValue::Type::kUint) {
+    return Fail(error, "missing uint field \"grid_cells\"");
+  }
+  const JsonValue* cells = doc.Find("cells");
+  if (cells == nullptr || cells->type() != JsonValue::Type::kArray) {
+    return Fail(error, "missing array field \"cells\"");
+  }
+  if (cells->size() > grid_cells->as_uint()) {
+    return Fail(error, "more cells than grid_cells");
+  }
+  std::string previous_key;
+  for (size_t i = 0; i < cells->size(); ++i) {
+    const JsonValue& cell = cells->at(i);
+    const std::string where = "cells[" + std::to_string(i) + "]";
+    if (cell.type() != JsonValue::Type::kObject) {
+      return Fail(error, where + " is not an object");
+    }
+    const JsonValue* key = cell.Find("key");
+    if (key == nullptr || key->type() != JsonValue::Type::kString) {
+      return Fail(error, where + " missing string field \"key\"");
+    }
+    const std::string& text = key->as_string();
+    if (text.size() != 16 ||
+        text.find_first_not_of("0123456789abcdef") != std::string::npos) {
+      return Fail(error, where + ".key is not 16 lowercase hex digits");
+    }
+    if (i > 0 && !(previous_key < text)) {
+      return Fail(error, where + ".key is not strictly increasing");
+    }
+    previous_key = text;
+    const JsonValue* member = nullptr;
+    if (!RequireObject(cell, "spec", &member, error) ||
+        !RequireObject(cell, "result", &member, error)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace ht

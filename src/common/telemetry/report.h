@@ -68,6 +68,17 @@ bool ValidateMetricsDocument(const JsonValue& doc, std::string* error = nullptr)
 bool ValidateChromeTrace(const JsonValue& doc, const std::vector<std::string>& required_names,
                          std::string* error = nullptr);
 
+// Sweep report (src/sim/sweep):
+//   hammertime.sweep_report.v1 —
+//     { "schema", "grid_cells": uint,
+//       "cells": [ { "key": 16-hex, "spec": {...}, "result": {...} } ... ] }
+// Cells must be sorted by strictly increasing key and there can be at
+// most grid_cells of them. This checks structure only; the sweep engine
+// additionally re-derives each key from its spec on load.
+inline constexpr const char* kSweepReportSchema = "hammertime.sweep_report.v1";
+
+bool ValidateSweepReport(const JsonValue& doc, std::string* error = nullptr);
+
 }  // namespace ht
 
 #endif  // HAMMERTIME_SRC_COMMON_TELEMETRY_REPORT_H_

@@ -1,0 +1,298 @@
+#include "sim/runner/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <utility>
+
+#include "attack/hammer.h"
+#include "attack/planner.h"
+#include "common/telemetry/report.h"
+#include "common/thread_pool.h"
+#include "os/address_space.h"
+#include "sim/workloads.h"
+
+namespace ht {
+
+Cycle BenchSmokeCap() {
+  static const Cycle cap = [] {
+    const char* env = std::getenv("HT_BENCH_SMOKE");
+    if (env == nullptr || *env == '\0') {
+      return kNeverCycle;
+    }
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    return (end != env && parsed > 0) ? static_cast<Cycle>(parsed) : Cycle{20000};
+  }();
+  return cap;
+}
+
+RunnerTelemetryOptions& RunnerTelemetry() {
+  static RunnerTelemetryOptions options;
+  return options;
+}
+
+namespace {
+
+// Accumulated across RunScenarios calls (an experiment main typically
+// runs several batches); the output files are rewritten after each batch
+// so a crash mid-run still leaves the completed scenarios on disk.
+struct RunnerTelemetryState {
+  std::unique_ptr<TraceSink> sink = std::make_unique<TraceSink>();
+  std::vector<JsonValue> reports;
+  size_t scenarios_started = 0;
+};
+
+RunnerTelemetryState& TelemetryState() {
+  static RunnerTelemetryState state;
+  return state;
+}
+
+}  // namespace
+
+void ResetRunnerTelemetry() {
+  TelemetryState().sink = std::make_unique<TraceSink>();
+  TelemetryState().reports.clear();
+  TelemetryState().scenarios_started = 0;
+}
+
+JsonValue ScenarioSpecToJson(const ScenarioSpec& spec) {
+  JsonValue config = JsonValue::Object();
+  config.Set("defense", JsonValue::Str(ToString(spec.defense)));
+  config.Set("hw_mitigation", JsonValue::Str(ToString(spec.hw)));
+  config.Set("attack", JsonValue::Str(ToString(spec.attack)));
+  config.Set("alloc", JsonValue::Str(ToString(spec.system.alloc)));
+  config.Set("sides", JsonValue::Uint(spec.sides));
+  config.Set("act_threshold", JsonValue::Uint(spec.act_threshold));
+  config.Set("run_cycles", JsonValue::Uint(std::min(spec.run_cycles, BenchSmokeCap())));
+  config.Set("tenants", JsonValue::Uint(spec.tenants));
+  config.Set("pages_per_tenant", JsonValue::Uint(spec.pages_per_tenant));
+  config.Set("benign_corunner", JsonValue::Bool(spec.benign_corunner));
+  config.Set("skip_idle", JsonValue::Bool(spec.system.skip_idle));
+  config.Set("channels", JsonValue::Uint(spec.system.dram.org.channels));
+  config.Set("cores", JsonValue::Uint(spec.system.cores));
+  return config;
+}
+
+JsonValue ScenarioResultToJson(const ScenarioResult& result) {
+  JsonValue out = JsonValue::Object();
+  out.Set("flip_events", JsonValue::Uint(result.security.flip_events));
+  out.Set("cross_domain_flips", JsonValue::Uint(result.security.cross_domain_flips));
+  out.Set("intra_domain_flips", JsonValue::Uint(result.security.intra_domain_flips));
+  out.Set("corrupted_lines", JsonValue::Uint(result.security.corrupted_lines));
+  out.Set("dos_lockups", JsonValue::Uint(result.security.dos_lockups));
+  out.Set("ops", JsonValue::Uint(result.perf.ops));
+  out.Set("cycles", JsonValue::Uint(result.perf.cycles));
+  out.Set("ops_per_kcycle", JsonValue::Double(result.perf.ops_per_kcycle));
+  out.Set("row_hit_rate", JsonValue::Double(result.perf.row_hit_rate));
+  out.Set("avg_read_latency", JsonValue::Double(result.perf.avg_read_latency));
+  out.Set("extra_acts", JsonValue::Uint(result.perf.extra_acts));
+  out.Set("defense_interrupts", JsonValue::Uint(result.defense_interrupts));
+  out.Set("page_moves", JsonValue::Uint(result.page_moves));
+  out.Set("throttle_stalls", JsonValue::Uint(result.throttle_stalls));
+  out.Set("mitigation_refreshes", JsonValue::Uint(result.mitigation_refreshes));
+  out.Set("attack_planned", JsonValue::Bool(result.attack_planned));
+  return out;
+}
+
+ScenarioResult RunScenario(ScenarioSpec spec, ScenarioTelemetry* telemetry,
+                           const ScenarioHooks* hooks) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  ApplyDefensePreset(spec.system, spec.defense, spec.act_threshold);
+  spec.run_cycles = std::min(spec.run_cycles, BenchSmokeCap());
+  if (spec.randomize_reset.has_value()) {
+    spec.system.mc.act_counter.randomize_reset = *spec.randomize_reset;
+  }
+  if (spec.seed != 0) {
+    // Perturb every RNG stream deterministically; distinct multipliers
+    // keep the derived seeds decorrelated from one another.
+    const uint64_t mix = spec.seed * 0x9E3779B97F4A7C15ull;
+    spec.system.dram.flip_seed ^= mix;
+    spec.system.dram.remap.seed ^= mix * 3;
+    spec.system.mc.act_counter.rng_seed ^= mix * 5;
+  }
+  if (telemetry != nullptr) {
+    spec.system.telemetry.trace = telemetry->trace;
+    spec.system.telemetry.sample_every = telemetry->sample_every;
+  }
+  System system(spec.system);
+  // Half-double needs tenants owning pairs of adjacent rows so a victim
+  // sits at distance two from attacker rows.
+  const uint64_t chunk = spec.attack == AttackKind::kHalfDouble
+                             ? 2 * PagesPerRowGroup(system.mc().mapper())
+                             : 0;
+  auto tenants = SetupTenants(system, spec.tenants, spec.pages_per_tenant, chunk);
+  const DomainId attacker = tenants[0];
+  const DomainId victim = tenants.size() > 1 ? tenants[1] : tenants[0];
+  system.InstallDefense(MakeDefense(spec.defense, spec.system.dram));
+  InstallHwMitigation(system, spec.hw);
+
+  ScenarioResult result;
+
+  // Attack plan: prefer the cross-domain sandwich; fall back to hammering
+  // the attacker's own rows when isolation denies adjacency.
+  std::optional<HammerPlan> plan;
+  if (spec.attack != AttackKind::kNone) {
+    if (spec.attack == AttackKind::kManySided) {
+      plan = PlanManySided(system.kernel(), attacker, spec.sides);
+    } else if (spec.attack == AttackKind::kHalfDouble) {
+      plan = PlanHalfDoubleCross(system.kernel(), attacker, victim);
+      if (!plan.has_value()) {
+        result.attack_planned = false;
+        plan = PlanManySided(system.kernel(), attacker, 2, 4);
+      }
+    } else {
+      plan = PlanDoubleSidedCross(system.kernel(), attacker, victim);
+      if (!plan.has_value()) {
+        result.attack_planned = false;
+        plan = PlanManySided(system.kernel(), attacker, 2);
+      }
+    }
+  }
+
+  if (plan.has_value()) {
+    switch (spec.attack) {
+      case AttackKind::kNone:
+        break;
+      case AttackKind::kDoubleSided:
+      case AttackKind::kManySided:
+      case AttackKind::kHalfDouble: {
+        HammerConfig hammer;
+        hammer.aggressors = plan->aggressor_vas;
+        system.AssignCore(0, attacker, std::make_unique<HammerStream>(hammer));
+        break;
+      }
+      case AttackKind::kDma: {
+        DmaConfig dma;
+        dma.pattern = plan->aggressor_addrs;
+        dma.period = 8;
+        system.AddDma(attacker, dma);
+        break;
+      }
+      case AttackKind::kAdaptive: {
+        auto decoys = PlanManySided(system.kernel(), attacker, 2, 2,
+                                    BankTriple{plan->channel, plan->rank, plan->bank});
+        AdaptiveHammerConfig adaptive;
+        adaptive.aggressors = plan->aggressor_vas;
+        adaptive.decoys = decoys.has_value() ? decoys->aggressor_vas : plan->aggressor_vas;
+        adaptive.counter_threshold = spec.act_threshold;
+        adaptive.safety_margin = spec.act_threshold / 10;
+        system.AssignCore(0, attacker, std::make_unique<AdaptiveHammerStream>(adaptive));
+        break;
+      }
+    }
+  }
+
+  if (spec.benign_corunner && system.core_count() > 1) {
+    system.AssignCore(1, victim,
+                      MakeWorkload("random", victim, AddressSpace::BaseFor(victim),
+                                   spec.pages_per_tenant * kPageBytes,
+                                   ~0ull >> 1, 99));
+  }
+
+  if (hooks != nullptr && hooks->on_start) {
+    hooks->on_start(system);
+  }
+
+  system.RunFor(spec.run_cycles);
+
+  result.security = Assess(system);
+  result.perf = Summarize(system, spec.run_cycles);
+  if (system.defense() != nullptr) {
+    result.defense_interrupts = system.defense()->stats().Get("defense.interrupts") +
+                                system.defense()->stats().Get("defense.detections");
+  }
+  result.page_moves = system.kernel().page_moves();
+  result.throttle_stalls = system.mc().stats().Get("mc.throttle_stalls");
+  result.mitigation_refreshes = system.mc().stats().Get("mc.mitigation_refreshes");
+
+  if (telemetry != nullptr) {
+    telemetry->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+    TraceCounts counts;
+    if (telemetry->trace != nullptr) {
+      counts.trace_events = telemetry->trace->events_emitted();
+      counts.trace_dropped = telemetry->trace->events_dropped();
+    }
+    counts.samples_taken = system.sampler().samples_taken();
+    telemetry->report = BuildRunReport(telemetry->label, ScenarioSpecToJson(spec),
+                                       ScenarioResultToJson(result), system.CollectStats(),
+                                       &system.sampler(), telemetry->wall_seconds, counts);
+  }
+  if (hooks != nullptr && hooks->on_finish) {
+    hooks->on_finish(system);
+  }
+  return result;
+}
+
+void FlushRunnerTelemetry() {
+  const RunnerTelemetryOptions& options = RunnerTelemetry();
+  RunnerTelemetryState& state = TelemetryState();
+  if (!options.trace_out.empty()) {
+    std::ofstream out(options.trace_out);
+    state.sink->WriteChromeTrace(out);
+  }
+  if (!options.metrics_out.empty()) {
+    std::ofstream out(options.metrics_out);
+    // MakeMetricsDocument consumes its input; hand it a copy so later
+    // batches can re-flush the full accumulated list.
+    MakeMetricsDocument(state.reports).Dump(out);
+    out << "\n";
+  }
+}
+
+std::vector<ScenarioResult> RunScenarios(const std::vector<ScenarioSpec>& specs,
+                                         unsigned threads) {
+  std::vector<ScenarioResult> results(specs.size());
+  const RunnerTelemetryOptions& options = RunnerTelemetry();
+  const bool telemetry_on = !options.trace_out.empty() || !options.metrics_out.empty();
+  if (!telemetry_on) {
+    ParallelFor(specs.size(), ResolveThreadCount(threads),
+                [&](uint64_t i) { results[i] = RunScenario(specs[i]); });
+    return results;
+  }
+
+  // Buffers are created serially in spec order before the fan-out, so the
+  // merged trace and the report order are identical for any worker count.
+  RunnerTelemetryState& state = TelemetryState();
+  std::vector<ScenarioTelemetry> telemetry(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    telemetry[i].label = "scenario" + std::to_string(state.scenarios_started + i) + "." +
+                         ToString(specs[i].defense) + "." + ToString(specs[i].attack);
+    if (!options.trace_out.empty()) {
+      telemetry[i].trace = state.sink->CreateBuffer(telemetry[i].label);
+    }
+    telemetry[i].sample_every = options.sample_every;
+  }
+  state.scenarios_started += specs.size();
+  ParallelFor(specs.size(), ResolveThreadCount(threads),
+              [&](uint64_t i) { results[i] = RunScenario(specs[i], &telemetry[i]); });
+  for (ScenarioTelemetry& scenario : telemetry) {
+    state.reports.push_back(std::move(scenario.report));
+  }
+  FlushRunnerTelemetry();
+  return results;
+}
+
+void AddRunnerFlags(ArgParser& parser) {
+  parser.Option("threads", "N", "worker threads for scenario fan-out (0 = auto)", "0");
+  parser.Option("trace-out", "PATH", "write a Chrome trace_event JSON (chrome://tracing)");
+  parser.Option("metrics-out", "PATH", "write a hammertime.metrics.v1 run report");
+  parser.Option("sample-every", "N",
+                "stat-sampler period in cycles (default 16384 when --metrics-out is set)");
+}
+
+unsigned ApplyRunnerFlags(const ArgParser& parser) {
+  RunnerTelemetryOptions& options = RunnerTelemetry();
+  options.trace_out = parser.Get("trace-out");
+  options.metrics_out = parser.Get("metrics-out");
+  options.sample_every = parser.GetUint("sample-every");
+  if (!options.metrics_out.empty() && options.sample_every == 0) {
+    options.sample_every = kDefaultSampleEvery;
+  }
+  return static_cast<unsigned>(parser.GetUint("threads"));
+}
+
+}  // namespace ht

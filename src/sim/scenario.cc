@@ -5,40 +5,125 @@
 #include "defense/refresh_defense.h"
 
 namespace ht {
+namespace {
 
-const char* ToString(DefenseKind kind) {
-  switch (kind) {
-    case DefenseKind::kNone:
-      return "none";
-    case DefenseKind::kSwRefresh:
-      return "sw-refresh";
-    case DefenseKind::kSwRefreshRefn:
-      return "sw-refresh+refn";
-    case DefenseKind::kActRemap:
-      return "act-remap";
-    case DefenseKind::kCacheLock:
-      return "cache-lock";
-    case DefenseKind::kAnvil:
-      return "anvil";
+// One registry row: the canonical name (what ToString emits and the
+// sweep cache keys on) plus an optional accepted alias for FromString.
+template <typename Kind>
+struct KindEntry {
+  Kind kind;
+  const char* name;
+  const char* alias = nullptr;
+};
+
+template <typename Kind, size_t N>
+const char* NameOf(const KindEntry<Kind> (&table)[N], Kind kind) {
+  for (const auto& entry : table) {
+    if (entry.kind == kind) {
+      return entry.name;
+    }
   }
   return "?";
 }
 
-const char* ToString(HwMitigationKind kind) {
-  switch (kind) {
-    case HwMitigationKind::kNone:
-      return "none";
-    case HwMitigationKind::kPara:
-      return "para";
-    case HwMitigationKind::kGraphene:
-      return "graphene";
-    case HwMitigationKind::kTwice:
-      return "twice";
-    case HwMitigationKind::kBlockHammer:
-      return "blockhammer";
+template <typename Kind, size_t N>
+std::optional<Kind> KindFromString(const KindEntry<Kind> (&table)[N], std::string_view name) {
+  for (const auto& entry : table) {
+    if (name == entry.name || (entry.alias != nullptr && name == entry.alias)) {
+      return entry.kind;
+    }
   }
-  return "?";
+  return std::nullopt;
 }
+
+template <typename Kind, size_t N>
+std::vector<Kind> AllOf(const KindEntry<Kind> (&table)[N]) {
+  std::vector<Kind> kinds;
+  kinds.reserve(N);
+  for (const auto& entry : table) {
+    kinds.push_back(entry.kind);
+  }
+  return kinds;
+}
+
+template <typename Kind, size_t N>
+std::string JoinNames(const KindEntry<Kind> (&table)[N]) {
+  std::string out;
+  for (const auto& entry : table) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += entry.name;
+  }
+  return out;
+}
+
+constexpr KindEntry<DefenseKind> kDefenseKinds[] = {
+    {DefenseKind::kNone, "none"},
+    {DefenseKind::kSwRefresh, "sw-refresh"},
+    {DefenseKind::kSwRefreshRefn, "sw-refresh+refn", "sw-refresh-refn"},
+    {DefenseKind::kActRemap, "act-remap"},
+    {DefenseKind::kCacheLock, "cache-lock"},
+    {DefenseKind::kAnvil, "anvil"},
+};
+
+constexpr KindEntry<HwMitigationKind> kHwMitigationKinds[] = {
+    {HwMitigationKind::kNone, "none"},
+    {HwMitigationKind::kPara, "para"},
+    {HwMitigationKind::kGraphene, "graphene"},
+    {HwMitigationKind::kTwice, "twice"},
+    {HwMitigationKind::kBlockHammer, "blockhammer"},
+};
+
+constexpr KindEntry<AttackKind> kAttackKinds[] = {
+    {AttackKind::kNone, "benign", "none"},
+    {AttackKind::kDoubleSided, "double-sided"},
+    {AttackKind::kManySided, "many-sided"},
+    {AttackKind::kDma, "dma"},
+    {AttackKind::kAdaptive, "adaptive"},
+    {AttackKind::kHalfDouble, "half-double"},
+};
+
+}  // namespace
+
+const char* ToString(DefenseKind kind) { return NameOf(kDefenseKinds, kind); }
+
+std::optional<DefenseKind> DefenseKindFromString(std::string_view name) {
+  return KindFromString(kDefenseKinds, name);
+}
+
+const std::vector<DefenseKind>& AllDefenseKinds() {
+  static const std::vector<DefenseKind> kinds = AllOf(kDefenseKinds);
+  return kinds;
+}
+
+std::string KnownDefenseKinds() { return JoinNames(kDefenseKinds); }
+
+const char* ToString(HwMitigationKind kind) { return NameOf(kHwMitigationKinds, kind); }
+
+std::optional<HwMitigationKind> HwMitigationKindFromString(std::string_view name) {
+  return KindFromString(kHwMitigationKinds, name);
+}
+
+const std::vector<HwMitigationKind>& AllHwMitigationKinds() {
+  static const std::vector<HwMitigationKind> kinds = AllOf(kHwMitigationKinds);
+  return kinds;
+}
+
+std::string KnownHwMitigationKinds() { return JoinNames(kHwMitigationKinds); }
+
+const char* ToString(AttackKind kind) { return NameOf(kAttackKinds, kind); }
+
+std::optional<AttackKind> AttackKindFromString(std::string_view name) {
+  return KindFromString(kAttackKinds, name);
+}
+
+const std::vector<AttackKind>& AllAttackKinds() {
+  static const std::vector<AttackKind> kinds = AllOf(kAttackKinds);
+  return kinds;
+}
+
+std::string KnownAttackKinds() { return JoinNames(kAttackKinds); }
 
 void ApplyDefensePreset(SystemConfig& config, DefenseKind kind, uint64_t act_threshold) {
   switch (kind) {

@@ -6,7 +6,9 @@
 #define HAMMERTIME_SRC_SIM_SCENARIO_H_
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "defense/defense.h"
@@ -25,7 +27,15 @@ enum class DefenseKind : uint8_t {
   kAnvil,           // PMU-sampling software-only baseline [4].
 };
 
+// Canonical-name registries. Every kind enum has a ToString/FromString
+// round-trip (FromString also accepts documented aliases), an All*()
+// enumeration in declaration order, and a Known*() comma-joined name list
+// for CLI usage/error text. The sweep grid and result cache key off the
+// canonical names, so renaming one invalidates cached sweep cells.
 const char* ToString(DefenseKind kind);
+std::optional<DefenseKind> DefenseKindFromString(std::string_view name);
+const std::vector<DefenseKind>& AllDefenseKinds();
+std::string KnownDefenseKinds();
 
 // Adjusts a SystemConfig so the chosen defense's hardware prerequisites
 // (ACT counter, interrupt precision, REF_NEIGHBORS) are enabled.
@@ -45,8 +55,27 @@ enum class HwMitigationKind : uint8_t {
 };
 
 const char* ToString(HwMitigationKind kind);
+std::optional<HwMitigationKind> HwMitigationKindFromString(std::string_view name);
+const std::vector<HwMitigationKind>& AllHwMitigationKinds();
+std::string KnownHwMitigationKinds();
 
 void InstallHwMitigation(System& system, HwMitigationKind kind);
+
+// --- Attack patterns ---------------------------------------------------------
+
+enum class AttackKind : uint8_t {
+  kNone,         // Benign only.
+  kDoubleSided,  // Classic sandwich around a victim row.
+  kManySided,    // TRRespass-style n aggressors.
+  kDma,          // Double-sided pattern driven by a DMA engine.
+  kAdaptive,     // Counter-synchronized evasion attacker (§4.2).
+  kHalfDouble,   // Distance-2 aggressors (blast-radius attack).
+};
+
+const char* ToString(AttackKind kind);
+std::optional<AttackKind> AttackKindFromString(std::string_view name);
+const std::vector<AttackKind>& AllAttackKinds();
+std::string KnownAttackKinds();
 
 // --- Tenants -------------------------------------------------------------
 

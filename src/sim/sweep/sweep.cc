@@ -1,0 +1,220 @@
+#include "sim/sweep/sweep.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace ht {
+namespace {
+
+// Normalize a canonical spec object's member order so cached and freshly
+// computed cells serialize identically no matter how the spec was built.
+JsonValue SortedMembers(JsonValue object) {
+  std::sort(object.members().begin(), object.members().end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return object;
+}
+
+JsonValue MakeReportCell(const std::string& key, JsonValue spec, JsonValue result) {
+  JsonValue cell = JsonValue::Object();
+  cell.Set("key", JsonValue::Str(key));
+  cell.Set("spec", SortedMembers(std::move(spec)));
+  cell.Set("result", std::move(result));
+  return cell;
+}
+
+// The cache cell carries everything the report cell does plus the full
+// StatSet snapshot, which downstream analysis can read without ever
+// re-running the cell (the report stays lean and stats-free).
+JsonValue MakeCacheCell(const JsonValue& report_cell, JsonValue stats) {
+  JsonValue cell = JsonValue::Object();
+  cell.Set("schema", JsonValue::Str(kSweepCellSchema));
+  for (const auto& [name, value] : report_cell.members()) {
+    cell.Set(name, value);
+  }
+  cell.Set("stats", std::move(stats));
+  return cell;
+}
+
+}  // namespace
+
+std::vector<SweepCellSpec> ExpandGrid(const SweepGrid& grid) {
+  std::map<std::string, ScenarioSpec> cells;
+  for (const DefenseKind defense : grid.defenses) {
+    for (const HwMitigationKind hw : grid.hw) {
+      for (const AttackKind attack : grid.attacks) {
+        for (const uint64_t threshold : grid.act_thresholds) {
+          for (const uint32_t trr : grid.trr_entries) {
+            for (const uint32_t blast : grid.blast_radii) {
+              for (const int generation : grid.generations) {
+                for (const Cycle cycles : grid.cycle_budgets) {
+                  for (const uint64_t seed : grid.seeds) {
+                    ScenarioSpec spec;
+                    if (generation >= 0) {
+                      spec.system.dram = DramConfig::DensityGeneration(generation);
+                    }
+                    if (trr > 0) {
+                      spec.system.dram.trr.enabled = true;
+                      spec.system.dram.trr.table_entries = trr;
+                    }
+                    if (blast > 0) {
+                      spec.system.dram.disturbance.blast_radius = blast;
+                    }
+                    spec.defense = defense;
+                    spec.hw = hw;
+                    spec.attack = attack;
+                    spec.act_threshold = threshold;
+                    spec.run_cycles = cycles;
+                    spec.seed = seed;
+                    spec.sides = grid.sides;
+                    spec.tenants = grid.tenants;
+                    spec.pages_per_tenant = grid.pages_per_tenant;
+                    spec.benign_corunner = grid.benign_corunner;
+                    cells.emplace(SweepKey(spec), spec);
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  std::vector<SweepCellSpec> out;
+  out.reserve(cells.size());
+  for (auto& [key, spec] : cells) {  // std::map iterates in key order.
+    out.push_back(SweepCellSpec{key, spec});
+  }
+  return out;
+}
+
+JsonValue MakeSweepReport(uint64_t grid_cells, std::vector<JsonValue> cells) {
+  std::sort(cells.begin(), cells.end(), [](const JsonValue& a, const JsonValue& b) {
+    return a.Find("key")->as_string() < b.Find("key")->as_string();
+  });
+  JsonValue report = JsonValue::Object();
+  report.Set("schema", JsonValue::Str(kSweepReportSchema));
+  report.Set("grid_cells", JsonValue::Uint(grid_cells));
+  JsonValue array = JsonValue::Array();
+  for (JsonValue& cell : cells) {
+    array.Push(std::move(cell));
+  }
+  report.Set("cells", std::move(array));
+  return report;
+}
+
+SweepOutcome RunSweep(const SweepGrid& grid, const SweepOptions& options) {
+  SweepOutcome outcome;
+  if (options.shard_count == 0 || options.shard_index == 0 ||
+      options.shard_index > options.shard_count) {
+    outcome.error = "bad shard: index must be in 1..count";
+    return outcome;
+  }
+
+  const std::vector<SweepCellSpec> all = ExpandGrid(grid);
+  outcome.total_cells = all.size();
+
+  // This shard's slice of the key-sorted cell list, then split into
+  // cache hits and cells that still need simulation.
+  ResultCache cache(options.cache_dir);
+  std::vector<JsonValue> completed;
+  std::vector<SweepCellSpec> pending;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (i % options.shard_count != options.shard_index - 1) {
+      continue;
+    }
+    ++outcome.shard_cells;
+    if (options.resume && cache.enabled()) {
+      if (std::optional<JsonValue> hit = cache.Load(all[i].key)) {
+        ++outcome.cached_cells;
+        completed.push_back(MakeReportCell(all[i].key, std::move(*hit->Find("spec")),
+                                           std::move(*hit->Find("result"))));
+        continue;
+      }
+    }
+    pending.push_back(all[i]);
+  }
+
+  if (options.max_cells > 0 && pending.size() > options.max_cells) {
+    outcome.skipped_cells = pending.size() - options.max_cells;
+    pending.resize(options.max_cells);
+  }
+
+  // Fan the missing cells out over the pool. Each cell is a
+  // self-contained System (bit-identical to a serial loop), and a finish
+  // hook snapshots the live System's StatSet for the cache cell.
+  std::vector<ScenarioResult> results(pending.size());
+  std::vector<JsonValue> stats(pending.size());
+  ParallelFor(pending.size(), ResolveThreadCount(options.threads), [&](uint64_t i) {
+    ScenarioHooks hooks;
+    hooks.on_finish = [&stats, i](System& system) {
+      stats[i] = StatSetToJson(system.CollectStats());
+    };
+    results[i] = RunScenario(pending[i].spec, nullptr, &hooks);
+  });
+
+  for (size_t i = 0; i < pending.size(); ++i) {
+    ++outcome.executed_cells;
+    JsonValue cell = MakeReportCell(pending[i].key, SpecCanonicalJson(pending[i].spec),
+                                    ScenarioResultToJson(results[i]));
+    if (cache.enabled()) {
+      std::string store_error;
+      if (!cache.Store(pending[i].key, MakeCacheCell(cell, std::move(stats[i])), &store_error)) {
+        outcome.error = store_error;
+        return outcome;
+      }
+    }
+    completed.push_back(std::move(cell));
+  }
+
+  outcome.report = MakeSweepReport(outcome.total_cells, std::move(completed));
+  outcome.ok = true;
+  return outcome;
+}
+
+JsonValue MergeSweepReports(const std::vector<JsonValue>& reports, std::string* error) {
+  const auto fail = [error](const std::string& what) {
+    if (error != nullptr) {
+      *error = what;
+    }
+    return JsonValue::Null();
+  };
+  if (reports.empty()) {
+    return fail("nothing to merge");
+  }
+  uint64_t grid_cells = 0;
+  std::map<std::string, JsonValue> merged;
+  for (size_t i = 0; i < reports.size(); ++i) {
+    std::string validate_error;
+    if (!ValidateSweepReport(reports[i], &validate_error)) {
+      return fail("input " + std::to_string(i) + ": " + validate_error);
+    }
+    const uint64_t this_grid = reports[i].Find("grid_cells")->as_uint();
+    if (i == 0) {
+      grid_cells = this_grid;
+    } else if (this_grid != grid_cells) {
+      return fail("input " + std::to_string(i) + ": grid_cells mismatch (" +
+                  std::to_string(this_grid) + " vs " + std::to_string(grid_cells) + ")");
+    }
+    for (const JsonValue& cell : reports[i].Find("cells")->items()) {
+      const std::string& key = cell.Find("key")->as_string();
+      const auto [it, inserted] = merged.emplace(key, cell);
+      if (!inserted && !(it->second == cell)) {
+        return fail("conflicting results for cell " + key);
+      }
+    }
+  }
+  if (merged.size() > grid_cells) {
+    return fail("merged cell count exceeds grid_cells");
+  }
+  std::vector<JsonValue> cells;
+  cells.reserve(merged.size());
+  for (auto& [key, cell] : merged) {
+    cells.push_back(std::move(cell));
+  }
+  return MakeSweepReport(grid_cells, std::move(cells));
+}
+
+}  // namespace ht

@@ -1,0 +1,97 @@
+// The sweep engine: expands a declarative parameter grid into a
+// deduplicated, key-sorted list of scenario cells, executes them on the
+// shared worker pool, and assembles a deterministic
+// `hammertime.sweep_report.v1` document.
+//
+// Determinism contract: the report contains no wall-clock or host state,
+// cells are ordered by their stable keys, and each cell's result is the
+// bit-identical RunScenario outcome — so a resumed sweep, a re-run sweep,
+// and the merge of any shard partition all serialize to the same bytes
+// as one uninterrupted run.
+#ifndef HAMMERTIME_SRC_SIM_SWEEP_SWEEP_H_
+#define HAMMERTIME_SRC_SIM_SWEEP_SWEEP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/telemetry/json.h"
+#include "common/telemetry/report.h"  // kSweepReportSchema, ValidateSweepReport.
+#include "sim/runner/runner.h"
+#include "sim/sweep/cache.h"
+#include "sim/sweep/speckey.h"
+
+namespace ht {
+
+// One axis per sweep-controllable knob; the grid is the cross product.
+// Sentinels keep the axes composable with profile defaults: trr_entries 0
+// = TRR off, blast_radii 0 = the profile's own radius, generations -1 =
+// the scaled simulation default profile.
+struct SweepGrid {
+  std::vector<DefenseKind> defenses = {DefenseKind::kNone};
+  std::vector<HwMitigationKind> hw = {HwMitigationKind::kNone};
+  std::vector<AttackKind> attacks = {AttackKind::kDoubleSided};
+  std::vector<uint64_t> act_thresholds = {256};
+  std::vector<uint32_t> trr_entries = {0};
+  std::vector<uint32_t> blast_radii = {0};
+  std::vector<int> generations = {-1};
+  std::vector<Cycle> cycle_budgets = {800000};
+  std::vector<uint64_t> seeds = {0};
+  // Scalar shape knobs applied to every cell.
+  uint32_t sides = 16;
+  uint32_t tenants = 2;
+  uint64_t pages_per_tenant = 512;
+  bool benign_corunner = false;
+};
+
+// A grid point ready to run: the canonical key and the runnable spec.
+struct SweepCellSpec {
+  std::string key;
+  ScenarioSpec spec;
+};
+
+// Cross product of the grid axes, deduplicated by canonical key (two
+// points that canonicalize identically — e.g. act-threshold variations
+// under a defense that ignores them do NOT collapse, but genuinely
+// identical specs do) and sorted by key. The order is the execution and
+// sharding order.
+std::vector<SweepCellSpec> ExpandGrid(const SweepGrid& grid);
+
+struct SweepOptions {
+  unsigned threads = 0;       // 0 = HT_THREADS / hardware concurrency.
+  std::string cache_dir;      // Empty = no result cache.
+  bool resume = false;        // Reuse valid cached cells instead of re-running.
+  uint32_t shard_index = 1;   // 1-based: cell i runs iff i % count == index-1.
+  uint32_t shard_count = 1;
+  uint64_t max_cells = 0;     // Stop after this many executed cells (0 = all);
+                              // the remainder is left for a resumed run.
+};
+
+struct SweepOutcome {
+  bool ok = false;            // False on cache I/O failure or bad options.
+  std::string error;
+  uint64_t total_cells = 0;    // Grid size after dedup.
+  uint64_t shard_cells = 0;    // Cells belonging to this shard.
+  uint64_t cached_cells = 0;   // Satisfied from the result cache.
+  uint64_t executed_cells = 0; // Actually simulated this run.
+  uint64_t skipped_cells = 0;  // Deferred by max_cells.
+  JsonValue report;            // hammertime.sweep_report.v1 (completed cells only).
+};
+
+// Expands `grid`, executes this shard's missing cells (deterministic spec
+// order on the worker pool), persists each completed cell to the cache,
+// and builds the report from every completed cell.
+SweepOutcome RunSweep(const SweepGrid& grid, const SweepOptions& options = {});
+
+// Builds a sweep report document from completed cells (sorted by key).
+JsonValue MakeSweepReport(uint64_t grid_cells, std::vector<JsonValue> cells);
+
+// Unions shard reports by cell key. All inputs must validate, agree on
+// grid_cells, and agree on any key they share; the merged report is
+// byte-identical to the unsharded report over the same cells. Returns a
+// null JsonValue with `error` set on any mismatch.
+JsonValue MergeSweepReports(const std::vector<JsonValue>& reports, std::string* error = nullptr);
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_SIM_SWEEP_SWEEP_H_

@@ -8,7 +8,7 @@
 
 #include <vector>
 
-#include "bench/bench_util.h"
+#include "sim/runner/runner.h"
 
 namespace ht {
 namespace {

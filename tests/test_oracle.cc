@@ -5,7 +5,7 @@
 // actually fires and shrinks to a replayable reproducer.
 #include <gtest/gtest.h>
 
-#include "bench/bench_util.h"
+#include "sim/runner/runner.h"
 #include "check/generator.h"
 #include "check/oracle.h"
 #include "dram/device.h"

@@ -6,7 +6,7 @@
 
 #include <vector>
 
-#include "bench/bench_util.h"
+#include "sim/runner/runner.h"
 #include "common/stats.h"
 #include "sim/system.h"
 

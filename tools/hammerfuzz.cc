@@ -31,9 +31,11 @@
 #include <string>
 #include <vector>
 
-#include "bench/bench_util.h"
 #include "check/generator.h"
 #include "check/oracle.h"
+#include "common/argparse.h"
+#include "common/thread_pool.h"
+#include "sim/runner/runner.h"
 
 using namespace ht;
 
@@ -472,41 +474,33 @@ int Generate(const CliOptions& options) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  CliOptions options;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto value = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "hammerfuzz: %s needs a value\n", arg.c_str());
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--iterations") {
-      options.iterations = std::strtoull(value(), nullptr, 0);
-    } else if (arg == "--seed") {
-      options.seed = std::strtoull(value(), nullptr, 0);
-    } else if (arg == "--mode") {
-      options.mode = value();
-    } else if (arg == "--out") {
-      options.out_dir = value();
-    } else if (arg == "--corpus") {
-      options.corpus_dir = value();
-    } else if (arg == "--replay") {
-      options.replay_file = value();
-    } else if (arg == "--inject-at") {
-      options.inject_at = std::strtoull(value(), nullptr, 0);
-    } else if (arg == "--verbose") {
-      options.verbose = true;
-    } else if (arg == "--help" || arg == "-h") {
-      PrintUsage();
-      return 0;
-    } else {
-      std::fprintf(stderr, "hammerfuzz: unknown flag %s\n", arg.c_str());
-      PrintUsage();
-      return 2;
-    }
+  ArgParser parser("hammerfuzz", "differential fuzzer for the hammertime fast paths");
+  parser.Option("iterations", "N", "random cases to generate", "100")
+      .Option("seed", "S", "master seed for case generation (decimal or 0x hex)", "1")
+      .Option("mode", "M", "device | scenario | both (3:1 device-heavy)", "both")
+      .Option("out", "DIR", "where repro_*.seed files are written", ".")
+      .Option("corpus", "DIR", "replay every *.seed file in DIR and exit")
+      .Option("replay", "FILE", "replay one seed file and exit")
+      .Option("inject-at", "N",
+              "break the reference model after N commands (tests that the oracle fires)")
+      .Flag("verbose", "one line per case");
+  if (!parser.Parse(argc, argv)) {
+    std::fprintf(stderr, "hammerfuzz: %s\n", parser.error().c_str());
+    return 2;
   }
+  if (parser.help_requested()) {
+    PrintUsage();
+    return 0;
+  }
+  CliOptions options;
+  options.iterations = std::strtoull(parser.Get("iterations").c_str(), nullptr, 0);
+  options.seed = std::strtoull(parser.Get("seed").c_str(), nullptr, 0);
+  options.mode = parser.Get("mode");
+  options.out_dir = parser.Get("out");
+  options.corpus_dir = parser.Get("corpus");
+  options.replay_file = parser.Get("replay");
+  options.inject_at = std::strtoull(parser.Get("inject-at").c_str(), nullptr, 0);
+  options.verbose = parser.GetBool("verbose");
   if (options.mode != "device" && options.mode != "scenario" && options.mode != "both") {
     std::fprintf(stderr, "hammerfuzz: bad --mode %s\n", options.mode.c_str());
     return 2;

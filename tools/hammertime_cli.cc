@@ -12,10 +12,13 @@
 //   hammertime --generation=3 --defense=sw-refresh --cycles=2000000
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <fstream>
 #include <string>
 
-#include "bench/bench_util.h"
+#include "common/argparse.h"
+#include "common/table.h"
+#include "common/telemetry/report.h"
+#include "sim/runner/runner.h"
 
 using namespace ht;
 
@@ -41,42 +44,6 @@ struct CliOptions {
   Cycle sample_every = 0;
 };
 
-void PrintUsage() {
-  std::puts(
-      "hammertime — Rowhammer mitigation experiment runner\n"
-      "\n"
-      "  --attack=KIND      benign | double-sided | many-sided | dma | adaptive |\n"
-      "                     half-double\n"
-      "  --defense=KIND     none | sw-refresh | sw-refresh-refn | act-remap |\n"
-      "                     cache-lock | anvil | subarray-iso | guard-rows\n"
-      "  --hw=KIND          none | para | graphene | twice | blockhammer\n"
-      "  --sides=N          aggressor rows for many-sided (default 16)\n"
-      "  --trr=N            enable in-DRAM TRR with an N-entry tracker\n"
-      "  --generation=G     density generation 0..4 (default: sim default)\n"
-      "  --threshold=N      ACT-interrupt threshold (default 256)\n"
-      "  --cycles=N         simulated DRAM cycles (default 1200000)\n"
-      "  --ecc              enable SECDED ECC\n"
-      "  --refsb            DDR5-style per-bank refresh\n"
-      "  --closed-page      closed-page (auto-precharge) row policy\n"
-      "  --remap            enable vendor row remapping\n"
-      "  --csv              emit CSV instead of a table\n"
-      "  --verbose          dump raw MC/DRAM statistics afterwards\n"
-      "  --trace-out=PATH   write a Chrome trace_event JSON (chrome://tracing)\n"
-      "  --metrics-out=PATH write a hammertime.metrics.v1 run report\n"
-      "  --sample-every=N   stat-sampler period in cycles (default 16384\n"
-      "                     when --metrics-out is set)\n"
-      "  --help             this text");
-}
-
-bool ParseFlag(const char* arg, const char* name, std::string& out) {
-  const size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
-    out = arg + len + 1;
-    return true;
-  }
-  return false;
-}
-
 int Fail(const std::string& what) {
   std::fprintf(stderr, "error: %s (try --help)\n", what.c_str());
   return 2;
@@ -85,50 +52,48 @@ int Fail(const std::string& what) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  CliOptions options;
-  for (int i = 1; i < argc; ++i) {
-    std::string value;
-    if (std::strcmp(argv[i], "--help") == 0) {
-      PrintUsage();
-      return 0;
-    } else if (std::strcmp(argv[i], "--ecc") == 0) {
-      options.ecc = true;
-    } else if (std::strcmp(argv[i], "--remap") == 0) {
-      options.remap = true;
-    } else if (std::strcmp(argv[i], "--refsb") == 0) {
-      options.refsb = true;
-    } else if (std::strcmp(argv[i], "--closed-page") == 0) {
-      options.closed_page = true;
-    } else if (std::strcmp(argv[i], "--csv") == 0) {
-      options.csv = true;
-    } else if (std::strcmp(argv[i], "--verbose") == 0) {
-      options.verbose = true;
-    } else if (ParseFlag(argv[i], "--attack", value)) {
-      options.attack = value;
-    } else if (ParseFlag(argv[i], "--defense", value)) {
-      options.defense = value;
-    } else if (ParseFlag(argv[i], "--hw", value)) {
-      options.hw = value;
-    } else if (ParseFlag(argv[i], "--sides", value)) {
-      options.sides = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
-    } else if (ParseFlag(argv[i], "--trr", value)) {
-      options.trr = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
-    } else if (ParseFlag(argv[i], "--generation", value)) {
-      options.generation = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "--threshold", value)) {
-      options.threshold = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (ParseFlag(argv[i], "--cycles", value)) {
-      options.cycles = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (ParseFlag(argv[i], "--trace-out", value)) {
-      options.trace_out = value;
-    } else if (ParseFlag(argv[i], "--metrics-out", value)) {
-      options.metrics_out = value;
-    } else if (ParseFlag(argv[i], "--sample-every", value)) {
-      options.sample_every = std::strtoull(value.c_str(), nullptr, 10);
-    } else {
-      return Fail(std::string("unknown flag ") + argv[i]);
-    }
+  ArgParser parser("hammertime", "Rowhammer mitigation experiment runner");
+  parser.Option("attack", "KIND", KnownAttackKinds(), "double-sided")
+      .Option("defense", "KIND", KnownDefenseKinds() + ", subarray-iso, guard-rows", "none")
+      .Option("hw", "KIND", KnownHwMitigationKinds(), "none")
+      .Option("sides", "N", "aggressor rows for many-sided", "16")
+      .Option("trr", "N", "enable in-DRAM TRR with an N-entry tracker")
+      .Option("generation", "G", "density generation 0..4 (default: sim default)")
+      .Option("threshold", "N", "ACT-interrupt threshold", "256")
+      .Option("cycles", "N", "simulated DRAM cycles", "1200000")
+      .Flag("ecc", "enable SECDED ECC")
+      .Flag("refsb", "DDR5-style per-bank refresh")
+      .Flag("closed-page", "closed-page (auto-precharge) row policy")
+      .Flag("remap", "enable vendor row remapping")
+      .Flag("csv", "emit CSV instead of a table")
+      .Flag("verbose", "dump raw MC/DRAM statistics afterwards");
+  AddRunnerFlags(parser);
+  if (!parser.Parse(argc, argv)) {
+    return Fail(parser.error());
   }
+  if (parser.help_requested()) {
+    std::fputs(parser.Usage().c_str(), stdout);
+    return 0;
+  }
+
+  CliOptions options;
+  options.attack = parser.Get("attack");
+  options.defense = parser.Get("defense");
+  options.hw = parser.Get("hw");
+  options.sides = static_cast<uint32_t>(parser.GetUint("sides"));
+  options.trr = static_cast<uint32_t>(parser.GetUint("trr"));
+  options.generation = parser.Has("generation") ? static_cast<int>(parser.GetInt("generation")) : -1;
+  options.threshold = parser.GetUint("threshold");
+  options.cycles = parser.GetUint("cycles");
+  options.ecc = parser.GetBool("ecc");
+  options.remap = parser.GetBool("remap");
+  options.refsb = parser.GetBool("refsb");
+  options.closed_page = parser.GetBool("closed-page");
+  options.csv = parser.GetBool("csv");
+  options.verbose = parser.GetBool("verbose");
+  options.trace_out = parser.Get("trace-out");
+  options.metrics_out = parser.Get("metrics-out");
+  options.sample_every = parser.GetUint("sample-every");
 
   ScenarioSpec spec;
   spec.run_cycles = options.cycles;
@@ -147,35 +112,15 @@ int main(int argc, char** argv) {
   spec.system.dram.retention.per_bank_refresh = options.refsb;
   spec.system.mc.open_page = !options.closed_page;
 
-  if (options.attack == "benign") {
-    spec.attack = AttackKind::kNone;
-  } else if (options.attack == "double-sided") {
-    spec.attack = AttackKind::kDoubleSided;
-  } else if (options.attack == "many-sided") {
-    spec.attack = AttackKind::kManySided;
-  } else if (options.attack == "dma") {
-    spec.attack = AttackKind::kDma;
-  } else if (options.attack == "adaptive") {
-    spec.attack = AttackKind::kAdaptive;
-  } else if (options.attack == "half-double") {
-    spec.attack = AttackKind::kHalfDouble;
+  if (const auto attack = AttackKindFromString(options.attack); attack.has_value()) {
+    spec.attack = *attack;
   } else {
-    return Fail("unknown attack " + options.attack);
+    return Fail("unknown attack " + options.attack + " (known: " + KnownAttackKinds() + ")");
   }
 
-  if (options.defense == "none") {
-    spec.defense = DefenseKind::kNone;
-  } else if (options.defense == "sw-refresh") {
-    spec.defense = DefenseKind::kSwRefresh;
-  } else if (options.defense == "sw-refresh-refn") {
-    spec.defense = DefenseKind::kSwRefreshRefn;
-  } else if (options.defense == "act-remap") {
-    spec.defense = DefenseKind::kActRemap;
-  } else if (options.defense == "cache-lock") {
-    spec.defense = DefenseKind::kCacheLock;
-  } else if (options.defense == "anvil") {
-    spec.defense = DefenseKind::kAnvil;
-  } else if (options.defense == "subarray-iso") {
+  // The two isolation configurations are system-shape choices rather than
+  // installable Defense objects, so they sit outside the registry.
+  if (options.defense == "subarray-iso") {
     spec.system.mc.scheme = InterleaveScheme::kSubarrayIsolated;
     spec.system.alloc = AllocPolicy::kSubarrayAware;
     spec.system.mc.enforce_domain_groups = true;
@@ -183,22 +128,18 @@ int main(int argc, char** argv) {
     spec.system.alloc = AllocPolicy::kGuardRows;
     spec.system.guard_domains = 2;
     spec.system.guard_blast = spec.system.dram.disturbance.blast_radius;
+  } else if (const auto defense = DefenseKindFromString(options.defense); defense.has_value()) {
+    spec.defense = *defense;
   } else {
-    return Fail("unknown defense " + options.defense);
+    return Fail("unknown defense " + options.defense + " (known: " + KnownDefenseKinds() +
+                ", subarray-iso, guard-rows)");
   }
 
-  if (options.hw == "none") {
-    spec.hw = HwMitigationKind::kNone;
-  } else if (options.hw == "para") {
-    spec.hw = HwMitigationKind::kPara;
-  } else if (options.hw == "graphene") {
-    spec.hw = HwMitigationKind::kGraphene;
-  } else if (options.hw == "twice") {
-    spec.hw = HwMitigationKind::kTwice;
-  } else if (options.hw == "blockhammer") {
-    spec.hw = HwMitigationKind::kBlockHammer;
+  if (const auto hw = HwMitigationKindFromString(options.hw); hw.has_value()) {
+    spec.hw = *hw;
   } else {
-    return Fail("unknown hw mitigation " + options.hw);
+    return Fail("unknown hw mitigation " + options.hw + " (known: " + KnownHwMitigationKinds() +
+                ")");
   }
 
   if (!options.metrics_out.empty() && options.sample_every == 0) {

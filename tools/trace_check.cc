@@ -4,6 +4,7 @@
 //                                         extra NAME must appear among the
 //                                         event names at least once.
 //   trace_check --metrics FILE            hammertime.metrics.v1 document.
+//   trace_check --sweep FILE              hammertime.sweep_report.v1 document.
 //   trace_check --compare FILE FILE       two metrics documents must be
 //                                         identical after zeroing the
 //                                         non-deterministic wall_seconds
@@ -25,6 +26,7 @@ int Usage() {
   std::fputs(
       "usage: trace_check --trace FILE [NAME...]\n"
       "       trace_check --metrics FILE\n"
+      "       trace_check --sweep FILE\n"
       "       trace_check --compare FILE FILE\n",
       stderr);
   return 2;
@@ -111,6 +113,21 @@ int main(int argc, char** argv) {
     }
     std::printf("trace_check: %s: valid metrics document (%zu reports)\n", argv[2],
                 doc->Find("reports")->size());
+    return 0;
+  }
+
+  if (mode == "--sweep") {
+    auto doc = ParseFile(argv[2]);
+    if (!doc.has_value()) {
+      return 2;
+    }
+    if (!ht::ValidateSweepReport(*doc, &error)) {
+      std::fprintf(stderr, "trace_check: %s: %s\n", argv[2], error.c_str());
+      return 1;
+    }
+    std::printf("trace_check: %s: valid sweep report (%zu/%llu cells)\n", argv[2],
+                doc->Find("cells")->size(),
+                static_cast<unsigned long long>(doc->Find("grid_cells")->as_uint()));
     return 0;
   }
 
