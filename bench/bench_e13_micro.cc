@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 
 #include "bench/bench_util.h"
 #include "cpu/cache.h"
@@ -13,6 +14,7 @@
 #include "mc/addrmap.h"
 #include "mc/controller.h"
 #include "mc/mitigations.h"
+#include "sim/scenario.h"
 
 namespace ht {
 namespace {
@@ -177,6 +179,144 @@ void WriteThroughputReport() {
               speedup);
 }
 
+// --- Busy-phase scheduling throughput ---------------------------------------
+//
+// The counterpart of the idle-heavy report: hammer-heavy load whose MC
+// queues are almost never empty, so idle skipping alone cannot help.
+// Measures simulated cycles per wall-clock second with the event-driven
+// busy-phase scheduler (exact NextWake from the timing tables, memo-gated
+// channel scans, interval-accounted core stalls) off and on, and writes
+// BENCH_busy.json. Command streams and stats are bit-identical between
+// the two modes (tests/test_event_scheduling.cc holds that line), so this
+// is a pure scheduling-overhead comparison. Two scenarios:
+//
+//  * mc_hammer_loop — the controller driven directly with a saturating
+//    same-bank row-conflict stream, the clock advanced by NextWake (event)
+//    or per-cycle (legacy). Isolates the busy-phase scheduler: every
+//    skipped cycle is a dead rescan the legacy mode pays for.
+//  * system_hammer — the whole-system version (hammer core + streaming
+//    co-runner); cores and caches dilute the MC win, so this bounds the
+//    end-to-end benefit the way E1 wall-clock does.
+
+ThroughputSample MeasureMcHammerLoop(bool event_driven, Cycle cycles) {
+  McConfig config;
+  config.event_driven = event_driven;
+  MemoryController mc(DramConfig::SimDefault(), config);
+
+  // Three same-bank rows cycled at queue depth 2: no two queued requests
+  // ever share a row, so every access is a row conflict forcing its own
+  // PRE+ACT at tRC spacing — the classic hammer loop. The channel is
+  // timing-blocked between commands while the queue stays full, which is
+  // exactly the busy phase the event scheduler targets.
+  const AddressMapper& mapper = mc.mapper();
+  std::vector<PhysAddr> aggressors;
+  uint32_t last_row = ~0u;
+  for (PhysAddr addr = 0;
+       aggressors.size() < 3 && addr < mapper.total_lines() * kLineBytes; addr += kLineBytes) {
+    const DdrCoord coord = mapper.Map(addr);
+    if (coord.channel == 0 && coord.rank == 0 && coord.bank == 0 && coord.row != last_row) {
+      aggressors.push_back(addr);
+      last_row = coord.row;
+    }
+  }
+
+  uint64_t id = 0;
+  size_t cursor = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (Cycle now = 0; now < cycles;) {
+    while (mc.QueuedRequests() < 2) {
+      MemRequest request;
+      request.id = ++id;
+      request.op = MemOp::kRead;
+      request.addr = aggressors[cursor++ % aggressors.size()];
+      if (!mc.Enqueue(request, now)) {
+        break;
+      }
+    }
+    mc.Tick(now);
+    now = event_driven ? std::max(now + 1, mc.NextWake(now)) : now + 1;
+  }
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  ThroughputSample sample;
+  sample.seconds = elapsed.count();
+  sample.cycles_per_sec =
+      sample.seconds > 0.0 ? static_cast<double>(cycles) / sample.seconds : 0.0;
+  return sample;
+}
+
+ThroughputSample MeasureHammerHeavy(bool event_driven, Cycle cycles) {
+  SystemConfig config;
+  config.cores = 2;
+  config.core.window = 2;  // Tight window: the cores lean on the MC.
+  config.mc.event_driven = event_driven;
+  config.core.event_driven = event_driven;
+  System system(config);
+  auto tenants = SetupTenants(system, 2, /*pages_each=*/512);
+  auto plan = PlanDoubleSidedCross(system.kernel(), tenants[0], tenants[1]);
+  HammerConfig hammer;
+  if (plan.has_value()) {
+    hammer.aggressors = plan->aggressor_vas;
+  }
+  system.AssignCore(0, tenants[0], std::make_unique<HammerStream>(hammer));
+  system.AssignCore(1, tenants[1],
+                    MakeWorkload("stream", tenants[1], AddressSpace::BaseFor(tenants[1]),
+                                 512 * kPageBytes, /*total_ops=*/~0ull >> 1, 8));
+  const auto start = std::chrono::steady_clock::now();
+  system.RunFor(cycles);
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  ThroughputSample sample;
+  sample.seconds = elapsed.count();
+  sample.cycles_per_sec =
+      sample.seconds > 0.0 ? static_cast<double>(cycles) / sample.seconds : 0.0;
+  return sample;
+}
+
+void WriteBusyReport() {
+  const Cycle mc_cycles = std::min<Cycle>(8000000, BenchSmokeCap());
+  const ThroughputSample mc_off = MeasureMcHammerLoop(false, mc_cycles);
+  const ThroughputSample mc_on = MeasureMcHammerLoop(true, mc_cycles);
+  const double mc_speedup =
+      mc_off.cycles_per_sec > 0.0 ? mc_on.cycles_per_sec / mc_off.cycles_per_sec : 0.0;
+
+  const Cycle sys_cycles = std::min<Cycle>(4000000, BenchSmokeCap());
+  const ThroughputSample sys_off = MeasureHammerHeavy(false, sys_cycles);
+  const ThroughputSample sys_on = MeasureHammerHeavy(true, sys_cycles);
+  const double sys_speedup =
+      sys_off.cycles_per_sec > 0.0 ? sys_on.cycles_per_sec / sys_off.cycles_per_sec : 0.0;
+
+  FILE* out = std::fopen("BENCH_busy.json", "w");
+  if (out == nullptr) {
+    std::perror("BENCH_busy.json");
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"scenario\": \"mc_hammer_loop\",\n"
+               "  \"simulated_cycles\": %llu,\n"
+               "  \"event_driven_off\": {\"wall_seconds\": %.6f, \"cycles_per_sec\": %.0f},\n"
+               "  \"event_driven_on\": {\"wall_seconds\": %.6f, \"cycles_per_sec\": %.0f},\n"
+               "  \"speedup\": %.2f,\n"
+               "  \"system_hammer\": {\n"
+               "    \"simulated_cycles\": %llu,\n"
+               "    \"event_driven_off\": {\"wall_seconds\": %.6f, \"cycles_per_sec\": %.0f},\n"
+               "    \"event_driven_on\": {\"wall_seconds\": %.6f, \"cycles_per_sec\": %.0f},\n"
+               "    \"speedup\": %.2f\n"
+               "  }\n"
+               "}\n",
+               static_cast<unsigned long long>(mc_cycles), mc_off.seconds, mc_off.cycles_per_sec,
+               mc_on.seconds, mc_on.cycles_per_sec, mc_speedup,
+               static_cast<unsigned long long>(sys_cycles), sys_off.seconds,
+               sys_off.cycles_per_sec, sys_on.seconds, sys_on.cycles_per_sec, sys_speedup);
+  std::fclose(out);
+  std::printf("MC/HammerLoop: %llu cycles — event off %.0f cyc/s, event on %.0f cyc/s (%.1fx)\n",
+              static_cast<unsigned long long>(mc_cycles), mc_off.cycles_per_sec,
+              mc_on.cycles_per_sec, mc_speedup);
+  std::printf("System/HammerHeavy: %llu cycles — event off %.0f cyc/s, event on %.0f cyc/s "
+              "(%.1fx); wrote BENCH_busy.json\n",
+              static_cast<unsigned long long>(sys_cycles), sys_off.cycles_per_sec,
+              sys_on.cycles_per_sec, sys_speedup);
+}
+
 }  // namespace
 }  // namespace ht
 
@@ -188,5 +328,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   ht::WriteThroughputReport();
+  ht::WriteBusyReport();
   return 0;
 }

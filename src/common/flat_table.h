@@ -1,0 +1,140 @@
+// Flat open-addressing hash table with epoch-tagged reset, the storage
+// engine behind every per-row counter in the simulator (MC-side ACT
+// tracking, defense row-hit histories, the disturbance accumulators).
+//
+// Two properties matter for the busy-phase hot loop:
+//
+//  * Storage is a single flat array of {key, epoch, value} slots probed
+//    linearly — no node allocation, no bucket chains, and lookups of
+//    absent keys touch one cache line in the common case.
+//  * Reset is O(1): a slot is live only if its tag matches the table's
+//    current epoch, so "clear every counter at the refresh-window
+//    boundary" is a single increment instead of an O(slots) wipe. The
+//    cumulative cost of epoch maintenance is observable via reset_work()
+//    so tests can assert that idle windows really are free.
+//
+// There is no erase: consumers reset a counter by writing its zero value,
+// which is semantically identical for monotonically-accumulated counts.
+// Keys are arbitrary uint64 (typically packed (rank,bank,row) coords).
+#ifndef HAMMERTIME_SRC_COMMON_FLAT_TABLE_H_
+#define HAMMERTIME_SRC_COMMON_FLAT_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ht {
+
+template <typename Value>
+class FlatRowTable {
+ public:
+  explicit FlatRowTable(size_t min_capacity = 64) {
+    size_t capacity = 16;
+    while (capacity < min_capacity) {
+      capacity <<= 1;
+    }
+    slots_.resize(capacity);
+  }
+
+  // Pointer to the value for `key` this epoch, or nullptr if absent.
+  const Value* Find(uint64_t key) const {
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = Hash(key) & mask;; i = (i + 1) & mask) {
+      ++probes_;
+      const Slot& slot = slots_[i];
+      if (slot.epoch != epoch_) {
+        return nullptr;
+      }
+      if (slot.key == key) {
+        return &slot.value;
+      }
+    }
+  }
+  Value* Find(uint64_t key) {
+    return const_cast<Value*>(static_cast<const FlatRowTable*>(this)->Find(key));
+  }
+
+  // Value for `key`, inserting a default-constructed one on first touch
+  // this epoch. The reference is invalidated by the next FindOrInsert.
+  Value& FindOrInsert(uint64_t key) {
+    if (live_ + 1 > slots_.size() - slots_.size() / 4) {
+      Grow();
+    }
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = Hash(key) & mask;; i = (i + 1) & mask) {
+      ++probes_;
+      Slot& slot = slots_[i];
+      if (slot.epoch != epoch_) {
+        slot.key = key;
+        slot.epoch = epoch_;
+        slot.value = Value{};
+        ++live_;
+        return slot.value;
+      }
+      if (slot.key == key) {
+        return slot.value;
+      }
+    }
+  }
+
+  // Logically empties the table. O(1) except once per 2^32 epochs, when
+  // the tag space wraps and every slot must be physically cleared (the
+  // cost is charged to reset_work()).
+  void AdvanceEpoch() {
+    live_ = 0;
+    if (++epoch_ == 0) {
+      for (Slot& slot : slots_) {
+        slot = Slot{};
+      }
+      reset_work_ += slots_.size();
+      epoch_ = 1;
+    }
+  }
+
+  size_t size() const { return live_; }      // Live entries this epoch.
+  size_t capacity() const { return slots_.size(); }
+  uint64_t probes() const { return probes_; }        // Cumulative slot inspections.
+  uint64_t reset_work() const { return reset_work_; }  // Slots touched by resets.
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    uint32_t epoch = 0;  // Live iff equal to the table's current epoch.
+    Value value{};
+  };
+
+  // SplitMix64 finalizer: full-avalanche mix so packed coordinates (which
+  // differ only in low row bits) spread across the table.
+  static uint64_t Hash(uint64_t key) {
+    uint64_t h = key + 0x9e3779b97f4a7c15ull;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    return h ^ (h >> 31);
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    const size_t mask = slots_.size() - 1;
+    for (const Slot& slot : old) {
+      if (slot.epoch != epoch_) {
+        continue;  // Stale epochs do not survive a rehash.
+      }
+      size_t i = Hash(slot.key) & mask;
+      while (slots_[i].epoch == epoch_) {
+        i = (i + 1) & mask;
+      }
+      slots_[i] = slot;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  uint32_t epoch_ = 1;
+  size_t live_ = 0;
+  mutable uint64_t probes_ = 0;
+  uint64_t reset_work_ = 0;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_COMMON_FLAT_TABLE_H_

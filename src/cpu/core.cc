@@ -37,8 +37,13 @@ Cycle Core::NextWake(Cycle now) const {
     // and the MC's own NextWake covers those.
     return kNeverCycle;
   }
-  // Issuable (or fence/window-stalled, which ticks a stall counter every
-  // cycle) as soon as the issue gate opens.
+  if (config_.event_driven && (window_stalled_ || fence_stalled_)) {
+    // Blocked on outstanding responses; OnResponse reopens the gate, and
+    // the MC's NextWake covers the completion that delivers it. Stall
+    // cycles are interval-accounted, so sleeping loses no stats.
+    return kNeverCycle;
+  }
+  // Issuable as soon as the issue gate opens.
   return std::max(now, next_issue_);
 }
 
@@ -54,9 +59,13 @@ void Core::Tick(Cycle now) {
   if (halted_ || stream_ == nullptr || now < next_issue_ || refresh_pending_) {
     return;
   }
+  if (window_stalled_ || fence_stalled_) {
+    return;  // Interval is open; the unblocking OnResponse closes it.
+  }
   if (fence_pending_) {
     if (outstanding_ != 0) {
-      c_fence_stalls_->Increment();
+      fence_stalled_ = true;
+      fence_stall_since_ = now;
       return;
     }
     fence_pending_ = false;
@@ -65,6 +74,17 @@ void Core::Tick(Cycle now) {
     current_op_ = stream_->Next();
   }
   Execute(*current_op_, now);
+}
+
+void Core::SyncStallStats(Cycle now) {
+  if (window_stalled_) {
+    c_window_stalls_->Add(now - window_stall_since_);
+    window_stall_since_ = now;
+  }
+  if (fence_stalled_) {
+    c_fence_stalls_->Add(now - fence_stall_since_);
+    fence_stall_since_ = now;
+  }
 }
 
 void Core::Execute(const CoreOp& op, Cycle now) {
@@ -86,7 +106,11 @@ void Core::Execute(const CoreOp& op, Cycle now) {
     case CoreOpKind::kLoad:
     case CoreOpKind::kStore: {
       if (outstanding_ >= window_) {
-        c_window_stalls_->Increment();
+        // One stall interval covers every cycle until a response frees a
+        // window slot; equivalent to the per-cycle count a cycle-accurate
+        // tick loop would produce (the op and issue gate are frozen).
+        window_stalled_ = true;
+        window_stall_since_ = now;
         return;
       }
       const auto pa = translate_ ? translate_(op.va) : std::optional<PhysAddr>(op.va);
@@ -240,6 +264,14 @@ void Core::OnResponse(const MemResponse& response, Cycle now) {
   }
   if (outstanding_ > 0) {
     --outstanding_;
+  }
+  if (window_stalled_ && outstanding_ < window_) {
+    c_window_stalls_->Add(now - window_stall_since_);
+    window_stalled_ = false;
+  }
+  if (fence_stalled_ && outstanding_ == 0) {
+    c_fence_stalls_->Add(now - fence_stall_since_);
+    fence_stalled_ = false;
   }
   h_miss_latency_->Record(response.Latency());
 }

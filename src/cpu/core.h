@@ -42,6 +42,12 @@ struct CoreConfig {
   uint32_t window = 8;        // Max outstanding independent accesses.
   uint32_t flush_latency = 4; // Cycles consumed by clflush issue.
   bool is_host = false;       // May execute the refresh instruction.
+  // Event-driven stalls: while window- or fence-stalled the core sleeps
+  // (NextWake = kNeverCycle) instead of ticking every cycle, waking when
+  // the unblocking MC response lands. Stall cycles are accounted as
+  // intervals in both modes, so the stall counters are identical either
+  // way; disable to keep the per-cycle wake pattern for cross-checking.
+  bool event_driven = true;
 };
 
 using TranslateFn = std::function<std::optional<PhysAddr>(VirtAddr)>;
@@ -67,6 +73,12 @@ class Core {
 
   // Delivers a completed memory request (routed by the System).
   void OnResponse(const MemResponse& response, Cycle now);
+
+  // Folds any open stall interval into the stall counters up to `now`
+  // (idempotent; the interval stays open). Stall cycles are counted as
+  // closed intervals, so callers reading core stats mid-stall — e.g.
+  // System::CollectStats at end of run — must sync first.
+  void SyncStallStats(Cycle now);
 
   bool halted() const { return halted_; }
   uint64_t ops_completed() const { return ops_completed_; }
@@ -98,6 +110,13 @@ class Core {
   bool halted_ = false;
   bool fence_pending_ = false;
   bool refresh_pending_ = false;
+  // Open stall intervals (counted on close or via SyncStallStats). At
+  // most one can be open: a fence blocks before the op fetch, a window
+  // stall happens inside a load/store with no fence pending.
+  bool window_stalled_ = false;
+  bool fence_stalled_ = false;
+  Cycle window_stall_since_ = 0;
+  Cycle fence_stall_since_ = 0;
   std::optional<CoreOp> current_op_;
   Cycle next_issue_ = 0;
   uint32_t window_ = 8;

@@ -13,11 +13,7 @@ void ActRemapDefense::Attach(HostKernel* kernel, Cache* cache) {
 
 uint64_t ActRemapDefense::RowKeyOf(PhysAddr addr) const {
   const DdrCoord coord = kernel_->mc().mapper().Map(addr);
-  uint64_t key = coord.channel;
-  key = (key << 8) | coord.rank;
-  key = (key << 8) | coord.bank;
-  key = (key << 32) | coord.row;
-  return key;
+  return PackRowKey(coord.channel, coord.rank, coord.bank, coord.row);
 }
 
 void ActRemapDefense::OnActInterrupt(const ActInterrupt& irq, Cycle now) {
@@ -27,10 +23,10 @@ void ActRemapDefense::OnActInterrupt(const ActInterrupt& irq, Cycle now) {
   }
   c_interrupts_->Increment();
   const uint64_t key = RowKeyOf(irq.trigger_addr);
-  if (++row_hits_[key] < config_.interrupts_per_row) {
+  if (row_hits_.Increment(key) < config_.interrupts_per_row) {
     return;
   }
-  row_hits_.erase(key);
+  row_hits_.Reset(key);
   HT_TRACE(trace_, now, TraceKind::kDefenseTrigger, 0, 0, 0, 0,
            static_cast<uint64_t>(irq.trigger_addr));
   if (quarantine_.Migrate(*kernel_, irq.trigger_addr)) {
@@ -48,7 +44,7 @@ void ActRemapDefense::Tick(Cycle now) {
     return;
   }
   next_forget_ = now + config_.history_window;
-  row_hits_.clear();
+  row_hits_.AdvanceWindow();
 }
 
 void CacheLockDefense::Attach(HostKernel* kernel, Cache* cache) {

@@ -13,11 +13,11 @@
 #define HAMMERTIME_SRC_DEFENSE_FREQUENCY_DEFENSE_H_
 
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "defense/defense.h"
 #include "defense/quarantine.h"
+#include "mc/act_counter.h"
 
 namespace ht {
 
@@ -42,6 +42,7 @@ class ActRemapDefense : public Defense {
     c_pages_migrated_ = stats_.counter("defense.pages_migrated");
     c_migration_failures_ = stats_.counter("defense.migration_failures");
     g_quarantine_free_ = stats_.gauge("defense.quarantine_free");
+    row_hits_.set_probe_counter(stats_.counter("act.table_probes"));
   }
 
   std::string name() const override { return "act-remap"; }
@@ -58,7 +59,9 @@ class ActRemapDefense : public Defense {
   uint64_t RowKeyOf(PhysAddr addr) const;
 
   ActRemapConfig config_;
-  std::unordered_map<uint64_t, uint32_t> row_hits_;
+  // Per-row interrupt counts on flat epoch-tagged storage: the
+  // refresh-window forget in Tick() is an O(1) epoch bump, not a clear().
+  RowActTable row_hits_;
   QuarantinePool quarantine_;
   Cycle next_forget_ = 0;
   Counter* c_interrupts_;

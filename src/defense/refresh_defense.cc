@@ -13,6 +13,10 @@ void SoftRefreshDefense::OnActInterrupt(const ActInterrupt& irq, Cycle now) {
   HT_TRACE(trace_, now, TraceKind::kDefenseTrigger, 0, 0, 0, 0,
            static_cast<uint64_t>(irq.trigger_addr));
   MemoryController& mc = kernel_->mc();
+  const DdrCoord coord = mc.mapper().Map(irq.trigger_addr);
+  if (trigger_rows_.Increment(PackRowKey(coord.channel, coord.rank, coord.bank, coord.row)) > 1) {
+    c_repeat_triggers_->Increment();
+  }
   if (config_.method == VictimRefreshMethod::kRefNeighbors) {
     if (mc.RefreshNeighbors(irq.trigger_addr, config_.blast_radius, now)) {
       c_ref_neighbors_->Increment();

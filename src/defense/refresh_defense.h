@@ -8,6 +8,7 @@
 #define HAMMERTIME_SRC_DEFENSE_REFRESH_DEFENSE_H_
 
 #include "defense/defense.h"
+#include "mc/act_counter.h"
 
 namespace ht {
 
@@ -30,6 +31,8 @@ class SoftRefreshDefense : public Defense {
     c_ref_neighbors_ = stats_.counter("defense.ref_neighbors");
     c_victim_refreshes_ = stats_.counter("defense.victim_refreshes");
     c_refresh_dropped_ = stats_.counter("defense.refresh_dropped");
+    c_repeat_triggers_ = stats_.counter("defense.repeat_trigger_interrupts");
+    trigger_rows_.set_probe_counter(stats_.counter("act.table_probes"));
   }
 
   std::string name() const override {
@@ -47,11 +50,16 @@ class SoftRefreshDefense : public Defense {
 
  private:
   SoftRefreshConfig config_;
+  // Telemetry only: how often the same row keeps triggering interrupts
+  // (an attacker re-hammering faster than its victims decay). Shares the
+  // flat epoch-tagged row-table storage with the frequency defenses.
+  RowActTable trigger_rows_;
   Counter* c_interrupts_;
   Counter* c_unactionable_;
   Counter* c_ref_neighbors_;
   Counter* c_victim_refreshes_;
   Counter* c_refresh_dropped_;
+  Counter* c_repeat_triggers_;
 };
 
 }  // namespace ht

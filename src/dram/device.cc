@@ -40,6 +40,11 @@ DramDevice::DramDevice(const DramConfig& config, uint32_t channel_index)
   c_ecc_corrected_ = ecc_stats_.counter("dram.ecc_corrected");
   c_ecc_detected_ = ecc_stats_.counter("dram.ecc_detected");
   c_ecc_escaped_ = ecc_stats_.counter("dram.ecc_escaped");
+
+  Counter* table_probes = stats_.counter("act.table_probes");
+  for (BankUnit& u : units_) {
+    u.disturbance.set_probe_counter(table_probes);
+  }
 }
 
 uint64_t DramDevice::RowKey(uint32_t rank, uint32_t bank, uint32_t logical_row) const {

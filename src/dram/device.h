@@ -58,6 +58,10 @@ class DramDevice {
     return timing_.OpenRow(rank, bank);
   }
 
+  // Bit per bank of `rank` with an open row; lets the refresh manager
+  // answer "any bank open?" without scanning.
+  uint64_t OpenBankMask(uint32_t rank) const { return timing_.OpenBankMask(rank); }
+
   // --- Data plane ----------------------------------------------------------
 
   // Reads/writes the representative word of a line. These model the data

@@ -3,15 +3,14 @@
 namespace ht {
 
 BankDisturbance::BankDisturbance(const DramOrg& org, const DisturbanceParams& params)
-    : org_(org), params_(params) {
-  level_.assign(org_.rows_per_bank(), 0.0);
-  acts_.assign(org_.rows_per_bank(), 0);
-}
+    : org_(org), params_(params) {}
 
 void BankDisturbance::OnActivate(uint32_t row, std::vector<DisturbanceVictim>& victims) {
-  // The ACT repairs the activated row itself.
-  level_[row] = 0.0;
-  acts_[row] = 0;
+  // The ACT repairs the activated row itself. Absent rows are already at
+  // zero, so only reset a cell that exists.
+  if (Cell* self = rows_.Find(row)) {
+    *self = Cell{};
+  }
 
   const uint32_t subarray = org_.SubarrayOfRow(row);
   const uint32_t rows_per_bank = org_.rows_per_bank();
@@ -22,32 +21,35 @@ void BankDisturbance::OnActivate(uint32_t row, std::vector<DisturbanceVictim>& v
     if (row >= d) {
       const uint32_t v = row - d;
       if (org_.SubarrayOfRow(v) == subarray) {
-        level_[v] += w;
-        ++acts_[v];
-        if (level_[v] >= mac) {
+        Cell& cell = rows_.FindOrInsert(v);
+        cell.level += w;
+        ++cell.acts;
+        if (cell.level >= mac) {
           victims.push_back({v, row});
-          level_[v] = 0.0;
-          acts_[v] = 0;
+          cell = Cell{};
         }
       }
     }
     // Victim above.
     const uint32_t v = row + d;
     if (v < rows_per_bank && org_.SubarrayOfRow(v) == subarray) {
-      level_[v] += w;
-      ++acts_[v];
-      if (level_[v] >= mac) {
+      Cell& cell = rows_.FindOrInsert(v);
+      cell.level += w;
+      ++cell.acts;
+      if (cell.level >= mac) {
         victims.push_back({v, row});
-        level_[v] = 0.0;
-        acts_[v] = 0;
+        cell = Cell{};
       }
     }
   }
+  SyncProbes();
 }
 
 void BankDisturbance::OnRefreshRow(uint32_t row) {
-  level_[row] = 0.0;
-  acts_[row] = 0;
+  if (Cell* cell = rows_.Find(row)) {
+    *cell = Cell{};
+  }
+  SyncProbes();
 }
 
 }  // namespace ht

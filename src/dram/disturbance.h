@@ -7,12 +7,21 @@
 // module MAC before its next refresh is reported as flipped; refreshing a
 // row (REF sweep, its own ACT, TRR, REF_NEIGHBORS, or the proposed refresh
 // instruction) zeroes its accumulator.
+//
+// Storage is sparse: a flat open-addressing table holds accumulators only
+// for rows that have actually been disturbed, so constructing a bank is
+// O(1) instead of O(rows_per_bank) and sweep grids with thousands of
+// scenario cells no longer pay a dense per-bank allocation each. Rows
+// absent from the table are at level zero by definition, which also makes
+// "repair" a plain in-place zeroing — no erase needed.
 #ifndef HAMMERTIME_SRC_DRAM_DISTURBANCE_H_
 #define HAMMERTIME_SRC_DRAM_DISTURBANCE_H_
 
 #include <cstdint>
 #include <vector>
 
+#include "common/flat_table.h"
+#include "common/stats.h"
 #include "common/types.h"
 #include "dram/config.h"
 
@@ -24,7 +33,7 @@ struct DisturbanceVictim {
   uint32_t aggressor_row = 0;  // Internal row whose ACT tipped it over.
 };
 
-// Tracks disturbance for every row of one bank.
+// Tracks disturbance for the touched rows of one bank.
 class BankDisturbance {
  public:
   BankDisturbance(const DramOrg& org, const DisturbanceParams& params);
@@ -39,18 +48,41 @@ class BankDisturbance {
   void OnRefreshRow(uint32_t row);
 
   // Current accumulated disturbance of `row`, in ACT-equivalents.
-  double Level(uint32_t row) const { return level_[row]; }
+  double Level(uint32_t row) const {
+    const Cell* cell = rows_.Find(row);
+    return cell != nullptr ? cell->level : 0.0;
+  }
 
   // Total ACTs of `row` since its last repair (the paper's per-row
   // activation-count view; used by tests and by MC-side mitigations that
   // model perfect knowledge).
-  uint32_t ActsSinceRepair(uint32_t row) const { return acts_[row]; }
+  uint32_t ActsSinceRepair(uint32_t row) const {
+    const Cell* cell = rows_.Find(row);
+    return cell != nullptr ? cell->acts : 0;
+  }
+
+  // Forwards the row-table's probe count to an interned stats counter
+  // (conventionally "act.table_probes" on the owning device).
+  void set_probe_counter(Counter* counter) { c_probes_ = counter; }
 
  private:
+  struct Cell {
+    double level = 0.0;
+    uint32_t acts = 0;
+  };
+
+  void SyncProbes() {
+    if (c_probes_ != nullptr) {
+      c_probes_->Add(rows_.probes() - probes_synced_);
+      probes_synced_ = rows_.probes();
+    }
+  }
+
   DramOrg org_;
   DisturbanceParams params_;
-  std::vector<double> level_;   // Per internal row.
-  std::vector<uint32_t> acts_;  // Per internal row.
+  FlatRowTable<Cell> rows_;  // Keyed by internal row index.
+  Counter* c_probes_ = nullptr;
+  uint64_t probes_synced_ = 0;
 };
 
 }  // namespace ht

@@ -22,75 +22,102 @@ const char* ToString(TimingVerdict verdict) {
   return "?";
 }
 
+namespace {
+
+ConstraintTable DeriveConstraints(const DramTiming& t) {
+  ConstraintTable table;
+  table.act_to_act = t.tRC;
+  table.act_to_pre = t.tRAS;
+  table.act_to_rdwr = t.tRCD;
+  table.act_to_act_rank = t.tRRD;
+  table.faw_window = t.tFAW;
+  table.pre_to_act = t.tRP;
+  table.rd_to_pre = t.ReadToPrecharge();
+  table.rd_to_rd = t.tCCD;
+  table.rd_to_wr = t.tCCD;
+  table.wr_to_wr = t.tCCD;
+  table.wr_to_rd = t.WriteToRead();
+  table.wr_to_pre = t.WriteToPrecharge();
+  table.rda_to_act = Cycle{t.ReadToPrecharge()} + t.tRP;
+  table.wra_to_act = Cycle{t.WriteToPrecharge()} + t.tRP;
+  table.rd_burst = Cycle{t.tCL} + t.tBL;
+  table.wr_burst = Cycle{t.tCWL} + t.tBL;
+  table.rd_lead = t.tCL;
+  table.wr_lead = t.tCWL;
+  table.ref_to_any = t.tRFC;
+  table.refsb_to_any = t.tRFCsb;
+  table.refn_per_row = t.tRC;
+  table.refn_tail = t.tRP;
+  return table;
+}
+
+}  // namespace
+
 TimingChecker::TimingChecker(const DramOrg& org, const DramTiming& timing,
                              bool ref_neighbors_supported)
-    : org_(org), timing_(timing), ref_neighbors_supported_(ref_neighbors_supported) {
-  ranks_.resize(org_.ranks);
+    : table_(DeriveConstraints(timing)), ref_neighbors_supported_(ref_neighbors_supported) {
+  // The open-bank bitmask caps banks-per-rank at 64, matching the
+  // controller's refresh-slot bitmask (ranks * banks <= 64).
+  ranks_.resize(org.ranks);
   for (auto& rank : ranks_) {
-    rank.banks.resize(org_.banks);
+    rank.banks.resize(org.banks);
   }
 }
 
 Cycle TimingChecker::EarliestCycle(const DdrCommand& cmd) const {
   const RankState& rank = ranks_[cmd.rank];
-  Cycle earliest = rank.ref_busy_until;
+  Cycle earliest = rank.any_ready;
   switch (cmd.type) {
     case DdrCommandType::kActivate: {
       const BankState& b = rank.banks[cmd.bank];
-      earliest = std::max({earliest, b.next_act, b.busy_until, rank.next_act_rrd});
+      earliest = std::max({earliest, b.ready[kReadyAct], rank.act_rank_ready});
       // tFAW: the 4th-most-recent ACT must be at least tFAW old. Entries
       // store cycle+1 so a legitimate ACT at cycle 0 is distinguishable
       // from "no ACT recorded yet".
       const Cycle oldest = rank.faw_acts[rank.faw_head];
-      earliest = std::max(earliest, oldest == 0 ? Cycle{0} : (oldest - 1) + timing_.tFAW);
+      earliest = std::max(earliest, oldest == 0 ? Cycle{0} : (oldest - 1) + table_.faw_window);
       break;
     }
     case DdrCommandType::kPrecharge: {
-      const BankState& b = rank.banks[cmd.bank];
-      earliest = std::max({earliest, b.next_pre, b.busy_until});
+      earliest = std::max(earliest, rank.banks[cmd.bank].ready[kReadyPre]);
       break;
     }
     case DdrCommandType::kPrechargeAll: {
-      for (const BankState& b : rank.banks) {
-        if (b.open_row.has_value()) {
-          earliest = std::max({earliest, b.next_pre, b.busy_until});
-        }
+      for (uint64_t mask = rank.open_mask; mask != 0; mask &= mask - 1) {
+        const int b = __builtin_ctzll(mask);
+        earliest = std::max(earliest, rank.banks[b].ready[kReadyPre]);
       }
       break;
     }
     case DdrCommandType::kRead: {
       const BankState& b = rank.banks[cmd.bank];
-      earliest = std::max({earliest, b.next_rdwr, b.busy_until, rank.next_rd});
+      earliest = std::max({earliest, b.ready[kReadyRdwr], rank.rd_ready});
       // Data bus availability: burst starts tCL after issue.
-      if (data_bus_free_ > earliest + timing_.tCL) {
-        earliest = data_bus_free_ - timing_.tCL;
+      if (data_bus_free_ > earliest + table_.rd_lead) {
+        earliest = data_bus_free_ - table_.rd_lead;
       }
       break;
     }
     case DdrCommandType::kWrite: {
       const BankState& b = rank.banks[cmd.bank];
-      earliest = std::max({earliest, b.next_rdwr, b.busy_until, rank.next_wr});
-      if (data_bus_free_ > earliest + timing_.tCWL) {
-        earliest = data_bus_free_ - timing_.tCWL;
+      earliest = std::max({earliest, b.ready[kReadyRdwr], rank.wr_ready});
+      if (data_bus_free_ > earliest + table_.wr_lead) {
+        earliest = data_bus_free_ - table_.wr_lead;
       }
       break;
     }
     case DdrCommandType::kRefresh: {
-      // All banks must be idle; REF may issue once each bank's precharge
-      // has completed (next_act tracks tRP completion after a PRE).
-      for (const BankState& b : rank.banks) {
-        earliest = std::max({earliest, b.next_act, b.busy_until});
-      }
+      // All banks must be quiet; the running max over every bank's ACT
+      // deadline is exactly "the last bank finishes its tRP/tRC/occupancy".
+      earliest = std::max(earliest, rank.all_banks_act_ready);
       break;
     }
     case DdrCommandType::kRefreshSb: {
-      const BankState& b = rank.banks[cmd.bank];
-      earliest = std::max({earliest, b.next_act, b.busy_until});
+      earliest = std::max(earliest, rank.banks[cmd.bank].ready[kReadyAct]);
       break;
     }
     case DdrCommandType::kRefreshNeighbors: {
-      const BankState& b = rank.banks[cmd.bank];
-      earliest = std::max({earliest, b.next_act, b.busy_until});
+      earliest = std::max(earliest, rank.banks[cmd.bank].ready[kReadyAct]);
       break;
     }
   }
@@ -101,7 +128,7 @@ TimingVerdict TimingChecker::Check(const DdrCommand& cmd, Cycle now) const {
   const RankState& rank = ranks_[cmd.rank];
   switch (cmd.type) {
     case DdrCommandType::kActivate:
-      if (rank.banks[cmd.bank].open_row.has_value()) {
+      if (rank.open_mask & (1ull << cmd.bank)) {
         return TimingVerdict::kBankAlreadyOpen;
       }
       break;
@@ -110,19 +137,17 @@ TimingVerdict TimingChecker::Check(const DdrCommand& cmd, Cycle now) const {
       break;
     case DdrCommandType::kRead:
     case DdrCommandType::kWrite:
-      if (!rank.banks[cmd.bank].open_row.has_value()) {
+      if (!(rank.open_mask & (1ull << cmd.bank))) {
         return TimingVerdict::kBankNotOpen;
       }
       break;
     case DdrCommandType::kRefresh:
-      for (const BankState& b : rank.banks) {
-        if (b.open_row.has_value()) {
-          return TimingVerdict::kBanksNotIdle;
-        }
+      if (rank.open_mask != 0) {
+        return TimingVerdict::kBanksNotIdle;
       }
       break;
     case DdrCommandType::kRefreshSb:
-      if (rank.banks[cmd.bank].open_row.has_value()) {
+      if (rank.open_mask & (1ull << cmd.bank)) {
         return TimingVerdict::kBanksNotIdle;
       }
       break;
@@ -130,7 +155,7 @@ TimingVerdict TimingChecker::Check(const DdrCommand& cmd, Cycle now) const {
       if (!ref_neighbors_supported_) {
         return TimingVerdict::kUnsupported;
       }
-      if (rank.banks[cmd.bank].open_row.has_value()) {
+      if (rank.open_mask & (1ull << cmd.bank)) {
         return TimingVerdict::kBankAlreadyOpen;
       }
       break;
@@ -149,10 +174,11 @@ void TimingChecker::Record(const DdrCommand& cmd, Cycle now) {
     case DdrCommandType::kActivate: {
       BankState& b = rank.banks[cmd.bank];
       b.open_row = cmd.row;
-      b.next_act = now + timing_.tRC;
-      b.next_pre = now + timing_.tRAS;
-      b.next_rdwr = now + timing_.tRCD;
-      rank.next_act_rrd = now + timing_.tRRD;
+      rank.open_mask |= 1ull << cmd.bank;
+      RaiseAct(rank, b, now + table_.act_to_act);
+      Raise(b.ready[kReadyPre], now + table_.act_to_pre);
+      Raise(b.ready[kReadyRdwr], now + table_.act_to_rdwr);
+      Raise(rank.act_rank_ready, now + table_.act_to_act_rank);
       rank.faw_acts[rank.faw_head] = now + 1;
       rank.faw_head = (rank.faw_head + 1) % 4;
       break;
@@ -160,61 +186,69 @@ void TimingChecker::Record(const DdrCommand& cmd, Cycle now) {
     case DdrCommandType::kPrecharge: {
       BankState& b = rank.banks[cmd.bank];
       b.open_row.reset();
-      b.next_act = std::max(b.next_act, now + timing_.tRP);
+      rank.open_mask &= ~(1ull << cmd.bank);
+      RaiseAct(rank, b, now + table_.pre_to_act);
       break;
     }
     case DdrCommandType::kPrechargeAll: {
-      for (BankState& b : rank.banks) {
-        if (b.open_row.has_value()) {
-          b.open_row.reset();
-          b.next_act = std::max(b.next_act, now + timing_.tRP);
-        }
+      for (uint64_t mask = rank.open_mask; mask != 0; mask &= mask - 1) {
+        BankState& b = rank.banks[__builtin_ctzll(mask)];
+        b.open_row.reset();
+        RaiseAct(rank, b, now + table_.pre_to_act);
       }
+      rank.open_mask = 0;
       break;
     }
     case DdrCommandType::kRead: {
       BankState& b = rank.banks[cmd.bank];
-      b.next_pre = std::max(b.next_pre, now + timing_.ReadToPrecharge());
-      rank.next_rd = now + timing_.tCCD;
-      rank.next_wr = std::max(rank.next_wr, now + timing_.tCCD);
-      data_bus_free_ = now + timing_.tCL + timing_.tBL;
+      Raise(b.ready[kReadyPre], now + table_.rd_to_pre);
+      Raise(rank.rd_ready, now + table_.rd_to_rd);
+      Raise(rank.wr_ready, now + table_.rd_to_wr);
+      Raise(data_bus_free_, now + table_.rd_burst);
       if (cmd.ap) {
         // RDA: the bank precharges itself tRTP after the read.
         b.open_row.reset();
-        b.next_act = std::max(b.next_act, now + timing_.ReadToPrecharge() + timing_.tRP);
+        rank.open_mask &= ~(1ull << cmd.bank);
+        RaiseAct(rank, b, now + table_.rda_to_act);
       }
       break;
     }
     case DdrCommandType::kWrite: {
       BankState& b = rank.banks[cmd.bank];
-      b.next_pre = std::max(b.next_pre, now + timing_.WriteToPrecharge());
-      rank.next_wr = now + timing_.tCCD;
-      rank.next_rd = std::max(rank.next_rd, now + timing_.WriteToRead());
-      data_bus_free_ = now + timing_.tCWL + timing_.tBL;
+      Raise(b.ready[kReadyPre], now + table_.wr_to_pre);
+      Raise(rank.wr_ready, now + table_.wr_to_wr);
+      Raise(rank.rd_ready, now + table_.wr_to_rd);
+      Raise(data_bus_free_, now + table_.wr_burst);
       if (cmd.ap) {
         // WRA: precharge after write recovery.
         b.open_row.reset();
-        b.next_act = std::max(b.next_act, now + timing_.WriteToPrecharge() + timing_.tRP);
+        rank.open_mask &= ~(1ull << cmd.bank);
+        RaiseAct(rank, b, now + table_.wra_to_act);
       }
       break;
     }
     case DdrCommandType::kRefresh: {
-      rank.ref_busy_until = now + timing_.tRFC;
+      Raise(rank.any_ready, now + table_.ref_to_any);
       break;
     }
     case DdrCommandType::kRefreshSb: {
+      // The bank is occupied for tRFCsb: fold into every deadline class.
       BankState& b = rank.banks[cmd.bank];
-      b.busy_until = now + timing_.tRFCsb;
-      b.next_act = std::max(b.next_act, b.busy_until);
+      const Cycle done = now + table_.refsb_to_any;
+      RaiseAct(rank, b, done);
+      Raise(b.ready[kReadyPre], done);
+      Raise(b.ready[kReadyRdwr], done);
       break;
     }
     case DdrCommandType::kRefreshNeighbors: {
       // Internally the device walks up to 2*blast victim rows, performing
       // an ACT+PRE pair for each; the bank is occupied for that long.
       BankState& b = rank.banks[cmd.bank];
-      const Cycle per_row = timing_.tRC;
-      b.busy_until = now + static_cast<Cycle>(2 * cmd.blast) * per_row + timing_.tRP;
-      b.next_act = std::max(b.next_act, b.busy_until);
+      const Cycle done =
+          now + static_cast<Cycle>(2 * cmd.blast) * table_.refn_per_row + table_.refn_tail;
+      RaiseAct(rank, b, done);
+      Raise(b.ready[kReadyPre], done);
+      Raise(b.ready[kReadyRdwr], done);
       break;
     }
   }

@@ -4,6 +4,19 @@
 // controller can schedule, and records issued commands to advance state.
 // Structural legality (reading a closed bank, activating an open one) is
 // reported separately from timing legality so tests can distinguish them.
+//
+// Implementation: all per-(command, command) separations from DramTiming
+// are resolved once at construction into a ConstraintTable, and the
+// per-bank state collapses to three earliest-issue deadlines (ACT, PRE,
+// RD/WR) maintained incrementally as running maxima. Rank-wide facts that
+// used to require scanning every bank — "are all banks idle?" for REF,
+// "which banks are open?" for PRE_ALL — are kept as an open-bank bitmask
+// and a running max of the per-bank ACT deadlines, so EarliestCycle and
+// Check are O(1) for every command type (PRE_ALL iterates only the open
+// banks). Every deadline only ever increases (commands are recorded only
+// after passing Check), which is what makes the incremental maxima exact;
+// the differential oracle in src/check/ verifies this against a
+// fold-from-history reference model.
 #ifndef HAMMERTIME_SRC_DRAM_TIMING_H_
 #define HAMMERTIME_SRC_DRAM_TIMING_H_
 
@@ -29,6 +42,39 @@ enum class TimingVerdict : uint8_t {
 
 const char* ToString(TimingVerdict verdict);
 
+// Minimum separations between command pairs, resolved from DramTiming at
+// construction so the hot path never re-derives them.
+struct ConstraintTable {
+  // ACT -> X, same bank.
+  Cycle act_to_act = 0;    // tRC
+  Cycle act_to_pre = 0;    // tRAS
+  Cycle act_to_rdwr = 0;   // tRCD
+  // ACT -> ACT, same rank.
+  Cycle act_to_act_rank = 0;  // tRRD
+  Cycle faw_window = 0;       // tFAW (rolling window of 4 ACTs).
+  // PRE -> ACT, same bank.
+  Cycle pre_to_act = 0;  // tRP
+  // RD/WR -> X.
+  Cycle rd_to_pre = 0;   // tRTP
+  Cycle rd_to_rd = 0;    // tCCD
+  Cycle rd_to_wr = 0;    // tCCD
+  Cycle wr_to_wr = 0;    // tCCD
+  Cycle wr_to_rd = 0;    // tCWL + tBL + tWTR
+  Cycle wr_to_pre = 0;   // tCWL + tBL + tWR
+  Cycle rda_to_act = 0;  // tRTP + tRP (auto-precharge)
+  Cycle wra_to_act = 0;  // tCWL + tBL + tWR + tRP
+  // Data bus occupancy.
+  Cycle rd_burst = 0;  // tCL + tBL (issue -> bus free)
+  Cycle wr_burst = 0;  // tCWL + tBL
+  Cycle rd_lead = 0;   // tCL (issue -> burst start)
+  Cycle wr_lead = 0;   // tCWL
+  // Refresh.
+  Cycle ref_to_any = 0;    // tRFC (whole rank)
+  Cycle refsb_to_any = 0;  // tRFCsb (one bank)
+  Cycle refn_per_row = 0;  // tRC per victim ACT+PRE pair
+  Cycle refn_tail = 0;     // tRP
+};
+
 class TimingChecker {
  public:
   TimingChecker(const DramOrg& org, const DramTiming& timing, bool ref_neighbors_supported);
@@ -51,33 +97,48 @@ class TimingChecker {
     return ranks_[rank].banks[bank_index].open_row;
   }
 
+  // Bit `b` set iff bank `b` of `rank` has an open row. Lets the
+  // controller answer "any bank open?" without a scan.
+  uint64_t OpenBankMask(uint32_t rank) const { return ranks_[rank].open_mask; }
+
   // Cycle at which the data for a RD issued at `issue` becomes available.
-  Cycle ReadDataReady(Cycle issue) const { return issue + timing_.tCL + timing_.tBL; }
+  Cycle ReadDataReady(Cycle issue) const { return issue + table_.rd_burst; }
+
+  const ConstraintTable& constraints() const { return table_; }
 
  private:
+  // The three per-bank deadline classes every constraint folds into.
+  // What used to be a separate busy_until (REFsb / REF_NEIGHBORS bank
+  // occupation) is folded into all three at record time.
+  enum ReadyClass : uint8_t { kReadyAct = 0, kReadyPre = 1, kReadyRdwr = 2, kReadyClasses = 3 };
+
   struct BankState {
     std::optional<uint32_t> open_row;
-    Cycle next_act = 0;     // Earliest ACT (tRC, tRP after PRE).
-    Cycle next_pre = 0;     // Earliest PRE (tRAS, tRTP, tWR).
-    Cycle next_rdwr = 0;    // Earliest RD/WR (tRCD).
-    Cycle busy_until = 0;   // REF_NEIGHBORS internal occupation.
+    Cycle ready[kReadyClasses] = {0, 0, 0};
   };
   struct RankState {
     std::vector<BankState> banks;
-    Cycle next_act_rrd = 0;       // tRRD across banks.
-    Cycle faw_acts[4] = {0, 0, 0, 0};  // Ring of last four ACT cycles (tFAW).
+    uint64_t open_mask = 0;          // Bit per bank with an open row.
+    Cycle any_ready = 0;             // tRFC blackout: gates every command.
+    Cycle act_rank_ready = 0;        // tRRD across banks.
+    Cycle rd_ready = 0;              // tCCD / tWTR.
+    Cycle wr_ready = 0;              // tCCD.
+    Cycle all_banks_act_ready = 0;   // Running max over banks of ready[kReadyAct]
+                                     // = earliest cycle the whole rank is quiet (REF).
+    Cycle faw_acts[4] = {0, 0, 0, 0};  // Ring of last four ACT cycles (+1; tFAW).
     int faw_head = 0;
-    Cycle next_rd = 0;            // tCCD / tWTR.
-    Cycle next_wr = 0;            // tCCD.
-    Cycle ref_busy_until = 0;     // tRFC after REF.
   };
 
-  const BankState& bank(uint32_t rank, uint32_t bank_index) const {
-    return ranks_[rank].banks[bank_index];
+  // Raise a bank's ACT deadline, keeping the rank-wide running max exact.
+  static void RaiseAct(RankState& rank, BankState& b, Cycle cycle) {
+    if (cycle > b.ready[kReadyAct]) b.ready[kReadyAct] = cycle;
+    if (cycle > rank.all_banks_act_ready) rank.all_banks_act_ready = cycle;
+  }
+  static void Raise(Cycle& slot, Cycle cycle) {
+    if (cycle > slot) slot = cycle;
   }
 
-  DramOrg org_;
-  DramTiming timing_;
+  ConstraintTable table_;
   bool ref_neighbors_supported_;
   std::vector<RankState> ranks_;
   Cycle data_bus_free_ = 0;  // Channel data bus: end of last burst.

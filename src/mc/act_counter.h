@@ -13,12 +13,78 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/flat_table.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/telemetry/trace.h"
 #include "common/types.h"
 
 namespace ht {
+
+// Packs a (channel, rank, bank, row) coordinate into the canonical
+// 64-bit row key used by every per-row counter table in the system.
+inline uint64_t PackRowKey(uint32_t channel, uint32_t rank, uint32_t bank, uint32_t row) {
+  uint64_t key = channel;
+  key = (key << 8) | rank;
+  key = (key << 8) | bank;
+  key = (key << 32) | row;
+  return key;
+}
+
+// Per-row activation/interrupt counters on flat epoch-tagged storage
+// (FlatRowTable), shared by the frequency- and refresh-centric defenses.
+// Refresh-window resets are O(1) epoch bumps (AdvanceWindow), and the
+// table's probe count is forwarded to an interned "act.table_probes"
+// stats counter so hot-loop regressions are visible in run reports.
+class RowActTable {
+ public:
+  explicit RowActTable(size_t min_capacity = 64) : table_(min_capacity) {}
+
+  void set_probe_counter(Counter* counter) { c_probes_ = counter; }
+
+  // Increments `key`'s count and returns the new value.
+  uint32_t Increment(uint64_t key) {
+    uint32_t& count = table_.FindOrInsert(key);
+    ++count;
+    SyncProbes();
+    return count;
+  }
+
+  // Count for `key` this window (0 if never incremented).
+  uint32_t Get(uint64_t key) const {
+    const uint32_t* count = table_.Find(key);
+    return count != nullptr ? *count : 0;
+  }
+
+  // Forgets `key` (equivalent to erasing it: counts restart from zero).
+  void Reset(uint64_t key) {
+    uint32_t* count = table_.Find(key);
+    if (count != nullptr) {
+      *count = 0;
+    }
+    SyncProbes();
+  }
+
+  // Forgets every row in O(1) — the epoch-tagged replacement for the old
+  // per-window clear().
+  void AdvanceWindow() { table_.AdvanceEpoch(); }
+
+  size_t distinct_rows() const { return table_.size(); }
+  uint64_t probes() const { return table_.probes(); }
+  uint64_t reset_work() const { return table_.reset_work(); }
+
+ private:
+  void SyncProbes() {
+    if (c_probes_ != nullptr) {
+      c_probes_->Add(table_.probes() - probes_synced_);
+      probes_synced_ = table_.probes();
+    }
+  }
+
+  FlatRowTable<uint32_t> table_;
+  Counter* c_probes_ = nullptr;
+  uint64_t probes_synced_ = 0;
+};
 
 struct ActInterrupt {
   uint32_t channel = 0;

@@ -45,6 +45,9 @@ MemoryController::MemoryController(const DramConfig& dram_config, const McConfig
   c_refresh_instr_ = stats_.counter("mc.refresh_instr");
   c_refresh_instr_acts_ = stats_.counter("mc.refresh_instr_acts");
   c_mitigation_refreshes_ = stats_.counter("mc.mitigation_refreshes");
+  c_wake_batches_ = stats_.counter("mc.wake_batches");
+  c_table_probes_ = stats_.counter("act.table_probes");
+  h_cmds_per_wake_ = stats_.histogram("mc.cmds_per_wake");
   h_read_latency_ = stats_.histogram("mc.read_latency");
   h_write_latency_ = stats_.histogram("mc.write_latency");
 }
@@ -82,6 +85,7 @@ bool MemoryController::Enqueue(const MemRequest& request, Cycle now) {
   stamped.enqueue_cycle = now;
   channel.queue.push_back({stamped, coord, false});
   channel.next_sched = 0;
+  channel.next_try = 0;
   c_requests_->Increment();
   return true;
 }
@@ -108,6 +112,7 @@ bool MemoryController::RefreshRow(PhysAddr addr, bool auto_precharge, Cycle now,
   op.addr = addr;
   op.done = std::move(done);
   channel.internal_ops.push_back(std::move(op));
+  channel.next_try = 0;
   c_refresh_instr_->Increment();
   return true;
 }
@@ -126,6 +131,7 @@ bool MemoryController::RefreshNeighbors(PhysAddr addr, uint32_t blast, Cycle now
   op.requested = now;
   op.addr = addr;
   channel.internal_ops.push_back(std::move(op));
+  channel.next_try = 0;
   stats_.Add("mc.refresh_neighbors_cmds");
   return true;
 }
@@ -137,11 +143,13 @@ void MemoryController::Tick(Cycle now) {
   if ((mitigation_ != nullptr || trace_ != nullptr) && now >= next_epoch_) [[unlikely]] {
     if (mitigation_ != nullptr) {
       mitigation_->OnEpoch(now);
+      SyncTelemetry();  // Window-granular act.table_probes for the sampler.
       HT_TRACE(trace_, next_epoch_, TraceKind::kEpochRollover, 0, 0, 0, 0, epoch_index_);
       ++epoch_index_;
       next_epoch_ += dram_config_.retention.refresh_window;
       for (ChannelState& channel : channels_) {
         channel.next_sched = 0;
+        channel.next_try = 0;
       }
     } else {
       // Without a mitigation nothing else reads next_epoch_, so the trace
@@ -154,9 +162,25 @@ void MemoryController::Tick(Cycle now) {
       }
     }
   }
+  uint32_t scanned = 0;
+  uint32_t issued = 0;
   for (uint32_t c = 0; c < channels(); ++c) {
+    // Completions are time-driven, so they drain regardless of the
+    // scheduling memo (NextWake always includes the nearest ready cycle).
     DrainCompletions(c, now);
-    TickChannel(c, now);
+    if (config_.event_driven && now < channels_[c].next_try) {
+      continue;  // Provably no stage can issue on this channel yet.
+    }
+    ++scanned;
+    if (TickChannel(c, now)) {
+      ++issued;
+    }
+  }
+  if (scanned != 0) {
+    // One "wake batch" = a tick that did scheduling work; the histogram
+    // shows how many commands each batch produced (0 = a wasted wake).
+    c_wake_batches_->Increment();
+    h_cmds_per_wake_->Record(issued);
   }
 }
 
@@ -173,28 +197,49 @@ void MemoryController::DrainCompletions(uint32_t channel_index, Cycle now) {
   }
 }
 
-void MemoryController::TickChannel(uint32_t channel_index, Cycle now) {
+bool MemoryController::TickChannel(uint32_t channel_index, Cycle now) {
   // Priority: refresh manager (retention correctness) > internal ops
   // (defense actions are latency-critical) > regular requests.
-  if (TryRefreshManager(channel_index, now)) {
-    channels_[channel_index].next_sched = 0;
-    return;
+  ChannelState& channel = channels_[channel_index];
+  Cycle refresh_retry = kNeverCycle;
+  Cycle internal_retry = kNeverCycle;
+  Cycle request_retry = kNeverCycle;
+  if (TryRefreshManager(channel_index, now, refresh_retry)) {
+    channel.next_sched = 0;
+    channel.next_try = 0;
+    return true;
   }
-  if (TryInternalOps(channel_index, now)) {
-    channels_[channel_index].next_sched = 0;
-    return;
+  if (TryInternalOps(channel_index, now, internal_retry)) {
+    channel.next_sched = 0;
+    channel.next_try = 0;
+    return true;
   }
-  TryRequests(channel_index, now);
+  if (TryRequests(channel_index, now, request_retry)) {
+    channel.next_try = 0;
+    return true;
+  }
+  // Nothing issued. Every stage's retry is exact under unchanged channel
+  // state, and every state change resets the memo, so skipping straight
+  // to the minimum cannot miss an issue. The refresh retry always covers
+  // the nearest future due (dues recede forever), keeping this finite.
+  channel.next_try = std::max(std::min({refresh_retry, internal_retry, request_retry}), now + 1);
+  return false;
 }
 
-bool MemoryController::TryRefreshManager(uint32_t channel_index, Cycle now) {
+bool MemoryController::TryRefreshManager(uint32_t channel_index, Cycle now, Cycle& retry) {
   ChannelState& channel = channels_[channel_index];
   DramDevice& device = *devices_[channel_index];
+  // A slot crossing its due cycle changes the scan (drain state, and
+  // which slot is first-due), so the nearest future due always bounds the
+  // retry. Dues at or before the first due slot are accumulated below;
+  // later slots cannot steal "first due" from it, so they are ignored.
+  Cycle next_due = kNeverCycle;
   if (dram_config_.retention.per_bank_refresh) {
     // DDR5-style: refresh one bank at a time; the rest keep serving.
     const uint32_t banks = dram_config_.org.banks;
     for (uint32_t slot = 0; slot < channel.ref_due.size(); ++slot) {
       if (now < channel.ref_due[slot]) {
+        next_due = std::min(next_due, channel.ref_due[slot]);
         continue;
       }
       const uint32_t rank = slot / banks;
@@ -205,6 +250,7 @@ bool MemoryController::TryRefreshManager(uint32_t channel_index, Cycle now) {
           device.Issue(pre, now);
           return true;
         }
+        retry = std::min(next_due, device.EarliestCycle(pre));
         return false;
       }
       const DdrCommand refsb = DdrCommand::RefSb(rank, bank);
@@ -214,28 +260,25 @@ bool MemoryController::TryRefreshManager(uint32_t channel_index, Cycle now) {
         c_refs_sb_issued_->Increment();
         return true;
       }
+      retry = std::min(next_due, device.EarliestCycle(refsb));
       return false;
     }
+    retry = next_due;
     return false;
   }
   for (uint32_t rank = 0; rank < dram_config_.org.ranks; ++rank) {
     if (now < channel.ref_due[rank]) {
+      next_due = std::min(next_due, channel.ref_due[rank]);
       continue;
     }
     // Drain: close any open bank, then REF.
-    bool any_open = false;
-    for (uint32_t bank = 0; bank < dram_config_.org.banks; ++bank) {
-      if (device.OpenRow(rank, bank).has_value()) {
-        any_open = true;
-        break;
-      }
-    }
-    if (any_open) {
+    if (device.OpenBankMask(rank) != 0) {
       const DdrCommand prea = DdrCommand::PreAll(rank);
       if (device.Check(prea, now) == TimingVerdict::kOk) {
         device.Issue(prea, now);
         return true;
       }
+      retry = std::min(next_due, device.EarliestCycle(prea));
       return false;  // Wait for tRAS etc.; keep the bus quiet for this rank.
     }
     const DdrCommand ref = DdrCommand::Ref(rank);
@@ -245,15 +288,17 @@ bool MemoryController::TryRefreshManager(uint32_t channel_index, Cycle now) {
       c_refs_issued_->Increment();
       return true;
     }
+    retry = std::min(next_due, device.EarliestCycle(ref));
     return false;
   }
+  retry = next_due;
   return false;
 }
 
-bool MemoryController::TryInternalOps(uint32_t channel_index, Cycle now) {
+bool MemoryController::TryInternalOps(uint32_t channel_index, Cycle now, Cycle& retry) {
   ChannelState& channel = channels_[channel_index];
   if (channel.internal_ops.empty()) {
-    return false;
+    return false;  // retry stays kNeverCycle: a push resets the memo.
   }
   DramDevice& device = *devices_[channel_index];
   InternalOp& op = channel.internal_ops.front();
@@ -264,7 +309,11 @@ bool MemoryController::TryInternalOps(uint32_t channel_index, Cycle now) {
           ? now >= channel.ref_due[rank * dram_config_.org.banks + bank]
           : now >= channel.ref_due[rank];
   if (op_draining && !op.activated) {
-    return false;  // Target is draining for REF; hold defense ops briefly.
+    // Target is draining for REF; hold defense ops briefly. The hold ends
+    // only when the overdue REF issues, which resets the channel memo, and
+    // the refresh-manager retry already covers progress toward it — so no
+    // retry cycle of our own (kNeverCycle).
+    return false;
   }
   const auto open_row = device.OpenRow(rank, bank);
 
@@ -277,6 +326,7 @@ bool MemoryController::TryInternalOps(uint32_t channel_index, Cycle now) {
             device.Issue(pre, now);
             return true;
           }
+          retry = device.EarliestCycle(pre);
           return false;
         }
         const DdrCommand act = DdrCommand::Act(rank, bank, op.coord.row);
@@ -295,6 +345,7 @@ bool MemoryController::TryInternalOps(uint32_t channel_index, Cycle now) {
           }
           return true;
         }
+        retry = device.EarliestCycle(act);
         return false;
       }
       // Awaiting the auto-precharge.
@@ -307,6 +358,7 @@ bool MemoryController::TryInternalOps(uint32_t channel_index, Cycle now) {
         channel.internal_ops.pop_front();
         return true;
       }
+      retry = device.EarliestCycle(pre);
       return false;
     }
     case InternalOpKind::kRefreshNeighbors: {
@@ -316,6 +368,7 @@ bool MemoryController::TryInternalOps(uint32_t channel_index, Cycle now) {
           device.Issue(pre, now);
           return true;
         }
+        retry = device.EarliestCycle(pre);
         return false;
       }
       const DdrCommand refn = DdrCommand::RefNeighbors(rank, bank, op.coord.row, op.blast);
@@ -324,21 +377,23 @@ bool MemoryController::TryInternalOps(uint32_t channel_index, Cycle now) {
         channel.internal_ops.pop_front();
         return true;
       }
+      retry = device.EarliestCycle(refn);
       return false;
     }
   }
   return false;
 }
 
-bool MemoryController::TryRequests(uint32_t channel_index, Cycle now) {
+bool MemoryController::TryRequests(uint32_t channel_index, Cycle now, Cycle& retry) {
   ChannelState& channel = channels_[channel_index];
   if (channel.queue.empty()) {
-    return false;
+    return false;  // retry stays kNeverCycle: an enqueue resets the memo.
   }
   if (now < channel.next_sched) {
     // Memoized from the last failed scan: channel state is unchanged
     // (every mutation resets next_sched) and no blocked command becomes
     // legal before next_sched, so the scan below would fail identically.
+    retry = channel.next_sched;
     return false;
   }
   DramDevice& device = *devices_[channel_index];
@@ -483,6 +538,7 @@ bool MemoryController::TryRequests(uint32_t channel_index, Cycle now) {
   // unblock via a state change, which resets next_sched; timing-blocked
   // candidates unblock at `block`.
   channel.next_sched = unstable ? now + 1 : std::max(block, now + 1);
+  retry = channel.next_sched;
   return false;
 }
 
@@ -589,18 +645,37 @@ Cycle MemoryController::NextWake(Cycle now) const {
     wake = std::min(wake, next_epoch_);
   }
   for (const ChannelState& channel : channels_) {
-    // Queued work may issue (or retry a blocked command) every cycle.
-    if (!channel.queue.empty() || !channel.internal_ops.empty()) {
-      return now;
-    }
+    // Completions must drain at their exact ready cycle (latency stats
+    // stamp the drain cycle), so the nearest one always joins the min.
     if (!channel.in_flight.empty()) {
       wake = std::min(wake, channel.in_flight.top().ready);
+    }
+    if (config_.event_driven) {
+      // The channel memo is the exact next-issueable cycle under the
+      // current state; it also tracks the nearest refresh due, so idle
+      // channels wake for retention without a separate due scan. A state
+      // change resets it to 0, which lands here as "wake now".
+      wake = std::min(wake, std::max(now, channel.next_try));
+      continue;
+    }
+    // Legacy: queued work may retry a blocked command every cycle.
+    if (!channel.queue.empty() || !channel.internal_ops.empty()) {
+      return now;
     }
     for (const Cycle due : channel.ref_due) {
       wake = std::min(wake, due);
     }
   }
   return std::max(now, wake);
+}
+
+void MemoryController::SyncTelemetry() {
+  if (mitigation_ == nullptr) {
+    return;
+  }
+  const uint64_t probes = mitigation_->TableProbes();
+  c_table_probes_->Add(probes - mitigation_probes_synced_);
+  mitigation_probes_synced_ = probes;
 }
 
 bool MemoryController::Idle() const {

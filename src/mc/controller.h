@@ -50,6 +50,12 @@ struct McConfig {
   // Blast radius software/mitigations assume when refreshing neighbours.
   // 0 = use the device's true radius (perfectly calibrated defense).
   uint32_t assumed_blast_radius = 0;
+  // Event-driven busy-phase scheduling: each failed channel scan reports
+  // the exact earliest cycle it could issue, NextWake returns that cycle
+  // instead of `now`, and Tick memo-skips channels before it. Produces
+  // bit-identical command streams and stats (scheduler telemetry aside);
+  // disable to cross-check or to measure the per-cycle baseline.
+  bool event_driven = true;
 };
 
 // Completion notification for a refresh-instruction invocation.
@@ -76,11 +82,17 @@ class MemoryController {
   void Tick(Cycle now);
 
   // Earliest cycle >= now at which Tick(now) could change state or emit a
-  // stat: `now` while any queue holds work, else the nearest of the
-  // in-flight read completions, refresh deadlines, and mitigation epoch.
-  // Never later than the controller's next actual action, so the System
-  // may advance its clock straight to the returned cycle.
+  // stat. Event-driven mode reports the exact next-issueable cycle even
+  // while queues hold work (each channel's scheduling memo), joined with
+  // in-flight read completions and the mitigation epoch; legacy mode
+  // returns `now` whenever any queue holds work. Never later than the
+  // controller's next actual action, so the System may advance its clock
+  // straight to the returned cycle.
   Cycle NextWake(Cycle now) const;
+
+  // Folds lazily-maintained telemetry (mitigation table probes) into the
+  // stat set. Called before merging stats into reports; cheap, idempotent.
+  void SyncTelemetry();
 
   // Outstanding work (queued requests, internal ops, in-flight reads).
   bool Idle() const;
@@ -174,13 +186,23 @@ class MemoryController {
     // scan's outcome (enqueue, any DDR command issued on the channel,
     // mitigation epoch) resets it to 0, forcing a fresh scan.
     Cycle next_sched = 0;
+    // Whole-channel memo: no scheduling stage (refresh manager, internal
+    // ops, requests) can issue strictly before this cycle unless channel
+    // state changes first. Reset to 0 by the same events as next_sched
+    // plus internal-op pushes. Event-driven mode gates TickChannel on it
+    // and NextWake reports it; legacy mode ignores it.
+    Cycle next_try = 0;
   };
 
   // One scheduling step for a channel; issues at most one command.
-  void TickChannel(uint32_t channel, Cycle now);
-  bool TryRefreshManager(uint32_t channel, Cycle now);
-  bool TryInternalOps(uint32_t channel, Cycle now);
-  bool TryRequests(uint32_t channel, Cycle now);
+  // Returns true iff a command issued.
+  bool TickChannel(uint32_t channel, Cycle now);
+  // Each stage returns true iff it issued a command. On false, `retry` is
+  // lowered to the earliest cycle the stage could act given unchanged
+  // channel state (kNeverCycle when only a state change can unblock it).
+  bool TryRefreshManager(uint32_t channel, Cycle now, Cycle& retry);
+  bool TryInternalOps(uint32_t channel, Cycle now, Cycle& retry);
+  bool TryRequests(uint32_t channel, Cycle now, Cycle& retry);
   void IssueRequestAccess(uint32_t channel, size_t queue_index, Cycle now);
   void DrainCompletions(uint32_t channel, Cycle now);
   void NotifyMitigationActivate(const DdrCoord& coord, Cycle now);
@@ -218,8 +240,12 @@ class MemoryController {
   Counter* c_refresh_instr_;
   Counter* c_refresh_instr_acts_;
   Counter* c_mitigation_refreshes_;
+  Counter* c_wake_batches_;      // Ticks where >= 1 channel ran a scan.
+  Counter* c_table_probes_;      // Mitigation flat-table probes (synced).
+  Histogram* h_cmds_per_wake_;   // Commands issued per scanning tick.
   Histogram* h_read_latency_;
   Histogram* h_write_latency_;
+  uint64_t mitigation_probes_synced_ = 0;
 
   static constexpr size_t kMaxInternalOps = 256;
 };

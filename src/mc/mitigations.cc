@@ -29,18 +29,18 @@ void GrapheneMitigation::OnActivate(uint32_t rank, uint32_t bank, uint32_t row, 
                                     std::vector<NeighborRefreshRequest>& out) {
   (void)now;
   BankTable& table = tables_[static_cast<size_t>(rank) * org_.banks + bank];
-  for (Entry& entry : table.entries) {
-    if (entry.row == row) {
-      ++entry.count;
-      if (entry.count >= threshold_) {
-        out.push_back({rank, bank, row});
-        entry.count = 0;  // Reset after servicing (Graphene's reset-on-refresh).
-      }
-      return;
+  if (const uint32_t* pos = table.index.Find(row); pos != nullptr && *pos != 0) {
+    Entry& entry = table.entries[*pos - 1];
+    ++entry.count;
+    if (entry.count >= threshold_) {
+      out.push_back({rank, bank, row});
+      entry.count = 0;  // Reset after servicing (Graphene's reset-on-refresh).
     }
+    return;
   }
   if (table.entries.size() < table_entries_) {
     table.entries.push_back({row, table.spill + 1});
+    table.index.FindOrInsert(row) = static_cast<uint32_t>(table.entries.size());
     return;
   }
   auto min_entry = std::min_element(
@@ -49,7 +49,12 @@ void GrapheneMitigation::OnActivate(uint32_t rank, uint32_t bank, uint32_t row, 
   if (min_entry->count <= table.spill) {
     // Replace the minimum with the new row (Misra-Gries style promotion).
     ++table.spill;
+    if (uint32_t* old_pos = table.index.Find(min_entry->row)) {
+      *old_pos = 0;  // The evicted row is no longer tracked.
+    }
     *min_entry = {row, table.spill};
+    table.index.FindOrInsert(row) =
+        static_cast<uint32_t>(min_entry - table.entries.begin()) + 1;
   } else {
     ++table.spill;
   }
@@ -60,7 +65,16 @@ void GrapheneMitigation::OnEpoch(Cycle now) {
   for (BankTable& table : tables_) {
     table.entries.clear();
     table.spill = 0;
+    table.index.AdvanceEpoch();
   }
+}
+
+uint64_t GrapheneMitigation::TableProbes() const {
+  uint64_t probes = 0;
+  for (const BankTable& table : tables_) {
+    probes += table.index.probes();
+  }
+  return probes;
 }
 
 uint64_t GrapheneMitigation::SramBits() const {
@@ -85,20 +99,27 @@ TwiceMitigation::TwiceMitigation(const DramOrg& org, const DramTiming& timing,
 void TwiceMitigation::OnActivate(uint32_t rank, uint32_t bank, uint32_t row, Cycle now,
                                  std::vector<NeighborRefreshRequest>& out) {
   MaybePrune(now);
-  auto& table = tables_[static_cast<size_t>(rank) * org_.banks + bank];
-  for (Entry& entry : table) {
-    if (entry.row == row) {
-      ++entry.count;
-      if (entry.count >= threshold_) {
-        out.push_back({rank, bank, row});
-        entry.count = 0;
-        entry.count_at_last_prune = 0;
-      }
-      return;
+  BankTable& table = tables_[static_cast<size_t>(rank) * org_.banks + bank];
+  if (const uint32_t* pos = table.index.Find(row); pos != nullptr && *pos != 0) {
+    Entry& entry = table.entries[*pos - 1];
+    ++entry.count;
+    if (entry.count >= threshold_) {
+      out.push_back({rank, bank, row});
+      entry.count = 0;
+      entry.count_at_last_prune = 0;
     }
+    return;
   }
-  table.push_back({row, 1, 0});
-  peak_entries_ = std::max(peak_entries_, static_cast<uint32_t>(table.size()));
+  table.entries.push_back({row, 1, 0});
+  table.index.FindOrInsert(row) = static_cast<uint32_t>(table.entries.size());
+  peak_entries_ = std::max(peak_entries_, static_cast<uint32_t>(table.entries.size()));
+}
+
+void TwiceMitigation::RebuildIndex(BankTable& table) {
+  table.index.AdvanceEpoch();
+  for (size_t i = 0; i < table.entries.size(); ++i) {
+    table.index.FindOrInsert(table.entries[i].row) = static_cast<uint32_t>(i) + 1;
+  }
 }
 
 void TwiceMitigation::MaybePrune(Cycle now) {
@@ -106,21 +127,31 @@ void TwiceMitigation::MaybePrune(Cycle now) {
     return;
   }
   last_prune_ = now;
-  for (auto& table : tables_) {
-    std::erase_if(table, [this](const Entry& entry) {
+  for (BankTable& table : tables_) {
+    std::erase_if(table.entries, [this](const Entry& entry) {
       return entry.count - entry.count_at_last_prune < prune_min_rate_;
     });
-    for (Entry& entry : table) {
+    for (Entry& entry : table.entries) {
       entry.count_at_last_prune = entry.count;
     }
+    RebuildIndex(table);  // Compaction moved entries; remap rows to slots.
   }
 }
 
 void TwiceMitigation::OnEpoch(Cycle now) {
   last_prune_ = now;
-  for (auto& table : tables_) {
-    table.clear();
+  for (BankTable& table : tables_) {
+    table.entries.clear();
+    table.index.AdvanceEpoch();
   }
+}
+
+uint64_t TwiceMitigation::TableProbes() const {
+  uint64_t probes = 0;
+  for (const BankTable& table : tables_) {
+    probes += table.index.probes();
+  }
+  return probes;
 }
 
 uint64_t TwiceMitigation::SramBits() const {

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/flat_table.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "dram/config.h"
@@ -64,6 +65,10 @@ class McMitigation {
 
   // Estimated on-chip storage, in bits, for the E4 cost model.
   virtual uint64_t SramBits() const = 0;
+
+  // Cumulative flat-table probe count, for the controller's
+  // "act.table_probes" telemetry. Zero for mitigations without tables.
+  virtual uint64_t TableProbes() const { return 0; }
 };
 
 // --- PARA -------------------------------------------------------------------
@@ -107,6 +112,7 @@ class GrapheneMitigation : public McMitigation {
                   std::vector<NeighborRefreshRequest>& out) override;
   void OnEpoch(Cycle now) override;
   uint64_t SramBits() const override;
+  uint64_t TableProbes() const override;
 
  private:
   struct Entry {
@@ -116,6 +122,10 @@ class GrapheneMitigation : public McMitigation {
   struct BankTable {
     std::vector<Entry> entries;
     uint32_t spill = 0;  // Misra-Gries spillover counter.
+    // row -> entries position + 1 (0 = absent); makes the per-ACT lookup
+    // O(1) instead of a scan over table_entries (which E4 sizes into the
+    // thousands for dense generations). Epoch-reset with the table.
+    FlatRowTable<uint32_t> index;
   };
 
   DramOrg org_;
@@ -144,6 +154,7 @@ class TwiceMitigation : public McMitigation {
                   std::vector<NeighborRefreshRequest>& out) override;
   void OnEpoch(Cycle now) override;
   uint64_t SramBits() const override;
+  uint64_t TableProbes() const override;
   // Peak table occupancy across banks — TWiCe's area story (E4).
   uint32_t peak_entries() const { return peak_entries_; }
 
@@ -153,14 +164,19 @@ class TwiceMitigation : public McMitigation {
     uint32_t count = 0;
     uint32_t count_at_last_prune = 0;
   };
+  struct BankTable {
+    std::vector<Entry> entries;
+    FlatRowTable<uint32_t> index;  // row -> entries position + 1 (0 = absent).
+  };
 
   void MaybePrune(Cycle now);
+  static void RebuildIndex(BankTable& table);
 
   DramOrg org_;
   uint32_t threshold_;
   Cycle prune_interval_;
   uint32_t prune_min_rate_;
-  std::vector<std::vector<Entry>> tables_;  // ranks * banks.
+  std::vector<BankTable> tables_;  // ranks * banks.
   Cycle last_prune_ = 0;
   uint32_t peak_entries_ = 0;
 };

@@ -248,8 +248,10 @@ std::vector<ScenarioResult> RunScenarios(const std::vector<ScenarioSpec>& specs,
   std::vector<ScenarioResult> results(specs.size());
   const RunnerTelemetryOptions& options = RunnerTelemetry();
   const bool telemetry_on = !options.trace_out.empty() || !options.metrics_out.empty();
+  // A single scenario never pays thread-count resolution or pool setup.
+  const unsigned workers = specs.size() <= 1 ? 1u : ResolveThreadCount(threads);
   if (!telemetry_on) {
-    ParallelFor(specs.size(), ResolveThreadCount(threads),
+    ParallelFor(specs.size(), workers,
                 [&](uint64_t i) { results[i] = RunScenario(specs[i]); });
     return results;
   }
@@ -267,7 +269,7 @@ std::vector<ScenarioResult> RunScenarios(const std::vector<ScenarioSpec>& specs,
     telemetry[i].sample_every = options.sample_every;
   }
   state.scenarios_started += specs.size();
-  ParallelFor(specs.size(), ResolveThreadCount(threads),
+  ParallelFor(specs.size(), workers,
               [&](uint64_t i) { results[i] = RunScenario(specs[i], &telemetry[i]); });
   for (ScenarioTelemetry& scenario : telemetry) {
     state.reports.push_back(std::move(scenario.report));

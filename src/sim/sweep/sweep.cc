@@ -147,7 +147,9 @@ SweepOutcome RunSweep(const SweepGrid& grid, const SweepOptions& options) {
   // hook snapshots the live System's StatSet for the cache cell.
   std::vector<ScenarioResult> results(pending.size());
   std::vector<JsonValue> stats(pending.size());
-  ParallelFor(pending.size(), ResolveThreadCount(options.threads), [&](uint64_t i) {
+  ParallelFor(pending.size(),
+              pending.size() <= 1 ? 1u : ResolveThreadCount(options.threads),
+              [&](uint64_t i) {
     ScenarioHooks hooks;
     hooks.on_finish = [&stats, i](System& system) {
       stats[i] = StatSetToJson(system.CollectStats());

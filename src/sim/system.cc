@@ -214,6 +214,13 @@ double System::AvgReadLatency() const {
 }
 
 StatSet System::CollectStats() const {
+  // Fold lazily-accounted telemetry (open stall intervals, mitigation
+  // table probes) into the component stat sets before merging. Both are
+  // idempotent, so repeated collection stays exact.
+  for (const auto& core : cores_) {
+    core->SyncStallStats(now_);
+  }
+  mc_->SyncTelemetry();
   StatSet merged;
   merged.MergeFrom(mc_->stats());
   for (uint32_t c = 0; c < mc_->channels(); ++c) {

@@ -1,0 +1,110 @@
+#include "common/flat_table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "mc/act_counter.h"
+
+namespace ht {
+namespace {
+
+TEST(FlatRowTable, FindAndInsert) {
+  FlatRowTable<uint32_t> table;
+  EXPECT_EQ(table.Find(42), nullptr);
+  table.FindOrInsert(42) = 7;
+  ASSERT_NE(table.Find(42), nullptr);
+  EXPECT_EQ(*table.Find(42), 7u);
+  EXPECT_EQ(table.size(), 1u);
+  // Re-finding the same key must not insert a second entry.
+  EXPECT_EQ(++table.FindOrInsert(42), 8u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlatRowTable, GrowthPreservesEntries) {
+  FlatRowTable<uint32_t> table(16);
+  // Packed row keys differing only in low bits — the adversarial shape
+  // for a weak hash.
+  for (uint32_t row = 0; row < 1000; ++row) {
+    table.FindOrInsert(PackRowKey(0, 0, 0, row)) = row;
+  }
+  EXPECT_EQ(table.size(), 1000u);
+  EXPECT_GE(table.capacity(), 1000u);
+  for (uint32_t row = 0; row < 1000; ++row) {
+    const uint32_t* value = table.Find(PackRowKey(0, 0, 0, row));
+    ASSERT_NE(value, nullptr) << "row " << row;
+    EXPECT_EQ(*value, row);
+  }
+}
+
+TEST(FlatRowTable, AdvanceEpochForgetsEverything) {
+  FlatRowTable<uint32_t> table;
+  for (uint32_t row = 0; row < 100; ++row) {
+    table.FindOrInsert(PackRowKey(0, 0, 0, row)) = row + 1;
+  }
+  table.AdvanceEpoch();
+  EXPECT_EQ(table.size(), 0u);
+  for (uint32_t row = 0; row < 100; ++row) {
+    EXPECT_EQ(table.Find(PackRowKey(0, 0, 0, row)), nullptr);
+  }
+  // Counts restart from zero when rows come back in the new epoch.
+  EXPECT_EQ(++table.FindOrInsert(PackRowKey(0, 0, 0, 3)), 1u);
+}
+
+// The satellite regression: refresh-window resets must be O(1) epoch
+// bumps. A window in which zero rows were touched performs zero slot
+// work, and even windows full of activity pay nothing at the boundary —
+// reset_work() only ever charges the (once per 2^32 windows) tag wrap.
+TEST(FlatRowTable, EmptyWindowResetsDoNoPerRowWork) {
+  FlatRowTable<uint32_t> table;
+  for (int window = 0; window < 100000; ++window) {
+    table.AdvanceEpoch();
+  }
+  EXPECT_EQ(table.reset_work(), 0u);
+
+  // Now with a populated table: the boundary is still free.
+  for (uint32_t row = 0; row < 5000; ++row) {
+    table.FindOrInsert(PackRowKey(0, 0, 1, row));
+  }
+  const uint64_t probes_before = table.probes();
+  table.AdvanceEpoch();
+  EXPECT_EQ(table.reset_work(), 0u);
+  EXPECT_EQ(table.probes(), probes_before);  // Reset probes no slots.
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(RowActTable, CountsAcrossWindows) {
+  RowActTable table;
+  const uint64_t key = PackRowKey(1, 0, 3, 77);
+  EXPECT_EQ(table.Get(key), 0u);
+  EXPECT_EQ(table.Increment(key), 1u);
+  EXPECT_EQ(table.Increment(key), 2u);
+  EXPECT_EQ(table.Get(key), 2u);
+  EXPECT_EQ(table.distinct_rows(), 1u);
+
+  table.Reset(key);
+  EXPECT_EQ(table.Get(key), 0u);
+
+  EXPECT_EQ(table.Increment(key), 1u);
+  table.AdvanceWindow();
+  EXPECT_EQ(table.Get(key), 0u);
+  EXPECT_EQ(table.distinct_rows(), 0u);
+  EXPECT_EQ(table.Increment(key), 1u);
+  EXPECT_EQ(table.reset_work(), 0u);
+}
+
+// Probe telemetry flows into the interned stats counter the defenses and
+// the MC mitigation path register ("act.table_probes").
+TEST(RowActTable, ForwardsProbesToStatsCounter) {
+  StatSet stats;
+  Counter* probes = stats.counter("act.table_probes");
+  RowActTable table;
+  table.set_probe_counter(probes);
+  for (uint32_t row = 0; row < 64; ++row) {
+    table.Increment(PackRowKey(0, 0, 0, row));
+  }
+  EXPECT_EQ(probes->value(), table.probes());
+  EXPECT_GT(probes->value(), 0u);
+}
+
+}  // namespace
+}  // namespace ht
