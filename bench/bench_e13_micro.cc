@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "bench/bench_util.h"
+#include "common/thread_pool.h"
 #include "cpu/cache.h"
 #include "dram/device.h"
 #include "mc/addrmap.h"
@@ -271,6 +272,93 @@ ThroughputSample MeasureHammerHeavy(bool event_driven, Cycle cycles) {
   return sample;
 }
 
+// --- Channel-scaling throughput ---------------------------------------------
+//
+// The sharded-advance A/B: every channel is driven with its own saturating
+// same-bank hammer loop, refilled at fixed window boundaries so the whole
+// run decomposes into coupling-free windows the sharded path can take.
+// threads == 0 runs the serial event-driven reference (Tick/NextWake
+// clamped per window); otherwise AdvanceChannels() advances all channels
+// with up to `threads` workers. Work done (mc.reads_done) must be
+// identical across all three variants — checked by the caller.
+
+struct ShardSample {
+  ThroughputSample throughput;
+  uint64_t reads_done = 0;
+};
+
+ShardSample MeasureShardedHammerLoop(uint32_t channels, unsigned threads, Cycle cycles) {
+  DramConfig dram = DramConfig::SimDefault();
+  dram.org.channels = channels;
+  McConfig config;
+  config.event_driven = true;
+  config.shard_channels = true;
+  MemoryController mc(dram, config);
+
+  // Per-channel aggressor triples (same bank, distinct rows): each channel
+  // stays timing-blocked-but-busy, the busy phase the shard loop replays.
+  const AddressMapper& mapper = mc.mapper();
+  std::vector<std::vector<PhysAddr>> aggressors(channels);
+  uint32_t filled = 0;
+  for (PhysAddr addr = 0;
+       filled < channels && addr < mapper.total_lines() * kLineBytes; addr += kLineBytes) {
+    const DdrCoord coord = mapper.Map(addr);
+    std::vector<PhysAddr>& list = aggressors[coord.channel];
+    if (coord.rank != 0 || coord.bank != 0 || list.size() >= 3 ||
+        (!list.empty() && mapper.Map(list.back()).row == coord.row)) {
+      continue;
+    }
+    list.push_back(addr);
+    if (list.size() == 3) {
+      ++filled;
+    }
+  }
+
+  const Cycle window = 2048;
+  uint64_t id = 0;
+  std::vector<size_t> cursor(channels, 0);
+  const auto start = std::chrono::steady_clock::now();
+  for (Cycle now = 0; now < cycles;) {
+    const Cycle wend = std::min(cycles, now + window);
+    for (uint32_t c = 0; c < channels; ++c) {
+      for (int k = 0; k < 4; ++k) {
+        MemRequest request;
+        request.id = ++id;
+        request.op = MemOp::kRead;
+        request.addr = aggressors[c][cursor[c]++ % aggressors[c].size()];
+        if (!mc.Enqueue(request, now)) {
+          break;
+        }
+      }
+    }
+    if (threads == 0) {
+      for (Cycle t = now; t < wend;) {
+        mc.Tick(t);
+        t = std::max(t + 1, std::min(mc.NextWake(t), wend));
+      }
+    } else {
+      for (Cycle t = now; t < wend;) {
+        const Cycle reached = mc.AdvanceChannels(t, wend, threads);
+        if (reached <= t) {
+          mc.Tick(t);
+          t = std::max(t + 1, std::min(mc.NextWake(t), wend));
+        } else {
+          t = reached;
+        }
+      }
+    }
+    now = wend;
+  }
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  ShardSample sample;
+  sample.throughput.seconds = elapsed.count();
+  sample.throughput.cycles_per_sec =
+      sample.throughput.seconds > 0.0 ? static_cast<double>(cycles) / sample.throughput.seconds
+                                      : 0.0;
+  sample.reads_done = mc.stats().Get("mc.reads_done");
+  return sample;
+}
+
 void WriteBusyReport() {
   const Cycle mc_cycles = std::min<Cycle>(8000000, BenchSmokeCap());
   const ThroughputSample mc_off = MeasureMcHammerLoop(false, mc_cycles);
@@ -283,6 +371,40 @@ void WriteBusyReport() {
   const ThroughputSample sys_on = MeasureHammerHeavy(true, sys_cycles);
   const double sys_speedup =
       sys_off.cycles_per_sec > 0.0 ? sys_on.cycles_per_sec / sys_off.cycles_per_sec : 0.0;
+
+  // Channel-scaling series: serial reference vs sharded advance with one
+  // worker (pure shard-loop overhead) and with the resolved pool width
+  // (real parallelism only where the host has spare cores).
+  const Cycle shard_cycles = std::min<Cycle>(2000000, BenchSmokeCap());
+  const unsigned pool_threads = static_cast<unsigned>(ResolveThreadCount(0));
+  struct ShardRow {
+    uint32_t channels = 0;
+    double serial = 0.0;
+    double sharded_1t = 0.0;
+    double sharded_nt = 0.0;
+    double speedup_nt_vs_1t = 0.0;
+  };
+  std::vector<ShardRow> shard_rows;
+  for (uint32_t channels : {1u, 2u, 4u, 8u}) {
+    const ShardSample serial = MeasureShardedHammerLoop(channels, 0, shard_cycles);
+    const ShardSample one = MeasureShardedHammerLoop(channels, 1, shard_cycles);
+    const ShardSample wide = MeasureShardedHammerLoop(channels, pool_threads, shard_cycles);
+    if (serial.reads_done != one.reads_done || serial.reads_done != wide.reads_done) {
+      std::fprintf(stderr,
+                   "channel_scaling identity violation at %u channels: "
+                   "reads_done %llu / %llu / %llu\n",
+                   channels, static_cast<unsigned long long>(serial.reads_done),
+                   static_cast<unsigned long long>(one.reads_done),
+                   static_cast<unsigned long long>(wide.reads_done));
+    }
+    ShardRow row;
+    row.channels = channels;
+    row.serial = serial.throughput.cycles_per_sec;
+    row.sharded_1t = one.throughput.cycles_per_sec;
+    row.sharded_nt = wide.throughput.cycles_per_sec;
+    row.speedup_nt_vs_1t = row.sharded_1t > 0.0 ? row.sharded_nt / row.sharded_1t : 0.0;
+    shard_rows.push_back(row);
+  }
 
   FILE* out = std::fopen("BENCH_busy.json", "w");
   if (out == nullptr) {
@@ -301,20 +423,45 @@ void WriteBusyReport() {
                "    \"event_driven_off\": {\"wall_seconds\": %.6f, \"cycles_per_sec\": %.0f},\n"
                "    \"event_driven_on\": {\"wall_seconds\": %.6f, \"cycles_per_sec\": %.0f},\n"
                "    \"speedup\": %.2f\n"
-               "  }\n"
-               "}\n",
+               "  },\n"
+               "  \"channel_scaling\": {\n"
+               "    \"simulated_cycles\": %llu,\n"
+               "    \"window\": 2048,\n"
+               "    \"pool_threads\": %u,\n"
+               "    \"series\": [\n",
                static_cast<unsigned long long>(mc_cycles), mc_off.seconds, mc_off.cycles_per_sec,
                mc_on.seconds, mc_on.cycles_per_sec, mc_speedup,
                static_cast<unsigned long long>(sys_cycles), sys_off.seconds,
-               sys_off.cycles_per_sec, sys_on.seconds, sys_on.cycles_per_sec, sys_speedup);
+               sys_off.cycles_per_sec, sys_on.seconds, sys_on.cycles_per_sec, sys_speedup,
+               static_cast<unsigned long long>(shard_cycles), pool_threads);
+  for (size_t i = 0; i < shard_rows.size(); ++i) {
+    const ShardRow& row = shard_rows[i];
+    std::fprintf(out,
+                 "      {\"channels\": %u, \"serial_cycles_per_sec\": %.0f, "
+                 "\"sharded_1t_cycles_per_sec\": %.0f, \"sharded_nt_cycles_per_sec\": %.0f, "
+                 "\"speedup_nt_vs_1t\": %.2f}%s\n",
+                 row.channels, row.serial, row.sharded_1t, row.sharded_nt,
+                 row.speedup_nt_vs_1t, i + 1 < shard_rows.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "    ]\n"
+               "  }\n"
+               "}\n");
   std::fclose(out);
   std::printf("MC/HammerLoop: %llu cycles — event off %.0f cyc/s, event on %.0f cyc/s (%.1fx)\n",
               static_cast<unsigned long long>(mc_cycles), mc_off.cycles_per_sec,
               mc_on.cycles_per_sec, mc_speedup);
   std::printf("System/HammerHeavy: %llu cycles — event off %.0f cyc/s, event on %.0f cyc/s "
-              "(%.1fx); wrote BENCH_busy.json\n",
+              "(%.1fx)\n",
               static_cast<unsigned long long>(sys_cycles), sys_off.cycles_per_sec,
               sys_on.cycles_per_sec, sys_speedup);
+  for (const ShardRow& row : shard_rows) {
+    std::printf("MC/ChannelScaling x%u: serial %.0f, sharded 1t %.0f, sharded %ut %.0f cyc/s "
+                "(%.2fx nt vs 1t)\n",
+                row.channels, row.serial, row.sharded_1t, pool_threads, row.sharded_nt,
+                row.speedup_nt_vs_1t);
+  }
+  std::printf("wrote BENCH_busy.json\n");
 }
 
 }  // namespace

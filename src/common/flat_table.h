@@ -2,11 +2,15 @@
 // engine behind every per-row counter in the simulator (MC-side ACT
 // tracking, defense row-hit histories, the disturbance accumulators).
 //
-// Two properties matter for the busy-phase hot loop:
+// Three properties matter for the busy-phase hot loop:
 //
-//  * Storage is a single flat array of {key, epoch, value} slots probed
-//    linearly — no node allocation, no bucket chains, and lookups of
-//    absent keys touch one cache line in the common case.
+//  * Storage is struct-of-arrays: probe metadata ({key, epoch}) lives in
+//    one dense array and values in a parallel array, so linear probing
+//    scans 16-byte metadata slots without pulling Value payloads through
+//    the cache; the value array is touched only on a hit or insert.
+//  * Probing is linear over the flat metadata array — no node
+//    allocation, no bucket chains, and lookups of absent keys touch one
+//    cache line in the common case.
 //  * Reset is O(1): a slot is live only if its tag matches the table's
 //    current epoch, so "clear every counter at the refresh-window
 //    boundary" is a single increment instead of an O(slots) wipe. The
@@ -33,20 +37,21 @@ class FlatRowTable {
     while (capacity < min_capacity) {
       capacity <<= 1;
     }
-    slots_.resize(capacity);
+    meta_.resize(capacity);
+    values_.resize(capacity);
   }
 
   // Pointer to the value for `key` this epoch, or nullptr if absent.
   const Value* Find(uint64_t key) const {
-    const size_t mask = slots_.size() - 1;
+    const size_t mask = meta_.size() - 1;
     for (size_t i = Hash(key) & mask;; i = (i + 1) & mask) {
       ++probes_;
-      const Slot& slot = slots_[i];
+      const SlotMeta& slot = meta_[i];
       if (slot.epoch != epoch_) {
         return nullptr;
       }
       if (slot.key == key) {
-        return &slot.value;
+        return &values_[i];
       }
     }
   }
@@ -57,50 +62,50 @@ class FlatRowTable {
   // Value for `key`, inserting a default-constructed one on first touch
   // this epoch. The reference is invalidated by the next FindOrInsert.
   Value& FindOrInsert(uint64_t key) {
-    if (live_ + 1 > slots_.size() - slots_.size() / 4) {
+    if (live_ + 1 > meta_.size() - meta_.size() / 4) {
       Grow();
     }
-    const size_t mask = slots_.size() - 1;
+    const size_t mask = meta_.size() - 1;
     for (size_t i = Hash(key) & mask;; i = (i + 1) & mask) {
       ++probes_;
-      Slot& slot = slots_[i];
+      SlotMeta& slot = meta_[i];
       if (slot.epoch != epoch_) {
         slot.key = key;
         slot.epoch = epoch_;
-        slot.value = Value{};
+        values_[i] = Value{};
         ++live_;
-        return slot.value;
+        return values_[i];
       }
       if (slot.key == key) {
-        return slot.value;
+        return values_[i];
       }
     }
   }
 
   // Logically empties the table. O(1) except once per 2^32 epochs, when
-  // the tag space wraps and every slot must be physically cleared (the
-  // cost is charged to reset_work()).
+  // the tag space wraps and every metadata slot must be physically
+  // cleared (the cost is charged to reset_work()); stale values need no
+  // touching — inserts overwrite them.
   void AdvanceEpoch() {
     live_ = 0;
     if (++epoch_ == 0) {
-      for (Slot& slot : slots_) {
-        slot = Slot{};
+      for (SlotMeta& slot : meta_) {
+        slot = SlotMeta{};
       }
-      reset_work_ += slots_.size();
+      reset_work_ += meta_.size();
       epoch_ = 1;
     }
   }
 
   size_t size() const { return live_; }      // Live entries this epoch.
-  size_t capacity() const { return slots_.size(); }
+  size_t capacity() const { return meta_.size(); }
   uint64_t probes() const { return probes_; }        // Cumulative slot inspections.
   uint64_t reset_work() const { return reset_work_; }  // Slots touched by resets.
 
  private:
-  struct Slot {
+  struct SlotMeta {
     uint64_t key = 0;
     uint32_t epoch = 0;  // Live iff equal to the table's current epoch.
-    Value value{};
   };
 
   // SplitMix64 finalizer: full-avalanche mix so packed coordinates (which
@@ -113,22 +118,26 @@ class FlatRowTable {
   }
 
   void Grow() {
-    std::vector<Slot> old = std::move(slots_);
-    slots_.assign(old.size() * 2, Slot{});
-    const size_t mask = slots_.size() - 1;
-    for (const Slot& slot : old) {
-      if (slot.epoch != epoch_) {
+    std::vector<SlotMeta> old_meta = std::move(meta_);
+    std::vector<Value> old_values = std::move(values_);
+    meta_.assign(old_meta.size() * 2, SlotMeta{});
+    values_.assign(old_meta.size() * 2, Value{});
+    const size_t mask = meta_.size() - 1;
+    for (size_t j = 0; j < old_meta.size(); ++j) {
+      if (old_meta[j].epoch != epoch_) {
         continue;  // Stale epochs do not survive a rehash.
       }
-      size_t i = Hash(slot.key) & mask;
-      while (slots_[i].epoch == epoch_) {
+      size_t i = Hash(old_meta[j].key) & mask;
+      while (meta_[i].epoch == epoch_) {
         i = (i + 1) & mask;
       }
-      slots_[i] = slot;
+      meta_[i] = old_meta[j];
+      values_[i] = old_values[j];
     }
   }
 
-  std::vector<Slot> slots_;
+  std::vector<SlotMeta> meta_;
+  std::vector<Value> values_;
   uint32_t epoch_ = 1;
   size_t live_ = 0;
   mutable uint64_t probes_ = 0;

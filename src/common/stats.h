@@ -73,6 +73,10 @@ class Counter {
  public:
   void Increment() { ++value_; }
   void Add(uint64_t delta) { value_ += delta; }
+  // Overwrites the value. For counters rebuilt from authoritative
+  // per-shard accumulators (MemoryController::SyncTelemetry) rather than
+  // incremented in place; idempotent by construction.
+  void Set(uint64_t value) { value_ = value; }
   uint64_t value() const { return value_; }
 
  private:

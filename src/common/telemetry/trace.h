@@ -46,6 +46,9 @@ enum class TraceKind : uint8_t {
   kActInterrupt,       // arg = trigger physical address.
   kMitigationRefresh,  // row = aggressor, arg = blast radius.
   kEpochRollover,      // refresh-window boundary, arg = window index.
+  kShardSync,          // channel-shard window sync point; row = window
+                       // length in cycles, arg = scheduling wakes the
+                       // channel ran inside the window (shard occupancy).
   // Defense / OS events (channel/rank/bank unused).
   kDefenseTrigger,  // arg = trigger physical address (or detection key).
   kDefenseAction,   // arg = acted-on physical address.

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <exception>
-#include <mutex>
 
 namespace ht {
 
@@ -21,56 +19,130 @@ unsigned ResolveThreadCount(unsigned requested) {
   return hw == 0 ? 1 : hw;
 }
 
+ThreadPool::ThreadPool(unsigned workers) : workers_(std::max(1u, workers)) {
+  threads_.reserve(workers_ - 1);
+  for (unsigned t = 1; t < workers_; ++t) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) {
+    thread.join();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(ResolveThreadCount(0));
+  return pool;
+}
+
+bool ThreadPool::RunOneJob(Task& task) {
+  if (task.failed.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  const uint64_t i = task.next.fetch_add(1, std::memory_order_relaxed);
+  if (i >= task.jobs) {
+    return false;
+  }
+  try {
+    (*task.body)(i);
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (task.error == nullptr) {
+      task.error = std::current_exception();
+    }
+    task.failed.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    Task* task = nullptr;
+    // A task leaves the claimable set monotonically (cursor exhaustion,
+    // failure, saturation, caller removal), so waking only on new
+    // submissions cannot miss work.
+    work_cv_.wait(lock, [&] {
+      if (stop_) {
+        return true;
+      }
+      for (Task* candidate : pending_) {
+        if (candidate->helpers < candidate->helper_budget &&
+            !candidate->failed.load(std::memory_order_relaxed) &&
+            candidate->next.load(std::memory_order_relaxed) < candidate->jobs) {
+          task = candidate;
+          return true;
+        }
+      }
+      return false;
+    });
+    if (stop_) {
+      return;
+    }
+    ++task->helpers;
+    lock.unlock();
+    while (RunOneJob(*task)) {
+    }
+    lock.lock();
+    --task->helpers;
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::Run(uint64_t jobs, unsigned max_concurrency,
+                     const std::function<void(uint64_t)>& body) {
+  if (jobs == 0) {
+    return;
+  }
+  if (jobs == 1 || max_concurrency <= 1 || threads_.empty()) {
+    for (uint64_t i = 0; i < jobs; ++i) {
+      body(i);
+    }
+    return;
+  }
+  Task task;
+  task.jobs = jobs;
+  task.body = &body;
+  task.helper_budget = static_cast<unsigned>(
+      std::min<uint64_t>({max_concurrency - 1, jobs - 1, threads_.size()}));
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back(&task);
+  }
+  work_cv_.notify_all();
+  // Caller participation: claim jobs off the shared cursor until it runs
+  // dry. Uneven job lengths still balance, and a nested Run never waits
+  // on a helper that will not come.
+  while (RunOneJob(task)) {
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  pending_.erase(std::find(pending_.begin(), pending_.end(), &task));
+  done_cv_.wait(lock, [&] { return task.helpers == 0; });
+  if (task.error != nullptr) {
+    std::rethrow_exception(task.error);
+  }
+}
+
 void ParallelFor(uint64_t jobs, unsigned threads, const std::function<void(uint64_t)>& body) {
   if (jobs == 0) {
     return;
   }
-  threads = std::min<uint64_t>(std::max(1u, threads), jobs);
+  threads = static_cast<unsigned>(std::min<uint64_t>(std::max(1u, threads), jobs));
   if (threads == 1 || jobs == 1) {
     for (uint64_t i = 0; i < jobs; ++i) {
       body(i);
     }
     return;
   }
-  // Work stealing off a shared atomic cursor: workers grab the next
-  // un-started index, so uneven job lengths still balance.
-  std::atomic<uint64_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  auto worker = [&]() {
-    for (;;) {
-      if (failed.load(std::memory_order_relaxed)) {
-        return;
-      }
-      const uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= jobs) {
-        return;
-      }
-      try {
-        body(i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error == nullptr) {
-          first_error = std::current_exception();
-        }
-        failed.store(true, std::memory_order_relaxed);
-        return;
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads - 1);
-  for (unsigned t = 1; t < threads; ++t) {
-    pool.emplace_back(worker);
-  }
-  worker();
-  for (std::thread& t : pool) {
-    t.join();
-  }
-  if (first_error != nullptr) {
-    std::rethrow_exception(first_error);
-  }
+  ThreadPool::Shared().Run(jobs, threads, body);
 }
 
 }  // namespace ht

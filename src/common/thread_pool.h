@@ -1,13 +1,17 @@
-// A small fixed-size worker pool for embarrassingly parallel fan-out
-// (one self-contained simulation per job). Jobs are indexed, results are
-// written by index, so the output order is deterministic regardless of
-// which worker ran which job.
+// A small persistent worker pool for parallel fan-out at two levels:
+// whole simulations (one self-contained scenario per job) and per-channel
+// shards inside one simulation. Jobs are indexed, results are written by
+// index, so the output order is deterministic regardless of which worker
+// ran which job.
 #ifndef HAMMERTIME_SRC_COMMON_THREAD_POOL_H_
 #define HAMMERTIME_SRC_COMMON_THREAD_POOL_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -17,13 +21,71 @@ namespace ht {
 // HT_THREADS environment variable, then the hardware concurrency.
 unsigned ResolveThreadCount(unsigned requested = 0);
 
+// Fixed-size pool of persistent workers. The calling thread always
+// participates in its own submission, which makes nested fan-out safe:
+// a scenario job running on a pool worker can itself Run() a per-channel
+// shard fan-out, and even with zero free helpers the caller works through
+// its task inline — the pool can never deadlock on its own capacity.
+class ThreadPool {
+ public:
+  // Spawns `workers - 1` helper threads (the caller is the remaining
+  // worker). workers <= 1 means a helperless pool: Run executes inline.
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Runs body(i) for every i in [0, jobs), using the calling thread plus
+  // at most `max_concurrency - 1` pool helpers. Each job must be
+  // independent: no shared mutable state except its own output slot.
+  // Blocks until every started job finished. If a job throws, unstarted
+  // jobs are abandoned, already-running jobs finish, and the first
+  // observed exception is rethrown on the calling thread.
+  //
+  // Degenerate cases (jobs <= 1, max_concurrency <= 1, or a helperless
+  // pool) run inline on the caller in index order.
+  void Run(uint64_t jobs, unsigned max_concurrency, const std::function<void(uint64_t)>& body);
+
+  unsigned workers() const { return workers_; }
+
+  // The process-wide pool shared by inter-scenario fan-out (RunScenarios)
+  // and intra-scenario channel shards (MemoryController::AdvanceChannels).
+  // Sized once, on first use, from ResolveThreadCount(0) — HT_THREADS or
+  // the hardware concurrency — so the two nesting levels draw from one
+  // budget and cannot oversubscribe the machine between them.
+  static ThreadPool& Shared();
+
+ private:
+  // One Run() submission. Lives on the submitting caller's stack; workers
+  // may only hold a pointer while registered as helpers (helpers > 0),
+  // and the caller does not return before helpers drops to zero.
+  struct Task {
+    uint64_t jobs = 0;
+    const std::function<void(uint64_t)>* body = nullptr;
+    std::atomic<uint64_t> next{0};       // Claim cursor.
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;            // Guarded by the pool mutex.
+    unsigned helper_budget = 0;          // Max pool helpers (excl. caller).
+    unsigned helpers = 0;                // Current helpers (pool mutex).
+  };
+
+  void WorkerLoop();
+  // Claims and runs one job of `task`; returns false when the cursor is
+  // exhausted or the task failed. Exceptions are captured into the task.
+  bool RunOneJob(Task& task);
+
+  unsigned workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Workers: a claimable task appeared.
+  std::condition_variable done_cv_;   // Callers: a helper left a task.
+  std::vector<Task*> pending_;        // Tasks that may still have unclaimed jobs.
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
 // Runs body(i) for every i in [0, jobs) across `threads` workers (inline
-// when threads <= 1 or jobs <= 1). Each job must be independent: no shared
-// mutable state except its own output slot. Blocks until all jobs finish.
-//
-// If a job throws, unstarted jobs are abandoned, already-running jobs
-// finish, and one of the caught exceptions (the first observed) is
-// rethrown on the calling thread after all workers have joined.
+// when threads <= 1 or jobs <= 1), drawing helpers from ThreadPool::
+// Shared(). Same independence and exception contract as ThreadPool::Run.
 void ParallelFor(uint64_t jobs, unsigned threads, const std::function<void(uint64_t)>& body);
 
 }  // namespace ht

@@ -55,22 +55,25 @@ ConstraintTable DeriveConstraints(const DramTiming& t) {
 
 TimingChecker::TimingChecker(const DramOrg& org, const DramTiming& timing,
                              bool ref_neighbors_supported)
-    : table_(DeriveConstraints(timing)), ref_neighbors_supported_(ref_neighbors_supported) {
+    : table_(DeriveConstraints(timing)),
+      ref_neighbors_supported_(ref_neighbors_supported),
+      banks_(org.banks) {
   // The open-bank bitmask caps banks-per-rank at 64, matching the
   // controller's refresh-slot bitmask (ranks * banks <= 64).
   ranks_.resize(org.ranks);
-  for (auto& rank : ranks_) {
-    rank.banks.resize(org.banks);
-  }
+  const size_t slots = static_cast<size_t>(org.ranks) * org.banks;
+  open_row_.assign(slots, kNoOpenRow);
+  ready_act_.assign(slots, 0);
+  ready_pre_.assign(slots, 0);
+  ready_rdwr_.assign(slots, 0);
 }
 
 Cycle TimingChecker::EarliestCycle(const DdrCommand& cmd) const {
-  const RankState& rank = ranks_[cmd.rank];
+  const RankMeta& rank = ranks_[cmd.rank];
   Cycle earliest = rank.any_ready;
   switch (cmd.type) {
     case DdrCommandType::kActivate: {
-      const BankState& b = rank.banks[cmd.bank];
-      earliest = std::max({earliest, b.ready[kReadyAct], rank.act_rank_ready});
+      earliest = std::max({earliest, ready_act_[Slot(cmd.rank, cmd.bank)], rank.act_rank_ready});
       // tFAW: the 4th-most-recent ACT must be at least tFAW old. Entries
       // store cycle+1 so a legitimate ACT at cycle 0 is distinguishable
       // from "no ACT recorded yet".
@@ -79,19 +82,18 @@ Cycle TimingChecker::EarliestCycle(const DdrCommand& cmd) const {
       break;
     }
     case DdrCommandType::kPrecharge: {
-      earliest = std::max(earliest, rank.banks[cmd.bank].ready[kReadyPre]);
+      earliest = std::max(earliest, ready_pre_[Slot(cmd.rank, cmd.bank)]);
       break;
     }
     case DdrCommandType::kPrechargeAll: {
       for (uint64_t mask = rank.open_mask; mask != 0; mask &= mask - 1) {
-        const int b = __builtin_ctzll(mask);
-        earliest = std::max(earliest, rank.banks[b].ready[kReadyPre]);
+        const uint32_t b = static_cast<uint32_t>(__builtin_ctzll(mask));
+        earliest = std::max(earliest, ready_pre_[Slot(cmd.rank, b)]);
       }
       break;
     }
     case DdrCommandType::kRead: {
-      const BankState& b = rank.banks[cmd.bank];
-      earliest = std::max({earliest, b.ready[kReadyRdwr], rank.rd_ready});
+      earliest = std::max({earliest, ready_rdwr_[Slot(cmd.rank, cmd.bank)], rank.rd_ready});
       // Data bus availability: burst starts tCL after issue.
       if (data_bus_free_ > earliest + table_.rd_lead) {
         earliest = data_bus_free_ - table_.rd_lead;
@@ -99,8 +101,7 @@ Cycle TimingChecker::EarliestCycle(const DdrCommand& cmd) const {
       break;
     }
     case DdrCommandType::kWrite: {
-      const BankState& b = rank.banks[cmd.bank];
-      earliest = std::max({earliest, b.ready[kReadyRdwr], rank.wr_ready});
+      earliest = std::max({earliest, ready_rdwr_[Slot(cmd.rank, cmd.bank)], rank.wr_ready});
       if (data_bus_free_ > earliest + table_.wr_lead) {
         earliest = data_bus_free_ - table_.wr_lead;
       }
@@ -113,11 +114,11 @@ Cycle TimingChecker::EarliestCycle(const DdrCommand& cmd) const {
       break;
     }
     case DdrCommandType::kRefreshSb: {
-      earliest = std::max(earliest, rank.banks[cmd.bank].ready[kReadyAct]);
+      earliest = std::max(earliest, ready_act_[Slot(cmd.rank, cmd.bank)]);
       break;
     }
     case DdrCommandType::kRefreshNeighbors: {
-      earliest = std::max(earliest, rank.banks[cmd.bank].ready[kReadyAct]);
+      earliest = std::max(earliest, ready_act_[Slot(cmd.rank, cmd.bank)]);
       break;
     }
   }
@@ -125,7 +126,7 @@ Cycle TimingChecker::EarliestCycle(const DdrCommand& cmd) const {
 }
 
 TimingVerdict TimingChecker::Check(const DdrCommand& cmd, Cycle now) const {
-  const RankState& rank = ranks_[cmd.rank];
+  const RankMeta& rank = ranks_[cmd.rank];
   switch (cmd.type) {
     case DdrCommandType::kActivate:
       if (rank.open_mask & (1ull << cmd.bank)) {
@@ -169,61 +170,61 @@ TimingVerdict TimingChecker::Check(const DdrCommand& cmd, Cycle now) const {
 }
 
 void TimingChecker::Record(const DdrCommand& cmd, Cycle now) {
-  RankState& rank = ranks_[cmd.rank];
+  RankMeta& rank = ranks_[cmd.rank];
   switch (cmd.type) {
     case DdrCommandType::kActivate: {
-      BankState& b = rank.banks[cmd.bank];
-      b.open_row = cmd.row;
+      const size_t slot = Slot(cmd.rank, cmd.bank);
+      open_row_[slot] = cmd.row;
       rank.open_mask |= 1ull << cmd.bank;
-      RaiseAct(rank, b, now + table_.act_to_act);
-      Raise(b.ready[kReadyPre], now + table_.act_to_pre);
-      Raise(b.ready[kReadyRdwr], now + table_.act_to_rdwr);
+      RaiseAct(rank, slot, now + table_.act_to_act);
+      Raise(ready_pre_[slot], now + table_.act_to_pre);
+      Raise(ready_rdwr_[slot], now + table_.act_to_rdwr);
       Raise(rank.act_rank_ready, now + table_.act_to_act_rank);
       rank.faw_acts[rank.faw_head] = now + 1;
       rank.faw_head = (rank.faw_head + 1) % 4;
       break;
     }
     case DdrCommandType::kPrecharge: {
-      BankState& b = rank.banks[cmd.bank];
-      b.open_row.reset();
+      const size_t slot = Slot(cmd.rank, cmd.bank);
+      open_row_[slot] = kNoOpenRow;
       rank.open_mask &= ~(1ull << cmd.bank);
-      RaiseAct(rank, b, now + table_.pre_to_act);
+      RaiseAct(rank, slot, now + table_.pre_to_act);
       break;
     }
     case DdrCommandType::kPrechargeAll: {
       for (uint64_t mask = rank.open_mask; mask != 0; mask &= mask - 1) {
-        BankState& b = rank.banks[__builtin_ctzll(mask)];
-        b.open_row.reset();
-        RaiseAct(rank, b, now + table_.pre_to_act);
+        const size_t slot = Slot(cmd.rank, static_cast<uint32_t>(__builtin_ctzll(mask)));
+        open_row_[slot] = kNoOpenRow;
+        RaiseAct(rank, slot, now + table_.pre_to_act);
       }
       rank.open_mask = 0;
       break;
     }
     case DdrCommandType::kRead: {
-      BankState& b = rank.banks[cmd.bank];
-      Raise(b.ready[kReadyPre], now + table_.rd_to_pre);
+      const size_t slot = Slot(cmd.rank, cmd.bank);
+      Raise(ready_pre_[slot], now + table_.rd_to_pre);
       Raise(rank.rd_ready, now + table_.rd_to_rd);
       Raise(rank.wr_ready, now + table_.rd_to_wr);
       Raise(data_bus_free_, now + table_.rd_burst);
       if (cmd.ap) {
         // RDA: the bank precharges itself tRTP after the read.
-        b.open_row.reset();
+        open_row_[slot] = kNoOpenRow;
         rank.open_mask &= ~(1ull << cmd.bank);
-        RaiseAct(rank, b, now + table_.rda_to_act);
+        RaiseAct(rank, slot, now + table_.rda_to_act);
       }
       break;
     }
     case DdrCommandType::kWrite: {
-      BankState& b = rank.banks[cmd.bank];
-      Raise(b.ready[kReadyPre], now + table_.wr_to_pre);
+      const size_t slot = Slot(cmd.rank, cmd.bank);
+      Raise(ready_pre_[slot], now + table_.wr_to_pre);
       Raise(rank.wr_ready, now + table_.wr_to_wr);
       Raise(rank.rd_ready, now + table_.wr_to_rd);
       Raise(data_bus_free_, now + table_.wr_burst);
       if (cmd.ap) {
         // WRA: precharge after write recovery.
-        b.open_row.reset();
+        open_row_[slot] = kNoOpenRow;
         rank.open_mask &= ~(1ull << cmd.bank);
-        RaiseAct(rank, b, now + table_.wra_to_act);
+        RaiseAct(rank, slot, now + table_.wra_to_act);
       }
       break;
     }
@@ -233,22 +234,22 @@ void TimingChecker::Record(const DdrCommand& cmd, Cycle now) {
     }
     case DdrCommandType::kRefreshSb: {
       // The bank is occupied for tRFCsb: fold into every deadline class.
-      BankState& b = rank.banks[cmd.bank];
+      const size_t slot = Slot(cmd.rank, cmd.bank);
       const Cycle done = now + table_.refsb_to_any;
-      RaiseAct(rank, b, done);
-      Raise(b.ready[kReadyPre], done);
-      Raise(b.ready[kReadyRdwr], done);
+      RaiseAct(rank, slot, done);
+      Raise(ready_pre_[slot], done);
+      Raise(ready_rdwr_[slot], done);
       break;
     }
     case DdrCommandType::kRefreshNeighbors: {
       // Internally the device walks up to 2*blast victim rows, performing
       // an ACT+PRE pair for each; the bank is occupied for that long.
-      BankState& b = rank.banks[cmd.bank];
+      const size_t slot = Slot(cmd.rank, cmd.bank);
       const Cycle done =
           now + static_cast<Cycle>(2 * cmd.blast) * table_.refn_per_row + table_.refn_tail;
-      RaiseAct(rank, b, done);
-      Raise(b.ready[kReadyPre], done);
-      Raise(b.ready[kReadyRdwr], done);
+      RaiseAct(rank, slot, done);
+      Raise(ready_pre_[slot], done);
+      Raise(ready_rdwr_[slot], done);
       break;
     }
   }

@@ -8,11 +8,16 @@
 // Implementation: all per-(command, command) separations from DramTiming
 // are resolved once at construction into a ConstraintTable, and the
 // per-bank state collapses to three earliest-issue deadlines (ACT, PRE,
-// RD/WR) maintained incrementally as running maxima. Rank-wide facts that
-// used to require scanning every bank — "are all banks idle?" for REF,
-// "which banks are open?" for PRE_ALL — are kept as an open-bank bitmask
-// and a running max of the per-bank ACT deadlines, so EarliestCycle and
-// Check are O(1) for every command type (PRE_ALL iterates only the open
+// RD/WR) maintained incrementally as running maxima. The per-bank state
+// lives in struct-of-arrays slabs — one flat vector per deadline class
+// plus a flat open-row vector, indexed by packed (rank, bank) — so the
+// FR-FCFS scan's two hottest probes (OpenRow per queue entry, one
+// deadline class per candidate command) each walk a single dense array
+// instead of hopping across per-bank structs. Rank-wide facts that used
+// to require scanning every bank — "are all banks idle?" for REF, "which
+// banks are open?" for PRE_ALL — are kept as an open-bank bitmask and a
+// running max of the per-bank ACT deadlines, so EarliestCycle and Check
+// are O(1) for every command type (PRE_ALL iterates only the open
 // banks). Every deadline only ever increases (commands are recorded only
 // after passing Check), which is what makes the incremental maxima exact;
 // the differential oracle in src/check/ verifies this against a
@@ -92,9 +97,14 @@ class TimingChecker {
   void Record(const DdrCommand& cmd, Cycle now);
 
   // Row currently latched in `bank`'s row buffer, if any. Inline: the
-  // FR-FCFS scan calls this per queue entry per cycle.
+  // FR-FCFS scan calls this per queue entry per cycle, so it compiles to
+  // one load from the flat open-row slab plus a sentinel compare.
   std::optional<uint32_t> OpenRow(uint32_t rank, uint32_t bank_index) const {
-    return ranks_[rank].banks[bank_index].open_row;
+    const uint32_t row = open_row_[Slot(rank, bank_index)];
+    if (row == kNoOpenRow) {
+      return std::nullopt;
+    }
+    return row;
   }
 
   // Bit `b` set iff bank `b` of `rank` has an open row. Lets the
@@ -107,31 +117,31 @@ class TimingChecker {
   const ConstraintTable& constraints() const { return table_; }
 
  private:
-  // The three per-bank deadline classes every constraint folds into.
-  // What used to be a separate busy_until (REFsb / REF_NEIGHBORS bank
-  // occupation) is folded into all three at record time.
-  enum ReadyClass : uint8_t { kReadyAct = 0, kReadyPre = 1, kReadyRdwr = 2, kReadyClasses = 3 };
+  // Sentinel in the open-row slab: no row latched. Row addresses are far
+  // below 2^32 (rows_per_bank caps well under it), so the value is free.
+  static constexpr uint32_t kNoOpenRow = 0xFFFFFFFFu;
 
-  struct BankState {
-    std::optional<uint32_t> open_row;
-    Cycle ready[kReadyClasses] = {0, 0, 0};
-  };
-  struct RankState {
-    std::vector<BankState> banks;
+  // Rank-wide running state; the per-bank deadline classes live in the
+  // flat slabs below, indexed by Slot().
+  struct RankMeta {
     uint64_t open_mask = 0;          // Bit per bank with an open row.
     Cycle any_ready = 0;             // tRFC blackout: gates every command.
     Cycle act_rank_ready = 0;        // tRRD across banks.
     Cycle rd_ready = 0;              // tCCD / tWTR.
     Cycle wr_ready = 0;              // tCCD.
-    Cycle all_banks_act_ready = 0;   // Running max over banks of ready[kReadyAct]
+    Cycle all_banks_act_ready = 0;   // Running max over banks of ready_act_
                                      // = earliest cycle the whole rank is quiet (REF).
     Cycle faw_acts[4] = {0, 0, 0, 0};  // Ring of last four ACT cycles (+1; tFAW).
     int faw_head = 0;
   };
 
+  size_t Slot(uint32_t rank, uint32_t bank_index) const {
+    return static_cast<size_t>(rank) * banks_ + bank_index;
+  }
+
   // Raise a bank's ACT deadline, keeping the rank-wide running max exact.
-  static void RaiseAct(RankState& rank, BankState& b, Cycle cycle) {
-    if (cycle > b.ready[kReadyAct]) b.ready[kReadyAct] = cycle;
+  void RaiseAct(RankMeta& rank, size_t slot, Cycle cycle) {
+    if (cycle > ready_act_[slot]) ready_act_[slot] = cycle;
     if (cycle > rank.all_banks_act_ready) rank.all_banks_act_ready = cycle;
   }
   static void Raise(Cycle& slot, Cycle cycle) {
@@ -140,7 +150,15 @@ class TimingChecker {
 
   ConstraintTable table_;
   bool ref_neighbors_supported_;
-  std::vector<RankState> ranks_;
+  uint32_t banks_ = 0;  // Banks per rank (slab stride).
+  std::vector<RankMeta> ranks_;
+  // Struct-of-arrays per-bank state, indexed by Slot(rank, bank). What
+  // used to be a separate busy_until (REFsb / REF_NEIGHBORS bank
+  // occupation) is folded into all three deadline classes at record time.
+  std::vector<uint32_t> open_row_;   // kNoOpenRow = bank closed.
+  std::vector<Cycle> ready_act_;    // Earliest legal ACT.
+  std::vector<Cycle> ready_pre_;    // Earliest legal PRE.
+  std::vector<Cycle> ready_rdwr_;   // Earliest legal RD/WR.
   Cycle data_bus_free_ = 0;  // Channel data bus: end of last burst.
 };
 

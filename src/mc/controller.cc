@@ -1,8 +1,10 @@
 #include "mc/controller.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/log.h"
+#include "common/thread_pool.h"
 
 namespace ht {
 
@@ -47,9 +49,16 @@ MemoryController::MemoryController(const DramConfig& dram_config, const McConfig
   c_mitigation_refreshes_ = stats_.counter("mc.mitigation_refreshes");
   c_wake_batches_ = stats_.counter("mc.wake_batches");
   c_table_probes_ = stats_.counter("act.table_probes");
+  c_sync_barriers_ = stats_.counter("mc.sync_barriers");
+  c_shard_wait_cycles_ = stats_.counter("mc.shard_wait_cycles");
   h_cmds_per_wake_ = stats_.histogram("mc.cmds_per_wake");
   h_read_latency_ = stats_.histogram("mc.read_latency");
   h_write_latency_ = stats_.histogram("mc.write_latency");
+  h_ch_cmds_per_wake_.reserve(channels);
+  for (uint32_t c = 0; c < channels; ++c) {
+    h_ch_cmds_per_wake_.push_back(
+        stats_.histogram("mc.ch" + std::to_string(c) + ".cmds_per_wake"));
+  }
 }
 
 std::optional<uint32_t> MemoryController::DomainGroup(DomainId domain) const {
@@ -84,6 +93,11 @@ bool MemoryController::Enqueue(const MemRequest& request, Cycle now) {
   MemRequest stamped = request;
   stamped.enqueue_cycle = now;
   channel.queue.push_back({stamped, coord, false});
+  if (request.op == MemOp::kRead) {
+    ++channel.queued_reads;
+  } else {
+    ++channel.queued_writes;
+  }
   channel.next_sched = 0;
   channel.next_try = 0;
   c_requests_->Increment();
@@ -91,6 +105,7 @@ bool MemoryController::Enqueue(const MemRequest& request, Cycle now) {
 }
 
 void MemoryController::SetActInterruptHandler(ActInterruptHandler handler) {
+  act_handler_set_ = static_cast<bool>(handler);
   for (auto& counter : act_counters_) {
     counter->set_handler(handler);
   }
@@ -111,6 +126,9 @@ bool MemoryController::RefreshRow(PhysAddr addr, bool auto_precharge, Cycle now,
   op.requested = now;
   op.addr = addr;
   op.done = std::move(done);
+  if (op.done) {
+    ++pending_done_callbacks_;
+  }
   channel.internal_ops.push_back(std::move(op));
   channel.next_try = 0;
   c_refresh_instr_->Increment();
@@ -162,25 +180,20 @@ void MemoryController::Tick(Cycle now) {
       }
     }
   }
-  uint32_t scanned = 0;
-  uint32_t issued = 0;
   for (uint32_t c = 0; c < channels(); ++c) {
+    ChannelState& channel = channels_[c];
     // Completions are time-driven, so they drain regardless of the
     // scheduling memo (NextWake always includes the nearest ready cycle).
     DrainCompletions(c, now);
-    if (config_.event_driven && now < channels_[c].next_try) {
+    if (config_.event_driven && now < channel.next_try) {
       continue;  // Provably no stage can issue on this channel yet.
     }
-    ++scanned;
-    if (TickChannel(c, now)) {
-      ++issued;
-    }
-  }
-  if (scanned != 0) {
-    // One "wake batch" = a tick that did scheduling work; the histogram
-    // shows how many commands each batch produced (0 = a wasted wake).
-    c_wake_batches_->Increment();
-    h_cmds_per_wake_->Record(issued);
+    // One "wake batch" = one channel scan; the histogram shows how many
+    // commands each scan produced (0 = a wasted wake). Counted into the
+    // channel slab so the sharded advance path accounts identically.
+    const bool issued = TickChannel(c, now);
+    ++channel.counters.wake_batches;
+    channel.counters.cmds_per_wake.Record(issued ? 1 : 0);
   }
 }
 
@@ -190,7 +203,7 @@ void MemoryController::DrainCompletions(uint32_t channel_index, Cycle now) {
     MemResponse response = channel.in_flight.top().response;
     channel.in_flight.pop();
     response.complete_cycle = now;
-    h_read_latency_->Record(response.Latency());
+    channel.counters.read_latency.Record(response.Latency());
     if (response_handler_) {
       response_handler_(response);
     }
@@ -257,7 +270,7 @@ bool MemoryController::TryRefreshManager(uint32_t channel_index, Cycle now, Cycl
       if (device.Check(refsb, now) == TimingVerdict::kOk) {
         device.Issue(refsb, now);
         channel.ref_due[slot] += dram_config_.RefPeriod();
-        c_refs_sb_issued_->Increment();
+        ++channel.counters.refs_sb_issued;
         return true;
       }
       retry = std::min(next_due, device.EarliestCycle(refsb));
@@ -285,7 +298,7 @@ bool MemoryController::TryRefreshManager(uint32_t channel_index, Cycle now, Cycl
     if (device.Check(ref, now) == TimingVerdict::kOk) {
       device.Issue(ref, now);
       channel.ref_due[rank] += dram_config_.RefPeriod();
-      c_refs_issued_->Increment();
+      ++channel.counters.refs_issued;
       return true;
     }
     retry = std::min(next_due, device.EarliestCycle(ref));
@@ -336,10 +349,11 @@ bool MemoryController::TryInternalOps(uint32_t channel_index, Cycle now, Cycle& 
           // increment the raw ACT counter like real ACT_COUNT would.
           act_counters_[channel_index]->OnActivate(op.addr, kInvalidDomain, false, now);
           op.activated = true;
-          c_refresh_instr_acts_->Increment();
+          ++channel.counters.refresh_instr_acts;
           if (!op.auto_precharge) {
             if (op.done) {
               op.done({op.addr, op.requested, now});
+              --pending_done_callbacks_;
             }
             channel.internal_ops.pop_front();
           }
@@ -354,6 +368,7 @@ bool MemoryController::TryInternalOps(uint32_t channel_index, Cycle now, Cycle& 
         device.Issue(pre, now);
         if (op.done) {
           op.done({op.addr, op.requested, now});
+          --pending_done_callbacks_;
         }
         channel.internal_ops.pop_front();
         return true;
@@ -446,7 +461,7 @@ bool MemoryController::TryRequests(uint32_t channel_index, Cycle now, Cycle& ret
     if (device.Check(cmd, now) == TimingVerdict::kOk) {
       device.Issue(cmd, now);
       if (!pending.counted) {
-        c_row_hits_->Increment();  // Served without its own ACT.
+        ++channel.counters.row_hits;  // Served without its own ACT.
       }
       IssueRequestAccess(channel_index, i, now);
       channel.next_sched = 0;
@@ -489,7 +504,7 @@ bool MemoryController::TryRequests(uint32_t channel_index, Cycle now, Cycle& ret
     if (device.Check(act, now) == TimingVerdict::kOk) {
       device.Issue(act, now);
       if (!pending.counted) {
-        c_row_misses_->Increment();
+        ++channel.counters.row_misses;
         pending.counted = true;
       }
       act_counters_[channel_index]->OnActivate(pending.request.addr, pending.request.domain,
@@ -525,7 +540,7 @@ bool MemoryController::TryRequests(uint32_t channel_index, Cycle now, Cycle& ret
     if (device.Check(pre, now) == TimingVerdict::kOk) {
       device.Issue(pre, now);
       if (!pending.counted) {
-        c_row_conflicts_->Increment();
+        ++channel.counters.row_conflicts;
         pending.counted = true;
       }
       channel.next_sched = 0;
@@ -547,6 +562,11 @@ void MemoryController::IssueRequestAccess(uint32_t channel_index, size_t queue_i
   DramDevice& device = *devices_[channel_index];
   PendingRequest pending = std::move(channel.queue[queue_index]);
   channel.queue.erase(channel.queue.begin() + static_cast<ptrdiff_t>(queue_index));
+  if (pending.request.op == MemOp::kRead) {
+    --channel.queued_reads;
+  } else {
+    --channel.queued_writes;
+  }
 
   MemResponse response;
   response.id = pending.request.id;
@@ -562,8 +582,8 @@ void MemoryController::IssueRequestAccess(uint32_t channel_index, size_t queue_i
                      pending.coord.column, pending.request.write_value);
     // Writes are posted: complete as soon as the WR command issues.
     response.complete_cycle = now;
-    c_writes_done_->Increment();
-    h_write_latency_->Record(response.Latency());
+    ++channel.counters.writes_done;
+    channel.counters.write_latency.Record(response.Latency());
     if (response_handler_) {
       response_handler_(response);
     }
@@ -579,7 +599,7 @@ void MemoryController::IssueRequestAccess(uint32_t channel_index, size_t queue_i
   in_flight.ready = now + dram_config_.timing.tCL + dram_config_.timing.tBL;
   in_flight.response = response;
   channel.in_flight.push(in_flight);
-  c_reads_done_->Increment();
+  ++channel.counters.reads_done;
 }
 
 void MemoryController::NotifyMitigationActivate(const DdrCoord& coord, Cycle now) {
@@ -670,12 +690,143 @@ Cycle MemoryController::NextWake(Cycle now) const {
 }
 
 void MemoryController::SyncTelemetry() {
-  if (mitigation_ == nullptr) {
-    return;
+  // Fold the authoritative per-channel slabs into the named stats. Set()
+  // overwrites and Reset()+Merge() rebuild, so calling this any number of
+  // times — mid-run, from the sampler, from both stats() accessors —
+  // yields the same values as calling it once at the end.
+  uint64_t row_hits = 0;
+  uint64_t row_misses = 0;
+  uint64_t row_conflicts = 0;
+  uint64_t reads_done = 0;
+  uint64_t writes_done = 0;
+  uint64_t refs_issued = 0;
+  uint64_t refs_sb_issued = 0;
+  uint64_t refresh_instr_acts = 0;
+  uint64_t wake_batches = 0;
+  uint64_t shard_wait_cycles = 0;
+  h_cmds_per_wake_->Reset();
+  h_read_latency_->Reset();
+  h_write_latency_->Reset();
+  for (uint32_t c = 0; c < channels(); ++c) {
+    const ChannelCounters& counters = channels_[c].counters;
+    row_hits += counters.row_hits;
+    row_misses += counters.row_misses;
+    row_conflicts += counters.row_conflicts;
+    reads_done += counters.reads_done;
+    writes_done += counters.writes_done;
+    refs_issued += counters.refs_issued;
+    refs_sb_issued += counters.refs_sb_issued;
+    refresh_instr_acts += counters.refresh_instr_acts;
+    wake_batches += counters.wake_batches;
+    shard_wait_cycles += counters.shard_wait_cycles;
+    h_cmds_per_wake_->Merge(counters.cmds_per_wake);
+    h_read_latency_->Merge(counters.read_latency);
+    h_write_latency_->Merge(counters.write_latency);
+    h_ch_cmds_per_wake_[c]->Reset();
+    h_ch_cmds_per_wake_[c]->Merge(counters.cmds_per_wake);
   }
-  const uint64_t probes = mitigation_->TableProbes();
-  c_table_probes_->Add(probes - mitigation_probes_synced_);
-  mitigation_probes_synced_ = probes;
+  c_row_hits_->Set(row_hits);
+  c_row_misses_->Set(row_misses);
+  c_row_conflicts_->Set(row_conflicts);
+  c_reads_done_->Set(reads_done);
+  c_writes_done_->Set(writes_done);
+  c_refs_issued_->Set(refs_issued);
+  c_refs_sb_issued_->Set(refs_sb_issued);
+  c_refresh_instr_acts_->Set(refresh_instr_acts);
+  c_wake_batches_->Set(wake_batches);
+  c_shard_wait_cycles_->Set(shard_wait_cycles);
+  if (mitigation_ != nullptr) {
+    const uint64_t probes = mitigation_->TableProbes();
+    c_table_probes_->Add(probes - mitigation_probes_synced_);
+    mitigation_probes_synced_ = probes;
+  }
+}
+
+Cycle MemoryController::ShardHorizon(Cycle now) const {
+  // Couplings that cannot be windowed at all: mitigations touch shared
+  // tables on every ACT, armed ACT interrupts call back into the CPU
+  // layer, and refresh-done callbacks must fire on the caller thread.
+  if (!config_.event_driven || !config_.shard_channels || mitigation_ != nullptr ||
+      (config_.act_counter.enabled && act_handler_set_) || pending_done_callbacks_ != 0) {
+    return now;
+  }
+  Cycle horizon = kNeverCycle;
+  if (trace_ != nullptr) {
+    // Epoch rollovers are stamped by the serial Tick path; never jump one.
+    horizon = std::min(horizon, next_epoch_);
+  }
+  if (response_handler_) {
+    // Responses must be delivered on the caller thread, so the window
+    // must end before any delivery: posted writes complete at issue time
+    // (block entirely), in-flight reads at their ready cycle, and a
+    // queued read could issue immediately and complete tCL+tBL later.
+    bool queued_read = false;
+    for (const ChannelState& channel : channels_) {
+      if (channel.queued_writes != 0) {
+        return now;
+      }
+      if (!channel.in_flight.empty()) {
+        horizon = std::min(horizon, channel.in_flight.top().ready);
+      }
+      queued_read = queued_read || channel.queued_reads != 0;
+    }
+    if (queued_read) {
+      horizon = std::min(horizon, now + dram_config_.timing.tCL + dram_config_.timing.tBL);
+    }
+  }
+  return std::max(horizon, now);
+}
+
+void MemoryController::AdvanceChannel(uint32_t channel_index, Cycle from, Cycle until) {
+  ChannelState& channel = channels_[channel_index];
+  Cycle now = from;
+  while (now < until) {
+    // The serial path visits this channel exactly at max(now, next_try)
+    // (its NextWake contribution) and at in-flight ready cycles; every
+    // other cycle is a provable no-op, so jump straight to the next wake.
+    Cycle wake = std::max(now, channel.next_try);
+    if (!channel.in_flight.empty()) {
+      wake = std::min(wake, std::max(now, channel.in_flight.top().ready));
+    }
+    if (wake >= until) {
+      channel.counters.shard_wait_cycles += until - now;
+      return;
+    }
+    channel.counters.shard_wait_cycles += wake - now;
+    DrainCompletions(channel_index, wake);
+    if (wake >= channel.next_try) {
+      const bool issued = TickChannel(channel_index, wake);
+      ++channel.counters.wake_batches;
+      channel.counters.cmds_per_wake.Record(issued ? 1 : 0);
+    }
+    now = wake + 1;
+  }
+}
+
+Cycle MemoryController::AdvanceChannels(Cycle from, Cycle until, unsigned max_workers) {
+  until = std::min(until, ShardHorizon(from));
+  if (until <= from) {
+    return from;
+  }
+  c_sync_barriers_->Increment();
+  const uint32_t n = channels();
+  if (trace_ != nullptr) {
+    // The trace ring is single-producer: run channels serially in channel
+    // order, stamping each window's sync point with the channel's wake
+    // occupancy so Perfetto shows how full each shard's window was.
+    for (uint32_t c = 0; c < n; ++c) {
+      const uint64_t wakes_before = channels_[c].counters.wake_batches;
+      AdvanceChannel(c, from, until);
+      HT_TRACE(trace_, from, TraceKind::kShardSync, static_cast<uint8_t>(c), 0, 0,
+               static_cast<uint32_t>(until - from),
+               channels_[c].counters.wake_batches - wakes_before);
+    }
+    return until;
+  }
+  const unsigned workers = max_workers == 0 ? n : max_workers;
+  ThreadPool::Shared().Run(
+      n, workers, [&](uint64_t c) { AdvanceChannel(static_cast<uint32_t>(c), from, until); });
+  return until;
 }
 
 bool MemoryController::Idle() const {

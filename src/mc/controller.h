@@ -56,6 +56,17 @@ struct McConfig {
   // bit-identical command streams and stats (scheduler telemetry aside);
   // disable to cross-check or to measure the per-cycle baseline.
   bool event_driven = true;
+  // Per-channel parallel advance: callers (System::Step, benches) may
+  // drive coupling-free windows via AdvanceChannels, which replays each
+  // channel's event loop independently — on the shared thread pool when
+  // no trace buffer is attached. Same bit-identity contract as
+  // event_driven; the only permitted stat difference is the shard
+  // telemetry itself (mc.sync_barriers, mc.shard_wait_cycles). Disable to
+  // cross-check against the purely serial event loop.
+  bool shard_channels = true;
+  // Minimum window length (cycles) worth dispatching a sharded advance;
+  // shorter coupling-free stretches stay on the serial path.
+  Cycle shard_min_window = 64;
 };
 
 // Completion notification for a refresh-instruction invocation.
@@ -90,9 +101,33 @@ class MemoryController {
   // straight to the returned cycle.
   Cycle NextWake(Cycle now) const;
 
-  // Folds lazily-maintained telemetry (mitigation table probes) into the
-  // stat set. Called before merging stats into reports; cheap, idempotent.
+  // Rebuilds the named stats from the per-channel counter slabs (hits,
+  // misses, completions, latency histograms, scheduler telemetry) and
+  // folds lazily-maintained mitigation table probes in. Idempotent; the
+  // stats() accessors call it, so readers always see fresh values.
   void SyncTelemetry();
+
+  // --- Per-channel parallel advance ------------------------------------------
+
+  // Latest cycle (exclusive) up to which channels may provably advance
+  // without cross-channel or MC-to-caller coupling: no mitigation, no ACT
+  // interrupts armed, no pending refresh-done callbacks, no response
+  // deliveries (posted writes, read completions) inside the window, and —
+  // under tracing — not past the next epoch stamp. Returns `now` when the
+  // current configuration or state cannot shard at all.
+  Cycle ShardHorizon(Cycle now) const;
+
+  // Advances every channel independently from `from` to
+  // min(until, ShardHorizon(from)) by replaying its event loop — visiting
+  // exactly the cycles the serial path would scan it at, so commands,
+  // device state, and per-channel counters are bit-identical to serial
+  // Ticks over the same window. Runs channels on the shared thread pool
+  // (capped at `max_workers`; 0 = one worker per channel) unless a trace
+  // buffer is attached, in which case they run serially in channel order
+  // (the ring buffer is single-producer). Returns the cycle reached;
+  // == `from` means the window could not engage and the caller must tick
+  // serially.
+  Cycle AdvanceChannels(Cycle from, Cycle until, unsigned max_workers = 0);
 
   // Outstanding work (queued requests, internal ops, in-flight reads).
   bool Idle() const;
@@ -131,8 +166,18 @@ class MemoryController {
   void InstallMitigation(std::unique_ptr<McMitigation> mitigation);
   McMitigation* mitigation() { return mitigation_.get(); }
 
-  StatSet& stats() { return stats_; }
-  const StatSet& stats() const { return stats_; }
+  // Both accessors fold the per-channel counter slabs into the named
+  // stats first (SyncTelemetry is idempotent and cheap), so mid-run
+  // readers — samplers, summaries, tests — always see current values
+  // without knowing about the slab layout.
+  StatSet& stats() {
+    SyncTelemetry();
+    return stats_;
+  }
+  const StatSet& stats() const {
+    const_cast<MemoryController*>(this)->SyncTelemetry();
+    return stats_;
+  }
   const McConfig& config() const { return config_; }
   const DramConfig& dram_config() const { return dram_config_; }
 
@@ -176,11 +221,39 @@ class MemoryController {
     }
   };
 
-  struct ChannelState {
+  // Per-channel telemetry slab: every counted event on a channel lands
+  // here — from the serial Tick path and the sharded advance path alike —
+  // and SyncTelemetry folds the slabs into the named stats. Keeping the
+  // hot-path stores channel-local is what lets AdvanceChannels run
+  // channels on different threads without a single shared counter write.
+  struct ChannelCounters {
+    uint64_t row_hits = 0;
+    uint64_t row_misses = 0;
+    uint64_t row_conflicts = 0;
+    uint64_t reads_done = 0;
+    uint64_t writes_done = 0;
+    uint64_t refs_issued = 0;
+    uint64_t refs_sb_issued = 0;
+    uint64_t refresh_instr_acts = 0;
+    uint64_t wake_batches = 0;        // Scheduling scans this channel ran.
+    uint64_t shard_wait_cycles = 0;   // Cycles idle-skipped inside shard windows.
+    Histogram cmds_per_wake;          // Commands issued per scan (0 or 1).
+    Histogram read_latency;
+    Histogram write_latency;
+  };
+
+  // Cache-line aligned so two channels advanced on different threads
+  // never false-share a line through their hot scheduler fields.
+  struct alignas(64) ChannelState {
     std::deque<PendingRequest> queue;
     std::deque<InternalOp> internal_ops;
     std::vector<Cycle> ref_due;  // Per rank.
     std::priority_queue<InFlightRead, std::vector<InFlightRead>, std::greater<>> in_flight;
+    ChannelCounters counters;
+    // Queue composition mirrors (maintained by Enqueue/issue); lets
+    // ShardHorizon bound response-handler deliveries without scanning.
+    uint32_t queued_reads = 0;
+    uint32_t queued_writes = 0;
     // Scheduler memo: TryRequests provably cannot issue before this cycle
     // unless channel state changes first. Every event that could change a
     // scan's outcome (enqueue, any DDR command issued on the channel,
@@ -197,6 +270,12 @@ class MemoryController {
   // One scheduling step for a channel; issues at most one command.
   // Returns true iff a command issued.
   bool TickChannel(uint32_t channel, Cycle now);
+  // Replays one channel's event loop over [from, until): visits exactly
+  // the wake cycles the serial path would scan it at (max(now, next_try)
+  // joined with in-flight completions) — every other cycle is a provable
+  // no-op. Called concurrently for distinct channels; touches only this
+  // channel's state, device, and counter slab.
+  void AdvanceChannel(uint32_t channel, Cycle from, Cycle until);
   // Each stage returns true iff it issued a command. On false, `retry` is
   // lowered to the earliest cycle the stage could act given unchanged
   // channel state (kNeverCycle when only a state change can unblock it).
@@ -240,12 +319,20 @@ class MemoryController {
   Counter* c_refresh_instr_;
   Counter* c_refresh_instr_acts_;
   Counter* c_mitigation_refreshes_;
-  Counter* c_wake_batches_;      // Ticks where >= 1 channel ran a scan.
+  Counter* c_wake_batches_;      // Per-channel scheduling scans (summed).
   Counter* c_table_probes_;      // Mitigation flat-table probes (synced).
-  Histogram* h_cmds_per_wake_;   // Commands issued per scanning tick.
+  Counter* c_sync_barriers_;     // Sharded advance windows dispatched.
+  Counter* c_shard_wait_cycles_; // Cycles idle-skipped inside shard windows.
+  Histogram* h_cmds_per_wake_;   // Commands issued per channel scan (0/1).
   Histogram* h_read_latency_;
   Histogram* h_write_latency_;
+  std::vector<Histogram*> h_ch_cmds_per_wake_;  // "mc.chN.cmds_per_wake".
   uint64_t mitigation_probes_synced_ = 0;
+  bool act_handler_set_ = false;
+  // Refresh-instruction completions that still owe a done callback;
+  // callbacks must fire on the caller thread, so a nonzero count blocks
+  // the shard horizon.
+  size_t pending_done_callbacks_ = 0;
 
   static constexpr size_t kMaxInternalOps = 256;
 };

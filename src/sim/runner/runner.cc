@@ -279,7 +279,12 @@ std::vector<ScenarioResult> RunScenarios(const std::vector<ScenarioSpec>& specs,
 }
 
 void AddRunnerFlags(ArgParser& parser) {
-  parser.Option("threads", "N", "worker threads for scenario fan-out (0 = auto)", "0");
+  parser.Option("threads", "N",
+                "worker threads for scenario fan-out (0 = auto). Scenario fan-out and "
+                "per-scenario channel sharding draw from one shared pool (sized by "
+                "HT_THREADS or hardware concurrency), so N caps concurrent scenarios "
+                "while idle workers help shard channels inside running scenarios",
+                "0");
   parser.Option("trace-out", "PATH", "write a Chrome trace_event JSON (chrome://tracing)");
   parser.Option("metrics-out", "PATH", "write a hammertime.metrics.v1 run report");
   parser.Option("sample-every", "N",

@@ -39,13 +39,6 @@ System::System(const SystemConfig& config) : config_(config) {
     }
   });
 
-  // Route ACT interrupts and PMU miss samples into the defense, if any.
-  mc_->SetActInterruptHandler([this](const ActInterrupt& irq) {
-    if (defense_ != nullptr) {
-      defense_->OnActInterrupt(irq, now_);
-    }
-  });
-
   if (config_.telemetry.trace != nullptr) {
     mc_->set_trace(config_.telemetry.trace);
     kernel_->set_trace(config_.telemetry.trace, &now_);
@@ -104,6 +97,14 @@ DmaEngine& System::AddDma(DomainId domain, const DmaConfig& dma_config) {
 void System::InstallDefense(std::unique_ptr<Defense> defense) {
   defense_ = std::move(defense);
   if (defense_ != nullptr) {
+    // Arm the ACT interrupt route only when something listens: an armed
+    // handler pins the MC to the serial path (ShardHorizon), so systems
+    // without a defense keep the full channel-sharding window.
+    mc_->SetActInterruptHandler([this](const ActInterrupt& irq) {
+      if (defense_ != nullptr) {
+        defense_->OnActInterrupt(irq, now_);
+      }
+    });
     defense_->set_trace(config_.telemetry.trace);
     defense_->Attach(kernel_.get(), llc_.get());
     if (sampler_.enabled()) {
@@ -133,9 +134,33 @@ void System::Step(Cycle end) {
   if (now_ >= sample_next_) [[unlikely]] {
     // Stamped at the boundary cycle even if ticking overshot it (cannot
     // happen while NextWakeCycle includes sample_next_, but stay exact).
+    mc_->SyncTelemetry();  // The sampler reads the MC StatSet directly.
     while (now_ >= sample_next_) {
       sampler_.Sample(sample_next_);
       sample_next_ += sampler_.period();
+    }
+  }
+  if (config_.skip_idle && config_.mc.shard_channels && mc_->channels() > 1) {
+    // Channel-sharding window: while every non-MC component is provably
+    // idle (strictly before its NextWake) and no sample boundary is due,
+    // the MC's channels decouple — advance them in parallel up to the
+    // earliest external interaction, then fall back to lockstep ticking.
+    Cycle horizon = std::min(end, sample_next_);
+    for (const auto& core : cores_) {
+      horizon = std::min(horizon, core->NextWake(now_));
+    }
+    for (const auto& dma : dmas_) {
+      horizon = std::min(horizon, dma->NextWake(now_));
+    }
+    if (defense_ != nullptr) {
+      horizon = std::min(horizon, defense_->NextWake(now_));
+    }
+    if (horizon >= now_ + config_.mc.shard_min_window) {
+      const Cycle reached = mc_->AdvanceChannels(now_, horizon);
+      if (reached > now_) {
+        now_ = reached;
+        return;
+      }
     }
   }
   mc_->Tick(now_);

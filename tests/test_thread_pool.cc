@@ -1,5 +1,6 @@
-// ParallelFor and ResolveThreadCount: job coverage, the inline
-// degenerate paths, and exception propagation to the calling thread.
+// ParallelFor, the shared ThreadPool, and ResolveThreadCount: job
+// coverage, the inline degenerate paths, nested submission, and
+// exception propagation to the calling thread.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -12,6 +13,78 @@
 
 namespace ht {
 namespace {
+
+TEST(ThreadPoolTest, RunCoversEveryJobExactlyOnce) {
+  ThreadPool pool(4);
+  const uint64_t jobs = 300;
+  std::vector<uint64_t> slots(jobs, 0);
+  std::atomic<uint64_t> executed{0};
+  pool.Run(jobs, 4, [&](uint64_t i) {
+    slots[i] += i + 1;
+    executed.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(executed.load(), jobs);
+  for (uint64_t i = 0; i < jobs; ++i) {
+    EXPECT_EQ(slots[i], i + 1) << "job " << i;
+  }
+}
+
+TEST(ThreadPoolTest, CallerParticipatesSoNestedRunCannotDeadlock) {
+  // Every worker plus the caller submits a nested Run; with blocking
+  // waits and no caller participation this would deadlock once the
+  // helpers are all occupied by outer jobs.
+  ThreadPool pool(3);
+  std::atomic<uint64_t> inner_total{0};
+  pool.Run(8, 8, [&](uint64_t) {
+    pool.Run(16, 4, [&](uint64_t) { inner_total.fetch_add(1, std::memory_order_relaxed); });
+  });
+  EXPECT_EQ(inner_total.load(), 8u * 16u);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPoolRunsInlineInOrder) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<uint64_t> order;
+  pool.Run(6, 4, [&](uint64_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);  // Safe: no helper threads exist.
+  });
+  ASSERT_EQ(order.size(), 6u);
+  for (uint64_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToSubmitter) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> executed{0};
+  try {
+    pool.Run(100, 4, [&](uint64_t i) {
+      if (i == 7) {
+        throw std::runtime_error("boom7");
+      }
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "Run swallowed the exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom7");
+  }
+  EXPECT_LT(executed.load(), 100u);
+  // The pool survives a failed task and runs the next one normally.
+  std::atomic<uint64_t> after{0};
+  pool.Run(10, 4, [&](uint64_t) { after.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(after.load(), 10u);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsUsableAndStable) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.workers(), 1u);
+  std::atomic<uint64_t> executed{0};
+  a.Run(32, 4, [&](uint64_t) { executed.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(executed.load(), 32u);
+}
 
 TEST(ParallelForTest, EveryJobRunsExactlyOnceIntoItsSlot) {
   const uint64_t jobs = 500;

@@ -9,6 +9,14 @@
 //                                         identical after zeroing the
 //                                         non-deterministic wall_seconds
 //                                         (serial-vs-parallel check).
+//   trace_check --bench-compare BASELINE CURRENT
+//                                         structural bench-report compare:
+//                                         same key sequences, same array
+//                                         sizes, numeric leaves stay
+//                                         numeric, and every "speedup"
+//                                         leaf in CURRENT is positive.
+//                                         Values are otherwise free to
+//                                         drift (host-dependent).
 //
 // Exits 0 on success, 1 on validation failure, 2 on usage/IO errors.
 #include <cstdio>
@@ -27,7 +35,8 @@ int Usage() {
       "usage: trace_check --trace FILE [NAME...]\n"
       "       trace_check --metrics FILE\n"
       "       trace_check --sweep FILE\n"
-      "       trace_check --compare FILE FILE\n",
+      "       trace_check --compare FILE FILE\n"
+      "       trace_check --bench-compare BASELINE CURRENT\n",
       stderr);
   return 2;
 }
@@ -73,6 +82,67 @@ void ZeroWallSeconds(ht::JsonValue& value) {
       ZeroWallSeconds(value.at(i));
     }
   }
+}
+
+// Structural comparison for bench reports: the CURRENT document must keep
+// the BASELINE's shape (objects with the same key sequence, arrays of the
+// same size, scalars of the same type class — any numeric kind matches any
+// other), while leaf values may drift. Numeric leaves whose key contains
+// "speedup" must additionally be strictly positive in CURRENT: a zero or
+// negative speedup means a measurement path broke outright.
+bool BenchShapeMatches(const ht::JsonValue& baseline, const ht::JsonValue& current,
+                       const std::string& path, const std::string& key, std::string* error) {
+  using Type = ht::JsonValue::Type;
+  if (baseline.type() == Type::kObject || current.type() == Type::kObject) {
+    if (baseline.type() != Type::kObject || current.type() != Type::kObject) {
+      *error = path + ": object vs non-object";
+      return false;
+    }
+    if (baseline.members().size() != current.members().size()) {
+      *error = path + ": member count differs";
+      return false;
+    }
+    for (size_t i = 0; i < baseline.members().size(); ++i) {
+      const auto& [base_key, base_member] = baseline.members()[i];
+      const auto& [cur_key, cur_member] = current.members()[i];
+      if (base_key != cur_key) {
+        *error = path + ": key '" + base_key + "' vs '" + cur_key + "'";
+        return false;
+      }
+      if (!BenchShapeMatches(base_member, cur_member, path + "." + base_key, base_key, error)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  if (baseline.type() == Type::kArray || current.type() == Type::kArray) {
+    if (baseline.type() != Type::kArray || current.type() != Type::kArray) {
+      *error = path + ": array vs non-array";
+      return false;
+    }
+    if (baseline.size() != current.size()) {
+      *error = path + ": array size differs";
+      return false;
+    }
+    for (size_t i = 0; i < baseline.size(); ++i) {
+      const std::string element = path + "[" + std::to_string(i) + "]";
+      if (!BenchShapeMatches(baseline.at(i), current.at(i), element, key, error)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  if (baseline.is_number() != current.is_number() ||
+      (!baseline.is_number() && baseline.type() != current.type())) {
+    *error = path + ": scalar type class differs";
+    return false;
+  }
+  if (current.is_number() && key.find("speedup") != std::string::npos &&
+      !(current.as_double() > 0.0)) {
+    *error = path + ": speedup is not positive";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -154,6 +224,23 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("trace_check: %s == %s (modulo wall_seconds)\n", argv[2], argv[3]);
+    return 0;
+  }
+
+  if (mode == "--bench-compare") {
+    if (argc != 4) {
+      return Usage();
+    }
+    auto baseline = ParseFile(argv[2]);
+    auto current = ParseFile(argv[3]);
+    if (!baseline.has_value() || !current.has_value()) {
+      return 2;
+    }
+    if (!BenchShapeMatches(*baseline, *current, "$", "", &error)) {
+      std::fprintf(stderr, "trace_check: %s vs %s: %s\n", argv[2], argv[3], error.c_str());
+      return 1;
+    }
+    std::printf("trace_check: %s matches the shape of %s\n", argv[3], argv[2]);
     return 0;
   }
 
