@@ -1,0 +1,169 @@
+#include "common/telemetry/profile.h"
+
+#include "common/thread_pool.h"
+
+namespace ht {
+
+namespace {
+constexpr const char* kProfileSchema = "hammertime.profile.v1";
+}  // namespace
+
+Profiler& Profiler::Global() {
+  static Profiler* instance = new Profiler();
+  return *instance;
+}
+
+void Profiler::Enable(bool on) {
+  if (on) {
+    Reset();
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      enabled_at_ = std::chrono::steady_clock::now();
+    }
+    ThreadPool::Shared().ResetStats();
+  }
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+void Profiler::Reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  phases_.clear();
+  counters_.clear();
+  gauges_.clear();
+  enabled_at_ = std::chrono::steady_clock::now();
+}
+
+void Profiler::RecordPhase(const std::string& name, double seconds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  PhaseTotals& totals = phases_[name];
+  ++totals.count;
+  totals.seconds += seconds;
+}
+
+void Profiler::AddCounter(const std::string& name, uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void Profiler::SetGauge(const std::string& name, double value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+double Profiler::ElapsedSeconds() const {
+  if (!enabled()) {
+    return 0.0;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - enabled_at_;
+  return elapsed.count();
+}
+
+void Profiler::RefreshPoolGauges() const {
+  const PoolStats pool = ThreadPool::Shared().stats();
+  const double elapsed = ElapsedSeconds();
+  const unsigned workers = ThreadPool::Shared().workers();
+  const std::lock_guard<std::mutex> lock(mu_);
+  gauges_["pool.tasks"] = static_cast<double>(pool.tasks);
+  gauges_["pool.jobs"] = static_cast<double>(pool.jobs);
+  gauges_["pool.queue_peak"] = static_cast<double>(pool.queue_peak);
+  gauges_["pool.busy_frac"] =
+      elapsed > 0.0 ? pool.busy_seconds / (elapsed * static_cast<double>(workers)) : 0.0;
+}
+
+JsonValue Profiler::ToJson() const {
+  RefreshPoolGauges();
+  const std::lock_guard<std::mutex> lock(mu_);
+  JsonValue section = JsonValue::Object();
+  section.Set("schema", JsonValue::Str(kProfileSchema));
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - enabled_at_;
+  section.Set("elapsed_seconds", JsonValue::Double(elapsed.count()));
+  JsonValue phases = JsonValue::Object();
+  for (const auto& [name, totals] : phases_) {
+    JsonValue phase = JsonValue::Object();
+    phase.Set("count", JsonValue::Uint(totals.count));
+    phase.Set("seconds", JsonValue::Double(totals.seconds));
+    phases.Set(name, std::move(phase));
+  }
+  section.Set("phases", std::move(phases));
+  JsonValue counters = JsonValue::Object();
+  for (const auto& [name, value] : counters_) {
+    counters.Set(name, JsonValue::Uint(value));
+  }
+  section.Set("counters", std::move(counters));
+  JsonValue gauges = JsonValue::Object();
+  for (const auto& [name, value] : gauges_) {
+    gauges.Set(name, JsonValue::Double(value));
+  }
+  section.Set("gauges", std::move(gauges));
+  return section;
+}
+
+void Profiler::MaybeAttachTo(JsonValue& metrics_doc) const {
+  if (!enabled()) {
+    return;
+  }
+  metrics_doc.Set("profile", ToJson());
+}
+
+bool ValidateProfileSection(const JsonValue& section, std::string* error) {
+  const auto fail = [error](const std::string& what) {
+    if (error != nullptr) {
+      *error = "profile: " + what;
+    }
+    return false;
+  };
+  if (section.type() != JsonValue::Type::kObject) {
+    return fail("not an object");
+  }
+  const JsonValue* schema = section.Find("schema");
+  if (schema == nullptr || schema->type() != JsonValue::Type::kString ||
+      schema->as_string() != kProfileSchema) {
+    return fail("missing or wrong schema tag (want hammertime.profile.v1)");
+  }
+  // Numeric leaves are checked with is_number(), not Type::kDouble: JSON
+  // text has no integer/double distinction, so an integral gauge (0.0)
+  // round-trips through text as an integer.
+  const JsonValue* elapsed = section.Find("elapsed_seconds");
+  if (elapsed == nullptr || !elapsed->is_number() || elapsed->as_double() < 0.0) {
+    return fail("elapsed_seconds missing or negative");
+  }
+  const JsonValue* phases = section.Find("phases");
+  if (phases == nullptr || phases->type() != JsonValue::Type::kObject) {
+    return fail("phases missing or not an object");
+  }
+  for (const auto& [name, phase] : phases->members()) {
+    if (phase.type() != JsonValue::Type::kObject) {
+      return fail("phase " + name + " is not an object");
+    }
+    const JsonValue* count = phase.Find("count");
+    const JsonValue* seconds = phase.Find("seconds");
+    if (count == nullptr || count->type() != JsonValue::Type::kUint) {
+      return fail("phase " + name + " count missing or not a uint");
+    }
+    if (seconds == nullptr || !seconds->is_number() || seconds->as_double() < 0.0) {
+      return fail("phase " + name + " seconds missing or negative");
+    }
+  }
+  const JsonValue* counters = section.Find("counters");
+  if (counters == nullptr || counters->type() != JsonValue::Type::kObject) {
+    return fail("counters missing or not an object");
+  }
+  for (const auto& [name, value] : counters->members()) {
+    if (value.type() != JsonValue::Type::kUint) {
+      return fail("counter " + name + " is not a uint");
+    }
+  }
+  const JsonValue* gauges = section.Find("gauges");
+  if (gauges == nullptr || gauges->type() != JsonValue::Type::kObject) {
+    return fail("gauges missing or not an object");
+  }
+  for (const auto& [name, value] : gauges->members()) {
+    if (!value.is_number()) {
+      return fail("gauge " + name + " is not numeric");
+    }
+  }
+  return true;
+}
+
+}  // namespace ht

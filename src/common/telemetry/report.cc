@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/stats.h"
+#include "common/telemetry/profile.h"
 #include "common/telemetry/sampler.h"
 
 namespace ht {
@@ -224,6 +225,13 @@ bool ValidateMetricsDocument(const JsonValue& doc, std::string* error) {
     std::string inner;
     if (!ValidateRunReport(reports->at(i), &inner)) {
       return Fail(error, "reports[" + std::to_string(i) + "]: " + inner);
+    }
+  }
+  // Optional self-profiling section (--profile / HT_PROFILE runs only).
+  if (const JsonValue* profile = doc.Find("profile"); profile != nullptr) {
+    std::string inner;
+    if (!ValidateProfileSection(*profile, &inner)) {
+      return Fail(error, inner);
     }
   }
   return true;

@@ -166,16 +166,34 @@ void WriteEventJson(const TraceEvent& event, std::ostream& out) {
 
 }  // namespace
 
-void TraceSink::WriteChromeTrace(std::ostream& out) const {
+std::vector<TraceBufferSnapshot> TraceSink::SnapshotBuffers() const {
   std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceBufferSnapshot> out;
+  out.reserve(buffers_.size());
+  for (const auto& buffer : buffers_) {
+    TraceBufferSnapshot snap;
+    snap.label = buffer->label();
+    snap.capacity = buffer->capacity();
+    snap.emitted = buffer->events_emitted();
+    snap.events = buffer->Snapshot();
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void TraceSink::WriteChromeTrace(std::ostream& out) const {
+  ht::WriteChromeTrace(SnapshotBuffers(), out);
+}
+
+void WriteChromeTrace(const std::vector<TraceBufferSnapshot>& buffers, std::ostream& out) {
   out << "{\"traceEvents\":[";
   bool first = true;
   // (pid, tid) -> track name; std::map keeps the metadata block ordered
   // so serial and parallel runs serialize identically.
   std::map<std::pair<uint32_t, uint32_t>, std::string> tracks;
   std::map<uint32_t, std::string> processes;
-  for (const auto& buffer : buffers_) {
-    for (const TraceEvent& event : buffer->Snapshot()) {
+  for (const auto& buffer : buffers) {
+    for (const TraceEvent& event : buffer.events) {
       if (!first) {
         out << ",\n";
       }

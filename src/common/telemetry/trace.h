@@ -102,6 +102,18 @@ class TraceBuffer {
   std::vector<TraceEvent> ring_;
 };
 
+// A buffer's retained events plus the bookkeeping needed to reproduce
+// its serialized forms exactly: `capacity`/`emitted` preserve the drop
+// count across a binary round-trip, `events` are chronological. Both the
+// live sink and the binary decoder (telemetry/binary.h) produce these,
+// so every writer below consumes the same shape.
+struct TraceBufferSnapshot {
+  std::string label;
+  uint64_t capacity = 0;
+  uint64_t emitted = 0;
+  std::vector<TraceEvent> events;
+};
+
 // Owns one TraceBuffer per scenario/thread and renders the merged stream.
 // CreateBuffer is the only synchronized operation; emission never crosses
 // buffer boundaries.
@@ -122,6 +134,9 @@ class TraceSink {
   uint64_t total_emitted() const;
   uint64_t total_dropped() const;
 
+  // Per-buffer snapshots in creation order.
+  std::vector<TraceBufferSnapshot> SnapshotBuffers() const;
+
   // Chrome trace_event JSON ("traceEvents" array + track-name metadata).
   // `ts` is the simulated cycle; pid/tid encode channel and rank/bank.
   void WriteChromeTrace(std::ostream& out) const;
@@ -131,6 +146,11 @@ class TraceSink {
   size_t buffer_capacity_;
   std::vector<std::unique_ptr<TraceBuffer>> buffers_;
 };
+
+// Chrome trace_event JSON from decoded snapshots; TraceSink::WriteChromeTrace
+// routes through this, so a binary-decoded trace serializes byte-identically
+// to the live sink's output.
+void WriteChromeTrace(const std::vector<TraceBufferSnapshot>& buffers, std::ostream& out);
 
 }  // namespace ht
 

@@ -1,7 +1,10 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+
+#include "common/telemetry/profile.h"
 
 namespace ht {
 
@@ -42,6 +45,22 @@ ThreadPool& ThreadPool::Shared() {
   return pool;
 }
 
+PoolStats ThreadPool::stats() const {
+  PoolStats out;
+  out.tasks = tasks_.load(std::memory_order_relaxed);
+  out.jobs = jobs_.load(std::memory_order_relaxed);
+  out.queue_peak = queue_peak_.load(std::memory_order_relaxed);
+  out.busy_seconds = static_cast<double>(busy_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  return out;
+}
+
+void ThreadPool::ResetStats() {
+  tasks_.store(0, std::memory_order_relaxed);
+  jobs_.store(0, std::memory_order_relaxed);
+  queue_peak_.store(0, std::memory_order_relaxed);
+  busy_nanos_.store(0, std::memory_order_relaxed);
+}
+
 bool ThreadPool::RunOneJob(Task& task) {
   if (task.failed.load(std::memory_order_relaxed)) {
     return false;
@@ -50,8 +69,24 @@ bool ThreadPool::RunOneJob(Task& task) {
   if (i >= task.jobs) {
     return false;
   }
+  // Busy-time accounting only reads clocks while the profiler is on; the
+  // common (disabled) path pays one relaxed load and one increment.
+  const bool timed = Profiler::Global().enabled();
+  std::chrono::steady_clock::time_point start{};
+  if (timed) [[unlikely]] {
+    start = std::chrono::steady_clock::now();
+  }
+  jobs_.fetch_add(1, std::memory_order_relaxed);
   try {
     (*task.body)(i);
+    if (timed) [[unlikely]] {
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      busy_nanos_.fetch_add(
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()),
+          std::memory_order_relaxed);
+    }
+    return true;
   } catch (...) {
     const std::lock_guard<std::mutex> lock(mu_);
     if (task.error == nullptr) {
@@ -60,7 +95,6 @@ bool ThreadPool::RunOneJob(Task& task) {
     task.failed.store(true, std::memory_order_relaxed);
     return false;
   }
-  return true;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -102,9 +136,23 @@ void ThreadPool::Run(uint64_t jobs, unsigned max_concurrency,
   if (jobs == 0) {
     return;
   }
+  tasks_.fetch_add(1, std::memory_order_relaxed);
   if (jobs == 1 || max_concurrency <= 1 || threads_.empty()) {
+    const bool timed = Profiler::Global().enabled();
+    std::chrono::steady_clock::time_point start{};
+    if (timed) [[unlikely]] {
+      start = std::chrono::steady_clock::now();
+    }
+    jobs_.fetch_add(jobs, std::memory_order_relaxed);
     for (uint64_t i = 0; i < jobs; ++i) {
       body(i);
+    }
+    if (timed) [[unlikely]] {
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      busy_nanos_.fetch_add(
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()),
+          std::memory_order_relaxed);
     }
     return;
   }
@@ -116,6 +164,10 @@ void ThreadPool::Run(uint64_t jobs, unsigned max_concurrency,
   {
     const std::lock_guard<std::mutex> lock(mu_);
     pending_.push_back(&task);
+    const uint64_t depth = pending_.size();
+    if (depth > queue_peak_.load(std::memory_order_relaxed)) {
+      queue_peak_.store(depth, std::memory_order_relaxed);
+    }
   }
   work_cv_.notify_all();
   // Caller participation: claim jobs off the shared cursor until it runs

@@ -21,6 +21,18 @@ namespace ht {
 // HT_THREADS environment variable, then the hardware concurrency.
 unsigned ResolveThreadCount(unsigned requested = 0);
 
+// Pool-level telemetry, exported by the profiler as the pool.* gauges in
+// metrics.v1 (`profile` section). Counters are always maintained (one
+// relaxed atomic increment per submission/job — never per simulated
+// cycle); busy_seconds reads the clock per job and is only accumulated
+// while the Profiler is enabled, keeping the disabled path cost-free.
+struct PoolStats {
+  uint64_t tasks = 0;         // Run() submissions, including inline ones.
+  uint64_t jobs = 0;          // Individual job executions.
+  uint64_t queue_peak = 0;    // Peak simultaneously-pending submissions.
+  double busy_seconds = 0.0;  // Summed per-job wall-clock (profiler on).
+};
+
 // Fixed-size pool of persistent workers. The calling thread always
 // participates in its own submission, which makes nested fan-out safe:
 // a scenario job running on a pool worker can itself Run() a per-channel
@@ -47,6 +59,10 @@ class ThreadPool {
   void Run(uint64_t jobs, unsigned max_concurrency, const std::function<void(uint64_t)>& body);
 
   unsigned workers() const { return workers_; }
+
+  // Snapshot / reset of the pool.* telemetry counters.
+  PoolStats stats() const;
+  void ResetStats();
 
   // The process-wide pool shared by inter-scenario fan-out (RunScenarios)
   // and intra-scenario channel shards (MemoryController::AdvanceChannels).
@@ -75,6 +91,10 @@ class ThreadPool {
   bool RunOneJob(Task& task);
 
   unsigned workers_;
+  std::atomic<uint64_t> tasks_{0};
+  std::atomic<uint64_t> jobs_{0};
+  std::atomic<uint64_t> queue_peak_{0};
+  std::atomic<uint64_t> busy_nanos_{0};
   std::mutex mu_;
   std::condition_variable work_cv_;   // Workers: a claimable task appeared.
   std::condition_variable done_cv_;   // Callers: a helper left a task.

@@ -9,6 +9,8 @@
 
 #include "attack/hammer.h"
 #include "attack/planner.h"
+#include "common/telemetry/binary.h"
+#include "common/telemetry/profile.h"
 #include "common/telemetry/report.h"
 #include "common/thread_pool.h"
 #include "os/address_space.h"
@@ -100,6 +102,7 @@ JsonValue ScenarioResultToJson(const ScenarioResult& result) {
 ScenarioResult RunScenario(ScenarioSpec spec, ScenarioTelemetry* telemetry,
                            const ScenarioHooks* hooks) {
   const auto wall_start = std::chrono::steady_clock::now();
+  ProfilePhase total_phase("runner.scenario");
   ApplyDefensePreset(spec.system, spec.defense, spec.act_threshold);
   spec.run_cycles = std::min(spec.run_cycles, BenchSmokeCap());
   if (spec.randomize_reset.has_value()) {
@@ -196,8 +199,12 @@ ScenarioResult RunScenario(ScenarioSpec spec, ScenarioTelemetry* telemetry,
     hooks->on_start(system);
   }
 
-  system.RunFor(spec.run_cycles);
+  {
+    ProfilePhase run_phase("runner.run");
+    system.RunFor(spec.run_cycles);
+  }
 
+  ProfilePhase report_phase("runner.report");
   result.security = Assess(system);
   result.perf = Summarize(system, spec.run_cycles);
   if (system.defense() != nullptr) {
@@ -224,22 +231,35 @@ ScenarioResult RunScenario(ScenarioSpec spec, ScenarioTelemetry* telemetry,
   if (hooks != nullptr && hooks->on_finish) {
     hooks->on_finish(system);
   }
+  if (Profiler::Global().enabled()) [[unlikely]] {
+    // Shard-wait breakdown for the per-channel parallel event loop; cold
+    // read of interned counters, once per scenario.
+    Profiler& profiler = Profiler::Global();
+    const StatSet& mc_stats = system.mc().stats();
+    profiler.AddCounter("mc.wake_batches", mc_stats.Get("mc.wake_batches"));
+    profiler.AddCounter("mc.sync_barriers", mc_stats.Get("mc.sync_barriers"));
+    profiler.AddCounter("mc.shard_wait_cycles", mc_stats.Get("mc.shard_wait_cycles"));
+    profiler.AddCounter("runner.scenarios", 1);
+    profiler.AddCounter("runner.simulated_cycles", spec.run_cycles);
+  }
   return result;
 }
 
 void FlushRunnerTelemetry() {
   const RunnerTelemetryOptions& options = RunnerTelemetry();
   RunnerTelemetryState& state = TelemetryState();
+  ProfilePhase flush_phase("telemetry.flush");
   if (!options.trace_out.empty()) {
-    std::ofstream out(options.trace_out);
-    state.sink->WriteChromeTrace(out);
+    std::string error;
+    WriteTraceOutput(options.trace_out, *state.sink, &error);
   }
   if (!options.metrics_out.empty()) {
-    std::ofstream out(options.metrics_out);
     // MakeMetricsDocument consumes its input; hand it a copy so later
     // batches can re-flush the full accumulated list.
-    MakeMetricsDocument(state.reports).Dump(out);
-    out << "\n";
+    JsonValue doc = MakeMetricsDocument(state.reports);
+    Profiler::Global().MaybeAttachTo(doc);
+    std::string error;
+    WriteTelemetryDocument(options.metrics_out, doc, &error);
   }
 }
 
@@ -285,10 +305,16 @@ void AddRunnerFlags(ArgParser& parser) {
                 "HT_THREADS or hardware concurrency), so N caps concurrent scenarios "
                 "while idle workers help shard channels inside running scenarios",
                 "0");
-  parser.Option("trace-out", "PATH", "write a Chrome trace_event JSON (chrome://tracing)");
-  parser.Option("metrics-out", "PATH", "write a hammertime.metrics.v1 run report");
+  parser.Option("trace-out", "PATH",
+                "write an event trace: Chrome trace_event JSON, or compact "
+                "hammertime.bin.v1 when PATH ends in .htb");
+  parser.Option("metrics-out", "PATH",
+                "write a hammertime.metrics.v1 run report (binary when PATH ends in .htb)");
   parser.Option("sample-every", "N",
                 "stat-sampler period in cycles (default 16384 when --metrics-out is set)");
+  parser.Flag("profile",
+              "self-profile the harness (phase timers, pool gauges) into the metrics "
+              "report's profile section; also honored via HT_PROFILE=1");
 }
 
 unsigned ApplyRunnerFlags(const ArgParser& parser) {
@@ -298,6 +324,11 @@ unsigned ApplyRunnerFlags(const ArgParser& parser) {
   options.sample_every = parser.GetUint("sample-every");
   if (!options.metrics_out.empty() && options.sample_every == 0) {
     options.sample_every = kDefaultSampleEvery;
+  }
+  const char* env_profile = std::getenv("HT_PROFILE");
+  if (parser.GetBool("profile") ||
+      (env_profile != nullptr && *env_profile != '\0' && *env_profile != '0')) {
+    Profiler::Global().Enable();
   }
   return static_cast<unsigned>(parser.GetUint("threads"));
 }

@@ -3,9 +3,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <sstream>
 #include <utility>
 
+#include "common/telemetry/binary.h"
 #include "sim/sweep/speckey.h"
 
 namespace ht {
@@ -55,10 +55,10 @@ bool ValidateSweepCell(const JsonValue& doc, const std::string& key, std::string
   return true;
 }
 
-ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+ResultCache::ResultCache(std::string dir, bool binary) : dir_(std::move(dir)), binary_(binary) {}
 
 std::string ResultCache::PathFor(const std::string& key) const {
-  return dir_ + "/cell_" + key + ".json";
+  return dir_ + "/cell_" + key + (binary_ ? kHtbExtension : ".json");
 }
 
 std::optional<JsonValue> ResultCache::Load(const std::string& key, std::string* why) const {
@@ -68,20 +68,24 @@ std::optional<JsonValue> ResultCache::Load(const std::string& key, std::string* 
     }
     return std::nullopt;
   }
-  std::ifstream in(PathFor(key));
-  if (!in) {
-    if (why != nullptr) {
-      *why = "no cache entry";
+  // Try the configured format first, then the other one: mixed-mode
+  // caches (a JSON sweep resumed with --binary-cache, or vice versa)
+  // stay fully resumable. ReadTelemetryDocument sniffs content, so even
+  // a mislabeled entry decodes.
+  const std::string base = dir_ + "/cell_" + key;
+  const char* extensions[2] = {binary_ ? kHtbExtension : ".json",
+                               binary_ ? ".json" : kHtbExtension};
+  std::string read_error;
+  std::optional<JsonValue> doc;
+  for (const char* extension : extensions) {
+    doc = ReadTelemetryDocument(base + extension, &read_error);
+    if (doc.has_value()) {
+      break;
     }
-    return std::nullopt;
   }
-  std::ostringstream text;
-  text << in.rdbuf();
-  std::string parse_error;
-  std::optional<JsonValue> doc = JsonValue::Parse(text.str(), &parse_error);
   if (!doc.has_value()) {
     if (why != nullptr) {
-      *why = "unparsable cache entry: " + parse_error;
+      *why = "no usable cache entry: " + read_error;
     }
     return std::nullopt;
   }
@@ -106,15 +110,21 @@ bool ResultCache::Store(const std::string& key, const JsonValue& cell, std::stri
   const std::string final_path = PathFor(key);
   const std::string tmp_path = final_path + ".tmp";
   {
-    std::ofstream out(tmp_path, std::ios::trunc);
+    std::ofstream out(tmp_path, std::ios::trunc | std::ios::binary);
     if (!out) {
       if (error != nullptr) {
         *error = "cannot open " + tmp_path;
       }
       return false;
     }
-    cell.Dump(out);
-    out << "\n";
+    // Format follows the cache mode, not the tmp suffix.
+    if (binary_) {
+      const std::string encoded = EncodeJsonBinary(cell);
+      out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
+    } else {
+      cell.Dump(out);
+      out << "\n";
+    }
     if (!out) {
       if (error != nullptr) {
         *error = "write failed for " + tmp_path;

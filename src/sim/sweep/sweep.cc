@@ -1,13 +1,87 @@
 #include "sim/sweep/sweep.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <map>
+#include <mutex>
+#include <thread>
 #include <utility>
 
+#include "common/telemetry/profile.h"
 #include "common/thread_pool.h"
 
 namespace ht {
 namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double SecondsSince(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+// Periodic progress lines on stderr while the cell fan-out runs. One line
+// is printed immediately (so a sweep shorter than the period still shows
+// a heartbeat), then one per period until stopped. stderr keeps the
+// report stream on stdout clean.
+class Heartbeat {
+ public:
+  Heartbeat(double period_seconds, uint64_t pending_cells, uint64_t cached_cells,
+            const std::atomic<uint64_t>* done)
+      : period_(period_seconds), pending_(pending_cells), cached_(cached_cells), done_(done) {
+    if (period_ <= 0) {
+      return;
+    }
+    Print();
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~Heartbeat() {
+    if (!thread_.joinable()) {
+      return;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    Print();  // Final line so the last state is always visible.
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!cv_.wait_for(lock, std::chrono::duration<double>(period_), [this] { return stop_; })) {
+      lock.unlock();
+      Print();
+      lock.lock();
+    }
+  }
+
+  void Print() const {
+    const uint64_t done = done_->load(std::memory_order_relaxed);
+    const double elapsed = SecondsSince(start_);
+    const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+    std::fprintf(stderr,
+                 "hammersweep: progress %llu/%llu cells (%llu cached), %.1f cells/s, "
+                 "elapsed %.1fs\n",
+                 static_cast<unsigned long long>(done), static_cast<unsigned long long>(pending_),
+                 static_cast<unsigned long long>(cached_), rate, elapsed);
+  }
+
+  double period_;
+  uint64_t pending_;
+  uint64_t cached_;
+  const std::atomic<uint64_t>* done_;
+  SteadyClock::time_point start_ = SteadyClock::now();
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
 
 // Normalize a canonical spec object's member order so cached and freshly
 // computed cells serialize identically no matter how the spec was built.
@@ -113,28 +187,35 @@ SweepOutcome RunSweep(const SweepGrid& grid, const SweepOptions& options) {
     return outcome;
   }
 
+  const SteadyClock::time_point sweep_start = SteadyClock::now();
   const std::vector<SweepCellSpec> all = ExpandGrid(grid);
   outcome.total_cells = all.size();
 
   // This shard's slice of the key-sorted cell list, then split into
   // cache hits and cells that still need simulation.
-  ResultCache cache(options.cache_dir);
+  ResultCache cache(options.cache_dir, options.binary_cache);
   std::vector<JsonValue> completed;
   std::vector<SweepCellSpec> pending;
-  for (size_t i = 0; i < all.size(); ++i) {
-    if (i % options.shard_count != options.shard_index - 1) {
-      continue;
-    }
-    ++outcome.shard_cells;
-    if (options.resume && cache.enabled()) {
-      if (std::optional<JsonValue> hit = cache.Load(all[i].key)) {
-        ++outcome.cached_cells;
-        completed.push_back(MakeReportCell(all[i].key, std::move(*hit->Find("spec")),
-                                           std::move(*hit->Find("result"))));
+  {
+    ProfilePhase cache_phase("sweep.cache_load");
+    const SteadyClock::time_point cache_start = SteadyClock::now();
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (i % options.shard_count != options.shard_index - 1) {
         continue;
       }
+      ++outcome.shard_cells;
+      if (options.resume && cache.enabled()) {
+        if (std::optional<JsonValue> hit = cache.Load(all[i].key)) {
+          ++outcome.cached_cells;
+          completed.push_back(MakeReportCell(all[i].key, std::move(*hit->Find("spec")),
+                                             std::move(*hit->Find("result"))));
+          continue;
+        }
+        ++outcome.cache_misses;
+      }
+      pending.push_back(all[i]);
     }
-    pending.push_back(all[i]);
+    outcome.cache_seconds = SecondsSince(cache_start);
   }
 
   if (options.max_cells > 0 && pending.size() > options.max_cells) {
@@ -147,16 +228,27 @@ SweepOutcome RunSweep(const SweepGrid& grid, const SweepOptions& options) {
   // hook snapshots the live System's StatSet for the cache cell.
   std::vector<ScenarioResult> results(pending.size());
   std::vector<JsonValue> stats(pending.size());
-  ParallelFor(pending.size(),
-              pending.size() <= 1 ? 1u : ResolveThreadCount(options.threads),
-              [&](uint64_t i) {
-    ScenarioHooks hooks;
-    hooks.on_finish = [&stats, i](System& system) {
-      stats[i] = StatSetToJson(system.CollectStats());
-    };
-    results[i] = RunScenario(pending[i].spec, nullptr, &hooks);
-  });
+  std::atomic<uint64_t> cells_done{0};
+  {
+    ProfilePhase execute_phase("sweep.execute");
+    const SteadyClock::time_point execute_start = SteadyClock::now();
+    Heartbeat heartbeat(options.progress_every, pending.size(), outcome.cached_cells,
+                        &cells_done);
+    ParallelFor(pending.size(),
+                pending.size() <= 1 ? 1u : ResolveThreadCount(options.threads),
+                [&](uint64_t i) {
+      ScenarioHooks hooks;
+      hooks.on_finish = [&stats, i](System& system) {
+        stats[i] = StatSetToJson(system.CollectStats());
+      };
+      results[i] = RunScenario(pending[i].spec, nullptr, &hooks);
+      cells_done.fetch_add(1, std::memory_order_relaxed);
+    });
+    outcome.execute_seconds = SecondsSince(execute_start);
+  }
 
+  ProfilePhase report_phase("sweep.report");
+  const SteadyClock::time_point report_start = SteadyClock::now();
   for (size_t i = 0; i < pending.size(); ++i) {
     ++outcome.executed_cells;
     JsonValue cell = MakeReportCell(pending[i].key, SpecCanonicalJson(pending[i].spec),
@@ -172,6 +264,13 @@ SweepOutcome RunSweep(const SweepGrid& grid, const SweepOptions& options) {
   }
 
   outcome.report = MakeSweepReport(outcome.total_cells, std::move(completed));
+  outcome.report_seconds = SecondsSince(report_start);
+  outcome.wall_seconds = SecondsSince(sweep_start);
+  if (Profiler::Global().enabled()) [[unlikely]] {
+    Profiler::Global().AddCounter("sweep.cache_hits", outcome.cached_cells);
+    Profiler::Global().AddCounter("sweep.cache_misses", outcome.cache_misses);
+    Profiler::Global().AddCounter("sweep.cells_executed", outcome.executed_cells);
+  }
   outcome.ok = true;
   return outcome;
 }

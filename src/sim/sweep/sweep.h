@@ -61,10 +61,15 @@ struct SweepOptions {
   unsigned threads = 0;       // 0 = HT_THREADS / hardware concurrency.
   std::string cache_dir;      // Empty = no result cache.
   bool resume = false;        // Reuse valid cached cells instead of re-running.
+  bool binary_cache = false;  // Store cache cells as hammertime.bin.v1 (.htb).
   uint32_t shard_index = 1;   // 1-based: cell i runs iff i % count == index-1.
   uint32_t shard_count = 1;
   uint64_t max_cells = 0;     // Stop after this many executed cells (0 = all);
                               // the remainder is left for a resumed run.
+  double progress_every = 0;  // > 0: heartbeat lines on stderr every N
+                              // seconds while cells execute (one line is
+                              // printed immediately so even short sweeps
+                              // are observable).
 };
 
 struct SweepOutcome {
@@ -73,8 +78,16 @@ struct SweepOutcome {
   uint64_t total_cells = 0;    // Grid size after dedup.
   uint64_t shard_cells = 0;    // Cells belonging to this shard.
   uint64_t cached_cells = 0;   // Satisfied from the result cache.
+  uint64_t cache_misses = 0;   // Resume lookups that found no usable entry.
   uint64_t executed_cells = 0; // Actually simulated this run.
   uint64_t skipped_cells = 0;  // Deferred by max_cells.
+  // Wall-clock breakdown of this shard's run (not part of the report,
+  // which stays host-state-free): total, cache probe/load phase,
+  // simulation fan-out, and report assembly + cell stores.
+  double wall_seconds = 0.0;
+  double cache_seconds = 0.0;
+  double execute_seconds = 0.0;
+  double report_seconds = 0.0;
   JsonValue report;            // hammertime.sweep_report.v1 (completed cells only).
 };
 

@@ -1,0 +1,126 @@
+// The self-profiler's contracts: disabled means no clock reads, no state,
+// and byte-identical metrics documents (MaybeAttachTo is a no-op);
+// enabled means phases/counters/gauges accumulate deterministically, the
+// exported `profile` section validates (alone and inside a metrics.v1
+// document), and pool gauges reflect work pushed through the shared
+// ThreadPool since Enable().
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "common/telemetry/profile.h"
+#include "common/telemetry/report.h"
+#include "common/thread_pool.h"
+
+namespace ht {
+namespace {
+
+// The profiler is process-wide; every test leaves it disabled so the
+// byte-identity expectations elsewhere in this binary stay valid.
+class ProfileTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Profiler::Global().Enable(false); }
+};
+
+TEST_F(ProfileTest, DisabledIsInertAndAttachesNothing) {
+  Profiler::Global().Enable(false);
+  EXPECT_FALSE(Profiler::Global().enabled());
+  EXPECT_EQ(Profiler::Global().ElapsedSeconds(), 0.0);
+  { ProfilePhase phase("test.should_not_record"); }
+
+  JsonValue doc = MakeMetricsDocument({});
+  std::ostringstream before;
+  doc.Dump(before);
+  Profiler::Global().MaybeAttachTo(doc);
+  std::ostringstream after;
+  doc.Dump(after);
+  EXPECT_EQ(before.str(), after.str());
+  EXPECT_EQ(doc.Find("profile"), nullptr);
+}
+
+TEST_F(ProfileTest, PhasesCountersGaugesAccumulate) {
+  Profiler::Global().Enable();
+  { ProfilePhase phase("test.phase"); }
+  { ProfilePhase phase("test.phase"); }
+  Profiler::Global().AddCounter("test.counter", 3);
+  Profiler::Global().AddCounter("test.counter", 4);
+  Profiler::Global().SetGauge("test.gauge", 0.5);
+
+  const JsonValue section = Profiler::Global().ToJson();
+  std::string error;
+  ASSERT_TRUE(ValidateProfileSection(section, &error)) << error;
+
+  const JsonValue* phase = section.Find("phases")->Find("test.phase");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_EQ(phase->Find("count")->as_uint(), 2u);
+  EXPECT_GE(phase->Find("seconds")->as_double(), 0.0);
+  EXPECT_EQ(section.Find("counters")->Find("test.counter")->as_uint(), 7u);
+  EXPECT_EQ(section.Find("gauges")->Find("test.gauge")->as_double(), 0.5);
+  EXPECT_GT(section.Find("elapsed_seconds")->as_double(), 0.0);
+}
+
+TEST_F(ProfileTest, EnableResetsAccumulatedState) {
+  Profiler::Global().Enable();
+  Profiler::Global().AddCounter("test.stale", 1);
+  Profiler::Global().Enable();  // Re-enable clears the previous campaign.
+  const JsonValue section = Profiler::Global().ToJson();
+  EXPECT_EQ(section.Find("counters")->Find("test.stale"), nullptr);
+}
+
+TEST_F(ProfileTest, PoolGaugesReflectSubmittedWork) {
+  Profiler::Global().Enable();
+  std::atomic<uint64_t> ran{0};
+  ThreadPool::Shared().Run(8, ThreadPool::Shared().workers(), [&](uint64_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 8u);
+
+  const JsonValue section = Profiler::Global().ToJson();
+  std::string error;
+  ASSERT_TRUE(ValidateProfileSection(section, &error)) << error;
+  const JsonValue* gauges = section.Find("gauges");
+  for (const char* name : {"pool.tasks", "pool.jobs", "pool.queue_peak", "pool.busy_frac"}) {
+    ASSERT_NE(gauges->Find(name), nullptr) << name;
+  }
+  EXPECT_GE(gauges->Find("pool.tasks")->as_double(), 1.0);
+  EXPECT_GE(gauges->Find("pool.jobs")->as_double(), 8.0);
+  EXPECT_GE(gauges->Find("pool.busy_frac")->as_double(), 0.0);
+  EXPECT_LE(gauges->Find("pool.busy_frac")->as_double(), 1.0 + 1e-9);
+}
+
+TEST_F(ProfileTest, AttachedSectionValidatesInsideMetricsDocument) {
+  Profiler::Global().Enable();
+  { ProfilePhase phase("runner.scenario"); }
+  Profiler::Global().AddCounter("runner.scenarios", 1);
+
+  JsonValue doc = MakeMetricsDocument({});
+  Profiler::Global().MaybeAttachTo(doc);
+  ASSERT_NE(doc.Find("profile"), nullptr);
+  std::string error;
+  EXPECT_TRUE(ValidateMetricsDocument(doc, &error)) << error;
+}
+
+TEST_F(ProfileTest, ValidatorRejectsMalformedSections) {
+  std::string error;
+  EXPECT_FALSE(ValidateProfileSection(JsonValue::Array(), &error));
+
+  Profiler::Global().Enable();
+  JsonValue section = Profiler::Global().ToJson();
+  section.Set("schema", JsonValue::Str("hammertime.profile.v2"));
+  EXPECT_FALSE(ValidateProfileSection(section, &error));
+  EXPECT_NE(error.find("schema"), std::string::npos);
+
+  section = Profiler::Global().ToJson();
+  section.Find("phases")->Set("broken", JsonValue::Str("not an object"));
+  EXPECT_FALSE(ValidateProfileSection(section, &error));
+
+  section = Profiler::Global().ToJson();
+  section.Find("counters")->Set("negative", JsonValue::Int(-1));
+  EXPECT_FALSE(ValidateProfileSection(section, &error));
+
+  section = Profiler::Global().ToJson();
+  section.Find("gauges")->Set("textual", JsonValue::Str("fast"));
+  EXPECT_FALSE(ValidateProfileSection(section, &error));
+}
+
+}  // namespace
+}  // namespace ht

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/telemetry/profile.h"
 #include "common/thread_pool.h"
 
 namespace ht {
@@ -153,6 +154,66 @@ TEST(ParallelForTest, ExceptionPropagatesFromInlinePath) {
                     }
                   }),
       std::logic_error);
+}
+
+// --- Pool telemetry ----------------------------------------------------------
+
+TEST(PoolStatsTest, CountsTasksJobsAndQueuePeak) {
+  ThreadPool pool(4);
+  pool.ResetStats();
+  pool.Run(300, 4, [](uint64_t) {});
+  pool.Run(7, 4, [](uint64_t) {});
+  pool.Run(0, 4, [](uint64_t) {});  // Zero jobs: not a task, no jobs.
+
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.tasks, 2u);
+  EXPECT_EQ(stats.jobs, 307u);
+  // queue_peak is the high-water of concurrently pending tasks: each
+  // non-inline Run pushes one task, so two sequential Runs peak at 1.
+  EXPECT_EQ(stats.queue_peak, 1u);
+}
+
+TEST(PoolStatsTest, InlinePathCountsJobsToo) {
+  ThreadPool pool(1);  // Degenerate pool: everything runs inline.
+  pool.ResetStats();
+  pool.Run(12, 4, [](uint64_t) {});
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.tasks, 1u);
+  EXPECT_EQ(stats.jobs, 12u);
+  EXPECT_EQ(stats.queue_peak, 0u);
+}
+
+TEST(PoolStatsTest, ResetStatsZeroesEverything) {
+  ThreadPool pool(2);
+  pool.Run(20, 2, [](uint64_t) {});
+  pool.ResetStats();
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.tasks, 0u);
+  EXPECT_EQ(stats.jobs, 0u);
+  EXPECT_EQ(stats.queue_peak, 0u);
+  EXPECT_EQ(stats.busy_seconds, 0.0);
+}
+
+TEST(PoolStatsTest, BusySecondsAccumulateOnlyUnderTheProfiler) {
+  ThreadPool pool(2);
+
+  // Disabled profiler: the hot path must not read clocks at all.
+  Profiler::Global().Enable(false);
+  pool.ResetStats();
+  pool.Run(50, 2, [](uint64_t) {});
+  EXPECT_EQ(pool.stats().busy_seconds, 0.0);
+
+  Profiler::Global().Enable();
+  pool.ResetStats();
+  std::atomic<uint64_t> spin{0};
+  pool.Run(50, 2, [&](uint64_t) {
+    for (int i = 0; i < 1000; ++i) {
+      spin.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_GT(pool.stats().busy_seconds, 0.0);
+  EXPECT_EQ(pool.stats().jobs, 50u);
+  Profiler::Global().Enable(false);
 }
 
 TEST(ResolveThreadCountTest, ExplicitRequestWins) {

@@ -1,0 +1,181 @@
+// The trend gate's contracts: exact-class leaves (counters, flip counts)
+// must match bit-for-bit across revisions; wall-clock and rate leaves are
+// compared as shares of their document totals, so a uniformly faster or
+// slower host never trips the gate while a phase that grew relative to
+// its peers does; speedup leaves gate directly; the profiler's section
+// and host-shape keys are ignored; and InjectSlowdown fabricates exactly
+// the kind of localized regression the gate exists to catch.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/telemetry/json.h"
+#include "common/telemetry/trend.h"
+
+namespace ht {
+namespace {
+
+JsonValue ParseOrDie(const std::string& text) {
+  std::string error;
+  auto doc = JsonValue::Parse(text, &error);
+  EXPECT_TRUE(doc.has_value()) << error << " in " << text;
+  return doc.has_value() ? *doc : JsonValue::Null();
+}
+
+// A miniature bench report shaped like BENCH_busy.json: two timed
+// sections with wall/rate leaves, a speedup, and exact counters.
+const char kBaseline[] = R"({
+  "scenario": "mc_hammer_loop",
+  "simulated_cycles": 8000000,
+  "fast_path": {"wall_seconds": 0.2, "cycles_per_sec": 40000000},
+  "slow_path": {"wall_seconds": 0.6, "cycles_per_sec": 13000000},
+  "speedup": 3.0,
+  "pool_threads": 1
+})";
+
+TEST(TrendClassify, KeysLandInTheRightClasses) {
+  EXPECT_EQ(ClassifyMetric("flip_events"), MetricClass::kExact);
+  EXPECT_EQ(ClassifyMetric("wall_seconds"), MetricClass::kWallSeconds);
+  EXPECT_EQ(ClassifyMetric("report_seconds"), MetricClass::kWallSeconds);
+  EXPECT_EQ(ClassifyMetric("cycles_per_sec"), MetricClass::kRate);
+  EXPECT_EQ(ClassifyMetric("speedup_nt_vs_1t"), MetricClass::kSpeedup);
+  EXPECT_EQ(ClassifyMetric("profile"), MetricClass::kIgnored);
+  EXPECT_EQ(ClassifyMetric("pool_threads"), MetricClass::kIgnored);
+}
+
+TEST(TrendCompareTest, IdenticalDocumentsPass) {
+  const JsonValue doc = ParseOrDie(kBaseline);
+  std::vector<TrendIssue> issues;
+  EXPECT_TRUE(TrendCompare(doc, doc, {}, &issues));
+  EXPECT_TRUE(issues.empty());
+}
+
+TEST(TrendCompareTest, UniformHostScalingPasses) {
+  // A 3x slower machine scales every wall leaf up and every rate leaf
+  // down by the same factor; the shares are unchanged, so the gate must
+  // not fire even at a tight tolerance.
+  const JsonValue baseline = ParseOrDie(kBaseline);
+  const JsonValue current = ParseOrDie(R"({
+    "scenario": "mc_hammer_loop",
+    "simulated_cycles": 8000000,
+    "fast_path": {"wall_seconds": 0.6, "cycles_per_sec": 13333333},
+    "slow_path": {"wall_seconds": 1.8, "cycles_per_sec": 4333333},
+    "speedup": 3.0,
+    "pool_threads": 8
+  })");
+  TrendOptions options;
+  options.tolerance = 1.05;
+  std::vector<TrendIssue> issues;
+  EXPECT_TRUE(TrendCompare(baseline, current, options, &issues))
+      << (issues.empty() ? "" : issues[0].path + ": " + issues[0].what);
+}
+
+TEST(TrendCompareTest, LocalizedWallRegressionFails) {
+  // fast_path ballooned from 25% to 62% of the document's wall clock —
+  // that is a real regression no host-speed change explains.
+  const JsonValue baseline = ParseOrDie(kBaseline);
+  const JsonValue current = ParseOrDie(R"({
+    "scenario": "mc_hammer_loop",
+    "simulated_cycles": 8000000,
+    "fast_path": {"wall_seconds": 1.0, "cycles_per_sec": 40000000},
+    "slow_path": {"wall_seconds": 0.6, "cycles_per_sec": 13000000},
+    "speedup": 3.0,
+    "pool_threads": 1
+  })");
+  std::vector<TrendIssue> issues;
+  EXPECT_FALSE(TrendCompare(baseline, current, {}, &issues));
+  ASSERT_FALSE(issues.empty());
+  EXPECT_EQ(issues[0].path, "fast_path.wall_seconds");
+}
+
+TEST(TrendCompareTest, SpeedupRegressionFails) {
+  const JsonValue baseline = ParseOrDie(kBaseline);
+  JsonValue current = baseline;
+  current.Set("speedup", JsonValue::Double(1.1));  // 3.0 -> 1.1 under 1.5x tolerance.
+  std::vector<TrendIssue> issues;
+  EXPECT_FALSE(TrendCompare(baseline, current, {}, &issues));
+  ASSERT_FALSE(issues.empty());
+  EXPECT_EQ(issues[0].path, "speedup");
+}
+
+TEST(TrendCompareTest, ExactLeafDriftFails) {
+  const JsonValue baseline = ParseOrDie(kBaseline);
+  JsonValue current = baseline;
+  current.Set("simulated_cycles", JsonValue::Uint(7999999));
+  std::vector<TrendIssue> issues;
+  EXPECT_FALSE(TrendCompare(baseline, current, {}, &issues));
+  ASSERT_FALSE(issues.empty());
+  EXPECT_EQ(issues[0].path, "simulated_cycles");
+}
+
+TEST(TrendCompareTest, MissingAndExtraKeysAreStructuralIssues) {
+  const JsonValue baseline = ParseOrDie(kBaseline);
+  JsonValue current = baseline;
+  current.Set("brand_new_metric", JsonValue::Uint(1));
+  std::vector<TrendIssue> issues;
+  EXPECT_FALSE(TrendCompare(baseline, current, {}, &issues));
+
+  issues.clear();
+  EXPECT_FALSE(TrendCompare(current, baseline, {}, &issues));
+}
+
+TEST(TrendCompareTest, IgnoredSubtreesMayDiverge) {
+  // profile (the harness measuring itself) and pool_threads (host shape)
+  // change between machines and runs; the gate must not look inside.
+  const JsonValue baseline = ParseOrDie(R"({
+    "simulated_cycles": 1000,
+    "wall_seconds": 1.0,
+    "profile": {"elapsed_seconds": 1.5, "counters": {"runner.scenarios": 1}},
+    "pool_threads": 1
+  })");
+  JsonValue current = baseline;
+  current.Set("profile", JsonValue::Object());
+  current.Set("pool_threads", JsonValue::Uint(64));
+  std::vector<TrendIssue> issues;
+  EXPECT_TRUE(TrendCompare(baseline, current, {}, &issues))
+      << (issues.empty() ? "" : issues[0].path + ": " + issues[0].what);
+}
+
+TEST(TrendCompareTest, TinySharesAreBelowTheFloor) {
+  // A leaf holding 0.1% of the wall clock may triple without firing: the
+  // min_share floor keeps noise-sized phases out of the gate.
+  const JsonValue baseline = ParseOrDie(
+      R"({"big": {"wall_seconds": 10.0}, "small": {"wall_seconds": 0.01}})");
+  const JsonValue current = ParseOrDie(
+      R"({"big": {"wall_seconds": 10.0}, "small": {"wall_seconds": 0.03}})");
+  std::vector<TrendIssue> issues;
+  EXPECT_TRUE(TrendCompare(baseline, current, {}, &issues))
+      << (issues.empty() ? "" : issues[0].path + ": " + issues[0].what);
+}
+
+TEST(InjectSlowdownTest, ScopedInjectionTripsTheGate) {
+  const JsonValue baseline = ParseOrDie(kBaseline);
+  const JsonValue slowed = InjectSlowdown(baseline, 2.0, "fast_path");
+  // Only the scoped subtree changed.
+  EXPECT_DOUBLE_EQ(slowed.Find("fast_path")->Find("wall_seconds")->as_double(), 0.4);
+  EXPECT_DOUBLE_EQ(slowed.Find("fast_path")->Find("cycles_per_sec")->as_double(), 20000000.0);
+  EXPECT_TRUE(*slowed.Find("slow_path") == *baseline.Find("slow_path"));
+  EXPECT_TRUE(*slowed.Find("simulated_cycles") == *baseline.Find("simulated_cycles"));
+
+  std::vector<TrendIssue> issues;
+  EXPECT_FALSE(TrendCompare(baseline, slowed, {}, &issues));
+  EXPECT_FALSE(issues.empty());
+}
+
+TEST(InjectSlowdownTest, UnscopedInjectionScalesUniformlyAndPasses) {
+  // Scaling the WHOLE document is indistinguishable from a slower host,
+  // so the share-normalized gate correctly lets it through — scoped
+  // injection (above) is what fabricates a catchable regression.
+  const JsonValue baseline = ParseOrDie(kBaseline);
+  const JsonValue slowed = InjectSlowdown(baseline, 2.0);
+  EXPECT_DOUBLE_EQ(slowed.Find("speedup")->as_double(), 1.5);  // Speedups still halve...
+  std::vector<TrendIssue> issues;
+  TrendOptions options;
+  options.tolerance = 2.5;  // ...so pass only once the tolerance covers the 2x.
+  EXPECT_TRUE(TrendCompare(baseline, slowed, options, &issues))
+      << (issues.empty() ? "" : issues[0].path + ": " + issues[0].what);
+}
+
+}  // namespace
+}  // namespace ht

@@ -16,6 +16,7 @@
 //   hammersweep --shard 2/2 ... --out shard2.json       # on machine B
 //   hammersweep --merge shard1.json shard2.json --out merged.json
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -24,6 +25,7 @@
 #include <vector>
 
 #include "common/argparse.h"
+#include "common/telemetry/binary.h"
 #include "sim/sweep/sweep.h"
 
 using namespace ht;
@@ -65,13 +67,8 @@ bool WriteReport(const JsonValue& report, const std::string& out_path) {
     std::error_code ec;
     std::filesystem::create_directories(parent, ec);
   }
-  std::ofstream out(out_path, std::ios::trunc);
-  if (!out) {
-    return false;
-  }
-  report.Dump(out);
-  out << "\n";
-  return static_cast<bool>(out);
+  // Extension-dispatched: `--out report.htb` writes hammertime.bin.v1.
+  return WriteTelemetryDocument(out_path, report);
 }
 
 int Merge(const ArgParser& parser) {
@@ -80,16 +77,11 @@ int Merge(const ArgParser& parser) {
   }
   std::vector<JsonValue> reports;
   for (const std::string& path : parser.positionals()) {
-    std::ifstream in(path);
-    if (!in) {
-      return Fail("cannot open " + path);
-    }
-    std::ostringstream text;
-    text << in.rdbuf();
+    // Shard inputs may be JSON or .htb; the reader sniffs content.
     std::string error;
-    std::optional<JsonValue> doc = JsonValue::Parse(text.str(), &error);
+    std::optional<JsonValue> doc = ReadTelemetryDocument(path, &error);
     if (!doc.has_value()) {
-      return Fail(path + ": " + error);
+      return Fail(error);
     }
     reports.push_back(std::move(*doc));
   }
@@ -125,9 +117,15 @@ int main(int argc, char** argv) {
       .Flag("benign", "victim tenant runs a random co-running workload")
       .Option("cache-dir", "DIR", "persist/reuse per-cell results here")
       .Flag("resume", "reuse valid cached cells instead of re-running them")
+      .Flag("binary-cache",
+            "store cache cells as hammertime.bin.v1 (.htb); either format is "
+            "readable on resume")
       .Option("shard", "K/N", "run only this shard of the cell list", "1/1")
       .Option("max-cells", "N", "stop after N executed cells (0 = all)", "0")
-      .Option("out", "FILE", "write the sweep report here (default: stdout)")
+      .Option("progress-every", "SECONDS",
+              "print heartbeat progress lines to stderr while cells execute", "0")
+      .Option("out", "FILE",
+              "write the sweep report here (default: stdout; binary when FILE ends in .htb)")
       .Flag("merge", "merge shard report files (positionals) instead of sweeping")
       .Flag("list", "print the expanded cell list without running anything");
   AddRunnerFlags(parser);
@@ -190,7 +188,9 @@ int main(int argc, char** argv) {
   options.threads = ApplyRunnerFlags(parser);
   options.cache_dir = parser.Get("cache-dir");
   options.resume = parser.GetBool("resume");
+  options.binary_cache = parser.GetBool("binary-cache");
   options.max_cells = parser.GetUint("max-cells");
+  options.progress_every = std::strtod(parser.Get("progress-every").c_str(), nullptr);
   if (!ParseShard(parser.Get("shard"), &options.shard_index, &options.shard_count)) {
     return Fail("bad --shard " + parser.Get("shard") + " (want K/N with 1 <= K <= N)");
   }
@@ -219,5 +219,16 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(outcome.cached_cells),
                static_cast<unsigned long long>(outcome.executed_cells),
                static_cast<unsigned long long>(outcome.skipped_cells));
+  if (options.resume && !options.cache_dir.empty()) {
+    std::fprintf(stderr,
+                 "hammersweep: cache %llu hits / %llu misses under %s\n",
+                 static_cast<unsigned long long>(outcome.cached_cells),
+                 static_cast<unsigned long long>(outcome.cache_misses),
+                 options.cache_dir.c_str());
+  }
+  std::fprintf(stderr,
+               "hammersweep: shard wall %.2fs (cache %.2fs, execute %.2fs, report %.2fs)\n",
+               outcome.wall_seconds, outcome.cache_seconds, outcome.execute_seconds,
+               outcome.report_seconds);
   return 0;
 }

@@ -17,6 +17,8 @@
 
 #include "common/argparse.h"
 #include "common/table.h"
+#include "common/telemetry/binary.h"
+#include "common/telemetry/profile.h"
 #include "common/telemetry/report.h"
 #include "sim/runner/runner.h"
 
@@ -94,6 +96,12 @@ int main(int argc, char** argv) {
   options.trace_out = parser.Get("trace-out");
   options.metrics_out = parser.Get("metrics-out");
   options.sample_every = parser.GetUint("sample-every");
+  if (parser.GetBool("profile")) {
+    Profiler::Global().Enable();
+  } else if (const char* env = std::getenv("HT_PROFILE");
+             env != nullptr && *env != '\0' && std::string(env) != "0") {
+    Profiler::Global().Enable();
+  }
 
   ScenarioSpec spec;
   spec.run_cycles = options.cycles;
@@ -157,21 +165,22 @@ int main(int argc, char** argv) {
   const ScenarioResult result = RunScenario(spec, telemetry_on ? &telemetry : nullptr);
 
   if (!options.trace_out.empty()) {
-    std::ofstream trace_file(options.trace_out);
-    if (!trace_file) {
-      return Fail("cannot open " + options.trace_out);
+    // Extension-dispatched: `.htb` writes hammertime.bin.v1, anything
+    // else the Chrome trace_event JSON.
+    std::string error;
+    if (!WriteTraceOutput(options.trace_out, sink, &error)) {
+      return Fail(error);
     }
-    sink.WriteChromeTrace(trace_file);
   }
   if (!options.metrics_out.empty()) {
-    std::ofstream metrics_file(options.metrics_out);
-    if (!metrics_file) {
-      return Fail("cannot open " + options.metrics_out);
-    }
     std::vector<JsonValue> reports;
     reports.push_back(std::move(telemetry.report));
-    MakeMetricsDocument(std::move(reports)).Dump(metrics_file);
-    metrics_file << "\n";
+    JsonValue doc = MakeMetricsDocument(std::move(reports));
+    Profiler::Global().MaybeAttachTo(doc);
+    std::string error;
+    if (!WriteTelemetryDocument(options.metrics_out, doc, &error)) {
+      return Fail(error);
+    }
   }
 
   Table table("hammertime: " + options.attack + " vs " + options.defense +

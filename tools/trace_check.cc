@@ -17,16 +17,41 @@
 //                                         leaf in CURRENT is positive.
 //                                         Values are otherwise free to
 //                                         drift (host-dependent).
+//   trace_check --convert IN OUT          lossless format conversion:
+//                                         hammertime.bin.v1 traces become
+//                                         Chrome JSON, binary documents
+//                                         become their exact JSON text,
+//                                         and JSON documents become .htb
+//                                         when OUT ends in .htb.
+//   trace_check --trend BASELINE CURRENT [--tolerance X]
+//                                         cross-revision regression gate:
+//                                         counters must match exactly,
+//                                         wall-clock/rate leaves are
+//                                         compared as normalized shares
+//                                         (host-speed invariant) within
+//                                         the tolerance ratio.
+//   trace_check --inject-slowdown FACTOR IN OUT [SCOPE]
+//                                         test helper: scales timing
+//                                         leaves under the dotted path
+//                                         SCOPE (whole doc when omitted)
+//                                         to fabricate a regression.
+//
+// Every FILE argument may be JSON text or a hammertime.bin.v1 (.htb)
+// container; the reader sniffs content, not extensions.
 //
 // Exits 0 on success, 1 on validation failure, 2 on usage/IO errors.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/telemetry/binary.h"
 #include "common/telemetry/json.h"
 #include "common/telemetry/report.h"
+#include "common/telemetry/trace.h"
+#include "common/telemetry/trend.h"
 
 namespace {
 
@@ -36,30 +61,39 @@ int Usage() {
       "       trace_check --metrics FILE\n"
       "       trace_check --sweep FILE\n"
       "       trace_check --compare FILE FILE\n"
-      "       trace_check --bench-compare BASELINE CURRENT\n",
+      "       trace_check --bench-compare BASELINE CURRENT\n"
+      "       trace_check --convert IN OUT\n"
+      "       trace_check --trend BASELINE CURRENT [--tolerance X]\n"
+      "       trace_check --inject-slowdown FACTOR IN OUT [SCOPE]\n",
       stderr);
   return 2;
 }
 
-bool ReadFile(const std::string& path, std::string* out) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "trace_check: cannot open %s\n", path.c_str());
-    return false;
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  *out = buffer.str();
-  return true;
-}
-
+// Loads a telemetry file as a JsonValue document. Binary containers are
+// decoded: a kJson payload yields the original document, a kTrace payload
+// is rendered through the canonical Chrome-trace writer so `--trace`
+// validates .htb traces exactly like their JSON twins.
 std::optional<ht::JsonValue> ParseFile(const std::string& path) {
-  std::string text;
-  if (!ReadFile(path, &text)) {
+  std::string error;
+  std::optional<std::string> read = ht::ReadFileBytes(path, &error);
+  if (!read.has_value()) {
+    std::fprintf(stderr, "trace_check: %s\n", error.c_str());
     return std::nullopt;
   }
-  std::string error;
-  auto doc = ht::JsonValue::Parse(text, &error);
+  const std::string& bytes = *read;
+  std::optional<ht::JsonValue> doc;
+  if (ht::SniffHtbPayload(bytes) == ht::HtbPayload::kTrace) {
+    auto buffers = ht::DecodeTraceBinary(bytes, &error);
+    if (buffers.has_value()) {
+      std::ostringstream chrome;
+      ht::WriteChromeTrace(*buffers, chrome);
+      doc = ht::JsonValue::Parse(chrome.str(), &error);
+    }
+  } else if (ht::SniffHtbPayload(bytes) == ht::HtbPayload::kJson) {
+    doc = ht::DecodeJsonBinary(bytes, &error);
+  } else {
+    doc = ht::JsonValue::Parse(bytes, &error);
+  }
   if (!doc.has_value()) {
     std::fprintf(stderr, "trace_check: %s: %s\n", path.c_str(), error.c_str());
   }
@@ -224,6 +258,119 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("trace_check: %s == %s (modulo wall_seconds)\n", argv[2], argv[3]);
+    return 0;
+  }
+
+  if (mode == "--convert") {
+    if (argc != 4) {
+      return Usage();
+    }
+    const std::string in_path = argv[2];
+    const std::string out_path = argv[3];
+    std::optional<std::string> read = ht::ReadFileBytes(in_path, &error);
+    if (!read.has_value()) {
+      std::fprintf(stderr, "trace_check: %s\n", error.c_str());
+      return 2;
+    }
+    const std::string& bytes = *read;
+    if (ht::SniffHtbPayload(bytes) == ht::HtbPayload::kTrace) {
+      // Binary trace -> Chrome JSON (or re-encoded .htb). The decode
+      // reproduces the exact TraceBufferSnapshots the producer held, so
+      // the JSON twin is byte-identical to writing it directly.
+      auto buffers = ht::DecodeTraceBinary(bytes, &error);
+      if (!buffers.has_value()) {
+        std::fprintf(stderr, "trace_check: %s: %s\n", in_path.c_str(), error.c_str());
+        return 1;
+      }
+      std::ofstream out(out_path, std::ios::trunc | std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "trace_check: cannot open %s\n", out_path.c_str());
+        return 2;
+      }
+      if (ht::IsBinaryTelemetryPath(out_path)) {
+        const std::string encoded = ht::EncodeTraceBinary(*buffers);
+        out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
+      } else {
+        ht::WriteChromeTrace(*buffers, out);
+      }
+      if (!out.flush()) {
+        std::fprintf(stderr, "trace_check: write failed for %s\n", out_path.c_str());
+        return 2;
+      }
+      std::printf("trace_check: converted trace %s -> %s (%zu buffers)\n", in_path.c_str(),
+                  out_path.c_str(), buffers->size());
+      return 0;
+    }
+    std::optional<ht::JsonValue> doc;
+    if (ht::SniffHtbPayload(bytes) == ht::HtbPayload::kJson) {
+      doc = ht::DecodeJsonBinary(bytes, &error);
+    } else {
+      doc = ht::JsonValue::Parse(bytes, &error);
+    }
+    if (!doc.has_value()) {
+      std::fprintf(stderr, "trace_check: %s: %s\n", in_path.c_str(), error.c_str());
+      return 1;
+    }
+    if (!ht::WriteTelemetryDocument(out_path, *doc, &error)) {
+      std::fprintf(stderr, "trace_check: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("trace_check: converted document %s -> %s\n", in_path.c_str(), out_path.c_str());
+    return 0;
+  }
+
+  if (mode == "--trend") {
+    if (argc != 4 && argc != 6) {
+      return Usage();
+    }
+    ht::TrendOptions options;
+    if (argc == 6) {
+      if (std::string(argv[4]) != "--tolerance") {
+        return Usage();
+      }
+      options.tolerance = std::strtod(argv[5], nullptr);
+    }
+    auto baseline = ParseFile(argv[2]);
+    auto current = ParseFile(argv[3]);
+    if (!baseline.has_value() || !current.has_value()) {
+      return 2;
+    }
+    std::vector<ht::TrendIssue> issues;
+    if (!ht::TrendCompare(*baseline, *current, options, &issues)) {
+      for (const ht::TrendIssue& issue : issues) {
+        std::fprintf(stderr, "trace_check: trend: %s: %s\n", issue.path.c_str(),
+                     issue.what.c_str());
+      }
+      std::fprintf(stderr, "trace_check: %s regressed vs %s (%zu issues, tolerance %.2f)\n",
+                   argv[3], argv[2], issues.size(), options.tolerance);
+      return 1;
+    }
+    std::printf("trace_check: %s holds the trend of %s (tolerance %.2f)\n", argv[3], argv[2],
+                options.tolerance);
+    return 0;
+  }
+
+  if (mode == "--inject-slowdown") {
+    if (argc != 5 && argc != 6) {
+      return Usage();
+    }
+    const double factor = std::strtod(argv[2], nullptr);
+    if (!(factor > 0.0)) {
+      std::fprintf(stderr, "trace_check: bad factor %s\n", argv[2]);
+      return 2;
+    }
+    auto doc = ParseFile(argv[3]);
+    if (!doc.has_value()) {
+      return 2;
+    }
+    const std::string scope = argc == 6 ? argv[5] : "";
+    *doc = ht::InjectSlowdown(*doc, factor, scope);
+    if (!ht::WriteTelemetryDocument(argv[4], *doc, &error)) {
+      std::fprintf(stderr, "trace_check: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("trace_check: injected %.2fx slowdown (%s) %s -> %s\n", factor,
+                scope.empty() ? "whole document" : scope.c_str(), argv[3], argv[4]);
     return 0;
   }
 
