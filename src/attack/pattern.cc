@@ -1,0 +1,230 @@
+#include "attack/pattern.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace ht {
+namespace {
+
+bool PatternFail(std::string* error, const std::string& what) {
+  if (error != nullptr) {
+    *error = what;
+  }
+  return false;
+}
+
+// 2^k for the largest k with 2^k <= cap (cap >= 1).
+uint32_t FloorLog2(uint32_t cap) {
+  uint32_t log = 0;
+  while ((1u << (log + 1)) <= cap) {
+    ++log;
+  }
+  return log;
+}
+
+}  // namespace
+
+bool HammeringPattern::Validate(std::string* error) const {
+  if (slots_per_frame == 0 || frames == 0) {
+    return PatternFail(error, "pattern has zero geometry");
+  }
+  if (sets.empty()) {
+    return PatternFail(error, "pattern has no aggressor sets");
+  }
+  std::vector<uint8_t> busy(total_slots(), 0);
+  for (size_t i = 0; i < sets.size(); ++i) {
+    const AggressorSet& set = sets[i];
+    const std::string where = "set " + std::to_string(i);
+    if (set.aggressors.empty()) {
+      return PatternFail(error, where + " has no aggressors");
+    }
+    if (set.amplitude == 0) {
+      return PatternFail(error, where + " has zero amplitude");
+    }
+    if (set.period_frames == 0 || set.period_frames > frames ||
+        frames % set.period_frames != 0) {
+      return PatternFail(error, where + " period does not divide the pattern frames");
+    }
+    if (set.start_frame >= set.period_frames) {
+      return PatternFail(error, where + " start_frame is not below its period");
+    }
+    if (set.phase_slot + set.width() > slots_per_frame) {
+      return PatternFail(error, where + " does not fit inside a frame");
+    }
+    for (const uint32_t id : set.aggressors) {
+      if (id >= num_aggressors) {
+        return PatternFail(error, where + " references aggressor id out of range");
+      }
+    }
+    for (uint32_t frame = set.start_frame; frame < frames; frame += set.period_frames) {
+      const uint32_t base = frame * slots_per_frame + set.phase_slot;
+      for (uint32_t j = 0; j < set.width(); ++j) {
+        if (busy[base + j]) {
+          return PatternFail(error, where + " overlaps another set at slot " +
+                                        std::to_string(base + j));
+        }
+        busy[base + j] = 1;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<int32_t> HammeringPattern::Materialize() const {
+  std::vector<int32_t> schedule(total_slots(), kFillerSlot);
+  for (const AggressorSet& set : sets) {
+    const uint32_t tuple = static_cast<uint32_t>(set.aggressors.size());
+    for (uint32_t frame = set.start_frame; frame < frames; frame += set.period_frames) {
+      const uint32_t base = frame * slots_per_frame + set.phase_slot;
+      for (uint32_t j = 0; j < set.width(); ++j) {
+        schedule[base + j] = static_cast<int32_t>(set.aggressors[j % tuple]);
+      }
+    }
+  }
+  return schedule;
+}
+
+PatternParams PatternParamsFor(const DramConfig& dram) {
+  PatternParams params;
+  const Cycle ref_period = dram.RefPeriod();
+  const Cycle slot_cost = std::max<Cycle>(1, dram.timing.tRC);
+  params.slots_per_frame = static_cast<uint32_t>(
+      std::clamp<Cycle>(ref_period / slot_cost, 16, 256));
+  return params;
+}
+
+PatternBuilder::PatternBuilder(const PatternParams& params) : params_(params) {}
+
+HammeringPattern PatternBuilder::Build(uint64_t seed) const {
+  HammeringPattern pattern;
+  pattern.seed = seed;
+  pattern.slots_per_frame = std::max(4u, params_.slots_per_frame);
+  pattern.num_fillers = params_.num_fillers;
+  Rng rng(seed ^ 0x9A77E12Full);
+
+  const uint32_t frames_log = 1 + rng.NextBelow(FloorLog2(std::max(2u, params_.max_frames)));
+  pattern.frames = 1u << frames_log;
+
+  const uint32_t max_aggressors = std::max(2u, params_.max_aggressors);
+  const uint32_t max_sets = std::max(2u, params_.max_sets);
+  const uint32_t target_sets = 2 + static_cast<uint32_t>(rng.NextBelow(max_sets - 1));
+
+  std::vector<uint8_t> busy(pattern.total_slots(), 0);
+  const auto occurrences_free = [&](const AggressorSet& set) {
+    for (uint32_t frame = set.start_frame; frame < pattern.frames;
+         frame += set.period_frames) {
+      const uint32_t base = frame * pattern.slots_per_frame + set.phase_slot;
+      for (uint32_t j = 0; j < set.width(); ++j) {
+        if (busy[base + j]) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  const auto claim = [&](const AggressorSet& set) {
+    for (uint32_t frame = set.start_frame; frame < pattern.frames;
+         frame += set.period_frames) {
+      const uint32_t base = frame * pattern.slots_per_frame + set.phase_slot;
+      for (uint32_t j = 0; j < set.width(); ++j) {
+        busy[base + j] = 1;
+      }
+    }
+  };
+
+  uint32_t next_id = 0;
+  for (uint32_t s = 0; s < target_sets; ++s) {
+    AggressorSet set;
+    // Frequency domain: period is a power of two dividing `frames`, phase
+    // (start_frame) anywhere inside one period, amplitude 1..3.
+    set.period_frames = 1u << rng.NextBelow(frames_log + 1);
+    set.start_frame = static_cast<uint32_t>(rng.NextBelow(set.period_frames));
+    const uint32_t tuple = 2u * (1u + static_cast<uint32_t>(rng.NextBelow(2)));
+    set.amplitude = 1 + static_cast<uint32_t>(rng.NextBelow(3));
+    if (next_id + tuple > max_aggressors) {
+      break;  // Aggressor-row budget exhausted; the pattern is complete.
+    }
+    while (set.amplitude > 1 && set.amplitude * tuple > pattern.slots_per_frame) {
+      --set.amplitude;
+    }
+    if (tuple > pattern.slots_per_frame) {
+      break;
+    }
+    for (uint32_t j = 0; j < tuple; ++j) {
+      set.aggressors.push_back(next_id + j);
+    }
+    const uint32_t span = pattern.slots_per_frame - set.width() + 1;
+    bool placed = false;
+    for (uint32_t attempt = 0; attempt < 8 && !placed; ++attempt) {
+      set.phase_slot = static_cast<uint32_t>(rng.NextBelow(span));
+      placed = occurrences_free(set);
+    }
+    if (!placed) {
+      continue;  // Crowded frame; drop this set, keep drawing others.
+    }
+    claim(set);
+    next_id += tuple;
+    pattern.sets.push_back(std::move(set));
+  }
+
+  if (pattern.sets.empty()) {
+    // Degenerate draw (everything collided or frames are tiny): fall back
+    // to a classic every-frame pair — nothing is placed yet, so it fits.
+    AggressorSet set;
+    set.period_frames = 1;
+    set.start_frame = 0;
+    set.phase_slot = 0;
+    set.amplitude = 1;
+    set.aggressors = {0, 1};
+    pattern.sets.push_back(std::move(set));
+    next_id = 2;
+  }
+  pattern.num_aggressors = next_id;
+  return pattern;
+}
+
+HammeringPattern BuildScenarioPattern(const DramConfig& dram, uint64_t pattern_seed) {
+  return PatternBuilder(PatternParamsFor(dram)).Build(pattern_seed);
+}
+
+PatternHammerStream::PatternHammerStream(PatternStreamConfig config)
+    : config_(std::move(config)) {
+  const HammeringPattern& pattern = config_.pattern;
+  uint64_t filler_ordinal = 0;
+  for (int32_t id : pattern.Materialize()) {
+    if (id == kFillerSlot) {
+      if (pattern.num_fillers == 0) {
+        continue;  // No filler rows: unclaimed slots emit nothing.
+      }
+      id = static_cast<int32_t>(pattern.num_aggressors + filler_ordinal % pattern.num_fillers);
+      ++filler_ordinal;
+    }
+    if (static_cast<size_t>(id) < config_.vas.size()) {
+      period_vas_.push_back(config_.vas[static_cast<size_t>(id)]);
+    }
+  }
+}
+
+CoreOp PatternHammerStream::Next() {
+  if (period_vas_.empty() ||
+      (config_.iterations != 0 && periods_ >= config_.iterations)) {
+    return CoreOp::Halt();
+  }
+  const VirtAddr va = period_vas_[cursor_];
+  if (!flush_phase_) {
+    flush_phase_ = true;
+    ++accesses_;
+    return CoreOp::Load(va);
+  }
+  flush_phase_ = false;
+  if (++cursor_ == period_vas_.size()) {
+    cursor_ = 0;
+    ++periods_;
+  }
+  return CoreOp::Flush(va);
+}
+
+}  // namespace ht

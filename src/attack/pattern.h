@@ -1,0 +1,147 @@
+// Frequency-domain hammering patterns (Blacksmith-style synthesis).
+//
+// Uniform patterns (double-sided, many-sided) lose to sampling TRR
+// trackers because every aggressor shows the same access frequency: the
+// tracker's hot-row estimates converge on exactly the rows being
+// hammered. The strongest in-the-wild TRR bypasses are instead
+// *non-uniform*: aggressor sets are placed in the frequency domain —
+// each set recurs with its own frequency, phase, and amplitude inside a
+// tREFI-aligned frame — so the tracker's view of "hot" is split across
+// sets that take turns while the victim's disturbance keeps accumulating.
+//
+// `HammeringPattern` is the frame representation, `PatternBuilder` is the
+// deterministic seed-driven generator (the campaign fuzzer's search
+// space), and `PatternHammerStream` emits the schedule through the same
+// load+flush idiom as HammerStream. The naive reference expansion lives
+// in src/check/pattern_ref.h and must agree with Materialize() — two
+// independent algorithms over the same representation (the differential
+// pattern oracle).
+#ifndef HAMMERTIME_SRC_ATTACK_PATTERN_H_
+#define HAMMERTIME_SRC_ATTACK_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/core_ops.h"
+#include "dram/config.h"
+
+namespace ht {
+
+// Schedule value for a slot no aggressor set claims (filler traffic).
+inline constexpr int32_t kFillerSlot = -1;
+
+// One aggressor set placed in the frequency domain. The set occurs in
+// frames start_frame, start_frame + period_frames, ... (< frames); each
+// occurrence writes the aggressor tuple `amplitude` times back to back,
+// occupying slots [phase_slot, phase_slot + width()) of that frame.
+struct AggressorSet {
+  uint32_t start_frame = 0;    // Phase, in frames (< period_frames).
+  uint32_t period_frames = 1;  // 1/frequency; must divide the pattern's frames.
+  uint32_t phase_slot = 0;     // First slot inside each occupied frame.
+  uint32_t amplitude = 1;      // Back-to-back tuple repeats per occurrence.
+  std::vector<uint32_t> aggressors;  // Aggressor ids, hammered in tuple order.
+
+  uint32_t width() const {
+    return amplitude * static_cast<uint32_t>(aggressors.size());
+  }
+};
+
+// A periodic access schedule aligned to refresh-interval frames: `frames`
+// frames of `slots_per_frame` slots each make one period, which the
+// stream repeats. Slot = one load+flush pair (~one ACT, sized so a frame
+// of slots fits in one REF-to-REF interval). Ids 0..num_aggressors-1 are
+// aggressor rows; ids num_aggressors..num_aggressors+num_fillers-1 are
+// filler rows that occupy unclaimed slots (round-robin in slot order) to
+// keep ACT pressure — and tracker churn — continuous.
+struct HammeringPattern {
+  uint32_t slots_per_frame = 64;
+  uint32_t frames = 4;         // Frames per period.
+  uint32_t num_aggressors = 0;
+  uint32_t num_fillers = 0;
+  uint64_t seed = 0;           // Builder seed (0 for hand-built patterns).
+  std::vector<AggressorSet> sets;
+
+  uint32_t total_slots() const { return slots_per_frame * frames; }
+  uint32_t total_ids() const { return num_aggressors + num_fillers; }
+
+  // Structural checks: nonzero geometry, every set's period divides
+  // `frames` with start_frame < period_frames, tuples fit their frame,
+  // ids in range, and no two occurrences claim the same slot.
+  bool Validate(std::string* error = nullptr) const;
+
+  // One period's slot -> aggressor id schedule (kFillerSlot where no set
+  // claims the slot). Iterates set occurrences — the reference expander
+  // in src/check/pattern_ref.h derives the same schedule per slot via
+  // modular arithmetic instead. Precondition: Validate() holds.
+  std::vector<int32_t> Materialize() const;
+};
+
+// Generator envelope: geometry and search-space caps, derived from the
+// DRAM profile so frames stay tREFI-aligned under any timing.
+struct PatternParams {
+  uint32_t slots_per_frame = 64;  // ~ RefPeriod / tRC (one ACT per slot).
+  uint32_t max_frames = 8;        // Period cap, in frames (power of two).
+  uint32_t max_sets = 6;          // Aggressor sets attempted per pattern.
+  uint32_t max_aggressors = 10;   // Distinct aggressor rows (>= 2).
+  uint32_t num_fillers = 2;       // Filler rows for unclaimed slots.
+};
+
+// Sizes a frame to the profile's REF cadence: one slot per tRC (the
+// fastest same-bank ACT rate), clamped to keep schedules small.
+PatternParams PatternParamsFor(const DramConfig& dram);
+
+// Deterministic pattern generator: Build(seed) is a pure function of
+// (params, seed) — same seed, same pattern, byte for byte — which is what
+// makes campaign cells cacheable and seed lines replayable.
+class PatternBuilder {
+ public:
+  explicit PatternBuilder(const PatternParams& params = {});
+
+  HammeringPattern Build(uint64_t seed) const;
+
+ private:
+  PatternParams params_;
+};
+
+// The one pattern a ScenarioSpec{attack=kPattern, pattern_seed} runs:
+// builder params from the spec's DRAM profile, pattern from the seed.
+// Shared by the scenario runner, the campaign report (pattern summaries),
+// and the tests so they can never disagree on what a seed means.
+HammeringPattern BuildScenarioPattern(const DramConfig& dram, uint64_t pattern_seed);
+
+struct PatternStreamConfig {
+  HammeringPattern pattern;
+  // id -> line VA, one per id; size >= pattern.total_ids(). Aggressor ids
+  // first, filler ids after (the planner hands out one bank's rows).
+  std::vector<VirtAddr> vas;
+  uint64_t iterations = 0;  // Full periods to emit; 0 = endless.
+};
+
+// Emits the materialized schedule as load+flush pairs (the canonical
+// ACT-forcing idiom, as HammerStream). Unclaimed slots become filler
+// accesses when the pattern has fillers and are skipped otherwise.
+class PatternHammerStream : public InstructionStream {
+ public:
+  explicit PatternHammerStream(PatternStreamConfig config);
+
+  CoreOp Next() override;
+  // Modest overlap: enough MLP to keep the bank busy without letting the
+  // core reorder far enough to smear the frame alignment.
+  uint32_t IlpHint() const override { return 4; }
+
+  uint64_t accesses() const { return accesses_; }
+  const std::vector<VirtAddr>& period_vas() const { return period_vas_; }
+
+ private:
+  PatternStreamConfig config_;
+  std::vector<VirtAddr> period_vas_;  // One period, fillers resolved.
+  size_t cursor_ = 0;
+  bool flush_phase_ = false;
+  uint64_t periods_ = 0;
+  uint64_t accesses_ = 0;
+};
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_ATTACK_PATTERN_H_

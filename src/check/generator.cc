@@ -4,18 +4,33 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "check/pattern_ref.h"
 #include "dram/device.h"
 
 namespace ht {
+namespace {
+
+const char* FuzzKindName(FuzzCase::Kind kind) {
+  switch (kind) {
+    case FuzzCase::Kind::kDevice:
+      return "device";
+    case FuzzCase::Kind::kScenario:
+      return "scenario";
+    case FuzzCase::Kind::kPattern:
+      return "pattern";
+  }
+  return "device";
+}
+
+}  // namespace
 
 std::string FuzzCase::ToSeedLine() const {
   std::ostringstream out;
-  out << "htfuzz v1 " << (kind == Kind::kDevice ? "device" : "scenario") << " seed=0x"
-      << std::hex << seed << std::dec;
-  if (kind == Kind::kDevice) {
-    out << " steps=" << steps;
-  } else {
+  out << "htfuzz v1 " << FuzzKindName(kind) << " seed=0x" << std::hex << seed << std::dec;
+  if (kind == Kind::kScenario) {
     out << " cycles=" << cycles;
+  } else {
+    out << " steps=" << steps;
   }
   out << " mask=0x" << std::hex << feature_mask << std::dec << " inject=" << inject_after;
   return out.str();
@@ -32,6 +47,8 @@ std::optional<FuzzCase> ParseSeedLine(const std::string& line) {
     fuzz_case.kind = FuzzCase::Kind::kDevice;
   } else if (kind == "scenario") {
     fuzz_case.kind = FuzzCase::Kind::kScenario;
+  } else if (kind == "pattern") {
+    fuzz_case.kind = FuzzCase::Kind::kPattern;
   } else {
     return std::nullopt;
   }
@@ -270,6 +287,138 @@ FuzzCase ShrinkDeviceFuzz(const FuzzCase& failing) {
       tighten_steps();
     }
   }
+  return best;
+}
+
+namespace {
+
+// Seed-jittered generator envelope: exercises small and large frames,
+// patterns with and without fillers, and tight aggressor budgets.
+PatternParams FuzzPatternParams(uint64_t seed) {
+  Rng rng(seed ^ 0x9A77FA22ULL);
+  PatternParams params;
+  params.slots_per_frame = 8u << rng.NextBelow(4);  // 8 / 16 / 32 / 64.
+  params.max_frames = 2u << rng.NextBelow(3);       // 2 / 4 / 8.
+  params.max_sets = 2 + static_cast<uint32_t>(rng.NextBelow(5));
+  params.max_aggressors = 4 + static_cast<uint32_t>(rng.NextBelow(9));
+  params.num_fillers = static_cast<uint32_t>(rng.NextBelow(3));
+  return params;
+}
+
+bool PatternFuzzFail(PatternFuzzOutcome* outcome, const FuzzCase& fuzz_case,
+                     const std::string& what) {
+  outcome->build_failures = 1;
+  outcome->report = fuzz_case.ToSeedLine() + "\n" + what;
+  return false;
+}
+
+}  // namespace
+
+PatternFuzzOutcome RunPatternFuzz(const FuzzCase& fuzz_case) {
+  PatternFuzzOutcome outcome;
+  const PatternParams params = FuzzPatternParams(fuzz_case.seed);
+  const HammeringPattern pattern = PatternBuilder(params).Build(fuzz_case.seed);
+  std::string error;
+  if (!pattern.Validate(&error)) {
+    PatternFuzzFail(&outcome, fuzz_case, "builder produced invalid pattern: " + error);
+    return outcome;
+  }
+
+  std::vector<PatternRefAccess> reference;
+  if (!ExpandPatternReference(pattern, &reference, &error) || reference.empty()) {
+    PatternFuzzFail(&outcome, fuzz_case, "reference expander rejected pattern: " + error);
+    return outcome;
+  }
+
+  // Differential half 1: occurrence iteration (Materialize) against the
+  // per-slot modular expander, with the same filler rule applied on top.
+  {
+    const std::vector<int32_t> schedule = pattern.Materialize();
+    std::vector<PatternRefAccess> materialized;
+    uint64_t filler_ordinal = 0;
+    for (uint32_t slot = 0; slot < pattern.total_slots(); ++slot) {
+      PatternRefAccess access;
+      access.slot = slot;
+      if (schedule[slot] == kFillerSlot) {
+        if (pattern.num_fillers == 0) {
+          continue;
+        }
+        access.id = pattern.num_aggressors +
+                    static_cast<uint32_t>(filler_ordinal % pattern.num_fillers);
+        access.filler = true;
+        ++filler_ordinal;
+      } else {
+        access.id = static_cast<uint32_t>(schedule[slot]);
+        access.filler = false;
+      }
+      materialized.push_back(access);
+    }
+    if (materialized.size() != reference.size()) {
+      ++outcome.schedule_mismatches;
+    } else {
+      for (size_t i = 0; i < reference.size(); ++i) {
+        if (materialized[i].slot != reference[i].slot ||
+            materialized[i].id != reference[i].id ||
+            materialized[i].filler != reference[i].filler) {
+          ++outcome.schedule_mismatches;
+        }
+      }
+    }
+  }
+
+  // Differential half 2: the stream's emitted load+flush schedule against
+  // the reference list (wrapping periods), `steps` accesses deep. The
+  // emission is prefix-stable in steps, so shrinking can binary-search.
+  PatternStreamConfig stream_config;
+  stream_config.pattern = pattern;
+  for (uint32_t id = 0; id < pattern.total_ids(); ++id) {
+    stream_config.vas.push_back(0x10000 + static_cast<VirtAddr>(id) * kLineBytes);
+  }
+  PatternHammerStream stream(stream_config);
+  for (uint64_t i = 0; i < fuzz_case.steps; ++i) {
+    const PatternRefAccess& expect = reference[i % reference.size()];
+    VirtAddr want = stream_config.vas[expect.id];
+    if (fuzz_case.inject_after != 0 && i >= fuzz_case.inject_after) {
+      want ^= kLineBytes;  // Fault injection: the cross-check must fire.
+    }
+    const CoreOp load = stream.Next();
+    const CoreOp flush = stream.Next();
+    if (load.kind != CoreOpKind::kLoad || load.va != want ||
+        flush.kind != CoreOpKind::kFlush || flush.va != want) {
+      ++outcome.stream_mismatches;
+    }
+    ++outcome.compared;
+  }
+
+  if (outcome.failed()) {
+    std::ostringstream report;
+    report << fuzz_case.ToSeedLine() << "\npattern seed=0x" << std::hex << pattern.seed
+           << std::dec << " frames=" << pattern.frames
+           << " slots_per_frame=" << pattern.slots_per_frame
+           << " sets=" << pattern.sets.size() << "\nschedule_mismatches="
+           << outcome.schedule_mismatches << " stream_mismatches=" << outcome.stream_mismatches
+           << " compared=" << outcome.compared;
+    outcome.report = report.str();
+  }
+  return outcome;
+}
+
+FuzzCase ShrinkPatternFuzz(const FuzzCase& failing) {
+  const auto fails = [](const FuzzCase& c) { return RunPatternFuzz(c).failed(); };
+  FuzzCase best = failing;
+  uint64_t lo = 1;
+  uint64_t hi = best.steps;
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    FuzzCase candidate = best;
+    candidate.steps = mid;
+    if (fails(candidate)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  best.steps = hi;
   return best;
 }
 

@@ -9,7 +9,9 @@
 // Seed-file format (one case per line, '#' comments allowed):
 //   htfuzz v1 device seed=0x2a steps=20000 mask=0x0 inject=0
 //   htfuzz v1 scenario seed=0x2a cycles=120000 mask=0x0 inject=0
-// `mask` disables config features (shrinking aid, kFuzz* bits below);
+//   htfuzz v1 pattern seed=0x2a steps=20000 mask=0x0 inject=0
+// `mask` disables config features (shrinking aid, kFuzz* bits below;
+// unused by pattern cases, kept so all kinds share one line shape);
 // `inject` != 0 arms the oracle's fault injection after that many
 // commands — recorded so an injected-divergence repro replays by itself.
 #ifndef HAMMERTIME_SRC_CHECK_GENERATOR_H_
@@ -43,10 +45,10 @@ inline constexpr uint32_t kFuzzTinyGeometry = 1u << 4;  // DramConfig::Tiny() sh
 inline constexpr uint32_t kFuzzHotRows = 3;
 
 struct FuzzCase {
-  enum class Kind : uint8_t { kDevice, kScenario };
+  enum class Kind : uint8_t { kDevice, kScenario, kPattern };
   Kind kind = Kind::kDevice;
   uint64_t seed = 1;
-  uint64_t steps = 20000;   // Device cases: random commands to attempt.
+  uint64_t steps = 20000;   // Device/pattern cases: commands / slots to check.
   Cycle cycles = 120000;    // Scenario cases: run length.
   uint32_t feature_mask = 0;
   uint64_t inject_after = 0;  // Oracle fault injection (0 = off).
@@ -86,6 +88,31 @@ DeviceFuzzOutcome RunDeviceFuzz(const FuzzCase& fuzz_case);
 // count (sound because streams are prefix-stable), then greedily disable
 // config features that keep it failing, re-tightening steps after each.
 FuzzCase ShrinkDeviceFuzz(const FuzzCase& failing);
+
+// Differential pattern oracle: derives seed-jittered PatternParams, runs
+// the PatternBuilder, and cross-checks three independent expansions of
+// the result — HammeringPattern::Materialize (occurrence iteration), the
+// src/check naive per-slot expander, and the PatternHammerStream's
+// emitted load+flush schedule — over `steps` accesses (periods wrap).
+// `inject_after` != 0 perturbs the reference expectation after that many
+// compared accesses, proving the cross-check actually fires.
+struct PatternFuzzOutcome {
+  uint64_t compared = 0;
+  uint64_t build_failures = 0;       // Builder output failed Validate/expand.
+  uint64_t schedule_mismatches = 0;  // Materialize vs reference expander.
+  uint64_t stream_mismatches = 0;    // Stream emission vs reference.
+  std::string report;  // Non-empty iff failed().
+
+  bool failed() const {
+    return build_failures != 0 || schedule_mismatches != 0 || stream_mismatches != 0;
+  }
+};
+PatternFuzzOutcome RunPatternFuzz(const FuzzCase& fuzz_case);
+
+// Shrinks a failing pattern case: binary-search the smallest failing
+// compared-access count (emission is prefix-stable in steps). Pattern
+// cases have no feature mask to strip.
+FuzzCase ShrinkPatternFuzz(const FuzzCase& failing);
 
 }  // namespace ht
 

@@ -1,0 +1,75 @@
+#include "check/pattern_ref.h"
+
+namespace ht {
+namespace {
+
+bool RefFail(std::string* error, const std::string& what) {
+  if (error != nullptr) {
+    *error = what;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ExpandPatternReference(const HammeringPattern& pattern,
+                            std::vector<PatternRefAccess>* out,
+                            std::string* error) {
+  out->clear();
+  if (pattern.slots_per_frame == 0 || pattern.frames == 0) {
+    return RefFail(error, "reference: pattern has zero geometry");
+  }
+  for (const AggressorSet& set : pattern.sets) {
+    if (set.aggressors.empty() || set.amplitude == 0 || set.period_frames == 0 ||
+        set.period_frames > pattern.frames ||
+        pattern.frames % set.period_frames != 0 ||
+        set.start_frame >= set.period_frames ||
+        set.phase_slot + set.width() > pattern.slots_per_frame) {
+      return RefFail(error, "reference: malformed aggressor set");
+    }
+  }
+
+  uint64_t filler_ordinal = 0;
+  for (uint32_t slot = 0; slot < pattern.total_slots(); ++slot) {
+    const uint32_t frame = slot / pattern.slots_per_frame;
+    const uint32_t offset = slot % pattern.slots_per_frame;
+    // Which set claims this slot? A set occupies frame f iff
+    // f % period == start_frame, at offsets [phase_slot, phase_slot+width).
+    bool claimed = false;
+    PatternRefAccess access;
+    access.slot = slot;
+    for (const AggressorSet& set : pattern.sets) {
+      if (frame % set.period_frames != set.start_frame) {
+        continue;
+      }
+      if (offset < set.phase_slot || offset >= set.phase_slot + set.width()) {
+        continue;
+      }
+      if (claimed) {
+        return RefFail(error, "reference: two sets claim slot " + std::to_string(slot));
+      }
+      claimed = true;
+      const uint32_t tuple = static_cast<uint32_t>(set.aggressors.size());
+      const uint32_t id = set.aggressors[(offset - set.phase_slot) % tuple];
+      if (id >= pattern.num_aggressors) {
+        return RefFail(error, "reference: aggressor id out of range at slot " +
+                                  std::to_string(slot));
+      }
+      access.id = id;
+      access.filler = false;
+    }
+    if (!claimed) {
+      if (pattern.num_fillers == 0) {
+        continue;
+      }
+      access.id = pattern.num_aggressors +
+                  static_cast<uint32_t>(filler_ordinal % pattern.num_fillers);
+      access.filler = true;
+      ++filler_ordinal;
+    }
+    out->push_back(access);
+  }
+  return true;
+}
+
+}  // namespace ht

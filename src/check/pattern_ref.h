@@ -1,0 +1,38 @@
+// Naive reference expansion of a HammeringPattern — the differential
+// pattern oracle's independent half. HammeringPattern::Materialize walks
+// set occurrences and fills a schedule; this expander instead asks, for
+// every slot, "which set claims you?" via per-set modular arithmetic, and
+// derives filler assignment from a running count of unclaimed slots. Two
+// different algorithms over the same representation: tests and hammerfuzz
+// cross-check them (and the PatternHammerStream emission) slot by slot.
+#ifndef HAMMERTIME_SRC_CHECK_PATTERN_REF_H_
+#define HAMMERTIME_SRC_CHECK_PATTERN_REF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/pattern.h"
+
+namespace ht {
+
+// One expected access per emitted slot, in emission order. Slots no set
+// claims are fillers (dropped entirely when the pattern has no filler
+// rows, so `slot` values may skip).
+struct PatternRefAccess {
+  uint32_t slot = 0;  // Slot index inside the period.
+  uint32_t id = 0;    // Aggressor id, or num_aggressors + filler index.
+  bool filler = false;
+};
+
+// Expands one period of `pattern` into its expected access list. Returns
+// false (with *error set) if the pattern is structurally invalid — in
+// particular if two sets claim the same slot, which the builder must
+// never produce.
+bool ExpandPatternReference(const HammeringPattern& pattern,
+                            std::vector<PatternRefAccess>* out,
+                            std::string* error = nullptr);
+
+}  // namespace ht
+
+#endif  // HAMMERTIME_SRC_CHECK_PATTERN_REF_H_

@@ -285,14 +285,18 @@ bool ValidateChromeTrace(const JsonValue& doc, const std::vector<std::string>& r
   return true;
 }
 
-bool ValidateSweepReport(const JsonValue& doc, std::string* error) {
+namespace {
+
+// Shared core of the sweep and pattern report validators: schema string,
+// grid_cells, and the key-sorted (key/spec/result) cell array.
+bool ValidateCellReport(const JsonValue& doc, const char* schema_name, std::string* error) {
   if (doc.type() != JsonValue::Type::kObject) {
-    return Fail(error, "sweep report is not an object");
+    return Fail(error, "report is not an object");
   }
   const JsonValue* schema = doc.Find("schema");
   if (schema == nullptr || schema->type() != JsonValue::Type::kString ||
-      schema->as_string() != kSweepReportSchema) {
-    return Fail(error, std::string("schema is not \"") + kSweepReportSchema + "\"");
+      schema->as_string() != schema_name) {
+    return Fail(error, std::string("schema is not \"") + schema_name + "\"");
   }
   const JsonValue* grid_cells = doc.Find("grid_cells");
   if (grid_cells == nullptr || grid_cells->type() != JsonValue::Type::kUint) {
@@ -329,6 +333,79 @@ bool ValidateSweepReport(const JsonValue& doc, std::string* error) {
     if (!RequireObject(cell, "spec", &member, error) ||
         !RequireObject(cell, "result", &member, error)) {
       return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ValidateSweepReport(const JsonValue& doc, std::string* error) {
+  return ValidateCellReport(doc, kSweepReportSchema, error);
+}
+
+bool ValidatePatternReport(const JsonValue& doc, std::string* error) {
+  if (!ValidateCellReport(doc, kPatternReportSchema, error)) {
+    return false;
+  }
+  const JsonValue* patterns = doc.Find("patterns");
+  if (patterns == nullptr || patterns->type() != JsonValue::Type::kArray) {
+    return Fail(error, "missing array field \"patterns\"");
+  }
+  for (size_t i = 0; i < patterns->size(); ++i) {
+    const JsonValue& entry = patterns->at(i);
+    const std::string where = "patterns[" + std::to_string(i) + "]";
+    if (entry.type() != JsonValue::Type::kObject) {
+      return Fail(error, where + " is not an object");
+    }
+    for (const char* field :
+         {"pattern_seed", "frames", "slots_per_frame", "num_aggressors", "num_fillers", "sets"}) {
+      const JsonValue* value = entry.Find(field);
+      if (value == nullptr || !value->is_number()) {
+        return Fail(error, where + " missing numeric \"" + field + "\"");
+      }
+    }
+  }
+  const JsonValue* ranking = doc.Find("ranking");
+  if (ranking == nullptr || ranking->type() != JsonValue::Type::kArray) {
+    return Fail(error, "missing array field \"ranking\"");
+  }
+  for (size_t i = 0; i < ranking->size(); ++i) {
+    const JsonValue& group = ranking->at(i);
+    const std::string where = "ranking[" + std::to_string(i) + "]";
+    if (group.type() != JsonValue::Type::kObject) {
+      return Fail(error, where + " is not an object");
+    }
+    const JsonValue* vendor = group.Find("vendor");
+    if (vendor == nullptr || vendor->type() != JsonValue::Type::kString) {
+      return Fail(error, where + " missing string field \"vendor\"");
+    }
+    const JsonValue* entries = group.Find("entries");
+    if (entries == nullptr || entries->type() != JsonValue::Type::kArray) {
+      return Fail(error, where + " missing array field \"entries\"");
+    }
+    uint64_t previous_flips = ~0ull;
+    for (size_t j = 0; j < entries->size(); ++j) {
+      const JsonValue& entry = entries->at(j);
+      const std::string entry_where = where + ".entries[" + std::to_string(j) + "]";
+      if (entry.type() != JsonValue::Type::kObject) {
+        return Fail(error, entry_where + " is not an object");
+      }
+      const JsonValue* key = entry.Find("key");
+      if (key == nullptr || key->type() != JsonValue::Type::kString) {
+        return Fail(error, entry_where + " missing string field \"key\"");
+      }
+      for (const char* field : {"pattern_seed", "flips", "cross_domain_flips"}) {
+        const JsonValue* value = entry.Find(field);
+        if (value == nullptr || !value->is_number()) {
+          return Fail(error, entry_where + " missing numeric \"" + field + "\"");
+        }
+      }
+      const uint64_t flips = entry.Find("flips")->as_uint();
+      if (flips > previous_flips) {
+        return Fail(error, entry_where + ".flips is not non-increasing");
+      }
+      previous_flips = flips;
     }
   }
   return true;

@@ -79,6 +79,23 @@ inline constexpr const char* kSweepReportSchema = "hammertime.sweep_report.v1";
 
 bool ValidateSweepReport(const JsonValue& doc, std::string* error = nullptr);
 
+// Pattern-campaign report (src/sim/sweep/patterns):
+//   hammertime.pattern_report.v1 —
+//     { "schema", "grid_cells": uint,
+//       "cells": [ { "key", "spec", "result" } ... ],   // sweep-cell shape
+//       "patterns": [ { "pattern_seed", "frames", "slots_per_frame",
+//                       "num_aggressors", "num_fillers", "sets" } ... ],
+//       "ranking": [ { "vendor": str,
+//                      "entries": [ { "pattern_seed", "key", "flips",
+//                                     "cross_domain_flips" } ... ] } ... ] }
+// Cells follow the sweep-report rules (key-sorted, at most grid_cells);
+// `patterns` summarizes each distinct pattern seed and `ranking` orders
+// seeds by flips (desc, seed asc) per TRR vendor config. Both sections
+// are derived from the cells, so shard merges rebuild them exactly.
+inline constexpr const char* kPatternReportSchema = "hammertime.pattern_report.v1";
+
+bool ValidatePatternReport(const JsonValue& doc, std::string* error = nullptr);
+
 }  // namespace ht
 
 #endif  // HAMMERTIME_SRC_COMMON_TELEMETRY_REPORT_H_

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "attack/hammer.h"
+#include "attack/pattern.h"
 #include "attack/planner.h"
 #include "common/telemetry/binary.h"
 #include "common/telemetry/profile.h"
@@ -67,6 +68,7 @@ JsonValue ScenarioSpecToJson(const ScenarioSpec& spec) {
   config.Set("attack", JsonValue::Str(ToString(spec.attack)));
   config.Set("alloc", JsonValue::Str(ToString(spec.system.alloc)));
   config.Set("sides", JsonValue::Uint(spec.sides));
+  config.Set("pattern_seed", JsonValue::Uint(spec.pattern_seed));
   config.Set("act_threshold", JsonValue::Uint(spec.act_threshold));
   config.Set("run_cycles", JsonValue::Uint(std::min(spec.run_cycles, BenchSmokeCap())));
   config.Set("tenants", JsonValue::Uint(spec.tenants));
@@ -137,9 +139,20 @@ ScenarioResult RunScenario(ScenarioSpec spec, ScenarioTelemetry* telemetry,
   // Attack plan: prefer the cross-domain sandwich; fall back to hammering
   // the attacker's own rows when isolation denies adjacency.
   std::optional<HammerPlan> plan;
+  std::optional<HammeringPattern> pattern;
   if (spec.attack != AttackKind::kNone) {
     if (spec.attack == AttackKind::kManySided) {
       plan = PlanManySided(system.kernel(), attacker, spec.sides);
+    } else if (spec.attack == AttackKind::kPattern) {
+      // The pattern determines how many distinct rows (aggressors +
+      // fillers) the planner must find in one bank.
+      pattern = BuildScenarioPattern(spec.system.dram, spec.pattern_seed);
+      plan = PlanManySided(system.kernel(), attacker, pattern->total_ids(), 2);
+      if (!plan.has_value()) {
+        result.attack_planned = false;
+        pattern.reset();  // Fall back to plain double-sided hammering.
+        plan = PlanManySided(system.kernel(), attacker, 2);
+      }
     } else if (spec.attack == AttackKind::kHalfDouble) {
       plan = PlanHalfDoubleCross(system.kernel(), attacker, victim);
       if (!plan.has_value()) {
@@ -165,6 +178,20 @@ ScenarioResult RunScenario(ScenarioSpec spec, ScenarioTelemetry* telemetry,
         HammerConfig hammer;
         hammer.aggressors = plan->aggressor_vas;
         system.AssignCore(0, attacker, std::make_unique<HammerStream>(hammer));
+        break;
+      }
+      case AttackKind::kPattern: {
+        if (pattern.has_value()) {
+          PatternStreamConfig stream;
+          stream.pattern = *pattern;
+          stream.vas = plan->aggressor_vas;
+          system.AssignCore(0, attacker,
+                            std::make_unique<PatternHammerStream>(std::move(stream)));
+        } else {
+          HammerConfig hammer;
+          hammer.aggressors = plan->aggressor_vas;
+          system.AssignCore(0, attacker, std::make_unique<HammerStream>(hammer));
+        }
         break;
       }
       case AttackKind::kDma: {

@@ -27,6 +27,7 @@ struct ScenarioSpec {
   HwMitigationKind hw = HwMitigationKind::kNone;
   AttackKind attack = AttackKind::kDoubleSided;
   uint32_t sides = 16;             // For kManySided.
+  uint64_t pattern_seed = 0;       // For kPattern: PatternBuilder seed.
   uint64_t act_threshold = 256;    // Interrupt threshold for SW defenses.
   std::optional<bool> randomize_reset;  // Override the preset's choice.
   Cycle run_cycles = 800000;

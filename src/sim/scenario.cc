@@ -82,6 +82,7 @@ constexpr KindEntry<AttackKind> kAttackKinds[] = {
     {AttackKind::kDma, "dma"},
     {AttackKind::kAdaptive, "adaptive"},
     {AttackKind::kHalfDouble, "half-double"},
+    {AttackKind::kPattern, "pattern"},
 };
 
 }  // namespace

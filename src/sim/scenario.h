@@ -70,6 +70,8 @@ enum class AttackKind : uint8_t {
   kDma,          // Double-sided pattern driven by a DMA engine.
   kAdaptive,     // Counter-synchronized evasion attacker (§4.2).
   kHalfDouble,   // Distance-2 aggressors (blast-radius attack).
+  kPattern,      // Frequency-domain pattern from ScenarioSpec::pattern_seed
+                 // (Blacksmith-style, src/attack/pattern.h).
 };
 
 const char* ToString(AttackKind kind);

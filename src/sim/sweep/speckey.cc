@@ -38,6 +38,18 @@ bool GetUintField(const JsonValue& json, const char* name, uint64_t* out, std::s
   return true;
 }
 
+bool GetDoubleField(const JsonValue& json, const char* name, double* out, std::string* error) {
+  const JsonValue* member = json.Find(name);
+  if (member == nullptr || !member->is_number()) {
+    if (error != nullptr) {
+      *error = std::string("missing or non-numeric member '") + name + "'";
+    }
+    return false;
+  }
+  *out = member->as_double();
+  return true;
+}
+
 bool GetBoolField(const JsonValue& json, const char* name, bool* out, std::string* error) {
   const JsonValue* member = json.Find(name);
   if (member == nullptr || member->type() != JsonValue::Type::kBool) {
@@ -94,6 +106,7 @@ JsonValue SpecCanonicalJson(const ScenarioSpec& spec) {
   out.Set("mac", JsonValue::Uint(spec.system.dram.disturbance.mac));
   out.Set("open_page", JsonValue::Bool(spec.system.mc.open_page));
   out.Set("pages_per_tenant", JsonValue::Uint(spec.pages_per_tenant));
+  out.Set("pattern_seed", JsonValue::Uint(spec.pattern_seed));
   out.Set("randomize_reset",
           JsonValue::Str(!spec.randomize_reset.has_value() ? "default"
                          : *spec.randomize_reset         ? "on"
@@ -104,6 +117,12 @@ JsonValue SpecCanonicalJson(const ScenarioSpec& spec) {
   out.Set("tenants", JsonValue::Uint(spec.tenants));
   out.Set("trr_entries",
           JsonValue::Uint(spec.system.dram.trr.enabled ? spec.system.dram.trr.table_entries : 0));
+  out.Set("trr_per_ref", JsonValue::Uint(spec.system.dram.trr.enabled
+                                             ? spec.system.dram.trr.refreshes_per_ref
+                                             : 0));
+  out.Set("trr_sample", JsonValue::Double(spec.system.dram.trr.enabled
+                                              ? spec.system.dram.trr.sample_probability
+                                              : 1.0));
   return out;
 }
 
@@ -226,6 +245,7 @@ std::optional<ScenarioSpec> SpecFromCanonicalJson(const JsonValue& json, std::st
   if (!GetUintField(json, "act_threshold", &spec.act_threshold, error) ||
       !GetUintField(json, "cycles", &spec.run_cycles, error) ||
       !GetUintField(json, "pages_per_tenant", &spec.pages_per_tenant, error) ||
+      !GetUintField(json, "pattern_seed", &spec.pattern_seed, error) ||
       !GetUintField(json, "seed", &spec.seed, error)) {
     return std::nullopt;
   }
@@ -267,6 +287,19 @@ std::optional<ScenarioSpec> SpecFromCanonicalJson(const JsonValue& json, std::st
   spec.system.dram.trr.enabled = value > 0;
   if (value > 0) {
     spec.system.dram.trr.table_entries = static_cast<uint32_t>(value);
+  }
+  if (!GetUintField(json, "trr_per_ref", &value, error)) {
+    return std::nullopt;
+  }
+  if (spec.system.dram.trr.enabled && value > 0) {
+    spec.system.dram.trr.refreshes_per_ref = static_cast<uint32_t>(value);
+  }
+  double sample = 1.0;
+  if (!GetDoubleField(json, "trr_sample", &sample, error)) {
+    return std::nullopt;
+  }
+  if (spec.system.dram.trr.enabled) {
+    spec.system.dram.trr.sample_probability = sample;
   }
   if (!GetBoolField(json, "benign_corunner", &spec.benign_corunner, error) ||
       !GetBoolField(json, "ecc", &flag, error)) {

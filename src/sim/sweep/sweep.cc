@@ -28,9 +28,10 @@ double SecondsSince(SteadyClock::time_point start) {
 // report stream on stdout clean.
 class Heartbeat {
  public:
-  Heartbeat(double period_seconds, uint64_t pending_cells, uint64_t cached_cells,
-            const std::atomic<uint64_t>* done)
-      : period_(period_seconds), pending_(pending_cells), cached_(cached_cells), done_(done) {
+  Heartbeat(const char* label, double period_seconds, uint64_t pending_cells,
+            uint64_t cached_cells, const std::atomic<uint64_t>* done)
+      : label_(label), period_(period_seconds), pending_(pending_cells),
+        cached_(cached_cells), done_(done) {
     if (period_ <= 0) {
       return;
     }
@@ -66,12 +67,14 @@ class Heartbeat {
     const double elapsed = SecondsSince(start_);
     const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
     std::fprintf(stderr,
-                 "hammersweep: progress %llu/%llu cells (%llu cached), %.1f cells/s, "
+                 "%s: progress %llu/%llu cells (%llu cached), %.1f cells/s, "
                  "elapsed %.1fs\n",
-                 static_cast<unsigned long long>(done), static_cast<unsigned long long>(pending_),
+                 label_, static_cast<unsigned long long>(done),
+                 static_cast<unsigned long long>(pending_),
                  static_cast<unsigned long long>(cached_), rate, elapsed);
   }
 
+  const char* label_;
   double period_;
   uint64_t pending_;
   uint64_t cached_;
@@ -179,7 +182,8 @@ JsonValue MakeSweepReport(uint64_t grid_cells, std::vector<JsonValue> cells) {
   return report;
 }
 
-SweepOutcome RunSweep(const SweepGrid& grid, const SweepOptions& options) {
+SweepOutcome RunCells(const std::vector<SweepCellSpec>& all, const SweepOptions& options,
+                      ReportBuilder make_report, const char* progress_label) {
   SweepOutcome outcome;
   if (options.shard_count == 0 || options.shard_index == 0 ||
       options.shard_index > options.shard_count) {
@@ -188,7 +192,6 @@ SweepOutcome RunSweep(const SweepGrid& grid, const SweepOptions& options) {
   }
 
   const SteadyClock::time_point sweep_start = SteadyClock::now();
-  const std::vector<SweepCellSpec> all = ExpandGrid(grid);
   outcome.total_cells = all.size();
 
   // This shard's slice of the key-sorted cell list, then split into
@@ -232,8 +235,8 @@ SweepOutcome RunSweep(const SweepGrid& grid, const SweepOptions& options) {
   {
     ProfilePhase execute_phase("sweep.execute");
     const SteadyClock::time_point execute_start = SteadyClock::now();
-    Heartbeat heartbeat(options.progress_every, pending.size(), outcome.cached_cells,
-                        &cells_done);
+    Heartbeat heartbeat(progress_label, options.progress_every, pending.size(),
+                        outcome.cached_cells, &cells_done);
     ParallelFor(pending.size(),
                 pending.size() <= 1 ? 1u : ResolveThreadCount(options.threads),
                 [&](uint64_t i) {
@@ -263,7 +266,7 @@ SweepOutcome RunSweep(const SweepGrid& grid, const SweepOptions& options) {
     completed.push_back(std::move(cell));
   }
 
-  outcome.report = MakeSweepReport(outcome.total_cells, std::move(completed));
+  outcome.report = make_report(outcome.total_cells, std::move(completed));
   outcome.report_seconds = SecondsSince(report_start);
   outcome.wall_seconds = SecondsSince(sweep_start);
   if (Profiler::Global().enabled()) [[unlikely]] {
@@ -275,7 +278,13 @@ SweepOutcome RunSweep(const SweepGrid& grid, const SweepOptions& options) {
   return outcome;
 }
 
-JsonValue MergeSweepReports(const std::vector<JsonValue>& reports, std::string* error) {
+SweepOutcome RunSweep(const SweepGrid& grid, const SweepOptions& options) {
+  return RunCells(ExpandGrid(grid), options, MakeSweepReport, "hammersweep");
+}
+
+JsonValue MergeCellReports(const std::vector<JsonValue>& reports,
+                           bool (*validate)(const JsonValue&, std::string*),
+                           ReportBuilder make_report, std::string* error) {
   const auto fail = [error](const std::string& what) {
     if (error != nullptr) {
       *error = what;
@@ -289,7 +298,7 @@ JsonValue MergeSweepReports(const std::vector<JsonValue>& reports, std::string* 
   std::map<std::string, JsonValue> merged;
   for (size_t i = 0; i < reports.size(); ++i) {
     std::string validate_error;
-    if (!ValidateSweepReport(reports[i], &validate_error)) {
+    if (!validate(reports[i], &validate_error)) {
       return fail("input " + std::to_string(i) + ": " + validate_error);
     }
     const uint64_t this_grid = reports[i].Find("grid_cells")->as_uint();
@@ -315,7 +324,11 @@ JsonValue MergeSweepReports(const std::vector<JsonValue>& reports, std::string* 
   for (auto& [key, cell] : merged) {
     cells.push_back(std::move(cell));
   }
-  return MakeSweepReport(grid_cells, std::move(cells));
+  return make_report(grid_cells, std::move(cells));
+}
+
+JsonValue MergeSweepReports(const std::vector<JsonValue>& reports, std::string* error) {
+  return MergeCellReports(reports, ValidateSweepReport, MakeSweepReport, error);
 }
 
 }  // namespace ht

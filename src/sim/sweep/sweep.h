@@ -91,6 +91,21 @@ struct SweepOutcome {
   JsonValue report;            // hammertime.sweep_report.v1 (completed cells only).
 };
 
+// Assembles a campaign report from completed cells; total grid size
+// first, the completed (key/spec/result) cell objects second. The sweep
+// uses MakeSweepReport; the pattern campaign derives its extra sections
+// (pattern summaries, per-vendor ranking) from the cells themselves, so
+// the same builder serves fresh runs and shard merges.
+using ReportBuilder = JsonValue (*)(uint64_t grid_cells, std::vector<JsonValue> cells);
+
+// The generic cell executor under RunSweep and RunPatternCampaign: takes
+// an already-expanded key-sorted cell list, runs this shard's missing
+// cells (deterministic spec order on the worker pool, resumable via the
+// cell cache), persists each completed cell, and assembles the report
+// with `make_report`. `progress_label` prefixes heartbeat lines.
+SweepOutcome RunCells(const std::vector<SweepCellSpec>& cells, const SweepOptions& options,
+                      ReportBuilder make_report, const char* progress_label = "hammersweep");
+
 // Expands `grid`, executes this shard's missing cells (deterministic spec
 // order on the worker pool), persists each completed cell to the cache,
 // and builds the report from every completed cell.
@@ -98,6 +113,15 @@ SweepOutcome RunSweep(const SweepGrid& grid, const SweepOptions& options = {});
 
 // Builds a sweep report document from completed cells (sorted by key).
 JsonValue MakeSweepReport(uint64_t grid_cells, std::vector<JsonValue> cells);
+
+// Generic shard-report union by cell key: all inputs must pass
+// `validate`, agree on grid_cells, and agree on any key they share; the
+// merged report is rebuilt with `make_report`, so it is byte-identical to
+// the unsharded report over the same cells. Returns a null JsonValue with
+// `error` set on any mismatch.
+JsonValue MergeCellReports(const std::vector<JsonValue>& reports,
+                           bool (*validate)(const JsonValue&, std::string*),
+                           ReportBuilder make_report, std::string* error = nullptr);
 
 // Unions shard reports by cell key. All inputs must validate, agree on
 // grid_cells, and agree on any key they share; the merged report is

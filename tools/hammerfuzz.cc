@@ -1,6 +1,6 @@
 // hammerfuzz — randomized differential fuzzer for the simulator fast paths.
 //
-// Two case kinds, both replayable from a one-line seed (see
+// Three case kinds, all replayable from a one-line seed (see
 // check/generator.h for the format):
 //
 //  * device cases drive a bare DramDevice with random command streams
@@ -13,7 +13,10 @@
 //    oracles clean, all ScenarioResults identical, and all CollectStats()
 //    StatSets structurally equal (the shard machinery's own counters,
 //    mc.sync_barriers and mc.shard_wait_cycles, are the one permitted
-//    value difference).
+//    value difference);
+//  * pattern cases build a random HammeringPattern and cross-check the
+//    builder's frame schedule and PatternHammerStream emission against
+//    the naive modular-arithmetic expander (check/pattern_ref.h).
 //
 // A failing case is shrunk (smallest failing step/cycle count, then
 // feature-disable mask bits) and written to --out as a replayable
@@ -47,7 +50,7 @@ namespace {
 struct CliOptions {
   uint64_t iterations = 100;
   uint64_t seed = 1;
-  std::string mode = "both";  // device | scenario | both (3:1 device-heavy).
+  std::string mode = "both";  // device | scenario | pattern | both.
   std::string out_dir = ".";
   std::string corpus_dir;     // Replay every *.seed file under this dir.
   std::string replay_file;    // Replay one seed file.
@@ -61,13 +64,24 @@ void PrintUsage() {
       "\n"
       "  --iterations N     random cases to generate (default 100)\n"
       "  --seed S           master seed for case generation (default 1)\n"
-      "  --mode M           device | scenario | both (default both, 3:1)\n"
+      "  --mode M           device | scenario | pattern | both\n"
+      "                     (default both: device/scenario, 3:1 device-heavy)\n"
       "  --out DIR          where repro_*.seed files are written (default .)\n"
       "  --corpus DIR       replay every *.seed file in DIR and exit\n"
       "  --replay FILE      replay one seed file and exit\n"
       "  --inject-at N      break the reference model after N commands\n"
       "                     (tests that the oracle actually fires)\n"
       "  --verbose          one line per case\n"
+      "\n"
+      "Seed files hold one case per line (blank lines and # comments are\n"
+      "skipped). Each line is self-contained and replayable on its own:\n"
+      "\n"
+      "  htfuzz v1 <kind> seed=0xHEX steps=N|cycles=N mask=0xHEX inject=N\n"
+      "\n"
+      "where <kind> is device, scenario, or pattern; device and pattern\n"
+      "cases carry steps=N, scenario cases carry cycles=N; mask holds the\n"
+      "feature-disable bits pinned by shrinking; inject=N arms oracle\n"
+      "fault injection after N commands (0 = off).\n"
       "\n"
       "Exit status: 0 all cases clean, 1 any failure, 2 usage error.");
 }
@@ -343,6 +357,15 @@ CaseOutcome RunCase(const FuzzCase& fuzz_case) {
     summary << "issued=" << device.issued << " illegal=" << device.illegal_attempts
             << " flips=" << device.flips;
     outcome.summary = summary.str();
+  } else if (fuzz_case.kind == FuzzCase::Kind::kPattern) {
+    const PatternFuzzOutcome pattern = RunPatternFuzz(fuzz_case);
+    outcome.failed = pattern.failed();
+    outcome.report = pattern.report;
+    std::ostringstream summary;
+    summary << "compared=" << pattern.compared
+            << " schedule-mismatch=" << pattern.schedule_mismatches
+            << " stream-mismatch=" << pattern.stream_mismatches;
+    outcome.summary = summary.str();
   } else {
     const ScenarioCaseOutcome scenario = RunScenarioCase(fuzz_case);
     outcome.failed = scenario.failed;
@@ -353,16 +376,25 @@ CaseOutcome RunCase(const FuzzCase& fuzz_case) {
 }
 
 FuzzCase ShrinkCase(const FuzzCase& failing) {
-  return failing.kind == FuzzCase::Kind::kDevice ? ShrinkDeviceFuzz(failing)
-                                                 : ShrinkScenarioCase(failing);
+  switch (failing.kind) {
+    case FuzzCase::Kind::kDevice:
+      return ShrinkDeviceFuzz(failing);
+    case FuzzCase::Kind::kPattern:
+      return ShrinkPatternFuzz(failing);
+    case FuzzCase::Kind::kScenario:
+      break;
+  }
+  return ShrinkScenarioCase(failing);
 }
 
 void WriteRepro(const std::string& out_dir, const FuzzCase& shrunk, const std::string& report) {
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
+  const char* kind_name = shrunk.kind == FuzzCase::Kind::kDevice    ? "device"
+                          : shrunk.kind == FuzzCase::Kind::kPattern ? "pattern"
+                                                                    : "scenario";
   std::ostringstream name;
-  name << "repro_" << (shrunk.kind == FuzzCase::Kind::kDevice ? "device" : "scenario") << "_"
-       << std::hex << shrunk.seed << ".seed";
+  name << "repro_" << kind_name << "_" << std::hex << shrunk.seed << ".seed";
   std::ostringstream body;
   body << "# hammerfuzz reproducer (replay with: hammerfuzz --replay <this file>)\n";
   std::istringstream lines(report);
@@ -465,6 +497,7 @@ int Generate(const CliOptions& options) {
   Rng master(options.seed);
   uint64_t device_cases = 0;
   uint64_t scenario_cases = 0;
+  uint64_t pattern_cases = 0;
   for (uint64_t i = 0; i < options.iterations; ++i) {
     FuzzCase fuzz_case;
     fuzz_case.seed = master.Next();
@@ -474,24 +507,30 @@ int Generate(const CliOptions& options) {
       fuzz_case.kind = FuzzCase::Kind::kDevice;
     } else if (options.mode == "scenario") {
       fuzz_case.kind = FuzzCase::Kind::kScenario;
+    } else if (options.mode == "pattern") {
+      fuzz_case.kind = FuzzCase::Kind::kPattern;
     } else {  // both: device-heavy, scenarios cost ~4 full-system runs.
       fuzz_case.kind = i % 4 == 3 ? FuzzCase::Kind::kScenario : FuzzCase::Kind::kDevice;
     }
     fuzz_case.steps = 8000 + steps_draw;
     fuzz_case.cycles = 40000 + cycles_draw;
     fuzz_case.inject_after = options.inject_at;
-    (fuzz_case.kind == FuzzCase::Kind::kDevice ? device_cases : scenario_cases)++;
+    (fuzz_case.kind == FuzzCase::Kind::kDevice    ? device_cases
+     : fuzz_case.kind == FuzzCase::Kind::kPattern ? pattern_cases
+                                                  : scenario_cases)++;
     if (!HandleCase(fuzz_case, options)) {
       std::printf("hammerfuzz: FAILED after %llu case(s)\n",
                   static_cast<unsigned long long>(i + 1));
       return 1;
     }
   }
-  std::printf("hammerfuzz: %llu case(s) clean (%llu device, %llu scenario), seed=%llu\n",
-              static_cast<unsigned long long>(options.iterations),
-              static_cast<unsigned long long>(device_cases),
-              static_cast<unsigned long long>(scenario_cases),
-              static_cast<unsigned long long>(options.seed));
+  std::printf(
+      "hammerfuzz: %llu case(s) clean (%llu device, %llu scenario, %llu pattern), seed=%llu\n",
+      static_cast<unsigned long long>(options.iterations),
+      static_cast<unsigned long long>(device_cases),
+      static_cast<unsigned long long>(scenario_cases),
+      static_cast<unsigned long long>(pattern_cases),
+      static_cast<unsigned long long>(options.seed));
   return 0;
 }
 
@@ -501,7 +540,7 @@ int main(int argc, char** argv) {
   ArgParser parser("hammerfuzz", "differential fuzzer for the hammertime fast paths");
   parser.Option("iterations", "N", "random cases to generate", "100")
       .Option("seed", "S", "master seed for case generation (decimal or 0x hex)", "1")
-      .Option("mode", "M", "device | scenario | both (3:1 device-heavy)", "both")
+      .Option("mode", "M", "device | scenario | pattern | both (3:1 device-heavy)", "both")
       .Option("out", "DIR", "where repro_*.seed files are written", ".")
       .Option("corpus", "DIR", "replay every *.seed file in DIR and exit")
       .Option("replay", "FILE", "replay one seed file and exit")
@@ -525,7 +564,8 @@ int main(int argc, char** argv) {
   options.replay_file = parser.Get("replay");
   options.inject_at = std::strtoull(parser.Get("inject-at").c_str(), nullptr, 0);
   options.verbose = parser.GetBool("verbose");
-  if (options.mode != "device" && options.mode != "scenario" && options.mode != "both") {
+  if (options.mode != "device" && options.mode != "scenario" && options.mode != "pattern" &&
+      options.mode != "both") {
     std::fprintf(stderr, "hammerfuzz: bad --mode %s\n", options.mode.c_str());
     return 2;
   }
