@@ -334,6 +334,17 @@ bool ValidateCellReport(const JsonValue& doc, const char* schema_name, std::stri
         !RequireObject(cell, "result", &member, error)) {
       return false;
     }
+    // Spec-version note: canonical specs embed `spec_version` from v2 on
+    // (kScenarioSpecVersion). When present it must match this build —
+    // absence is tolerated for v1-era reports, whose cells simply cannot
+    // round-trip through SpecFromCanonicalJson anymore.
+    const JsonValue* version = cell.Find("spec")->Find("spec_version");
+    if (version != nullptr &&
+        (version->type() != JsonValue::Type::kUint ||
+         version->as_uint() != kScenarioSpecVersion)) {
+      return Fail(error, where + ".spec.spec_version is not " +
+                             std::to_string(kScenarioSpecVersion));
+    }
   }
   return true;
 }
@@ -407,6 +418,42 @@ bool ValidatePatternReport(const JsonValue& doc, std::string* error) {
       }
       previous_flips = flips;
     }
+  }
+  return true;
+}
+
+bool ValidateCloudReport(const JsonValue& doc, std::string* error) {
+  if (!ValidateCellReport(doc, kCloudReportSchema, error)) {
+    return false;
+  }
+  const JsonValue* ranking = doc.Find("ranking");
+  if (ranking == nullptr || ranking->type() != JsonValue::Type::kArray) {
+    return Fail(error, "missing array field \"ranking\"");
+  }
+  double previous_escapes = -1.0;
+  for (size_t i = 0; i < ranking->size(); ++i) {
+    const JsonValue& entry = ranking->at(i);
+    const std::string where = "ranking[" + std::to_string(i) + "]";
+    if (entry.type() != JsonValue::Type::kObject) {
+      return Fail(error, where + " is not an object");
+    }
+    const JsonValue* family = entry.Find("family");
+    if (family == nullptr || family->type() != JsonValue::Type::kString) {
+      return Fail(error, where + " missing string field \"family\"");
+    }
+    for (const char* field :
+         {"cells", "flips_escaped_per_tenant", "escaped_flips", "tenants_hit",
+          "p99_read_latency", "avg_read_latency", "ops_per_kcycle"}) {
+      const JsonValue* value = entry.Find(field);
+      if (value == nullptr || !value->is_number()) {
+        return Fail(error, where + " missing numeric \"" + field + "\"");
+      }
+    }
+    const double escapes = entry.Find("flips_escaped_per_tenant")->as_double();
+    if (escapes < previous_escapes) {
+      return Fail(error, where + ".flips_escaped_per_tenant is not non-decreasing");
+    }
+    previous_escapes = escapes;
   }
   return true;
 }

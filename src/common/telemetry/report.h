@@ -96,6 +96,31 @@ inline constexpr const char* kPatternReportSchema = "hammertime.pattern_report.v
 
 bool ValidatePatternReport(const JsonValue& doc, std::string* error = nullptr);
 
+// Version of the canonical ScenarioSpec encoding (sim/sweep/speckey).
+// Canonical cell specs embed it as the `spec_version` member, so sweep
+// keys — FNV of the sorted canonical members — change with every bump:
+// caches re-execute rather than resolving a key against the wrong
+// format, and cell validators reject version-mismatched specs instead of
+// misreading them. History: v1 = pre-cloud (no tenant placement fields);
+// v2 = adds attacker_slot/churn/epochs/mix/spec_version/victim_slot.
+inline constexpr uint64_t kScenarioSpecVersion = 2;
+
+// Cloud-campaign report (src/sim/sweep/cloud):
+//   hammertime.cloud_report.v1 —
+//     { "schema", "grid_cells": uint,
+//       "cells": [ { "key", "spec", "result" } ... ],   // sweep-cell shape
+//       "ranking": [ { "family": str, "cells": uint,
+//                      "flips_escaped_per_tenant": num, "escaped_flips": uint,
+//                      "tenants_hit": uint, "p99_read_latency": num,
+//                      "avg_read_latency": num, "ops_per_kcycle": num } ... ] }
+// Cells follow the sweep-report rules (key-sorted, at most grid_cells).
+// `ranking` aggregates cells per defense family, ordered best-isolating
+// first (escapes-per-tenant asc, then p99 asc, then family name); it is
+// derived purely from the cells, so shard merges rebuild it exactly.
+inline constexpr const char* kCloudReportSchema = "hammertime.cloud_report.v1";
+
+bool ValidateCloudReport(const JsonValue& doc, std::string* error = nullptr);
+
 }  // namespace ht
 
 #endif  // HAMMERTIME_SRC_COMMON_TELEMETRY_REPORT_H_

@@ -207,12 +207,13 @@ bool Core::IssueAccess(const CoreOp& op, PhysAddr pa, Cycle now) {
 
   // Miss: fetch the line. Stores write-allocate — the fill completes the
   // store with the new value.
+  const DomainId domain = domain_resolver_ ? domain_resolver_(op.va) : domain_;
   MemRequest request;
   request.id = NextRequestId();
   request.op = MemOp::kRead;
   request.addr = pa / kLineBytes * kLineBytes;
   request.requestor = id_;
-  request.domain = domain_;
+  request.domain = domain;
   if (!mc_->Enqueue(request, now)) {
     c_mc_backpressure_->Increment();
     return false;  // Retry next cycle.
@@ -226,7 +227,7 @@ bool Core::IssueAccess(const CoreOp& op, PhysAddr pa, Cycle now) {
   ++outstanding_;
   next_issue_ = now + 1;
   if (miss_observer_) {
-    miss_observer_({id_, domain_,
+    miss_observer_({id_, domain,
                     request.addr,
                     op.kind == CoreOpKind::kStore ? MemOp::kWrite : MemOp::kRead, now});
   }
@@ -240,6 +241,9 @@ void Core::EnqueueWriteback(PhysAddr addr, uint64_t value, Cycle now) {
   writeback.addr = addr;
   writeback.write_value = value;
   writeback.requestor = id_;
+  // Writebacks carry only the physical victim address, so a mux core
+  // cannot recover the owning tenant here; they keep the carrier core's
+  // domain (host-attributed eviction traffic, like real uncore WBs).
   writeback.domain = domain_;
   if (!mc_->Enqueue(writeback, now)) {
     stalled_writebacks_.push_back(writeback);

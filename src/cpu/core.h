@@ -51,6 +51,10 @@ struct CoreConfig {
 };
 
 using TranslateFn = std::function<std::optional<PhysAddr>(VirtAddr)>;
+// Maps a VA to the trust domain issuing it. Installed alongside a mux
+// translator when one core carries many tenants' streams (cloud mode),
+// so MC-side domain accounting sees the tenant, not the carrier core.
+using DomainResolver = std::function<DomainId(VirtAddr)>;
 
 class Core {
  public:
@@ -60,6 +64,7 @@ class Core {
   void set_stream(std::unique_ptr<InstructionStream> stream);
   void set_translate(TranslateFn translate) { translate_ = std::move(translate); }
   void set_miss_observer(MissObserver observer) { miss_observer_ = std::move(observer); }
+  void set_domain_resolver(DomainResolver resolver) { domain_resolver_ = std::move(resolver); }
 
   // Advances the core one cycle: retries stalled writebacks, then issues
   // at most one new operation.
@@ -106,6 +111,7 @@ class Core {
   std::unique_ptr<InstructionStream> stream_;
   TranslateFn translate_;
   MissObserver miss_observer_;
+  DomainResolver domain_resolver_;
 
   bool halted_ = false;
   bool fence_pending_ = false;

@@ -13,6 +13,7 @@ void QuarantinePool::Init(HostKernel& kernel, uint32_t pages) {
   const uint64_t pages_per_group = std::max<uint64_t>(
       1, static_cast<uint64_t>(org.channels) * org.ranks * org.banks * org.columns /
              kLinesPerPage);
+  chunk_pages_ = pages_per_group;
   std::vector<uint64_t> reserved;
   for (uint32_t i = 0; i < pages; ++i) {
     auto frame = kernel.allocator().AllocFrame(qdom);
@@ -23,18 +24,45 @@ void QuarantinePool::Init(HostKernel& kernel, uint32_t pages) {
   }
   const size_t guard = static_cast<size_t>(pages_per_group);
   if (reserved.size() > 2 * guard) {
-    frames_.assign(reserved.begin() + static_cast<ptrdiff_t>(guard),
-                   reserved.end() - static_cast<ptrdiff_t>(guard));
+    free_.assign(reserved.begin() + static_cast<ptrdiff_t>(guard),
+                 reserved.end() - static_cast<ptrdiff_t>(guard));
   }
 }
 
+std::vector<uint64_t>* QuarantinePool::PoolFor(DomainId domain) {
+  std::vector<uint64_t>& pool = pools_[domain];
+  if (pool.empty() && !free_.empty()) {
+    // Carve one row-group from the back, preserving order: pop_back hands
+    // out exactly the sequence the old shared stack did.
+    const size_t take = std::min<size_t>(chunk_pages_, free_.size());
+    pool.assign(free_.end() - static_cast<ptrdiff_t>(take), free_.end());
+    free_.resize(free_.size() - take);
+  }
+  return pool.empty() ? nullptr : &pool;
+}
+
 bool QuarantinePool::Migrate(HostKernel& kernel, PhysAddr addr) {
-  if (!frames_.empty()) {
-    const uint64_t frame = frames_.back();
-    if (kernel.MovePageByPhysToFrame(addr, frame)) {
-      frames_.pop_back();
-      ++quarantine_migrations_;
-      return true;
+  const auto located = kernel.LocatePhys(addr);
+  const DomainId domain = located.has_value() ? located->first : kInvalidDomain;
+  bool capped = false;
+  if (per_domain_window_cap_ > 0) {
+    const uint32_t* count = window_migrations_.Find(static_cast<uint64_t>(domain));
+    capped = count != nullptr && *count >= per_domain_window_cap_;
+  }
+  if (capped) {
+    ++capped_migrations_;
+  } else {
+    std::vector<uint64_t>* pool = PoolFor(domain);
+    if (pool != nullptr) {
+      const uint64_t frame = pool->back();
+      if (kernel.MovePageByPhysToFrame(addr, frame)) {
+        pool->pop_back();
+        ++quarantine_migrations_;
+        if (per_domain_window_cap_ > 0) {
+          ++window_migrations_.FindOrInsert(static_cast<uint64_t>(domain));
+        }
+        return true;
+      }
     }
   }
   if (kernel.MovePageByPhys(addr)) {
@@ -42,6 +70,26 @@ bool QuarantinePool::Migrate(HostKernel& kernel, PhysAddr addr) {
     return true;
   }
   return false;
+}
+
+void QuarantinePool::Prune(HostKernel& kernel) {
+  for (auto it = pools_.begin(); it != pools_.end();) {
+    if (kernel.HasDomain(it->first)) {
+      ++it;
+      continue;
+    }
+    pruned_frames_ += it->second.size();
+    free_.insert(free_.end(), it->second.begin(), it->second.end());
+    it = pools_.erase(it);
+  }
+}
+
+size_t QuarantinePool::remaining() const {
+  size_t total = free_.size();
+  for (const auto& [domain, pool] : pools_) {
+    total += pool.size();
+  }
+  return total;
 }
 
 }  // namespace ht

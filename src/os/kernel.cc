@@ -17,6 +17,32 @@ DomainId HostKernel::CreateDomain(const DomainSpec& spec) {
   return id;
 }
 
+void HostKernel::DestroyDomain(DomainId domain) {
+  auto space_it = spaces_.find(domain);
+  if (space_it == spaces_.end()) {
+    return;
+  }
+  // pages() is an unordered_map; sort by VA page so FreeFrame ordering
+  // (and thus the free list the next tenant allocates from) is
+  // deterministic across platforms.
+  std::vector<std::pair<uint64_t, uint64_t>> pages(space_it->second.pages().begin(),
+                                                   space_it->second.pages().end());
+  std::sort(pages.begin(), pages.end());
+  for (const auto& [va_page, frame] : pages) {
+    frame_owner_.erase(frame);
+    frame_va_.erase(frame);
+    allocator_->FreeFrame(domain, frame);
+  }
+  stats_.Add("kernel.pages_freed", pages.size());
+  stats_.Add("kernel.domains_destroyed");
+  filled_regions_.erase(std::remove_if(filled_regions_.begin(), filled_regions_.end(),
+                                       [domain](const Region& r) { return r.domain == domain; }),
+                        filled_regions_.end());
+  specs_.erase(domain);
+  spaces_.erase(space_it);
+  next_va_.erase(domain);
+}
+
 std::optional<VirtAddr> HostKernel::AllocRegion(DomainId domain, uint64_t pages) {
   AddressSpace& space = spaces_.at(domain);
   const VirtAddr base = next_va_.at(domain);
@@ -60,6 +86,10 @@ std::optional<PhysAddr> HostKernel::Translate(DomainId domain, VirtAddr va) cons
 
 std::function<std::optional<PhysAddr>(VirtAddr)> HostKernel::TranslatorFor(DomainId domain) {
   return [this, domain](VirtAddr va) { return Translate(domain, va); };
+}
+
+std::function<std::optional<PhysAddr>(VirtAddr)> HostKernel::MuxTranslator() {
+  return [this](VirtAddr va) { return Translate(DomainOfVa(va), va); };
 }
 
 DomainId HostKernel::OwnerOfFrame(uint64_t frame) const {

@@ -52,6 +52,13 @@ class HostKernel {
   DomainId CreateDomain(const DomainSpec& spec);
   const DomainSpec& spec(DomainId domain) const { return specs_.at(domain); }
   AddressSpace& space(DomainId domain) { return spaces_.at(domain); }
+  bool HasDomain(DomainId domain) const { return specs_.count(domain) != 0; }
+
+  // Tears down a domain: unmaps every page (VA order, so the allocator's
+  // free list sees a deterministic release sequence), returns frames to
+  // the pool, and drops the domain's fill records from verification.
+  // Domain IDs are never reused; freed frames are.
+  void DestroyDomain(DomainId domain);
 
   // Allocates `pages` contiguous-VA pages; returns the base VA, or nullopt
   // when the allocator's pool for this domain is exhausted.
@@ -61,6 +68,16 @@ class HostKernel {
 
   // A translation closure suitable for Core::set_translate.
   std::function<std::optional<PhysAddr>(VirtAddr)> TranslatorFor(DomainId domain);
+
+  // Domain encoded in a namespaced VA ((domain+1) << 36 | offset) — the
+  // inverse of AddressSpace::BaseFor. Does not check the domain exists.
+  static DomainId DomainOfVa(VirtAddr va) { return static_cast<DomainId>((va >> 36) - 1); }
+
+  // A translation closure that recovers the domain from the VA itself,
+  // so one core can multiplex streams from many tenants (cloud mode runs
+  // thousands of domains on a handful of cores). Translations against
+  // destroyed domains miss, like a real stale mapping.
+  std::function<std::optional<PhysAddr>(VirtAddr)> MuxTranslator();
 
   DomainId OwnerOfFrame(uint64_t frame) const;
   DomainId OwnerOfPhys(PhysAddr addr) const { return OwnerOfFrame(addr / kPageBytes); }

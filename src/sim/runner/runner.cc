@@ -74,6 +74,11 @@ JsonValue ScenarioSpecToJson(const ScenarioSpec& spec) {
   config.Set("tenants", JsonValue::Uint(spec.tenants));
   config.Set("pages_per_tenant", JsonValue::Uint(spec.pages_per_tenant));
   config.Set("benign_corunner", JsonValue::Bool(spec.benign_corunner));
+  config.Set("traffic_mix", JsonValue::Str(spec.traffic_mix));
+  config.Set("churn_rate", JsonValue::Double(spec.churn_rate));
+  config.Set("epochs", JsonValue::Uint(spec.epochs));
+  config.Set("attacker_slot", JsonValue::Uint(spec.attacker_slot));
+  config.Set("victim_slot", JsonValue::Uint(spec.victim_slot));
   config.Set("skip_idle", JsonValue::Bool(spec.system.skip_idle));
   config.Set("channels", JsonValue::Uint(spec.system.dram.org.channels));
   config.Set("cores", JsonValue::Uint(spec.system.cores));
@@ -92,14 +97,119 @@ JsonValue ScenarioResultToJson(const ScenarioResult& result) {
   out.Set("ops_per_kcycle", JsonValue::Double(result.perf.ops_per_kcycle));
   out.Set("row_hit_rate", JsonValue::Double(result.perf.row_hit_rate));
   out.Set("avg_read_latency", JsonValue::Double(result.perf.avg_read_latency));
+  out.Set("p99_read_latency", JsonValue::Double(result.perf.p99_read_latency));
   out.Set("extra_acts", JsonValue::Uint(result.perf.extra_acts));
   out.Set("defense_interrupts", JsonValue::Uint(result.defense_interrupts));
   out.Set("page_moves", JsonValue::Uint(result.page_moves));
   out.Set("throttle_stalls", JsonValue::Uint(result.throttle_stalls));
   out.Set("mitigation_refreshes", JsonValue::Uint(result.mitigation_refreshes));
   out.Set("attack_planned", JsonValue::Bool(result.attack_planned));
+  out.Set("escaped_flips", JsonValue::Uint(result.escaped_flips));
+  out.Set("tenants_hit", JsonValue::Uint(result.tenants_hit));
+  out.Set("churn_events", JsonValue::Uint(result.churn_events));
+  out.Set("flips_escaped_per_tenant", JsonValue::Double(result.flips_escaped_per_tenant));
+  out.Set("tenant_map_fingerprint", JsonValue::Uint(result.tenant_map_fingerprint));
   return out;
 }
+
+namespace {
+
+// Builds the attack plan for `attacker` against `victim` and installs the
+// resulting stream/engine — the cross-domain sandwich when adjacency
+// allows it, falling back to hammering the attacker's own rows (and
+// clearing result->attack_planned) when isolation denies a plan. Shared
+// by the classic two-tenant path and the cloud tenant-population path.
+void PlanAndInstallAttack(System& system, const ScenarioSpec& spec, DomainId attacker,
+                          DomainId victim, ScenarioResult* result) {
+  std::optional<HammerPlan> plan;
+  std::optional<HammeringPattern> pattern;
+  if (spec.attack != AttackKind::kNone) {
+    if (spec.attack == AttackKind::kManySided) {
+      plan = PlanManySided(system.kernel(), attacker, spec.sides);
+    } else if (spec.attack == AttackKind::kPattern) {
+      // The pattern determines how many distinct rows (aggressors +
+      // fillers) the planner must find in one bank.
+      pattern = BuildScenarioPattern(spec.system.dram, spec.pattern_seed);
+      plan = PlanManySided(system.kernel(), attacker, pattern->total_ids(), 2);
+      if (!plan.has_value()) {
+        result->attack_planned = false;
+        pattern.reset();  // Fall back to plain double-sided hammering.
+        plan = PlanManySided(system.kernel(), attacker, 2);
+      }
+    } else if (spec.attack == AttackKind::kHalfDouble) {
+      plan = PlanHalfDoubleCross(system.kernel(), attacker, victim);
+      if (!plan.has_value()) {
+        result->attack_planned = false;
+        plan = PlanManySided(system.kernel(), attacker, 2, 4);
+      }
+    } else {
+      plan = PlanDoubleSidedCross(system.kernel(), attacker, victim);
+      if (!plan.has_value()) {
+        result->attack_planned = false;
+        plan = PlanManySided(system.kernel(), attacker, 2);
+      }
+    }
+  }
+
+  if (!plan.has_value()) {
+    return;
+  }
+  switch (spec.attack) {
+    case AttackKind::kNone:
+      break;
+    case AttackKind::kDoubleSided:
+    case AttackKind::kManySided:
+    case AttackKind::kHalfDouble: {
+      HammerConfig hammer;
+      hammer.aggressors = plan->aggressor_vas;
+      system.AssignCore(0, attacker, std::make_unique<HammerStream>(hammer));
+      break;
+    }
+    case AttackKind::kPattern: {
+      if (pattern.has_value()) {
+        PatternStreamConfig stream;
+        stream.pattern = *pattern;
+        stream.vas = plan->aggressor_vas;
+        system.AssignCore(0, attacker,
+                          std::make_unique<PatternHammerStream>(std::move(stream)));
+      } else {
+        HammerConfig hammer;
+        hammer.aggressors = plan->aggressor_vas;
+        system.AssignCore(0, attacker, std::make_unique<HammerStream>(hammer));
+      }
+      break;
+    }
+    case AttackKind::kDma: {
+      DmaConfig dma;
+      dma.pattern = plan->aggressor_addrs;
+      dma.period = 8;
+      system.AddDma(attacker, dma);
+      break;
+    }
+    case AttackKind::kAdaptive: {
+      auto decoys = PlanManySided(system.kernel(), attacker, 2, 2,
+                                  BankTriple{plan->channel, plan->rank, plan->bank});
+      AdaptiveHammerConfig adaptive;
+      adaptive.aggressors = plan->aggressor_vas;
+      adaptive.decoys = decoys.has_value() ? decoys->aggressor_vas : plan->aggressor_vas;
+      adaptive.counter_threshold = spec.act_threshold;
+      adaptive.safety_margin = spec.act_threshold / 10;
+      system.AssignCore(0, attacker, std::make_unique<AdaptiveHammerStream>(adaptive));
+      break;
+    }
+  }
+}
+
+// SplitMix64-style mixer for deriving the cloud path's independent seeds
+// (tenant manager, per-carrier mux RNGs) from the scenario seed.
+uint64_t CloudSeed(uint64_t seed, uint64_t salt) {
+  uint64_t x = seed ^ (salt * 0x9e3779b97f4a7c15ULL);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 ScenarioResult RunScenario(ScenarioSpec spec, ScenarioTelemetry* telemetry,
                            const ScenarioHooks* hooks) {
@@ -123,117 +233,136 @@ ScenarioResult RunScenario(ScenarioSpec spec, ScenarioTelemetry* telemetry,
     spec.system.telemetry.sample_every = telemetry->sample_every;
   }
   System system(spec.system);
-  // Half-double needs tenants owning pairs of adjacent rows so a victim
-  // sits at distance two from attacker rows.
-  const uint64_t chunk = spec.attack == AttackKind::kHalfDouble
-                             ? 2 * PagesPerRowGroup(system.mc().mapper())
-                             : 0;
-  auto tenants = SetupTenants(system, spec.tenants, spec.pages_per_tenant, chunk);
-  const DomainId attacker = tenants[0];
-  const DomainId victim = tenants.size() > 1 ? tenants[1] : tenants[0];
-  system.InstallDefense(MakeDefense(spec.defense, spec.system.dram));
-  InstallHwMitigation(system, spec.hw);
-
   ScenarioResult result;
 
-  // Attack plan: prefer the cross-domain sandwich; fall back to hammering
-  // the attacker's own rows when isolation denies adjacency.
-  std::optional<HammerPlan> plan;
-  std::optional<HammeringPattern> pattern;
-  if (spec.attack != AttackKind::kNone) {
-    if (spec.attack == AttackKind::kManySided) {
-      plan = PlanManySided(system.kernel(), attacker, spec.sides);
-    } else if (spec.attack == AttackKind::kPattern) {
-      // The pattern determines how many distinct rows (aggressors +
-      // fillers) the planner must find in one bank.
-      pattern = BuildScenarioPattern(spec.system.dram, spec.pattern_seed);
-      plan = PlanManySided(system.kernel(), attacker, pattern->total_ids(), 2);
-      if (!plan.has_value()) {
-        result.attack_planned = false;
-        pattern.reset();  // Fall back to plain double-sided hammering.
-        plan = PlanManySided(system.kernel(), attacker, 2);
-      }
-    } else if (spec.attack == AttackKind::kHalfDouble) {
-      plan = PlanHalfDoubleCross(system.kernel(), attacker, victim);
-      if (!plan.has_value()) {
-        result.attack_planned = false;
-        plan = PlanManySided(system.kernel(), attacker, 2, 4);
-      }
+  if (!spec.traffic_mix.empty()) {
+    // --- Cloud host path: tenant population + epoch loop ------------------
+    TenantConfig tenant_config;
+    tenant_config.slots = spec.tenants;
+    tenant_config.pages_per_slot = spec.pages_per_tenant;
+    tenant_config.mix = spec.traffic_mix;
+    tenant_config.churn_rate = spec.churn_rate;
+    tenant_config.attacker_slot = spec.attacker_slot;
+    tenant_config.victim_slot = spec.victim_slot;
+    // Co-locate the pinned pair in row-group turns and give the attacker
+    // enough rows for the widest pattern plan. Under permissive placement
+    // this yields the cross-tenant sandwich; isolation-centric placement
+    // breaks it, which the planner reports as attack_planned = false.
+    const uint64_t row_group = PagesPerRowGroup(system.mc().mapper());
+    tenant_config.placement_chunk = row_group;
+    tenant_config.attacker_pages = std::max<uint64_t>(spec.pages_per_tenant, 16 * row_group);
+    tenant_config.victim_pages = std::max<uint64_t>(spec.pages_per_tenant, 2 * row_group);
+    tenant_config.seed = CloudSeed(spec.seed, 0x7e);
+    tenant_config.stream_factory = [](const std::string& kind, DomainId domain, VirtAddr base,
+                                      uint64_t bytes, uint64_t seed) {
+      // Effectively unbounded ops: tenant traffic never self-halts.
+      return MakeWorkload(kind, domain, base, bytes, ~0ull >> 1, seed);
+    };
+    TenantManager tenants(&system.kernel(), &system.llc(), tenant_config);
+    tenants.Init();
+    const DomainId attacker = tenants.DomainOf(spec.attacker_slot);
+    const DomainId victim = tenants.DomainOf(spec.victim_slot);
+    system.InstallDefense(MakeDefense(spec.defense, spec.system.dram));
+    InstallHwMitigation(system, spec.hw);
+    if (attacker != kInvalidDomain) {
+      PlanAndInstallAttack(system, spec, attacker, victim, &result);
     } else {
-      plan = PlanDoubleSidedCross(system.kernel(), attacker, victim);
-      if (!plan.has_value()) {
-        result.attack_planned = false;
-        plan = PlanManySided(system.kernel(), attacker, 2);
-      }
+      result.attack_planned = false;
     }
-  }
+    // Every non-attack core is a carrier multiplexing a shard of the
+    // tenant population; VAs are domain-namespaced so the mux translator
+    // recovers the issuing tenant per access.
+    const uint32_t carriers = system.core_count() > 1 ? system.core_count() - 1 : 0;
+    for (uint32_t carrier = 0; carrier < carriers; ++carrier) {
+      system.AssignMuxCore(carrier + 1, kInvalidDomain,
+                           std::make_unique<TenantMuxStream>(
+                               &tenants, carrier, carriers, CloudSeed(spec.seed, carrier + 2)));
+    }
 
-  if (plan.has_value()) {
-    switch (spec.attack) {
-      case AttackKind::kNone:
-        break;
-      case AttackKind::kDoubleSided:
-      case AttackKind::kManySided:
-      case AttackKind::kHalfDouble: {
-        HammerConfig hammer;
-        hammer.aggressors = plan->aggressor_vas;
-        system.AssignCore(0, attacker, std::make_unique<HammerStream>(hammer));
-        break;
-      }
-      case AttackKind::kPattern: {
-        if (pattern.has_value()) {
-          PatternStreamConfig stream;
-          stream.pattern = *pattern;
-          stream.vas = plan->aggressor_vas;
-          system.AssignCore(0, attacker,
-                            std::make_unique<PatternHammerStream>(std::move(stream)));
-        } else {
-          HammerConfig hammer;
-          hammer.aggressors = plan->aggressor_vas;
-          system.AssignCore(0, attacker, std::make_unique<HammerStream>(hammer));
+    if (hooks != nullptr && hooks->on_start) {
+      hooks->on_start(system);
+    }
+
+    {
+      // Epoch loop: run a window, classify the window's flips against
+      // current ownership, then churn part of the population. The final
+      // window absorbs the division remainder; no churn after the last
+      // harvest, so end-of-run state matches the last classification.
+      ProfilePhase run_phase("runner.run");
+      const uint32_t epochs = std::max<uint32_t>(1, spec.epochs);
+      const Cycle window = spec.run_cycles / epochs;
+      for (uint32_t epoch = 0; epoch < epochs; ++epoch) {
+        const Cycle budget =
+            epoch + 1 == epochs ? spec.run_cycles - window * (epochs - 1) : window;
+        system.RunFor(budget);
+        tenants.HarvestFlips();
+        if (epoch + 1 < epochs) {
+          tenants.Churn(epoch);
         }
-        break;
-      }
-      case AttackKind::kDma: {
-        DmaConfig dma;
-        dma.pattern = plan->aggressor_addrs;
-        dma.period = 8;
-        system.AddDma(attacker, dma);
-        break;
-      }
-      case AttackKind::kAdaptive: {
-        auto decoys = PlanManySided(system.kernel(), attacker, 2, 2,
-                                    BankTriple{plan->channel, plan->rank, plan->bank});
-        AdaptiveHammerConfig adaptive;
-        adaptive.aggressors = plan->aggressor_vas;
-        adaptive.decoys = decoys.has_value() ? decoys->aggressor_vas : plan->aggressor_vas;
-        adaptive.counter_threshold = spec.act_threshold;
-        adaptive.safety_margin = spec.act_threshold / 10;
-        system.AssignCore(0, attacker, std::make_unique<AdaptiveHammerStream>(adaptive));
-        break;
       }
     }
+
+    ProfilePhase report_phase("runner.report");
+    // Tenant-level accounting replaces end-of-run AttributeFlips: flips
+    // were classified per epoch against the ownership they occurred
+    // under, which churn would otherwise misattribute.
+    system.DrainCaches();
+    const VerifyResult verify = system.kernel().VerifyAll();
+    result.security.flip_events = system.TotalFlips();
+    result.security.cross_domain_flips = tenants.escaped_flips();
+    result.security.intra_domain_flips = tenants.intra_tenant_flips();
+    result.security.corrupted_lines = verify.corrupted_lines;
+    result.security.dos_lockups = verify.dos_lockups;
+    result.perf = Summarize(system, spec.run_cycles);
+    result.escaped_flips = tenants.escaped_flips();
+    result.tenants_hit = tenants.tenants_hit();
+    result.churn_events = tenants.churn_events();
+    result.flips_escaped_per_tenant =
+        spec.tenants == 0 ? 0.0
+                          : static_cast<double>(tenants.escaped_flips()) /
+                                static_cast<double>(spec.tenants);
+    result.tenant_map_fingerprint = tenants.PageMapFingerprint();
+    if (hooks != nullptr && hooks->on_tenants) {
+      hooks->on_tenants(tenants);
+    }
+  } else {
+    // --- Classic two-tenant path ------------------------------------------
+    // Half-double needs tenants owning pairs of adjacent rows so a victim
+    // sits at distance two from attacker rows.
+    const uint64_t chunk = spec.attack == AttackKind::kHalfDouble
+                               ? 2 * PagesPerRowGroup(system.mc().mapper())
+                               : 0;
+    auto tenants = SetupTenants(system, spec.tenants, spec.pages_per_tenant, chunk);
+    const DomainId attacker = tenants[0];
+    const DomainId victim = tenants.size() > 1 ? tenants[1] : tenants[0];
+    system.InstallDefense(MakeDefense(spec.defense, spec.system.dram));
+    InstallHwMitigation(system, spec.hw);
+
+    // Attack plan: prefer the cross-domain sandwich; fall back to hammering
+    // the attacker's own rows when isolation denies adjacency.
+    PlanAndInstallAttack(system, spec, attacker, victim, &result);
+
+    if (spec.benign_corunner && system.core_count() > 1) {
+      system.AssignCore(1, victim,
+                        MakeWorkload("random", victim, AddressSpace::BaseFor(victim),
+                                     spec.pages_per_tenant * kPageBytes,
+                                     ~0ull >> 1, 99));
+    }
+
+    if (hooks != nullptr && hooks->on_start) {
+      hooks->on_start(system);
+    }
+
+    {
+      ProfilePhase run_phase("runner.run");
+      system.RunFor(spec.run_cycles);
+    }
+
+    ProfilePhase report_phase("runner.report");
+    result.security = Assess(system);
+    result.perf = Summarize(system, spec.run_cycles);
   }
 
-  if (spec.benign_corunner && system.core_count() > 1) {
-    system.AssignCore(1, victim,
-                      MakeWorkload("random", victim, AddressSpace::BaseFor(victim),
-                                   spec.pages_per_tenant * kPageBytes,
-                                   ~0ull >> 1, 99));
-  }
-
-  if (hooks != nullptr && hooks->on_start) {
-    hooks->on_start(system);
-  }
-
-  {
-    ProfilePhase run_phase("runner.run");
-    system.RunFor(spec.run_cycles);
-  }
-
-  ProfilePhase report_phase("runner.report");
-  result.security = Assess(system);
-  result.perf = Summarize(system, spec.run_cycles);
   if (system.defense() != nullptr) {
     result.defense_interrupts = system.defense()->stats().Get("defense.interrupts") +
                                 system.defense()->stats().Get("defense.detections");

@@ -16,6 +16,7 @@
 #include "common/telemetry/json.h"
 #include "common/telemetry/trace.h"
 #include "common/types.h"
+#include "os/tenant.h"
 #include "sim/scenario.h"
 #include "sim/system.h"
 
@@ -34,6 +35,18 @@ struct ScenarioSpec {
   uint32_t tenants = 2;
   uint64_t pages_per_tenant = 512;
   bool benign_corunner = false;    // Victim tenant runs a random workload.
+  // --- Cloud host model (src/os/tenant.h) -----------------------------------
+  // A non-empty traffic mix switches RunScenario into cloud mode:
+  // `tenants` becomes the slot count of a TenantManager population whose
+  // streams multiplex onto the non-attacker cores, the run is split into
+  // `epochs` windows with flip harvesting and churn at each boundary, and
+  // per-tenant escape accounting replaces end-of-run flip attribution.
+  // Empty = the classic two-tenant path, byte-identical to before.
+  std::string traffic_mix;
+  double churn_rate = 0.0;     // Fraction of eligible slots recycled per epoch.
+  uint32_t epochs = 8;         // Harvest/churn boundaries per run (cloud mode).
+  uint32_t attacker_slot = 0;  // Slot hammering; pinned across churn.
+  uint32_t victim_slot = 1;    // Pinned co-located victim slot.
   // Stochastic-variation knob for sweeps: a nonzero seed perturbs the
   // simulation's RNG streams (flip patterns, randomized counter resets,
   // vendor remap) deterministically; 0 leaves the stock seeds untouched,
@@ -49,6 +62,12 @@ struct ScenarioResult {
   uint64_t throttle_stalls = 0;
   uint64_t mitigation_refreshes = 0;
   bool attack_planned = true;  // False if isolation denied the attacker a plan.
+  // --- Cloud mode (zero on the classic path) --------------------------------
+  uint64_t escaped_flips = 0;      // Flips crossing a tenant allocation boundary.
+  uint64_t tenants_hit = 0;        // Distinct victim slots receiving escapes.
+  uint64_t churn_events = 0;       // Tenant slots recycled over the run.
+  double flips_escaped_per_tenant = 0.0;  // escaped_flips / tenant slots.
+  uint64_t tenant_map_fingerprint = 0;    // End-of-run page-map hash (determinism).
 };
 
 // Smoke-test cap on per-scenario cycle budgets. When HT_BENCH_SMOKE is
@@ -106,6 +125,10 @@ JsonValue ScenarioResultToJson(const ScenarioResult& result);
 struct ScenarioHooks {
   std::function<void(System&)> on_start;
   std::function<void(System&)> on_finish;
+  // Cloud mode only: fires after the final harvest, while the tenant
+  // population is still alive (isolation-invariant tests read the
+  // classified flip samples here). Skipped on the classic path.
+  std::function<void(const TenantManager&)> on_tenants;
 };
 
 // Builds the standard two-tenant (attacker + victim) scenario, runs it,

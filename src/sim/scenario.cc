@@ -288,6 +288,7 @@ PerfSummary Summarize(System& system, Cycle cycles) {
       cycles == 0 ? 0.0 : static_cast<double>(summary.ops) * 1000.0 / static_cast<double>(cycles);
   summary.row_hit_rate = system.RowHitRate();
   summary.avg_read_latency = system.AvgReadLatency();
+  summary.p99_read_latency = system.P99ReadLatency();
   summary.extra_acts = system.mc().stats().Get("mc.refresh_instr_acts") +
                        system.mc().stats().Get("mc.mitigation_refreshes");
   return summary;

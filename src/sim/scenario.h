@@ -113,6 +113,7 @@ struct PerfSummary {
   double ops_per_kcycle = 0.0;
   double row_hit_rate = 0.0;
   double avg_read_latency = 0.0;
+  double p99_read_latency = 0.0;  // Tail latency (cloud SLO metric).
   uint64_t extra_acts = 0;  // ACTs from mitigation/defense refreshes.
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/telemetry/report.h"
+
 namespace ht {
 namespace {
 
@@ -91,7 +93,9 @@ JsonValue SpecCanonicalJson(const ScenarioSpec& spec) {
   out.Set("act_threshold", JsonValue::Uint(spec.act_threshold));
   out.Set("alloc", JsonValue::Str(ToString(spec.system.alloc)));
   out.Set("attack", JsonValue::Str(ToString(spec.attack)));
+  out.Set("attacker_slot", JsonValue::Uint(spec.attacker_slot));
   out.Set("benign_corunner", JsonValue::Bool(spec.benign_corunner));
+  out.Set("churn", JsonValue::Double(spec.churn_rate));
   out.Set("blast_radius", JsonValue::Uint(spec.system.dram.disturbance.blast_radius));
   out.Set("channels", JsonValue::Uint(spec.system.dram.org.channels));
   out.Set("cores", JsonValue::Uint(spec.system.cores));
@@ -100,10 +104,12 @@ JsonValue SpecCanonicalJson(const ScenarioSpec& spec) {
   out.Set("dram", JsonValue::Str(spec.system.dram.name));
   out.Set("ecc", JsonValue::Bool(spec.system.dram.ecc.enabled));
   out.Set("enforce_domain_groups", JsonValue::Bool(spec.system.mc.enforce_domain_groups));
+  out.Set("epochs", JsonValue::Uint(spec.epochs));
   out.Set("guard_blast", JsonValue::Uint(spec.system.guard_blast));
   out.Set("guard_domains", JsonValue::Uint(spec.system.guard_domains));
   out.Set("hw", JsonValue::Str(ToString(spec.hw)));
   out.Set("mac", JsonValue::Uint(spec.system.dram.disturbance.mac));
+  out.Set("mix", JsonValue::Str(spec.traffic_mix));
   out.Set("open_page", JsonValue::Bool(spec.system.mc.open_page));
   out.Set("pages_per_tenant", JsonValue::Uint(spec.pages_per_tenant));
   out.Set("pattern_seed", JsonValue::Uint(spec.pattern_seed));
@@ -114,6 +120,10 @@ JsonValue SpecCanonicalJson(const ScenarioSpec& spec) {
   out.Set("scheme", JsonValue::Str(ToString(spec.system.mc.scheme)));
   out.Set("seed", JsonValue::Uint(spec.seed));
   out.Set("sides", JsonValue::Uint(spec.sides));
+  // Spec-format version (common/telemetry/report.h). Bumping it when
+  // canonical members change makes every pre-bump cache entry and report
+  // cell key miss, instead of silently resolving to a different spec.
+  out.Set("spec_version", JsonValue::Uint(kScenarioSpecVersion));
   out.Set("tenants", JsonValue::Uint(spec.tenants));
   out.Set("trr_entries",
           JsonValue::Uint(spec.system.dram.trr.enabled ? spec.system.dram.trr.table_entries : 0));
@@ -123,6 +133,7 @@ JsonValue SpecCanonicalJson(const ScenarioSpec& spec) {
   out.Set("trr_sample", JsonValue::Double(spec.system.dram.trr.enabled
                                               ? spec.system.dram.trr.sample_probability
                                               : 1.0));
+  out.Set("victim_slot", JsonValue::Uint(spec.victim_slot));
   return out;
 }
 
@@ -242,6 +253,20 @@ std::optional<ScenarioSpec> SpecFromCanonicalJson(const JsonValue& json, std::st
     return std::nullopt;
   }
 
+  // Version gate: decode is strict (missing member = error), so specs
+  // written before a version bump already fail; this check catches the
+  // reverse direction (a future format read by an older binary).
+  if (!GetUintField(json, "spec_version", &value, error)) {
+    return std::nullopt;
+  }
+  if (value != kScenarioSpecVersion) {
+    if (error != nullptr) {
+      *error = "canonical spec version " + std::to_string(value) + " != supported " +
+               std::to_string(kScenarioSpecVersion);
+    }
+    return std::nullopt;
+  }
+
   if (!GetUintField(json, "act_threshold", &spec.act_threshold, error) ||
       !GetUintField(json, "cycles", &spec.run_cycles, error) ||
       !GetUintField(json, "pages_per_tenant", &spec.pages_per_tenant, error) ||
@@ -249,6 +274,22 @@ std::optional<ScenarioSpec> SpecFromCanonicalJson(const JsonValue& json, std::st
       !GetUintField(json, "seed", &spec.seed, error)) {
     return std::nullopt;
   }
+  if (!GetStringField(json, "mix", &spec.traffic_mix, error) ||
+      !GetDoubleField(json, "churn", &spec.churn_rate, error)) {
+    return std::nullopt;
+  }
+  if (!GetUintField(json, "epochs", &value, error)) {
+    return std::nullopt;
+  }
+  spec.epochs = static_cast<uint32_t>(value);
+  if (!GetUintField(json, "attacker_slot", &value, error)) {
+    return std::nullopt;
+  }
+  spec.attacker_slot = static_cast<uint32_t>(value);
+  if (!GetUintField(json, "victim_slot", &value, error)) {
+    return std::nullopt;
+  }
+  spec.victim_slot = static_cast<uint32_t>(value);
   if (!GetUintField(json, "sides", &value, error)) {
     return std::nullopt;
   }

@@ -88,6 +88,14 @@ void System::AssignCore(uint32_t index, DomainId domain, std::unique_ptr<Instruc
   cores_[index]->set_stream(std::move(stream));
 }
 
+void System::AssignMuxCore(uint32_t index, DomainId carrier_domain,
+                           std::unique_ptr<InstructionStream> stream) {
+  AssignCore(index, carrier_domain, std::move(stream));
+  cores_[index]->set_translate(kernel_->MuxTranslator());
+  cores_[index]->set_domain_resolver(
+      [](VirtAddr va) { return HostKernel::DomainOfVa(va); });
+}
+
 DmaEngine& System::AddDma(DomainId domain, const DmaConfig& dma_config) {
   const RequestorId id = 1000 + static_cast<RequestorId>(dmas_.size());
   dmas_.push_back(std::make_unique<DmaEngine>(id, domain, dma_config, mc_.get()));
@@ -236,6 +244,11 @@ double System::RowHitRate() const {
 double System::AvgReadLatency() const {
   const Histogram* histogram = mc_->stats().GetHistogram("mc.read_latency");
   return histogram == nullptr ? 0.0 : histogram->Mean();
+}
+
+double System::P99ReadLatency() const {
+  const Histogram* histogram = mc_->stats().GetHistogram("mc.read_latency");
+  return histogram == nullptr ? 0.0 : static_cast<double>(histogram->Quantile(0.99));
 }
 
 StatSet System::CollectStats() const {

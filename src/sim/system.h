@@ -74,6 +74,14 @@ class System {
   void AssignCore(uint32_t index, DomainId domain, std::unique_ptr<InstructionStream> stream,
                   bool is_host = false);
 
+  // Binds core `index` as a multiplexing carrier for many tenants: VAs
+  // are translated (and MC-side domain accounting tagged) through the
+  // domain encoded in each VA, so thousands of trust domains can share a
+  // handful of cores. `carrier_domain` is the domain charged for traffic
+  // with no recoverable tenant (writebacks).
+  void AssignMuxCore(uint32_t index, DomainId carrier_domain,
+                     std::unique_ptr<InstructionStream> stream);
+
   DmaEngine& AddDma(DomainId domain, const DmaConfig& dma_config);
 
   void InstallDefense(std::unique_ptr<Defense> defense);
@@ -106,6 +114,10 @@ class System {
   uint64_t TotalFlips() const { return mc_->TotalFlipEvents(); }
   double RowHitRate() const;
   double AvgReadLatency() const;
+  // Tail (p99) read latency — the cloud benchmarks' victim-facing metric:
+  // mitigations that throttle or migrate under attack show up here long
+  // before they dent the mean.
+  double P99ReadLatency() const;
 
   // --- Telemetry ---------------------------------------------------------
 

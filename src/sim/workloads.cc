@@ -87,22 +87,82 @@ CoreOp PointerChaseWorkload::Next() {
   return CoreOp::Load(base_ + static_cast<VirtAddr>(cursor_) * kLineBytes);
 }
 
+namespace {
+
+// Registry table in the style of scenario.cc's KindEntry registries:
+// canonical name + factory. Declaration order is the canonical listing
+// order reported by AllWorkloadKinds()/KnownWorkloadKinds().
+struct WorkloadEntry {
+  const char* name;
+  WorkloadFactory factory;
+};
+
+const WorkloadEntry kWorkloadKinds[] = {
+    {"stream",
+     [](const WorkloadParams& p) -> std::unique_ptr<InstructionStream> {
+       return std::make_unique<StreamWorkload>(p.domain, p.base, p.bytes, p.total_ops, 0.2,
+                                               p.seed);
+     }},
+    {"random",
+     [](const WorkloadParams& p) -> std::unique_ptr<InstructionStream> {
+       return std::make_unique<RandomWorkload>(p.domain, p.base, p.bytes, p.total_ops, 0.2,
+                                               p.seed);
+     }},
+    {"hotspot",
+     [](const WorkloadParams& p) -> std::unique_ptr<InstructionStream> {
+       return std::make_unique<HotspotWorkload>(p.base, p.bytes, p.total_ops, 0.9, 64, p.seed);
+     }},
+    {"chase",
+     [](const WorkloadParams& p) -> std::unique_ptr<InstructionStream> {
+       return std::make_unique<PointerChaseWorkload>(p.base, p.bytes, p.total_ops, p.seed);
+     }},
+};
+
+}  // namespace
+
+const std::vector<std::string>& AllWorkloadKinds() {
+  static const std::vector<std::string> kinds = [] {
+    std::vector<std::string> names;
+    for (const WorkloadEntry& entry : kWorkloadKinds) {
+      names.push_back(entry.name);
+    }
+    return names;
+  }();
+  return kinds;
+}
+
+std::string KnownWorkloadKinds() {
+  std::string joined;
+  for (const WorkloadEntry& entry : kWorkloadKinds) {
+    if (!joined.empty()) {
+      joined += ",";
+    }
+    joined += entry.name;
+  }
+  return joined;
+}
+
+bool IsWorkloadKind(const std::string& kind) { return WorkloadFactoryFor(kind) != nullptr; }
+
+WorkloadFactory WorkloadFactoryFor(const std::string& kind) {
+  for (const WorkloadEntry& entry : kWorkloadKinds) {
+    if (kind == entry.name) {
+      return entry.factory;
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<InstructionStream> MakeWorkload(const std::string& kind,
+                                                const WorkloadParams& params) {
+  const WorkloadFactory factory = WorkloadFactoryFor(kind);
+  return factory == nullptr ? nullptr : factory(params);
+}
+
 std::unique_ptr<InstructionStream> MakeWorkload(const std::string& kind, DomainId domain,
                                                 VirtAddr base, uint64_t bytes,
                                                 uint64_t total_ops, uint64_t seed) {
-  if (kind == "stream") {
-    return std::make_unique<StreamWorkload>(domain, base, bytes, total_ops, 0.2, seed);
-  }
-  if (kind == "random") {
-    return std::make_unique<RandomWorkload>(domain, base, bytes, total_ops, 0.2, seed);
-  }
-  if (kind == "hotspot") {
-    return std::make_unique<HotspotWorkload>(base, bytes, total_ops, 0.9, 64, seed);
-  }
-  if (kind == "chase") {
-    return std::make_unique<PointerChaseWorkload>(base, bytes, total_ops, seed);
-  }
-  return nullptr;
+  return MakeWorkload(kind, WorkloadParams{domain, base, bytes, total_ops, seed});
 }
 
 }  // namespace ht

@@ -91,7 +91,36 @@ class PointerChaseWorkload : public InstructionStream {
   uint32_t cursor_ = 0;
 };
 
-// Factory by name, for sweep-style experiment tables.
+// Everything a workload constructor needs, bundled so registry entries
+// share one signature. Kinds that ignore a field (e.g. hotspot/chase
+// never store) simply do not read it.
+struct WorkloadParams {
+  DomainId domain = kInvalidDomain;
+  VirtAddr base = 0;
+  uint64_t bytes = 0;
+  uint64_t total_ops = 0;
+  uint64_t seed = 1;
+};
+
+// String-keyed workload registry, mirroring the defense/hw/attack kind
+// registries in sim/scenario.h: canonical names are what CLIs, sweep
+// specs, and tenant traffic mixes address workloads by.
+using WorkloadFactory = std::unique_ptr<InstructionStream> (*)(const WorkloadParams&);
+
+// All canonical workload kind names, in registration order.
+const std::vector<std::string>& AllWorkloadKinds();
+// Comma-joined canonical names, for CLI help strings.
+std::string KnownWorkloadKinds();
+// True iff `kind` names a registered workload.
+bool IsWorkloadKind(const std::string& kind);
+// Factory for `kind`, or nullptr if unknown.
+WorkloadFactory WorkloadFactoryFor(const std::string& kind);
+
+// Registry-backed construction. Returns nullptr for unknown kinds.
+std::unique_ptr<InstructionStream> MakeWorkload(const std::string& kind,
+                                                const WorkloadParams& params);
+
+// Back-compatible factory by name, for sweep-style experiment tables.
 std::unique_ptr<InstructionStream> MakeWorkload(const std::string& kind, DomainId domain,
                                                 VirtAddr base, uint64_t bytes,
                                                 uint64_t total_ops, uint64_t seed);

@@ -6,6 +6,7 @@
 //   trace_check --metrics FILE            hammertime.metrics.v1 document.
 //   trace_check --sweep FILE              hammertime.sweep_report.v1 document.
 //   trace_check --pattern FILE            hammertime.pattern_report.v1 document.
+//   trace_check --cloud FILE              hammertime.cloud_report.v1 document.
 //   trace_check --compare FILE FILE       two metrics documents must be
 //                                         identical after zeroing the
 //                                         non-deterministic wall_seconds
@@ -62,6 +63,7 @@ int Usage() {
       "       trace_check --metrics FILE\n"
       "       trace_check --sweep FILE\n"
       "       trace_check --pattern FILE\n"
+      "       trace_check --cloud FILE\n"
       "       trace_check --compare FILE FILE\n"
       "       trace_check --bench-compare BASELINE CURRENT\n"
       "       trace_check --convert IN OUT\n"
@@ -247,6 +249,22 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("trace_check: %s: valid pattern report (%zu/%llu cells, %zu vendors)\n",
+                argv[2], doc->Find("cells")->size(),
+                static_cast<unsigned long long>(doc->Find("grid_cells")->as_uint()),
+                doc->Find("ranking")->size());
+    return 0;
+  }
+
+  if (mode == "--cloud") {
+    auto doc = ParseFile(argv[2]);
+    if (!doc.has_value()) {
+      return 2;
+    }
+    if (!ht::ValidateCloudReport(*doc, &error)) {
+      std::fprintf(stderr, "trace_check: %s: %s\n", argv[2], error.c_str());
+      return 1;
+    }
+    std::printf("trace_check: %s: valid cloud report (%zu/%llu cells, %zu families)\n",
                 argv[2], doc->Find("cells")->size(),
                 static_cast<unsigned long long>(doc->Find("grid_cells")->as_uint()),
                 doc->Find("ranking")->size());
