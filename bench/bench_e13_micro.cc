@@ -6,7 +6,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/thread_pool.h"
@@ -275,17 +277,42 @@ ThroughputSample MeasureHammerHeavy(bool event_driven, Cycle cycles) {
 // --- Channel-scaling throughput ---------------------------------------------
 //
 // The sharded-advance A/B: every channel is driven with its own saturating
-// same-bank hammer loop, refilled at fixed window boundaries so the whole
-// run decomposes into coupling-free windows the sharded path can take.
-// threads == 0 runs the serial event-driven reference (Tick/NextWake
-// clamped per window); otherwise AdvanceChannels() advances all channels
-// with up to `threads` workers. Work done (mc.reads_done) must be
-// identical across all three variants — checked by the caller.
+// same-bank hammer loop, its queue refilled to capacity at fixed window
+// boundaries so it never runs dry — the whole run decomposes into busy,
+// coupling-free windows the adaptive sharded path takes in one dispatch
+// each. threads == 0 runs the serial event-driven reference (Tick /
+// NextWake clamped per window); otherwise AdvanceChannels() advances all
+// channels with exactly `threads` members on the persistent worker group.
+// Work done (mc.reads_done) must be identical across every variant, and
+// the shard self-telemetry (barriers, wait cycles, window histogram) must
+// be identical across thread counts — both checked by the caller.
+// HT_SHARD_MIN_WINDOW overrides McConfig::shard_min_window (the benches
+// use google-benchmark's main, so the runner's --shard-min-window flag is
+// not available here).
+
+constexpr Cycle kShardBenchWindow = 768;
+constexpr uint32_t kShardBenchQueueDepth = 64;
 
 struct ShardSample {
   ThroughputSample throughput;
   uint64_t reads_done = 0;
+  uint64_t sync_barriers = 0;
+  uint64_t shard_wait_cycles = 0;
+  uint64_t window_count = 0;
+  double window_mean = 0.0;
+  uint64_t window_max = 0;
 };
+
+Cycle ShardMinWindowFromEnv() {
+  if (const char* env = std::getenv("HT_SHARD_MIN_WINDOW"); env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env && parsed > 0) {
+      return static_cast<Cycle>(parsed);
+    }
+  }
+  return 0;
+}
 
 ShardSample MeasureShardedHammerLoop(uint32_t channels, unsigned threads, Cycle cycles) {
   DramConfig dram = DramConfig::SimDefault();
@@ -293,10 +320,16 @@ ShardSample MeasureShardedHammerLoop(uint32_t channels, unsigned threads, Cycle 
   McConfig config;
   config.event_driven = true;
   config.shard_channels = true;
+  config.queue_capacity = kShardBenchQueueDepth;
+  if (const Cycle min_window = ShardMinWindowFromEnv(); min_window != 0) {
+    config.shard_min_window = min_window;
+  }
   MemoryController mc(dram, config);
 
   // Per-channel aggressor triples (same bank, distinct rows): each channel
-  // stays timing-blocked-but-busy, the busy phase the shard loop replays.
+  // stays busy the whole window — FR-FCFS batches the row hits within each
+  // refill and pays a row conflict between rows, which is the command mix
+  // of a hammer loop under a deep queue.
   const AddressMapper& mapper = mc.mapper();
   std::vector<std::vector<PhysAddr>> aggressors(channels);
   uint32_t filled = 0;
@@ -314,14 +347,14 @@ ShardSample MeasureShardedHammerLoop(uint32_t channels, unsigned threads, Cycle 
     }
   }
 
-  const Cycle window = 2048;
   uint64_t id = 0;
   std::vector<size_t> cursor(channels, 0);
   const auto start = std::chrono::steady_clock::now();
   for (Cycle now = 0; now < cycles;) {
-    const Cycle wend = std::min(cycles, now + window);
+    const Cycle wend = std::min(cycles, now + kShardBenchWindow);
     for (uint32_t c = 0; c < channels; ++c) {
-      for (int k = 0; k < 4; ++k) {
+      // Top the queue up to capacity; Enqueue rejects at the brim.
+      for (uint32_t k = 0; k < kShardBenchQueueDepth; ++k) {
         MemRequest request;
         request.id = ++id;
         request.op = MemOp::kRead;
@@ -355,7 +388,15 @@ ShardSample MeasureShardedHammerLoop(uint32_t channels, unsigned threads, Cycle 
   sample.throughput.cycles_per_sec =
       sample.throughput.seconds > 0.0 ? static_cast<double>(cycles) / sample.throughput.seconds
                                       : 0.0;
-  sample.reads_done = mc.stats().Get("mc.reads_done");
+  StatSet& stats = mc.stats();
+  sample.reads_done = stats.Get("mc.reads_done");
+  sample.sync_barriers = stats.Get("mc.sync_barriers");
+  sample.shard_wait_cycles = stats.Get("mc.shard_wait_cycles");
+  if (const Histogram* windows = stats.GetHistogram("mc.shard_window"); windows != nullptr) {
+    sample.window_count = windows->count();
+    sample.window_mean = windows->Mean();
+    sample.window_max = windows->max();
+  }
   return sample;
 }
 
@@ -372,37 +413,52 @@ void WriteBusyReport() {
   const double sys_speedup =
       sys_off.cycles_per_sec > 0.0 ? sys_on.cycles_per_sec / sys_off.cycles_per_sec : 0.0;
 
-  // Channel-scaling series: serial reference vs sharded advance with one
-  // worker (pure shard-loop overhead) and with the resolved pool width
-  // (real parallelism only where the host has spare cores).
+  // Channel-scaling sweep: serial reference vs sharded advance at pool
+  // widths {1, 2, 4, 8} for each channel count. Width 1 is the pure
+  // shard-loop algorithmic delta (no barrier, no helpers); wider runs
+  // spawn real persistent workers even when the host has a single core,
+  // so the series doubles as overhead telemetry there. Work identity
+  // (reads_done) and shard self-telemetry identity across widths are both
+  // hard-checked here — barriers/wait/window stats are cycle-domain
+  // quantities and must not depend on the thread count.
   const Cycle shard_cycles = std::min<Cycle>(2000000, BenchSmokeCap());
-  const unsigned pool_threads = static_cast<unsigned>(ResolveThreadCount(0));
+  constexpr unsigned kShardWidths[] = {1, 2, 4, 8};
   struct ShardRow {
     uint32_t channels = 0;
-    double serial = 0.0;
-    double sharded_1t = 0.0;
-    double sharded_nt = 0.0;
-    double speedup_nt_vs_1t = 0.0;
+    ShardSample serial;
+    ShardSample sharded[4];
   };
   std::vector<ShardRow> shard_rows;
   for (uint32_t channels : {1u, 2u, 4u, 8u}) {
-    const ShardSample serial = MeasureShardedHammerLoop(channels, 0, shard_cycles);
-    const ShardSample one = MeasureShardedHammerLoop(channels, 1, shard_cycles);
-    const ShardSample wide = MeasureShardedHammerLoop(channels, pool_threads, shard_cycles);
-    if (serial.reads_done != one.reads_done || serial.reads_done != wide.reads_done) {
-      std::fprintf(stderr,
-                   "channel_scaling identity violation at %u channels: "
-                   "reads_done %llu / %llu / %llu\n",
-                   channels, static_cast<unsigned long long>(serial.reads_done),
-                   static_cast<unsigned long long>(one.reads_done),
-                   static_cast<unsigned long long>(wide.reads_done));
-    }
     ShardRow row;
     row.channels = channels;
-    row.serial = serial.throughput.cycles_per_sec;
-    row.sharded_1t = one.throughput.cycles_per_sec;
-    row.sharded_nt = wide.throughput.cycles_per_sec;
-    row.speedup_nt_vs_1t = row.sharded_1t > 0.0 ? row.sharded_nt / row.sharded_1t : 0.0;
+    row.serial = MeasureShardedHammerLoop(channels, 0, shard_cycles);
+    for (size_t w = 0; w < 4; ++w) {
+      row.sharded[w] = MeasureShardedHammerLoop(channels, kShardWidths[w], shard_cycles);
+      if (row.sharded[w].reads_done != row.serial.reads_done) {
+        std::fprintf(stderr,
+                     "channel_scaling identity violation at %u channels, %u threads: "
+                     "reads_done %llu vs serial %llu\n",
+                     channels, kShardWidths[w],
+                     static_cast<unsigned long long>(row.sharded[w].reads_done),
+                     static_cast<unsigned long long>(row.serial.reads_done));
+      }
+      if (row.sharded[w].sync_barriers != row.sharded[0].sync_barriers ||
+          row.sharded[w].shard_wait_cycles != row.sharded[0].shard_wait_cycles ||
+          row.sharded[w].window_count != row.sharded[0].window_count ||
+          row.sharded[w].window_max != row.sharded[0].window_max) {
+        std::fprintf(stderr,
+                     "channel_scaling telemetry divergence at %u channels, %u threads: "
+                     "barriers %llu/%llu wait %llu/%llu windows %llu/%llu\n",
+                     channels, kShardWidths[w],
+                     static_cast<unsigned long long>(row.sharded[w].sync_barriers),
+                     static_cast<unsigned long long>(row.sharded[0].sync_barriers),
+                     static_cast<unsigned long long>(row.sharded[w].shard_wait_cycles),
+                     static_cast<unsigned long long>(row.sharded[0].shard_wait_cycles),
+                     static_cast<unsigned long long>(row.sharded[w].window_count),
+                     static_cast<unsigned long long>(row.sharded[0].window_count));
+      }
+    }
     shard_rows.push_back(row);
   }
 
@@ -426,25 +482,44 @@ void WriteBusyReport() {
                "  },\n"
                "  \"channel_scaling\": {\n"
                "    \"simulated_cycles\": %llu,\n"
-               "    \"window\": 2048,\n"
-               "    \"pool_threads\": %u,\n"
-               "    \"series\": [\n",
+               "    \"window\": %llu,\n"
+               "    \"queue_depth\": %u,\n",
                static_cast<unsigned long long>(mc_cycles), mc_off.seconds, mc_off.cycles_per_sec,
                mc_on.seconds, mc_on.cycles_per_sec, mc_speedup,
                static_cast<unsigned long long>(sys_cycles), sys_off.seconds,
                sys_off.cycles_per_sec, sys_on.seconds, sys_on.cycles_per_sec, sys_speedup,
-               static_cast<unsigned long long>(shard_cycles), pool_threads);
+               static_cast<unsigned long long>(shard_cycles),
+               static_cast<unsigned long long>(kShardBenchWindow), kShardBenchQueueDepth);
   for (size_t i = 0; i < shard_rows.size(); ++i) {
     const ShardRow& row = shard_rows[i];
     std::fprintf(out,
-                 "      {\"channels\": %u, \"serial_cycles_per_sec\": %.0f, "
-                 "\"sharded_1t_cycles_per_sec\": %.0f, \"sharded_nt_cycles_per_sec\": %.0f, "
-                 "\"speedup_nt_vs_1t\": %.2f}%s\n",
-                 row.channels, row.serial, row.sharded_1t, row.sharded_nt,
-                 row.speedup_nt_vs_1t, i + 1 < shard_rows.size() ? "," : "");
+                 "    \"ch%u\": {\n"
+                 "      \"serial\": {\"cycles_per_sec\": %.0f},\n"
+                 "      \"sharded\": [\n",
+                 row.channels, row.serial.throughput.cycles_per_sec);
+    for (size_t w = 0; w < 4; ++w) {
+      const ShardSample& sample = row.sharded[w];
+      const double speedup = row.serial.throughput.cycles_per_sec > 0.0
+                                 ? sample.throughput.cycles_per_sec /
+                                       row.serial.throughput.cycles_per_sec
+                                 : 0.0;
+      std::fprintf(out,
+                   "        {\"pool_threads\": %u, \"cycles_per_sec\": %.0f, "
+                   "\"speedup_vs_serial\": %.2f, \"sync_barriers\": %llu, "
+                   "\"shard_wait_cycles\": %llu, \"windows\": {\"count\": %llu, "
+                   "\"mean_cycles\": %.1f, \"max_cycles\": %llu}}%s\n",
+                   kShardWidths[w], sample.throughput.cycles_per_sec, speedup,
+                   static_cast<unsigned long long>(sample.sync_barriers),
+                   static_cast<unsigned long long>(sample.shard_wait_cycles),
+                   static_cast<unsigned long long>(sample.window_count), sample.window_mean,
+                   static_cast<unsigned long long>(sample.window_max), w + 1 < 4 ? "," : "");
+    }
+    std::fprintf(out,
+                 "      ]\n"
+                 "    }%s\n",
+                 i + 1 < shard_rows.size() ? "," : "");
   }
   std::fprintf(out,
-               "    ]\n"
                "  }\n"
                "}\n");
   std::fclose(out);
@@ -456,10 +531,21 @@ void WriteBusyReport() {
               static_cast<unsigned long long>(sys_cycles), sys_off.cycles_per_sec,
               sys_on.cycles_per_sec, sys_speedup);
   for (const ShardRow& row : shard_rows) {
-    std::printf("MC/ChannelScaling x%u: serial %.0f, sharded 1t %.0f, sharded %ut %.0f cyc/s "
-                "(%.2fx nt vs 1t)\n",
-                row.channels, row.serial, row.sharded_1t, pool_threads, row.sharded_nt,
-                row.speedup_nt_vs_1t);
+    std::printf("MC/ChannelScaling x%u: serial %.0f cyc/s", row.channels,
+                row.serial.throughput.cycles_per_sec);
+    for (size_t w = 0; w < 4; ++w) {
+      const double speedup = row.serial.throughput.cycles_per_sec > 0.0
+                                 ? row.sharded[w].throughput.cycles_per_sec /
+                                       row.serial.throughput.cycles_per_sec
+                                 : 0.0;
+      std::printf(", %ut %.0f (%.2fx)", kShardWidths[w],
+                  row.sharded[w].throughput.cycles_per_sec, speedup);
+    }
+    std::printf(" | barriers %llu, wait %llu, window mean %.0f max %llu\n",
+                static_cast<unsigned long long>(row.sharded[0].sync_barriers),
+                static_cast<unsigned long long>(row.sharded[0].shard_wait_cycles),
+                row.sharded[0].window_mean,
+                static_cast<unsigned long long>(row.sharded[0].window_max));
   }
   std::printf("wrote BENCH_busy.json\n");
 }

@@ -30,6 +30,12 @@ class Histogram {
 
   void Record(uint64_t value);
   void Merge(const Histogram& other);
+  // Folds in only what `current` gained since the `previous` snapshot of
+  // the same append-only histogram (previous must be an earlier copy of
+  // current). Equivalent to rebuilding from scratch with Merge(current),
+  // at delta cost: the incremental SyncTelemetry path uses this to fold
+  // per-channel slabs without resetting the aggregate each sync.
+  void MergeDelta(const Histogram& current, const Histogram& previous);
   void Reset();
 
   uint64_t count() const { return count_; }

@@ -95,6 +95,21 @@ class TraceBuffer {
   // Retained events in chronological (emit) order.
   std::vector<TraceEvent> Snapshot() const;
 
+  // Copies every retained event of `src`, oldest first. The sharded
+  // advance routes each channel's in-window events into a private
+  // scratch buffer and folds them back here at the sync point, in
+  // channel order, so the merged stream is identical for any worker
+  // count (and to the serial in-order advance).
+  void Append(const TraceBuffer& src) {
+    const uint64_t start = src.emitted_ - src.size();
+    for (uint64_t i = start; i < src.emitted_; ++i) {
+      Emit(src.ring_[static_cast<size_t>(i % src.capacity_)]);
+    }
+  }
+
+  // Forgets all events (scratch-buffer reuse between shard windows).
+  void Clear() { emitted_ = 0; }
+
  private:
   std::string label_;
   uint64_t capacity_;

@@ -64,6 +64,14 @@ class ThreadPool {
   PoolStats stats() const;
   void ResetStats();
 
+  // Accounting hooks for fan-out that bypasses the pending queue (the
+  // persistent ShardWorkerGroup path): each external dispatch counts as
+  // one task with `jobs` jobs and holds one slot of queue depth until
+  // NoteExternalComplete, so pool.tasks/pool.jobs/pool.queue_peak keep
+  // describing every parallel fan-out in the process. Lock-free.
+  void NoteExternalDispatch(uint64_t jobs);
+  void NoteExternalComplete();
+
   // The process-wide pool shared by inter-scenario fan-out (RunScenarios)
   // and intra-scenario channel shards (MemoryController::AdvanceChannels).
   // Sized once, on first use, from ResolveThreadCount(0) — HT_THREADS or
@@ -90,9 +98,14 @@ class ThreadPool {
   // exhausted or the task failed. Exceptions are captured into the task.
   bool RunOneJob(Task& task);
 
+  // Folds `depth` into queue_peak_ with a CAS max (racy-max is not
+  // enough once lock-free external dispatches update it concurrently).
+  void FoldQueuePeak(uint64_t depth);
+
   unsigned workers_;
   std::atomic<uint64_t> tasks_{0};
   std::atomic<uint64_t> jobs_{0};
+  std::atomic<uint64_t> queue_depth_{0};  // Pending submissions, incl. external.
   std::atomic<uint64_t> queue_peak_{0};
   std::atomic<uint64_t> busy_nanos_{0};
   std::mutex mu_;
@@ -107,6 +120,22 @@ class ThreadPool {
 // when threads <= 1 or jobs <= 1), drawing helpers from ThreadPool::
 // Shared(). Same independence and exception contract as ThreadPool::Run.
 void ParallelFor(uint64_t jobs, unsigned threads, const std::function<void(uint64_t)>& body);
+
+// RAII marker for a multi-simulation fan-out (RunScenarios running more
+// than one scenario on more than one worker). While any region is
+// active, per-MC persistent shard workers stand down and channel shards
+// route through the shared pool instead — the scenario jobs already own
+// the thread budget, and per-simulation worker groups on top of them
+// would oversubscribe the machine. Nestable; counted process-wide.
+class PoolFanoutRegion {
+ public:
+  PoolFanoutRegion();
+  ~PoolFanoutRegion();
+  PoolFanoutRegion(const PoolFanoutRegion&) = delete;
+  PoolFanoutRegion& operator=(const PoolFanoutRegion&) = delete;
+
+  static bool Active();
+};
 
 }  // namespace ht
 

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/log.h"
+#include "common/telemetry/profile.h"
 #include "common/thread_pool.h"
 
 namespace ht {
@@ -54,6 +55,9 @@ MemoryController::MemoryController(const DramConfig& dram_config, const McConfig
   h_cmds_per_wake_ = stats_.histogram("mc.cmds_per_wake");
   h_read_latency_ = stats_.histogram("mc.read_latency");
   h_write_latency_ = stats_.histogram("mc.write_latency");
+  // Shard self-telemetry (like mc.sync_barriers: measures the scheduling
+  // strategy, not the simulated machine — exempt from A/B identity).
+  h_shard_window_ = stats_.histogram("mc.shard_window");
   h_ch_cmds_per_wake_.reserve(channels);
   for (uint32_t c = 0; c < channels; ++c) {
     h_ch_cmds_per_wake_.push_back(
@@ -182,6 +186,7 @@ void MemoryController::Tick(Cycle now) {
   }
   for (uint32_t c = 0; c < channels(); ++c) {
     ChannelState& channel = channels_[c];
+    channel.sync_dirty = true;
     // Completions are time-driven, so they drain regardless of the
     // scheduling memo (NextWake always includes the nearest ready cycle).
     DrainCompletions(c, now);
@@ -690,51 +695,60 @@ Cycle MemoryController::NextWake(Cycle now) const {
 }
 
 void MemoryController::SyncTelemetry() {
-  // Fold the authoritative per-channel slabs into the named stats. Set()
-  // overwrites and Reset()+Merge() rebuild, so calling this any number of
-  // times — mid-run, from the sampler, from both stats() accessors —
-  // yields the same values as calling it once at the end.
-  uint64_t row_hits = 0;
-  uint64_t row_misses = 0;
-  uint64_t row_conflicts = 0;
-  uint64_t reads_done = 0;
-  uint64_t writes_done = 0;
-  uint64_t refs_issued = 0;
-  uint64_t refs_sb_issued = 0;
-  uint64_t refresh_instr_acts = 0;
-  uint64_t wake_batches = 0;
-  uint64_t shard_wait_cycles = 0;
-  h_cmds_per_wake_->Reset();
-  h_read_latency_->Reset();
-  h_write_latency_->Reset();
-  for (uint32_t c = 0; c < channels(); ++c) {
-    const ChannelCounters& counters = channels_[c].counters;
-    row_hits += counters.row_hits;
-    row_misses += counters.row_misses;
-    row_conflicts += counters.row_conflicts;
-    reads_done += counters.reads_done;
-    writes_done += counters.writes_done;
-    refs_issued += counters.refs_issued;
-    refs_sb_issued += counters.refs_sb_issued;
-    refresh_instr_acts += counters.refresh_instr_acts;
-    wake_batches += counters.wake_batches;
-    shard_wait_cycles += counters.shard_wait_cycles;
-    h_cmds_per_wake_->Merge(counters.cmds_per_wake);
-    h_read_latency_->Merge(counters.read_latency);
-    h_write_latency_->Merge(counters.write_latency);
-    h_ch_cmds_per_wake_[c]->Reset();
-    h_ch_cmds_per_wake_[c]->Merge(counters.cmds_per_wake);
+  // Fold the authoritative per-channel slabs into the named stats,
+  // incrementally: each dirty channel contributes the delta between its
+  // live slab and the snapshot taken at its previous sync. Reconverges to
+  // the same values as a from-scratch rebuild after any call sequence —
+  // mid-run, from the sampler, from both stats() accessors.
+  ProfilePhase phase("mc.telemetry_sync");
+  if (c_wake_batches_->value() != wake_batches_synced_) [[unlikely]] {
+    // The named stats were reset (or overwritten) behind our back —
+    // StatSet::Reset between measurement phases does this legitimately.
+    // Drop every baseline and rebuild from zero.
+    c_row_hits_->Set(0);
+    c_row_misses_->Set(0);
+    c_row_conflicts_->Set(0);
+    c_reads_done_->Set(0);
+    c_writes_done_->Set(0);
+    c_refs_issued_->Set(0);
+    c_refs_sb_issued_->Set(0);
+    c_refresh_instr_acts_->Set(0);
+    c_wake_batches_->Set(0);
+    c_shard_wait_cycles_->Set(0);
+    h_cmds_per_wake_->Reset();
+    h_read_latency_->Reset();
+    h_write_latency_->Reset();
+    for (uint32_t c = 0; c < channels(); ++c) {
+      h_ch_cmds_per_wake_[c]->Reset();
+      channels_[c].synced = ChannelCounters();
+      channels_[c].sync_dirty = true;
+    }
   }
-  c_row_hits_->Set(row_hits);
-  c_row_misses_->Set(row_misses);
-  c_row_conflicts_->Set(row_conflicts);
-  c_reads_done_->Set(reads_done);
-  c_writes_done_->Set(writes_done);
-  c_refs_issued_->Set(refs_issued);
-  c_refs_sb_issued_->Set(refs_sb_issued);
-  c_refresh_instr_acts_->Set(refresh_instr_acts);
-  c_wake_batches_->Set(wake_batches);
-  c_shard_wait_cycles_->Set(shard_wait_cycles);
+  for (uint32_t c = 0; c < channels(); ++c) {
+    ChannelState& channel = channels_[c];
+    if (!channel.sync_dirty) {
+      continue;
+    }
+    const ChannelCounters& cur = channel.counters;
+    const ChannelCounters& prev = channel.synced;
+    c_row_hits_->Add(cur.row_hits - prev.row_hits);
+    c_row_misses_->Add(cur.row_misses - prev.row_misses);
+    c_row_conflicts_->Add(cur.row_conflicts - prev.row_conflicts);
+    c_reads_done_->Add(cur.reads_done - prev.reads_done);
+    c_writes_done_->Add(cur.writes_done - prev.writes_done);
+    c_refs_issued_->Add(cur.refs_issued - prev.refs_issued);
+    c_refs_sb_issued_->Add(cur.refs_sb_issued - prev.refs_sb_issued);
+    c_refresh_instr_acts_->Add(cur.refresh_instr_acts - prev.refresh_instr_acts);
+    c_wake_batches_->Add(cur.wake_batches - prev.wake_batches);
+    c_shard_wait_cycles_->Add(cur.shard_wait_cycles - prev.shard_wait_cycles);
+    h_cmds_per_wake_->MergeDelta(cur.cmds_per_wake, prev.cmds_per_wake);
+    h_read_latency_->MergeDelta(cur.read_latency, prev.read_latency);
+    h_write_latency_->MergeDelta(cur.write_latency, prev.write_latency);
+    h_ch_cmds_per_wake_[c]->MergeDelta(cur.cmds_per_wake, prev.cmds_per_wake);
+    channel.synced = cur;
+    channel.sync_dirty = false;
+  }
+  wake_batches_synced_ = c_wake_batches_->value();
   if (mitigation_ != nullptr) {
     const uint64_t probes = mitigation_->TableProbes();
     c_table_probes_->Add(probes - mitigation_probes_synced_);
@@ -759,8 +773,15 @@ Cycle MemoryController::ShardHorizon(Cycle now) const {
     // Responses must be delivered on the caller thread, so the window
     // must end before any delivery: posted writes complete at issue time
     // (block entirely), in-flight reads at their ready cycle, and a
-    // queued read could issue immediately and complete tCL+tBL later.
-    bool queued_read = false;
+    // queued read completes tCL+tBL after its issue. The issue bound is
+    // per channel: the scheduling memo proves channel c cannot issue
+    // before max(now, next_try), and nothing inside a window lowers that
+    // (in-window completions never drain before the window ends, by this
+    // very bound), so its first completion lands at or after
+    // max(now, next_try) + tCL + tBL. Channels whose queues hold no reads
+    // do not clamp at all — that is what lets busy same-channel stretches
+    // grow windows into the thousands of cycles.
+    const Cycle read_pipe = dram_config_.timing.tCL + dram_config_.timing.tBL;
     for (const ChannelState& channel : channels_) {
       if (channel.queued_writes != 0) {
         return now;
@@ -768,10 +789,12 @@ Cycle MemoryController::ShardHorizon(Cycle now) const {
       if (!channel.in_flight.empty()) {
         horizon = std::min(horizon, channel.in_flight.top().ready);
       }
-      queued_read = queued_read || channel.queued_reads != 0;
-    }
-    if (queued_read) {
-      horizon = std::min(horizon, now + dram_config_.timing.tCL + dram_config_.timing.tBL);
+      if (channel.queued_reads != 0) {
+        const Cycle first_issue = std::max(now, channel.next_try);
+        if (first_issue < kNeverCycle - read_pipe) {
+          horizon = std::min(horizon, first_issue + read_pipe);
+        }
+      }
     }
   }
   return std::max(horizon, now);
@@ -779,6 +802,7 @@ Cycle MemoryController::ShardHorizon(Cycle now) const {
 
 void MemoryController::AdvanceChannel(uint32_t channel_index, Cycle from, Cycle until) {
   ChannelState& channel = channels_[channel_index];
+  channel.sync_dirty = true;
   Cycle now = from;
   while (now < until) {
     // The serial path visits this channel exactly at max(now, next_try)
@@ -803,30 +827,136 @@ void MemoryController::AdvanceChannel(uint32_t channel_index, Cycle from, Cycle 
   }
 }
 
+namespace {
+// A traced parallel window routes each channel's events into a private
+// scratch ring; clamp such windows so even a worst-case event rate (one
+// command per cycle plus the flip fan-out per ACT) stays far below the
+// scratch capacity, keeping the fold-back lossless.
+constexpr Cycle kTraceShardWindowMax = 4096;
+constexpr size_t kTraceScratchCapacity = 1u << 15;
+}  // namespace
+
 Cycle MemoryController::AdvanceChannels(Cycle from, Cycle until, unsigned max_workers) {
-  until = std::min(until, ShardHorizon(from));
-  if (until <= from) {
-    return from;
+  const uint32_t n = channels();
+  // The member-count policy: an unconstrained call draws from the shared
+  // thread budget (HT_THREADS / hardware concurrency); an explicit count
+  // is honored exactly so benches can sweep widths.
+  const unsigned width = max_workers == 0 ? std::min(n, ResolveThreadCount(0))
+                                          : std::min(max_workers, n);
+  Cycle now = from;
+  while (now < until) {
+    // Adaptive run-ahead: grow each window to the actual next coupling
+    // event. The chain breaks (and the caller resumes serial ticking)
+    // when no coupling-free stretch remains — typically a response
+    // delivery due at `now` or a non-shardable configuration.
+    Cycle window_end = std::min(until, ShardHorizon(now));
+    if (window_end <= now) {
+      break;
+    }
+    // shard_min_window is the parallel-dispatch threshold, not an
+    // engagement gate: a shorter window (e.g. the ~tCL+tBL stretch to
+    // the next response delivery) still replays channel-major, but
+    // inline — the work is too small to amortize a worker barrier.
+    const unsigned window_width =
+        window_end - now >= config_.shard_min_window ? width : 1;
+    if (trace_ != nullptr && window_width > 1 && !shard_trace_overflow_ &&
+        window_end - now > kTraceShardWindowMax) {
+      window_end = now + kTraceShardWindowMax;
+    }
+    c_sync_barriers_->Increment();
+    h_shard_window_->Record(window_end - now);
+    DispatchShardWindow(now, window_end, window_width);
+    now = window_end;
+    if (trace_ != nullptr && mitigation_ == nullptr) {
+      // Keep the epoch stamps flowing between windows, exactly as the
+      // serial Tick path would at its next wake past the boundary.
+      while (now >= next_epoch_) {
+        trace_->Emit(next_epoch_, TraceKind::kEpochRollover, 0, 0, 0, 0, epoch_index_);
+        ++epoch_index_;
+        next_epoch_ += dram_config_.retention.refresh_window;
+      }
+    }
   }
-  c_sync_barriers_->Increment();
+  return now;
+}
+
+void MemoryController::DispatchShardWindow(Cycle from, Cycle until, unsigned width) {
   const uint32_t n = channels();
   if (trace_ != nullptr) {
-    // The trace ring is single-producer: run channels serially in channel
-    // order, stamping each window's sync point with the channel's wake
-    // occupancy so Perfetto shows how full each shard's window was.
-    for (uint32_t c = 0; c < n; ++c) {
-      const uint64_t wakes_before = channels_[c].counters.wake_batches;
-      AdvanceChannel(c, from, until);
-      HT_TRACE(trace_, from, TraceKind::kShardSync, static_cast<uint8_t>(c), 0, 0,
-               static_cast<uint32_t>(until - from),
-               channels_[c].counters.wake_batches - wakes_before);
+    if (width <= 1 || shard_trace_overflow_ || PoolFanoutRegion::Active()) {
+      // Single producer: run channels serially in channel order, stamping
+      // each window's sync point with the channel's wake occupancy so
+      // Perfetto shows how full each shard's window was.
+      for (uint32_t c = 0; c < n; ++c) {
+        const uint64_t wakes_before = channels_[c].counters.wake_batches;
+        AdvanceChannel(c, from, until);
+        HT_TRACE(trace_, from, TraceKind::kShardSync, static_cast<uint8_t>(c), 0, 0,
+                 static_cast<uint32_t>(until - from),
+                 channels_[c].counters.wake_batches - wakes_before);
+      }
+      return;
     }
-    return until;
+    // Parallel traced window: point every channel's device and ACT
+    // counter at a private scratch ring for the duration of the window,
+    // then fold the rings back in channel order — byte-identical to the
+    // serial in-order advance above, for any worker count.
+    if (shard_scratch_.empty()) {
+      shard_scratch_.reserve(n);
+      for (uint32_t c = 0; c < n; ++c) {
+        shard_scratch_.push_back(std::make_unique<TraceBuffer>(
+            "shard_scratch_ch" + std::to_string(c), kTraceScratchCapacity));
+      }
+    }
+    shard_wakes_before_.resize(n);
+    for (uint32_t c = 0; c < n; ++c) {
+      shard_scratch_[c]->Clear();
+      devices_[c]->set_trace(shard_scratch_[c].get());
+      act_counters_[c]->set_trace(shard_scratch_[c].get());
+      shard_wakes_before_[c] = channels_[c].counters.wake_batches;
+    }
+    RunShardMembers(n, width, from, until);
+    {
+      ProfilePhase drain_phase("mc.shard_trace_drain");
+      for (uint32_t c = 0; c < n; ++c) {
+        devices_[c]->set_trace(trace_);
+        act_counters_[c]->set_trace(trace_);
+        if (shard_scratch_[c]->events_dropped() != 0) {
+          // Should be impossible under the window clamp; degrade to the
+          // lossless serial path permanently rather than dropping events.
+          shard_trace_overflow_ = true;
+          stats_.Add("mc.shard_trace_overflow");
+        }
+        trace_->Append(*shard_scratch_[c]);
+        HT_TRACE(trace_, from, TraceKind::kShardSync, static_cast<uint8_t>(c), 0, 0,
+                 static_cast<uint32_t>(until - from),
+                 channels_[c].counters.wake_batches - shard_wakes_before_[c]);
+      }
+    }
+    return;
   }
-  const unsigned workers = max_workers == 0 ? n : max_workers;
-  ThreadPool::Shared().Run(
-      n, workers, [&](uint64_t c) { AdvanceChannel(static_cast<uint32_t>(c), from, until); });
-  return until;
+  RunShardMembers(n, width, from, until);
+}
+
+void MemoryController::RunShardMembers(uint32_t n, unsigned width, Cycle from, Cycle until) {
+  if (width <= 1) {
+    for (uint32_t c = 0; c < n; ++c) {
+      AdvanceChannel(c, from, until);
+    }
+    return;
+  }
+  if (PoolFanoutRegion::Active()) {
+    // A multi-scenario fan-out owns the thread budget; don't stack a
+    // per-simulation worker group on top of it.
+    ThreadPool::Shared().Run(
+        n, width, [&](uint64_t c) { AdvanceChannel(static_cast<uint32_t>(c), from, until); });
+    return;
+  }
+  if (shard_group_ == nullptr) {
+    shard_group_ = std::make_unique<ShardWorkerGroup>();
+  }
+  ProfilePhase dispatch_phase("mc.shard_dispatch");
+  shard_group_->Dispatch(
+      n, width, [&](uint64_t c) { AdvanceChannel(static_cast<uint32_t>(c), from, until); });
 }
 
 bool MemoryController::Idle() const {

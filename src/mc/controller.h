@@ -27,7 +27,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/shard_group.h"
 #include "common/stats.h"
+#include "common/telemetry/trace.h"
 #include "common/types.h"
 #include "dram/device.h"
 #include "mc/act_counter.h"
@@ -64,8 +66,10 @@ struct McConfig {
   // telemetry itself (mc.sync_barriers, mc.shard_wait_cycles). Disable to
   // cross-check against the purely serial event loop.
   bool shard_channels = true;
-  // Minimum window length (cycles) worth dispatching a sharded advance;
-  // shorter coupling-free stretches stay on the serial path.
+  // Minimum adaptive window length (cycles) worth a sharded advance.
+  // AdvanceChannels grows each window to the actual next coupling event
+  // (ShardHorizon); stretches shorter than this stay on the serial path.
+  // Exposed as --shard-min-window in hammertime and the scenario benches.
   Cycle shard_min_window = 64;
 };
 
@@ -101,10 +105,15 @@ class MemoryController {
   // straight to the returned cycle.
   Cycle NextWake(Cycle now) const;
 
-  // Rebuilds the named stats from the per-channel counter slabs (hits,
-  // misses, completions, latency histograms, scheduler telemetry) and
-  // folds lazily-maintained mitigation table probes in. Idempotent; the
-  // stats() accessors call it, so readers always see fresh values.
+  // Folds the per-channel counter slabs (hits, misses, completions,
+  // latency histograms, scheduler telemetry) into the named stats and
+  // folds lazily-maintained mitigation table probes in. Incremental:
+  // only channels dirtied since the previous sync are merged, as deltas
+  // against a cached per-channel snapshot, so a sampler syncing every
+  // few thousand cycles no longer rebuilds every histogram from scratch.
+  // Detects an external StatSet reset (sentinel mismatch) and falls back
+  // to a full rebuild. Idempotent; the stats() accessors call it, so
+  // readers always see fresh values.
   void SyncTelemetry();
 
   // --- Per-channel parallel advance ------------------------------------------
@@ -117,16 +126,22 @@ class MemoryController {
   // current configuration or state cannot shard at all.
   Cycle ShardHorizon(Cycle now) const;
 
-  // Advances every channel independently from `from` to
-  // min(until, ShardHorizon(from)) by replaying its event loop — visiting
-  // exactly the cycles the serial path would scan it at, so commands,
-  // device state, and per-channel counters are bit-identical to serial
-  // Ticks over the same window. Runs channels on the shared thread pool
-  // (capped at `max_workers`; 0 = one worker per channel) unless a trace
-  // buffer is attached, in which case they run serially in channel order
-  // (the ring buffer is single-producer). Returns the cycle reached;
-  // == `from` means the window could not engage and the caller must tick
-  // serially.
+  // Advances every channel independently from `from` toward `until` in a
+  // chain of adaptive windows, each clamped to ShardHorizon — by replaying
+  // each channel's event loop, visiting exactly the cycles the serial path
+  // would scan it at, so commands, device state, and per-channel counters
+  // are bit-identical to serial Ticks over the same span. Windows run on
+  // the persistent ShardWorkerGroup (one long-lived helper per extra
+  // member, epoch-barrier synchronized); max_workers caps the member
+  // count (0 = min(channels, ResolveThreadCount(0)), the shared thread
+  // budget; an explicit nonzero count is honored exactly so benches can
+  // sweep it). During a multi-scenario pool fan-out the group stands down
+  // and the window runs through the shared pool instead. With a trace
+  // buffer attached, channels emit into private scratch rings that are
+  // drained back in channel order at each sync point — the merged stream
+  // is identical for any worker count. Stops at the first window shorter
+  // than shard_min_window and returns the cycle reached; == `from` means
+  // no window engaged and the caller must tick serially.
   Cycle AdvanceChannels(Cycle from, Cycle until, unsigned max_workers = 0);
 
   // Outstanding work (queued requests, internal ops, in-flight reads).
@@ -254,6 +269,12 @@ class MemoryController {
     // ShardHorizon bound response-handler deliveries without scanning.
     uint32_t queued_reads = 0;
     uint32_t queued_writes = 0;
+    // Incremental-sync state: `synced` is the slab snapshot SyncTelemetry
+    // last folded into the named stats; `sync_dirty` marks slabs touched
+    // since. Only the owning scheduler thread writes either (the caller
+    // reads them strictly after the shard barrier).
+    ChannelCounters synced;
+    bool sync_dirty = true;
     // Scheduler memo: TryRequests provably cannot issue before this cycle
     // unless channel state changes first. Every event that could change a
     // scan's outcome (enqueue, any DDR command issued on the channel,
@@ -279,6 +300,14 @@ class MemoryController {
   // Each stage returns true iff it issued a command. On false, `retry` is
   // lowered to the earliest cycle the stage could act given unchanged
   // channel state (kNeverCycle when only a state change can unblock it).
+  // Runs one already-clamped shard window [from, until): per-channel
+  // replay on the worker group / shared pool / inline, plus the trace
+  // scratch-ring routing and the per-window kShardSync stamps.
+  void DispatchShardWindow(Cycle from, Cycle until, unsigned width);
+  // Executes AdvanceChannel for all n channels at the given member width:
+  // inline (width 1), on the shared pool (inside a scenario fan-out), or
+  // on the persistent worker group.
+  void RunShardMembers(uint32_t n, unsigned width, Cycle from, Cycle until);
   bool TryRefreshManager(uint32_t channel, Cycle now, Cycle& retry);
   bool TryInternalOps(uint32_t channel, Cycle now, Cycle& retry);
   bool TryRequests(uint32_t channel, Cycle now, Cycle& retry);
@@ -326,8 +355,23 @@ class MemoryController {
   Histogram* h_cmds_per_wake_;   // Commands issued per channel scan (0/1).
   Histogram* h_read_latency_;
   Histogram* h_write_latency_;
+  Histogram* h_shard_window_;    // Adaptive shard window lengths (cycles).
   std::vector<Histogram*> h_ch_cmds_per_wake_;  // "mc.chN.cmds_per_wake".
   uint64_t mitigation_probes_synced_ = 0;
+  // Sentinel for the incremental SyncTelemetry: the value mc.wake_batches
+  // held when the per-channel baselines were last advanced. A mismatch
+  // means someone reset/overwrote the named stats externally, so the next
+  // sync rebuilds from scratch.
+  uint64_t wake_batches_synced_ = 0;
+  // Persistent shard workers (lazily created on the first parallel
+  // window) and the per-channel trace scratch rings for traced windows.
+  std::unique_ptr<ShardWorkerGroup> shard_group_;
+  std::vector<std::unique_ptr<TraceBuffer>> shard_scratch_;
+  std::vector<uint64_t> shard_wakes_before_;  // Scratch for kShardSync args.
+  // Set if a traced parallel window ever overflowed its scratch ring
+  // (should be impossible under the window clamp); forces the serial
+  // in-order trace path from then on rather than losing events silently.
+  bool shard_trace_overflow_ = false;
   bool act_handler_set_ = false;
   // Refresh-instruction completions that still owe a done callback;
   // callbacks must fire on the caller thread, so a nonzero count blocks

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "attack/hammer.h"
@@ -220,6 +221,9 @@ ScenarioResult RunScenario(ScenarioSpec spec, ScenarioTelemetry* telemetry,
   if (spec.randomize_reset.has_value()) {
     spec.system.mc.act_counter.randomize_reset = *spec.randomize_reset;
   }
+  if (RunnerTelemetry().shard_min_window != 0) {
+    spec.system.mc.shard_min_window = RunnerTelemetry().shard_min_window;
+  }
   if (spec.seed != 0) {
     // Perturb every RNG stream deterministically; distinct multipliers
     // keep the derived seeds decorrelated from one another.
@@ -426,6 +430,13 @@ std::vector<ScenarioResult> RunScenarios(const std::vector<ScenarioSpec>& specs,
   const bool telemetry_on = !options.trace_out.empty() || !options.metrics_out.empty();
   // A single scenario never pays thread-count resolution or pool setup.
   const unsigned workers = specs.size() <= 1 ? 1u : ResolveThreadCount(threads);
+  // While more than one scenario shares the pool, per-MC shard worker
+  // groups stand down (channel shards route through the same pool) so the
+  // two fan-out levels keep drawing from one thread budget.
+  std::optional<PoolFanoutRegion> fanout;
+  if (specs.size() > 1 && workers > 1) {
+    fanout.emplace();
+  }
   if (!telemetry_on) {
     ParallelFor(specs.size(), workers,
                 [&](uint64_t i) { results[i] = RunScenario(specs[i]); });
@@ -468,6 +479,10 @@ void AddRunnerFlags(ArgParser& parser) {
                 "write a hammertime.metrics.v1 run report (binary when PATH ends in .htb)");
   parser.Option("sample-every", "N",
                 "stat-sampler period in cycles (default 16384 when --metrics-out is set)");
+  parser.Option("shard-min-window", "N",
+                "minimum adaptive channel-shard window in cycles (0 = keep each "
+                "scenario's configured value, default 64); coupling-free stretches "
+                "shorter than N run on the serial event path");
   parser.Flag("profile",
               "self-profile the harness (phase timers, pool gauges) into the metrics "
               "report's profile section; also honored via HT_PROFILE=1");
@@ -481,6 +496,7 @@ unsigned ApplyRunnerFlags(const ArgParser& parser) {
   if (!options.metrics_out.empty() && options.sample_every == 0) {
     options.sample_every = kDefaultSampleEvery;
   }
+  options.shard_min_window = parser.GetUint("shard-min-window");
   const char* env_profile = std::getenv("HT_PROFILE");
   if (parser.GetBool("profile") ||
       (env_profile != nullptr && *env_profile != '\0' && *env_profile != '0')) {

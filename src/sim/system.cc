@@ -153,6 +153,10 @@ void System::Step(Cycle end) {
     // idle (strictly before its NextWake) and no sample boundary is due,
     // the MC's channels decouple — advance them in parallel up to the
     // earliest external interaction, then fall back to lockstep ticking.
+    // The adaptive horizon inside AdvanceChannels decides how much of the
+    // stretch is actually worth windowing (>= shard_min_window per
+    // window), so busy phases with stalled cores engage just as well as
+    // idle/refresh tails; any offer it declines is ticked serially below.
     Cycle horizon = std::min(end, sample_next_);
     for (const auto& core : cores_) {
       horizon = std::min(horizon, core->NextWake(now_));
@@ -163,7 +167,7 @@ void System::Step(Cycle end) {
     if (defense_ != nullptr) {
       horizon = std::min(horizon, defense_->NextWake(now_));
     }
-    if (horizon >= now_ + config_.mc.shard_min_window) {
+    if (horizon > now_) {
       const Cycle reached = mc_->AdvanceChannels(now_, horizon);
       if (reached > now_) {
         now_ = reached;

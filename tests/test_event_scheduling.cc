@@ -26,7 +26,7 @@ namespace {
 // so legacy mode's every-cycle scans dwarf the event mode's).
 bool IsSchedulerTelemetry(const std::string& name) {
   if (name == "mc.wake_batches" || name == "mc.cmds_per_wake" || name == "mc.sync_barriers" ||
-      name == "mc.shard_wait_cycles") {
+      name == "mc.shard_wait_cycles" || name == "mc.shard_window") {
     return true;
   }
   return name.rfind("mc.ch", 0) == 0 &&
@@ -39,7 +39,8 @@ bool IsSchedulerTelemetry(const std::string& name) {
 // exactly the serial path's wake cycles, so even mc.cmds_per_wake must
 // match bit-for-bit.
 bool IsShardTelemetry(const std::string& name) {
-  return name == "mc.sync_barriers" || name == "mc.shard_wait_cycles";
+  return name == "mc.sync_barriers" || name == "mc.shard_wait_cycles" ||
+         name == "mc.shard_window";
 }
 
 void ExpectStatsIdentical(const StatSet& a, const StatSet& b,

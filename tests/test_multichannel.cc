@@ -106,12 +106,21 @@ struct ShardFuzzParams {
   uint32_t channels = 2;
   uint32_t ranks = 1;
   bool per_bank_refresh = false;
+  // Member count handed to AdvanceChannels (0 = the shared thread
+  // budget); >1 exercises the persistent worker group.
+  unsigned max_workers = 1;
+  // 0 keeps the McConfig default. A tiny value parallel-dispatches every
+  // stretch; a huge one forces every window onto the inline replay path.
+  Cycle min_window = 0;
 };
 
-McConfig ShardFuzzMcConfig() {
+McConfig ShardFuzzMcConfig(const ShardFuzzParams& params) {
   McConfig mc;
   mc.event_driven = true;
   mc.shard_channels = true;
+  if (params.min_window != 0) {
+    mc.shard_min_window = params.min_window;
+  }
   return mc;
 }
 
@@ -146,8 +155,8 @@ std::vector<MemRequest> DrawWindowRequests(Rng& rng, const AddressMapper& mapper
 
 void RunShardFuzzCase(const ShardFuzzParams& params) {
   const DramConfig dram = ShardFuzzDramConfig(params);
-  MemoryController serial(dram, ShardFuzzMcConfig());
-  MemoryController sharded(dram, ShardFuzzMcConfig());
+  MemoryController serial(dram, ShardFuzzMcConfig(params));
+  MemoryController sharded(dram, ShardFuzzMcConfig(params));
 
   Rng rng(params.seed);
   const Cycle window = 1500;
@@ -174,8 +183,8 @@ void RunShardFuzzCase(const ShardFuzzParams& params) {
       serial.Tick(t);
       t = std::max(t + 1, std::min(serial.NextWake(t), wend));
     }
-    // Sharded path: one parallel window over the same span.
-    const Cycle reached = sharded.AdvanceChannels(wstart, wend);
+    // Sharded path: an adaptive window chain over the same span.
+    const Cycle reached = sharded.AdvanceChannels(wstart, wend, params.max_workers);
     ASSERT_EQ(reached, wend) << "shard window failed to engage at window " << w;
   }
 
@@ -190,6 +199,9 @@ void RunShardFuzzCase(const ShardFuzzParams& params) {
   }
   ASSERT_EQ(a.histograms().size(), b.histograms().size());
   for (const auto& [name, histogram] : a.histograms()) {
+    if (name == "mc.shard_window") {
+      continue;  // Window-size telemetry exists only on the sharded side.
+    }
     // Wake telemetry included: the shard replay loop visits exactly the
     // serial path's scan cycles.
     const Histogram* other = b.GetHistogram(name);
@@ -222,6 +234,32 @@ TEST(MultiChannelShard, SingleChannelFuzzMatchesSerial) {
 
 TEST(MultiChannelShard, PerBankRefreshFuzzMatchesSerial) {
   RunShardFuzzCase({/*seed=*/4001, /*channels=*/2, /*ranks=*/1, /*per_bank_refresh=*/true});
+}
+
+TEST(MultiChannelShard, WorkerSweepMatchesSerial) {
+  // Every member count the bench sweeps, on an 8-channel controller. The
+  // serial reference inside each case makes this transitively a
+  // bit-identity check across widths too.
+  for (unsigned workers : {1u, 2u, 4u, 8u}) {
+    RunShardFuzzCase({/*seed=*/5000 + workers, /*channels=*/8, /*ranks=*/1,
+                      /*per_bank_refresh=*/false, /*max_workers=*/workers});
+  }
+}
+
+TEST(MultiChannelShard, ForcedWindowSizesMatchSerial) {
+  // min_window 1: even single-cycle coupling-free stretches go through
+  // the worker barrier. Huge: every window is replayed inline (the
+  // parallel-dispatch threshold is never met); the chain must still
+  // cover the full span and match serial bit-for-bit.
+  RunShardFuzzCase({/*seed=*/6001, /*channels=*/4, /*ranks=*/1, /*per_bank_refresh=*/false,
+                    /*max_workers=*/4, /*min_window=*/1});
+  RunShardFuzzCase({/*seed=*/6002, /*channels=*/4, /*ranks=*/1, /*per_bank_refresh=*/true,
+                    /*max_workers=*/4, /*min_window=*/1u << 20});
+}
+
+TEST(MultiChannelShard, EightChannelPerBankRefreshFuzzMatchesSerial) {
+  RunShardFuzzCase({/*seed=*/7001, /*channels=*/8, /*ranks=*/2, /*per_bank_refresh=*/true,
+                    /*max_workers=*/8});
 }
 
 TEST(MultiChannel, UndefendedAttackFlipsOnWideSystem) {

@@ -209,7 +209,8 @@ std::string DiffResults(const ScenarioResult& a, const ScenarioResult& b) {
 // names must still exist in every variant, but their values legitimately
 // differ between sharded and serial runs.
 bool IsShardTelemetry(const std::string& name) {
-  return name == "mc.sync_barriers" || name == "mc.shard_wait_cycles";
+  return name == "mc.sync_barriers" || name == "mc.shard_wait_cycles" ||
+         name == "mc.shard_window";
 }
 
 // First difference between two StatSets (keys and values), or "".
@@ -245,6 +246,9 @@ std::string DiffStatSets(const StatSet& a, const StatSet& b) {
        it_a != a.histograms().end(); ++it_a, ++it_b) {
     if (it_a->first != it_b->first) {
       return "histogram name mismatch: " + it_a->first + " vs " + it_b->first;
+    }
+    if (IsShardTelemetry(it_a->first)) {
+      continue;
     }
     if (it_a->second != it_b->second) {
       return "histogram " + it_a->first + " differs";
